@@ -1,0 +1,86 @@
+// Ablation: request batching in the agreement layer.
+//
+// The paper's 6% update overhead depends on the consensus cost being
+// amortized across batched requests. This bench sweeps max_batch and shows
+// both delivered update throughput (open loop) and synchronous write rate
+// (closed loop, batching cannot help there — one outstanding request).
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_util.h"
+
+namespace ss::bench {
+namespace {
+
+constexpr SimTime kWarmup = seconds(1);
+constexpr SimTime kMeasure = seconds(10);
+
+core::ReplicatedOptions make_options(std::uint32_t max_batch) {
+  core::ReplicatedOptions options;
+  options.costs = sim::CostModel::paper_testbed();
+  options.storage_retention = 1024;
+  options.checkpoint_interval = 4096;
+  options.client_reply_timeout = seconds(60);
+  options.request_timeout = seconds(60);
+  options.max_batch = max_batch;
+  return options;
+}
+
+double update_throughput(std::uint32_t max_batch) {
+  core::ReplicatedDeployment system(make_options(max_batch));
+  ItemId item = system.add_point("feeder");
+  system.start();
+  std::uint64_t count = 0;
+  auto tick = [&] {
+    system.frontend().field_update(item, scada::Variant{double(count++)});
+  };
+  drive_open_loop(system.loop(), 1000.0, kWarmup, tick);
+  std::uint64_t before = system.hmi().counters().updates_received;
+  drive_open_loop(system.loop(), 1000.0, kMeasure, tick);
+  return static_cast<double>(system.hmi().counters().updates_received -
+                             before) /
+         (static_cast<double>(kMeasure) / kNanosPerSec);
+}
+
+double write_throughput(std::uint32_t max_batch) {
+  core::ReplicatedDeployment system(make_options(max_batch));
+  ItemId item = system.add_point("valve", scada::Variant{0.0});
+  system.start();
+  std::uint64_t completed = 0;
+  double value = 0;
+  std::function<void()> issue = [&] {
+    system.hmi().write(item, scada::Variant{value},
+                       [&](const scada::WriteResult&) {
+                         ++completed;
+                         value += 1.0;
+                         issue();
+                       });
+  };
+  issue();
+  system.run_until(system.loop().now() + kWarmup);
+  std::uint64_t before = completed;
+  system.run_until(system.loop().now() + kMeasure);
+  return static_cast<double>(completed - before) /
+         (static_cast<double>(kMeasure) / kNanosPerSec);
+}
+
+}  // namespace
+}  // namespace ss::bench
+
+int main() {
+  using namespace ss;
+  using namespace ss::bench;
+
+  print_header("Ablation: agreement batching", "max_batch sweep");
+  std::printf("%-12s %18s %18s\n", "max_batch", "updates/s @1000/s",
+              "sync writes/s");
+  for (std::uint32_t batch : {1u, 4u, 16u, 64u}) {
+    std::printf("%-12u %18.1f %18.1f\n", batch, update_throughput(batch),
+                write_throughput(batch));
+  }
+  std::printf(
+      "\nreading: batching amortizes the per-decision agreement cost on the\n"
+      "open-loop update pipeline; the closed-loop write path (one request\n"
+      "outstanding) gains nothing — its cost is communication steps.\n");
+  return 0;
+}

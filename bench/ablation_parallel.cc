@@ -1,0 +1,87 @@
+// Ablation: parallel execution support (paper §VII-b).
+//
+// "We do not dispute alternatives to our implementation ... for example, by
+// using a BFT library that supports multi-threading [CBASE, Eve] or by
+// adding parallel execution support to BFT-SMaRt (as recently done by
+// Alchieri et al.)." This bench quantifies that future-work claim: the
+// SMaRt-SCADA update pipeline with 1 executor lane (the paper's
+// single-threaded prototype) vs conflict-partitioned parallel execution
+// (k lanes, operations on different items run concurrently), at increasing
+// offered load, with the updates spread over 1 or 16 items.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace ss::bench {
+namespace {
+
+constexpr SimTime kWarmup = seconds(2);
+constexpr SimTime kMeasure = seconds(10);
+
+double run(double rate, std::uint32_t executor_lanes, int items) {
+  core::ReplicatedOptions options;
+  options.costs = sim::CostModel::paper_testbed();
+  options.storage_retention = 1024;
+  options.checkpoint_interval = 4096;
+  options.client_reply_timeout = seconds(60);
+  options.request_timeout = seconds(60);
+  options.executor_lanes = executor_lanes;
+  core::ReplicatedDeployment system(options);
+
+  std::vector<ItemId> points;
+  for (int i = 0; i < items; ++i) {
+    points.push_back(system.add_point("feeder/" + std::to_string(i)));
+  }
+  system.start();
+
+  std::uint64_t count = 0;
+  auto tick = [&] {
+    system.frontend().field_update(points[count % points.size()],
+                                   scada::Variant{double(count)});
+    ++count;
+  };
+  drive_open_loop(system.loop(), rate, kWarmup, tick);
+  std::uint64_t before = system.hmi().counters().updates_received;
+  drive_open_loop(system.loop(), rate, kMeasure, tick);
+  return static_cast<double>(system.hmi().counters().updates_received -
+                             before) /
+         (static_cast<double>(kMeasure) / kNanosPerSec);
+}
+
+}  // namespace
+}  // namespace ss::bench
+
+int main() {
+  using namespace ss;
+  using namespace ss::bench;
+
+  print_header("Ablation: parallel execution (paper SVII-b)",
+               "delivered ItemUpdate/s vs offered load");
+  std::printf("%-38s %8s %8s %8s\n", "configuration", "1000/s", "2000/s",
+              "4000/s");
+  struct Config {
+    const char* label;
+    std::uint32_t lanes;
+    int items;
+  };
+  for (const Config& config :
+       {Config{"single-threaded (paper), 1 item", 1, 1},
+        Config{"single-threaded (paper), 16 items", 1, 16},
+        Config{"parallel executor k=4, 1 item", 4, 1},
+        Config{"parallel executor k=4, 16 items", 4, 16},
+        Config{"parallel executor k=8, 16 items", 8, 16}}) {
+    std::printf("%-38s", config.label);
+    for (double rate : {1000.0, 2000.0, 4000.0}) {
+      std::printf(" %8.0f", run(rate, config.lanes, config.items));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nreading: offloading execution from the protocol thread already\n"
+      "helps (even one conflict group), and with independent items\n"
+      "CBASE-style parallel execution removes the ceiling the paper\n"
+      "attributes to the determinism refactor. At 4000/s the protocol\n"
+      "thread itself saturates on request receipt - a deeper bottleneck\n"
+      "no execution-side parallelism can fix.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "core/baseline_deployment.h"
+#include "core/replicated_deployment.h"
+
+namespace ss::bench {
+
+/// Open-loop workload: calls `tick` at `rate_per_sec` for `duration`,
+/// starting at the loop's current time.
+inline void drive_open_loop(sim::EventLoop& loop, double rate_per_sec,
+                            SimTime duration,
+                            const std::function<void()>& tick) {
+  SimTime period = static_cast<SimTime>(kNanosPerSec / rate_per_sec);
+  SimTime end = loop.now() + duration;
+  std::function<void()> step = [&loop, period, end, tick, &step] {
+    if (loop.now() >= end) return;
+    tick();
+    loop.schedule(period, step);
+  };
+  loop.schedule(0, step);
+  loop.run_until(end + millis(1));
+}
+
+inline void print_header(const char* figure, const char* title) {
+  std::printf("\n=== %s: %s ===\n", figure, title);
+}
+
+inline void print_row(const std::string& system, double value,
+                      const char* unit) {
+  std::printf("%-34s %10.1f %s\n", system.c_str(), value, unit);
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("  %s\n", note.c_str());
+}
+
+inline double overhead_pct(double baseline, double value) {
+  return baseline <= 0 ? 0.0 : 100.0 * (baseline - value) / baseline;
+}
+
+}  // namespace ss::bench

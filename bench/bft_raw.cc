@@ -1,0 +1,113 @@
+// Reproduces the §V-B context claim: "BFT-SMaRt is not the bottleneck of
+// our system, as it reaches a throughput of 16k requests/sec for a similar
+// message size (1024 bytes)".
+//
+// We measure the raw BFT layer alone (no SCADA on top): one saturating
+// client pipelines null-service ordered requests at several payload sizes
+// and we report decided requests per simulated second. The expectation to
+// preserve is the *relation*: the BFT layer's ceiling is an order of
+// magnitude above the ~1000 ops/s SCADA pipeline of Figure 8(a).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bft/client.h"
+#include "bft/replica.h"
+
+namespace ss::bench {
+namespace {
+
+/// Null service: returns a tiny ack, maintains a counter as state.
+class NullApp final : public bft::Executable, public bft::Recoverable {
+ public:
+  Bytes execute_ordered(const bft::ExecuteContext&, ByteView) override {
+    ++executed_;
+    Writer w(1);
+    w.u8(1);
+    return std::move(w).take();
+  }
+  Bytes execute_unordered(ClientId, ByteView) override {
+    Writer w(1);
+    w.u8(1);
+    return std::move(w).take();
+  }
+  Bytes snapshot() const override {
+    Writer w(8);
+    w.varint(executed_);
+    return std::move(w).take();
+  }
+  void restore(ByteView data) override {
+    Reader r(data);
+    executed_ = r.varint();
+  }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  std::uint64_t executed_ = 0;
+};
+
+double run(std::size_t payload_size, const sim::CostModel& costs,
+           std::uint32_t pipeline_depth) {
+  sim::EventLoop loop;
+  sim::Network net(loop, costs.hop_latency, costs.ns_per_byte);
+  crypto::Keychain keys("bft-raw");
+  GroupConfig group = GroupConfig::for_f(1);
+
+  std::vector<std::unique_ptr<NullApp>> apps;
+  std::vector<std::unique_ptr<bft::Replica>> replicas;
+  bft::ReplicaOptions options;
+  options.per_message_cost = costs.bft_crypto_per_msg + costs.serialize_per_msg;
+  options.per_decision_cost = costs.bft_consensus_overhead;
+  options.lanes = 4;  // the standalone library is multi-threaded (Netty + worker pools)
+  options.max_batch = 256;
+  options.checkpoint_interval = 1 << 20;
+  for (ReplicaId id : group.replica_ids()) {
+    apps.push_back(std::make_unique<NullApp>());
+    replicas.push_back(std::make_unique<bft::Replica>(
+        net, group, id, keys, *apps.back(), *apps.back(), options));
+  }
+  bft::ClientProxy client(net, group, ClientId{1}, keys,
+                          bft::ClientOptions{.reply_timeout = seconds(2)});
+
+  Bytes payload(payload_size, 0x5a);
+  std::uint64_t completed = 0;
+  std::function<void(Bytes)> on_reply = [&](Bytes) {
+    ++completed;
+    client.invoke_ordered(payload, on_reply);
+  };
+  for (std::uint32_t i = 0; i < pipeline_depth; ++i) {
+    client.invoke_ordered(payload, on_reply);
+  }
+
+  constexpr SimTime kWarmup = seconds(1);
+  constexpr SimTime kMeasure = seconds(5);
+  loop.run_until(kWarmup);
+  std::uint64_t before = completed;
+  loop.run_until(kWarmup + kMeasure);
+  return static_cast<double>(completed - before) /
+         (static_cast<double>(kMeasure) / kNanosPerSec);
+}
+
+}  // namespace
+}  // namespace ss::bench
+
+int main() {
+  using namespace ss;
+  using namespace ss::bench;
+
+  sim::CostModel costs = sim::CostModel::paper_testbed();
+  print_header("BFT-SMaRt raw throughput (paper §V-B)",
+               "null service, f=1, saturating client");
+  std::printf("%-12s %-10s %14s\n", "payload", "pipeline", "requests/s");
+  for (std::size_t size : {0u, 64u, 1024u}) {
+    for (std::uint32_t depth : {64u, 256u}) {
+      double rate = run(size, costs, depth);
+      std::printf("%8zu B   %8u %14.0f\n", size, depth, rate);
+    }
+  }
+  std::printf(
+      "\npaper context: BFT-SMaRt alone reached ~16k req/s at 1 kB;\n"
+      "the relation that must hold: raw BFT >> ~1k ops/s SCADA pipeline.\n");
+  return 0;
+}

@@ -1,0 +1,177 @@
+// google-benchmark microbenchmarks of the real component costs.
+//
+// These back the calibration in src/sim/cost_model.h (see EXPERIMENTS.md):
+// the virtual-time constants were chosen from these measured costs scaled
+// to the paper's 2.27 GHz Xeon E5520 / Java 7 testbed.
+#include <benchmark/benchmark.h>
+
+#include "bft/messages.h"
+#include "core/push_voter.h"
+#include "crypto/hmac.h"
+#include "crypto/keychain.h"
+#include "crypto/sha256.h"
+#include "scada/handlers.h"
+#include "scada/master.h"
+#include "scada/messages.h"
+#include "scada/storage.h"
+
+namespace {
+
+using namespace ss;
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Bytes key(32, 0x11);
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024);
+
+void BM_ScadaMessageEncode(benchmark::State& state) {
+  scada::ItemUpdate update;
+  update.ctx.op = OpId{123};
+  update.ctx.cid = ConsensusId{45};
+  update.ctx.timestamp = millis(10);
+  update.item = ItemId{7};
+  update.value = scada::Variant{230.5};
+  scada::ScadaMessage msg{update};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scada::encode_message(msg));
+  }
+}
+BENCHMARK(BM_ScadaMessageEncode);
+
+void BM_ScadaMessageDecode(benchmark::State& state) {
+  scada::ItemUpdate update;
+  update.item = ItemId{7};
+  update.value = scada::Variant{230.5};
+  Bytes encoded = scada::encode_message(scada::ScadaMessage{update});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scada::decode_message(encoded));
+  }
+}
+BENCHMARK(BM_ScadaMessageDecode);
+
+void BM_BatchEncodeDecode(benchmark::State& state) {
+  bft::Batch batch;
+  batch.timestamp = millis(5);
+  for (int i = 0; i < state.range(0); ++i) {
+    bft::ClientRequest req;
+    req.client = ClientId{1};
+    req.sequence = RequestId{static_cast<std::uint64_t>(i)};
+    req.payload = Bytes(64, 0x5a);
+    req.auth.assign(4, crypto::Digest{});
+    batch.requests.push_back(std::move(req));
+  }
+  for (auto _ : state) {
+    Bytes encoded = batch.encode();
+    benchmark::DoNotOptimize(bft::Batch::decode(encoded));
+  }
+}
+BENCHMARK(BM_BatchEncodeDecode)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_HandlerChainUpdate(benchmark::State& state) {
+  scada::HandlerChain chain;
+  chain.emplace<scada::ScaleHandler>(1.5, 0.0);
+  chain.emplace<scada::DeadbandHandler>(0.0);
+  chain.emplace<scada::MonitorHandler>(
+      scada::MonitorHandler::Condition::kAbove, 100.0);
+  scada::HandlerContext ctx{ItemId{1}, "item", millis(1), OpId{1}};
+  std::vector<scada::Event> events;
+  double v = 0;
+  for (auto _ : state) {
+    scada::Variant value{v};
+    v += 1.0;
+    chain.run_update(ctx, value, events);
+    events.clear();
+  }
+}
+BENCHMARK(BM_HandlerChainUpdate);
+
+void BM_StorageAppend(benchmark::State& state) {
+  scada::EventStorage storage(4096);
+  scada::Event event;
+  event.item = ItemId{1};
+  event.code = "MONITOR_TRIGGER";
+  event.message = "monitor condition met on item grid/feeder";
+  event.value = scada::Variant{123.4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage.append(event));
+  }
+}
+BENCHMARK(BM_StorageAppend);
+
+void BM_MasterItemUpdate(benchmark::State& state) {
+  scada::MasterOptions options;
+  options.deterministic = true;
+  options.storage_retention = 4096;
+  scada::ScadaMaster master(std::move(options));
+  ItemId item = master.add_item("grid/feeder");
+  master.handlers(item).emplace<scada::MonitorHandler>(
+      scada::MonitorHandler::Condition::kAbove, 1e12);
+  master.handle(
+      scada::ScadaMessage{scada::Subscribe{scada::Channel::kDa, ItemId{0},
+                                           "hmi"}},
+      scada::MsgContext{}, "hmi");
+  master.set_da_sink([](const std::string&, const scada::ScadaMessage&) {});
+  master.set_ae_sink([](const std::string&, const scada::ScadaMessage&) {});
+
+  scada::ItemUpdate update;
+  update.item = item;
+  scada::MsgContext ctx;
+  double v = 0;
+  for (auto _ : state) {
+    update.value = scada::Variant{v};
+    ctx.op = OpId{static_cast<std::uint64_t>(v)};
+    ctx.timestamp = static_cast<SimTime>(v) + 1;
+    v += 1.0;
+    master.handle(scada::ScadaMessage{update}, ctx, "frontend");
+  }
+}
+BENCHMARK(BM_MasterItemUpdate);
+
+void BM_PushVoterOffer(benchmark::State& state) {
+  GroupConfig group = GroupConfig::for_f(1);
+  std::uint64_t delivered = 0;
+  core::PushVoter voter(group,
+                        [&](const scada::ScadaMessage&) { ++delivered; });
+  scada::ItemUpdate update;
+  update.item = ItemId{1};
+  std::uint64_t op = 0;
+  for (auto _ : state) {
+    update.ctx.op = OpId{++op};
+    Bytes payload = scada::encode_message(scada::ScadaMessage{update});
+    voter.offer(ReplicaId{0}, payload);
+    voter.offer(ReplicaId{1}, payload);
+  }
+  benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_PushVoterOffer);
+
+void BM_MasterSnapshot(benchmark::State& state) {
+  scada::MasterOptions options;
+  options.deterministic = true;
+  options.storage_retention = 1024;
+  scada::ScadaMaster master(std::move(options));
+  for (int i = 0; i < state.range(0); ++i) {
+    master.add_item("item/" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(master.snapshot());
+  }
+}
+BENCHMARK(BM_MasterSnapshot)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

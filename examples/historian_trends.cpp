@@ -1,0 +1,75 @@
+// Historian / trend analysis: the value archive in a replicated deployment.
+//
+// A noisy process variable streams through the BFT pipeline; every replica
+// archives the accepted samples with the *agreed* timestamps, so all four
+// archives are byte-identical and any single replica can serve trend
+// queries through the unordered (read-only) BFT path — here rendered as a
+// small ASCII trend chart straight from a replica's archive.
+#include <cstdio>
+#include <string>
+
+#include "core/replicated_deployment.h"
+#include "core/requests.h"
+#include "rtu/sensors.h"
+
+using namespace ss;
+
+int main() {
+  core::ReplicatedDeployment plant;
+  ItemId temperature = plant.add_point("reactor/temperature");
+  plant.configure_masters([&](scada::ScadaMaster& master) {
+    // Smooth the noisy sensor a little before archiving.
+    master.handlers(temperature).emplace<scada::DeadbandHandler>(0.2);
+  });
+  plant.start();
+
+  // One minute of a drifting, noisy temperature at 5 Hz.
+  rtu::SineSignal signal(75.0, 12.0, seconds(40), 1.0);
+  Rng rng(42);
+  for (int i = 0; i < 300; ++i) {
+    plant.frontend().field_update(
+        temperature, scada::Variant{signal.sample(plant.loop().now(), rng)});
+    plant.run_until(plant.loop().now() + millis(200));
+  }
+  plant.run_until(plant.loop().now() + seconds(2));
+
+  // All four replicated archives are identical.
+  bool identical = true;
+  for (std::uint32_t i = 1; i < plant.n(); ++i) {
+    if (plant.master(i).state_digest() != plant.master(0).state_digest()) {
+      identical = false;
+    }
+  }
+  std::printf("archived samples per replica: %lu, archives identical: %s\n\n",
+              static_cast<unsigned long>(
+                  plant.master(0).historian().total_samples()),
+              identical ? "yes" : "NO");
+
+  // Query one replica's archive read-only (no agreement round needed).
+  Bytes reply = plant.adapter(0).execute_unordered(
+      ClientId{1}, core::encode_query(core::QueryKind::kHistoryAggregate,
+                                      temperature));
+  Reader r(reply);
+  std::uint64_t count = r.varint();
+  double min = r.f64(), max = r.f64(), mean = r.f64();
+  std::printf("aggregate over archive: n=%lu min=%.1f max=%.1f mean=%.1f\n\n",
+              static_cast<unsigned long>(count), min, max, mean);
+
+  // ASCII trend of the last 48 samples.
+  auto samples = plant.master(0).historian().tail(temperature, 48);
+  std::printf("trend (last %zu samples, %.1f..%.1f):\n", samples.size(), min,
+              max);
+  for (int row = 7; row >= 0; --row) {
+    double level = min + (max - min) * (row + 0.5) / 8.0;
+    std::string line;
+    for (const scada::Sample& sample : samples) {
+      double v = sample.value.as_double();
+      double bucket = (v - min) / (max - min + 1e-9) * 8.0;
+      line += (bucket >= row && bucket < row + 1) ? '*' : ' ';
+    }
+    std::printf("%7.1f |%s\n", level, line.c_str());
+  }
+  std::printf("        +%s\n", std::string(samples.size(), '-').c_str());
+
+  return identical && count > 100 ? 0 : 1;
+}

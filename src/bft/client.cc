@@ -1,0 +1,181 @@
+#include "bft/client.h"
+
+#include "common/logging.h"
+
+namespace ss::bft {
+
+namespace {
+
+Bytes mac_material(MsgType type, const std::string& sender,
+                   const std::string& receiver, const Bytes& body) {
+  Writer w(body.size() + sender.size() + receiver.size() + 8);
+  w.enumeration(type);
+  w.str(sender);
+  w.str(receiver);
+  w.blob(body);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+ClientProxy::ClientProxy(sim::Network& net, GroupConfig group, ClientId id,
+                         const crypto::Keychain& keys, ClientOptions options)
+    : net_(net),
+      group_(group),
+      id_(id),
+      endpoint_(crypto::client_principal(id)),
+      keys_(keys),
+      opt_(options) {
+  net_.attach(endpoint_, [this](sim::Message m) { on_message(std::move(m)); });
+}
+
+ClientProxy::~ClientProxy() { net_.detach(endpoint_); }
+
+RequestId ClientProxy::invoke_ordered(Bytes payload, ReplyCallback on_reply) {
+  return invoke(RequestMode::kOrdered, std::move(payload),
+                std::move(on_reply));
+}
+
+RequestId ClientProxy::invoke_unordered(Bytes payload,
+                                        ReplyCallback on_reply) {
+  return invoke(RequestMode::kUnordered, std::move(payload),
+                std::move(on_reply));
+}
+
+RequestId ClientProxy::invoke(RequestMode mode, Bytes payload,
+                              ReplyCallback on_reply) {
+  RequestId seq = next_seq_;
+  next_seq_ = next_seq_.next();
+  ++stats_.invoked;
+
+  ClientRequest req;
+  req.client = id_;
+  req.sequence = seq;
+  req.mode = mode;
+  req.payload = std::move(payload);
+  Bytes core = req.encode_core();
+  req.auth.reserve(group_.n);
+  for (ReplicaId replica : group_.replica_ids()) {
+    req.auth.push_back(
+        keys_.mac(endpoint_, crypto::replica_principal(replica), core));
+  }
+
+  InFlight flight;
+  flight.wire = req.encode();
+  flight.callback = std::move(on_reply);
+  inflight_.emplace(seq.value, std::move(flight));
+
+  send_to_all(inflight_.at(seq.value).wire);
+  arm_retransmit(seq);
+  return seq;
+}
+
+void ClientProxy::send_to_all(const Bytes& body) {
+  for (ReplicaId replica : group_.replica_ids()) {
+    std::string to = crypto::replica_principal(replica);
+    Envelope env;
+    env.type = MsgType::kClientRequest;
+    env.sender = endpoint_;
+    env.body = body;
+    env.mac = keys_.mac(endpoint_, to,
+                        mac_material(env.type, endpoint_, to, env.body));
+    net_.send(endpoint_, to, env.encode());
+  }
+}
+
+void ClientProxy::arm_retransmit(RequestId seq) {
+  auto it = inflight_.find(seq.value);
+  if (it == inflight_.end()) return;
+  it->second.timer = net_.loop().schedule(opt_.reply_timeout, [this, seq] {
+    auto fit = inflight_.find(seq.value);
+    if (fit == inflight_.end()) return;
+    InFlight& flight = fit->second;
+    if (flight.retries >= opt_.max_retries) {
+      ++stats_.failed;
+      SS_LOG(LogLevel::kWarn, net_.loop().now(), endpoint_.c_str(),
+             "request %lu failed after %u retries",
+             static_cast<unsigned long>(seq.value), flight.retries);
+      FailureCallback handler = failure_handler_;
+      inflight_.erase(fit);
+      if (handler) handler(seq);
+      return;
+    }
+    ++flight.retries;
+    ++stats_.retransmissions;
+    send_to_all(flight.wire);
+    arm_retransmit(seq);
+  });
+}
+
+void ClientProxy::on_message(sim::Message msg) {
+  Envelope env;
+  try {
+    env = Envelope::decode(msg.payload);
+  } catch (const DecodeError&) {
+    ++stats_.mac_failures;
+    return;
+  }
+  if (!keys_.verify(env.sender, endpoint_,
+                    mac_material(env.type, env.sender, endpoint_, env.body),
+                    env.mac)) {
+    ++stats_.mac_failures;
+    return;
+  }
+  try {
+    switch (env.type) {
+      case MsgType::kClientReply: {
+        ClientReply reply = ClientReply::decode(env.body);
+        if (env.sender != crypto::replica_principal(reply.replica)) return;
+        if (reply.client != id_) return;
+        handle_reply(std::move(reply));
+        break;
+      }
+      case MsgType::kServerPush: {
+        ServerPush push = ServerPush::decode(env.body);
+        if (env.sender != crypto::replica_principal(push.replica)) return;
+        if (push.client != id_) return;
+        ++stats_.pushes_received;
+        if (push_handler_) push_handler_(push.replica, std::move(push.payload));
+        break;
+      }
+      default:
+        break;
+    }
+  } catch (const DecodeError&) {
+    ++stats_.mac_failures;
+  }
+}
+
+void ClientProxy::handle_reply(ClientReply reply) {
+  ++stats_.replies_received;
+  auto it = inflight_.find(reply.sequence.value);
+  if (it == inflight_.end()) return;  // straggler for a completed request
+  InFlight& flight = it->second;
+  if (reply.replica.value >= group_.n) return;
+
+  crypto::Digest digest = crypto::Sha256::hash(reply.payload);
+  flight.votes[reply.replica] = digest;
+  flight.payloads[reply.replica] = std::move(reply.payload);
+
+  std::uint32_t matching = 0;
+  for (const auto& [replica, d] : flight.votes) {
+    if (d == digest) ++matching;
+  }
+  if (matching < group_.reply_quorum()) return;
+
+  // Voted: at least one correct replica produced this payload.
+  Bytes payload;
+  for (const auto& [replica, d] : flight.votes) {
+    if (d == digest) {
+      payload = flight.payloads[replica];
+      break;
+    }
+  }
+  ReplyCallback callback = std::move(flight.callback);
+  flight.timer.cancel();
+  inflight_.erase(it);
+  ++stats_.completed;
+  if (callback) callback(std::move(payload));
+}
+
+}  // namespace ss::bft

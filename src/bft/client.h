@@ -1,0 +1,106 @@
+// Client side of the BFT library (mini BFT-SMaRt ServiceProxy).
+//
+// A ClientProxy sends each request to every replica, retransmits until it
+// collects f+1 matching replies (so at least one is from a correct replica),
+// and hands the voted payload to the caller. It also surfaces replica
+// pushes — the asynchronous server-to-client messages that SCADA's
+// publish/subscribe traffic needs (paper §VI: "BFT-SMaRt ... allows clients
+// to send and receive asynchronous messages"). Pushes are delivered raw,
+// per replica; voting on them is the job of core::PushVoter because the
+// matching key (the ordering info the Adapter stamps into each message) is
+// application-defined.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "bft/messages.h"
+#include "common/config.h"
+#include "crypto/keychain.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+
+namespace ss::bft {
+
+struct ClientOptions {
+  SimTime reply_timeout = millis(300);  ///< retransmit period
+  std::uint32_t max_retries = 20;       ///< then the request fails
+};
+
+struct ClientStats {
+  std::uint64_t invoked = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t replies_received = 0;
+  std::uint64_t pushes_received = 0;
+  std::uint64_t mac_failures = 0;
+};
+
+class ClientProxy {
+ public:
+  /// Receives the voted reply payload.
+  using ReplyCallback = std::function<void(Bytes payload)>;
+  /// Called when a request exhausts its retries.
+  using FailureCallback = std::function<void(RequestId request)>;
+  /// Raw push from one replica (unvoted).
+  using PushHandler = std::function<void(ReplicaId replica, Bytes payload)>;
+
+  ClientProxy(sim::Network& net, GroupConfig group, ClientId id,
+              const crypto::Keychain& keys, ClientOptions options = {});
+  ~ClientProxy();
+
+  ClientProxy(const ClientProxy&) = delete;
+  ClientProxy& operator=(const ClientProxy&) = delete;
+
+  ClientId id() const { return id_; }
+  const std::string& endpoint() const { return endpoint_; }
+  const ClientStats& stats() const { return stats_; }
+
+  /// Invokes a request through total-order agreement. The callback fires
+  /// once, with the f+1-voted reply. Multiple invocations may be in flight.
+  RequestId invoke_ordered(Bytes payload, ReplyCallback on_reply = {});
+
+  /// Read-only fast path: executed by each replica without ordering.
+  RequestId invoke_unordered(Bytes payload, ReplyCallback on_reply = {});
+
+  void set_push_handler(PushHandler handler) {
+    push_handler_ = std::move(handler);
+  }
+  void set_failure_handler(FailureCallback handler) {
+    failure_handler_ = std::move(handler);
+  }
+
+ private:
+  struct InFlight {
+    Bytes wire;  ///< encoded request envelope body, ready to resend
+    ReplyCallback callback;
+    std::map<ReplicaId, crypto::Digest> votes;
+    std::map<ReplicaId, Bytes> payloads;
+    std::uint32_t retries = 0;
+    sim::TimerHandle timer;
+  };
+
+  RequestId invoke(RequestMode mode, Bytes payload, ReplyCallback on_reply);
+  void send_to_all(const Bytes& body);
+  void on_message(sim::Message msg);
+  void handle_reply(ClientReply reply);
+  void arm_retransmit(RequestId seq);
+
+  sim::Network& net_;
+  GroupConfig group_;
+  ClientId id_;
+  std::string endpoint_;
+  const crypto::Keychain& keys_;
+  ClientOptions opt_;
+
+  RequestId next_seq_{1};
+  std::map<std::uint64_t, InFlight> inflight_;
+  PushHandler push_handler_;
+  FailureCallback failure_handler_;
+  ClientStats stats_;
+};
+
+}  // namespace ss::bft

@@ -1,0 +1,317 @@
+#include "bft/messages.h"
+
+namespace ss::bft {
+
+namespace {
+
+void put_digest(Writer& w, const crypto::Digest& d) { w.raw(ByteView(d)); }
+
+crypto::Digest get_digest(Reader& r) {
+  crypto::Digest d{};
+  for (auto& byte : d) byte = r.u8();
+  return d;
+}
+
+}  // namespace
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kClientRequest:
+      return "CLIENT_REQUEST";
+    case MsgType::kClientReply:
+      return "CLIENT_REPLY";
+    case MsgType::kServerPush:
+      return "SERVER_PUSH";
+    case MsgType::kPropose:
+      return "PROPOSE";
+    case MsgType::kWrite:
+      return "WRITE";
+    case MsgType::kAccept:
+      return "ACCEPT";
+    case MsgType::kStop:
+      return "STOP";
+    case MsgType::kStopData:
+      return "STOP_DATA";
+    case MsgType::kSync:
+      return "SYNC";
+    case MsgType::kStateRequest:
+      return "STATE_REQUEST";
+    case MsgType::kStateReply:
+      return "STATE_REPLY";
+  }
+  return "?";
+}
+
+Bytes Envelope::encode() const {
+  Writer w(body.size() + sender.size() + 48);
+  w.enumeration(type);
+  w.str(sender);
+  w.blob(body);
+  put_digest(w, mac);
+  return std::move(w).take();
+}
+
+Envelope Envelope::decode(ByteView data) {
+  Reader r(data);
+  Envelope e;
+  e.type = r.enumeration<MsgType>(static_cast<std::uint64_t>(MsgType::kMax));
+  e.sender = r.str();
+  e.body = r.blob();
+  e.mac = get_digest(r);
+  r.expect_done();
+  return e;
+}
+
+Bytes ClientRequest::encode_core() const {
+  Writer w(payload.size() + 16);
+  w.id(client);
+  w.id(sequence);
+  w.enumeration(mode);
+  w.blob(payload);
+  return std::move(w).take();
+}
+
+Bytes ClientRequest::encode() const {
+  Writer w(payload.size() + 16 + auth.size() * 33);
+  w.id(client);
+  w.id(sequence);
+  w.enumeration(mode);
+  w.blob(payload);
+  w.varint(auth.size());
+  for (const crypto::Digest& mac : auth) put_digest(w, mac);
+  return std::move(w).take();
+}
+
+ClientRequest ClientRequest::decode(ByteView data) {
+  Reader r(data);
+  ClientRequest m;
+  m.client = r.id<ClientId>();
+  m.sequence = r.id<RequestId>();
+  m.mode = r.enumeration<RequestMode>(1);
+  m.payload = r.blob();
+  std::uint64_t n = r.varint();
+  if (n > 1024) throw DecodeError("authenticator too large");
+  m.auth.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) m.auth.push_back(get_digest(r));
+  r.expect_done();
+  return m;
+}
+
+crypto::Digest ClientRequest::digest() const {
+  return crypto::Sha256::hash(encode_core());
+}
+
+Bytes ClientReply::encode() const {
+  Writer w(payload.size() + 24);
+  w.id(replica);
+  w.id(client);
+  w.id(sequence);
+  w.id(cid);
+  w.blob(payload);
+  return std::move(w).take();
+}
+
+ClientReply ClientReply::decode(ByteView data) {
+  Reader r(data);
+  ClientReply m;
+  m.replica = r.id<ReplicaId>();
+  m.client = r.id<ClientId>();
+  m.sequence = r.id<RequestId>();
+  m.cid = r.id<ConsensusId>();
+  m.payload = r.blob();
+  r.expect_done();
+  return m;
+}
+
+Bytes ServerPush::encode() const {
+  Writer w(payload.size() + 12);
+  w.id(replica);
+  w.id(client);
+  w.blob(payload);
+  return std::move(w).take();
+}
+
+ServerPush ServerPush::decode(ByteView data) {
+  Reader r(data);
+  ServerPush m;
+  m.replica = r.id<ReplicaId>();
+  m.client = r.id<ClientId>();
+  m.payload = r.blob();
+  r.expect_done();
+  return m;
+}
+
+Bytes Batch::encode() const {
+  Writer w;
+  w.i64(timestamp);
+  w.varint(requests.size());
+  for (const ClientRequest& req : requests) w.blob(req.encode());
+  return std::move(w).take();
+}
+
+Batch Batch::decode(ByteView data) {
+  Reader r(data);
+  Batch b;
+  b.timestamp = r.i64();
+  std::uint64_t n = r.varint();
+  if (n > 100000) throw DecodeError("batch too large");
+  b.requests.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Bytes inner = r.blob();
+    b.requests.push_back(ClientRequest::decode(inner));
+  }
+  r.expect_done();
+  return b;
+}
+
+crypto::Digest Batch::digest() const { return crypto::Sha256::hash(encode()); }
+
+Bytes Propose::encode() const {
+  Writer w(batch.size() + 24);
+  w.id(cid);
+  w.varint(regency);
+  w.id(leader);
+  w.blob(batch);
+  return std::move(w).take();
+}
+
+Propose Propose::decode(ByteView data) {
+  Reader r(data);
+  Propose m;
+  m.cid = r.id<ConsensusId>();
+  m.regency = r.varint();
+  m.leader = r.id<ReplicaId>();
+  m.batch = r.blob();
+  r.expect_done();
+  return m;
+}
+
+Bytes PhaseVote::encode() const {
+  Writer w(48);
+  w.id(cid);
+  w.varint(regency);
+  w.id(voter);
+  put_digest(w, value);
+  return std::move(w).take();
+}
+
+PhaseVote PhaseVote::decode(ByteView data) {
+  Reader r(data);
+  PhaseVote m;
+  m.cid = r.id<ConsensusId>();
+  m.regency = r.varint();
+  m.voter = r.id<ReplicaId>();
+  m.value = get_digest(r);
+  r.expect_done();
+  return m;
+}
+
+Bytes Stop::encode() const {
+  Writer w(12);
+  w.varint(regency);
+  w.id(sender);
+  return std::move(w).take();
+}
+
+Stop Stop::decode(ByteView data) {
+  Reader r(data);
+  Stop m;
+  m.regency = r.varint();
+  m.sender = r.id<ReplicaId>();
+  r.expect_done();
+  return m;
+}
+
+Bytes StopData::encode() const {
+  Writer w(writeset_proposal.size() + 64);
+  w.varint(regency);
+  w.id(sender);
+  w.id(last_decided);
+  w.boolean(has_writeset);
+  w.id(writeset_cid);
+  w.varint(writeset_regency);
+  put_digest(w, writeset_digest);
+  w.blob(writeset_proposal);
+  return std::move(w).take();
+}
+
+StopData StopData::decode(ByteView data) {
+  Reader r(data);
+  StopData m;
+  m.regency = r.varint();
+  m.sender = r.id<ReplicaId>();
+  m.last_decided = r.id<ConsensusId>();
+  m.has_writeset = r.boolean();
+  m.writeset_cid = r.id<ConsensusId>();
+  m.writeset_regency = r.varint();
+  m.writeset_digest = get_digest(r);
+  m.writeset_proposal = r.blob();
+  r.expect_done();
+  return m;
+}
+
+Bytes Sync::encode() const {
+  Writer w(batch.size() + 24);
+  w.varint(regency);
+  w.id(leader);
+  w.id(cid);
+  w.blob(batch);
+  return std::move(w).take();
+}
+
+Sync Sync::decode(ByteView data) {
+  Reader r(data);
+  Sync m;
+  m.regency = r.varint();
+  m.leader = r.id<ReplicaId>();
+  m.cid = r.id<ConsensusId>();
+  m.batch = r.blob();
+  r.expect_done();
+  return m;
+}
+
+Bytes StateRequest::encode() const {
+  Writer w(12);
+  w.id(requester);
+  w.id(have);
+  return std::move(w).take();
+}
+
+StateRequest StateRequest::decode(ByteView data) {
+  Reader r(data);
+  StateRequest m;
+  m.requester = r.id<ReplicaId>();
+  m.have = r.id<ConsensusId>();
+  r.expect_done();
+  return m;
+}
+
+Bytes StateReply::encode() const {
+  Writer w(snapshot.size() + 24);
+  w.id(replica);
+  w.id(cid);
+  w.i64(last_timestamp);
+  w.blob(snapshot);
+  return std::move(w).take();
+}
+
+StateReply StateReply::decode(ByteView data) {
+  Reader r(data);
+  StateReply m;
+  m.replica = r.id<ReplicaId>();
+  m.cid = r.id<ConsensusId>();
+  m.last_timestamp = r.i64();
+  m.snapshot = r.blob();
+  r.expect_done();
+  return m;
+}
+
+crypto::Digest StateReply::digest() const {
+  Writer w(snapshot.size() + 24);
+  w.id(cid);
+  w.i64(last_timestamp);
+  w.blob(snapshot);
+  return crypto::Sha256::hash(std::move(w).take());
+}
+
+}  // namespace ss::bft

@@ -1,0 +1,184 @@
+// Wire messages of the BFT SMR protocol.
+//
+// The consensus phases follow BFT-SMaRt's VP-Consensus naming
+// (PROPOSE / WRITE / ACCEPT ~= PBFT's pre-prepare / prepare / commit), and
+// the synchronization phase follows Mod-SMaRt (STOP / STOP_DATA / SYNC).
+// Every message travels inside an Envelope carrying an HMAC over the body,
+// keyed with the (sender, receiver) pair key.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/serialization.h"
+#include "common/types.h"
+#include "crypto/sha256.h"
+
+namespace ss::bft {
+
+enum class MsgType : std::uint8_t {
+  kClientRequest = 0,
+  kClientReply,
+  kServerPush,
+  kPropose,
+  kWrite,
+  kAccept,
+  kStop,
+  kStopData,
+  kSync,
+  kStateRequest,
+  kStateReply,
+  kMax = kStateReply,
+};
+
+const char* msg_type_name(MsgType t);
+
+/// Outer framing: body is the encoded inner message, mac authenticates
+/// (sender -> receiver, type, body).
+struct Envelope {
+  MsgType type{};
+  std::string sender;  ///< principal == endpoint name
+  Bytes body;
+  crypto::Digest mac{};
+
+  Bytes encode() const;
+  static Envelope decode(ByteView data);  // throws DecodeError
+};
+
+enum class RequestMode : std::uint8_t { kOrdered = 0, kUnordered = 1 };
+
+struct ClientRequest {
+  ClientId client;
+  RequestId sequence;
+  RequestMode mode = RequestMode::kOrdered;
+  Bytes payload;
+  /// PBFT-style authenticator: one MAC per replica over encode_core(), so a
+  /// Byzantine leader cannot fabricate requests on behalf of a client —
+  /// followers verify their own entry when validating a proposal.
+  std::vector<crypto::Digest> auth;
+
+  /// Encoding without the authenticator (what the MACs and digest cover).
+  Bytes encode_core() const;
+  Bytes encode() const;
+  static ClientRequest decode(ByteView data);
+  crypto::Digest digest() const;
+};
+
+struct ClientReply {
+  ReplicaId replica;
+  ClientId client;
+  RequestId sequence;
+  ConsensusId cid;  ///< instance that ordered it (0 for unordered)
+  Bytes payload;
+
+  Bytes encode() const;
+  static ClientReply decode(ByteView data);
+};
+
+/// Replica-initiated push to a client (asynchronous SCADA messages).
+struct ServerPush {
+  ReplicaId replica;
+  ClientId client;
+  Bytes payload;
+
+  Bytes encode() const;
+  static ServerPush decode(ByteView data);
+};
+
+/// A batch of client requests, stamped by the leader at propose time. The
+/// timestamp is validated (monotonically increasing) by every replica, then
+/// becomes the deterministic ExecuteContext::timestamp.
+struct Batch {
+  SimTime timestamp = 0;
+  std::vector<ClientRequest> requests;
+
+  Bytes encode() const;
+  static Batch decode(ByteView data);
+  crypto::Digest digest() const;
+};
+
+struct Propose {
+  ConsensusId cid;
+  std::uint64_t regency = 0;
+  ReplicaId leader;
+  Bytes batch;  ///< encoded Batch
+
+  Bytes encode() const;
+  static Propose decode(ByteView data);
+};
+
+/// WRITE and ACCEPT share a shape: a vote for a value digest in an instance.
+struct PhaseVote {
+  ConsensusId cid;
+  std::uint64_t regency = 0;
+  ReplicaId voter;
+  crypto::Digest value{};
+
+  Bytes encode() const;
+  static PhaseVote decode(ByteView data);
+};
+
+/// STOP: "I suspect the current leader; move to `regency`".
+struct Stop {
+  std::uint64_t regency = 0;  ///< the regency the sender wants to install
+  ReplicaId sender;
+
+  Bytes encode() const;
+  static Stop decode(ByteView data);
+};
+
+/// STOP_DATA: sent to the new leader after installing a regency; carries the
+/// sender's write-set evidence so a possibly-decided value is preserved.
+/// The evidence is *retained* across regencies until the instance decides —
+/// otherwise a second view change would forget a possibly-decided value.
+struct StopData {
+  std::uint64_t regency = 0;
+  ReplicaId sender;
+  ConsensusId last_decided;
+  /// Value (with full proposal) the sender saw a WRITE quorum for in the
+  /// open instance, if any.
+  bool has_writeset = false;
+  ConsensusId writeset_cid;
+  std::uint64_t writeset_regency = 0;  ///< regency the quorum was seen in
+  crypto::Digest writeset_digest{};
+  Bytes writeset_proposal;
+
+  Bytes encode() const;
+  static StopData decode(ByteView data);
+};
+
+/// SYNC: the new leader's re-proposal that closes the synchronization phase.
+struct Sync {
+  std::uint64_t regency = 0;
+  ReplicaId leader;
+  ConsensusId cid;
+  Bytes batch;  ///< encoded Batch (recovered write-set value or fresh batch)
+
+  Bytes encode() const;
+  static Sync decode(ByteView data);
+};
+
+struct StateRequest {
+  ReplicaId requester;
+  ConsensusId have;  ///< requester's last decided instance
+
+  Bytes encode() const;
+  static StateRequest decode(ByteView data);
+};
+
+struct StateReply {
+  ReplicaId replica;
+  ConsensusId cid;  ///< state is valid as of this decided instance
+  SimTime last_timestamp = 0;
+  Bytes snapshot;
+
+  Bytes encode() const;
+  static StateReply decode(ByteView data);
+  /// Digest over (cid, last_timestamp, snapshot) — what the requester votes on.
+  crypto::Digest digest() const;
+};
+
+}  // namespace ss::bft

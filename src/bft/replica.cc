@@ -1,0 +1,986 @@
+#include "bft/replica.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ss::bft {
+
+namespace {
+
+Bytes mac_material(MsgType type, const std::string& sender,
+                   const std::string& receiver, const Bytes& body) {
+  Writer w(body.size() + sender.size() + receiver.size() + 8);
+  w.enumeration(type);
+  w.str(sender);
+  w.str(receiver);
+  w.blob(body);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+Replica::Replica(sim::Network& net, GroupConfig group, ReplicaId id,
+                 const crypto::Keychain& keys, Executable& app,
+                 Recoverable& state, ReplicaOptions options)
+    : net_(net),
+      group_(group),
+      id_(id),
+      endpoint_(crypto::replica_principal(id)),
+      keys_(keys),
+      app_(app),
+      recoverable_(state),
+      opt_(options),
+      lanes_(net.loop(), options.lanes),
+      byz_rng_(0xBAD0000 + id.value) {
+  opt_.max_batch = std::max<std::uint32_t>(opt_.max_batch, 1);
+  net_.attach(endpoint_, [this](sim::Message m) { on_message(std::move(m)); });
+}
+
+Replica::~Replica() { net_.detach(endpoint_); }
+
+// --------------------------------------------------------------------------
+// networking
+
+void Replica::on_message(sim::Message msg) {
+  if (crashed_) return;
+  lanes_.submit(opt_.per_message_cost,
+                [this, payload = std::move(msg.payload)]() {
+                  if (crashed_) return;
+                  Envelope env;
+                  try {
+                    env = Envelope::decode(payload);
+                  } catch (const DecodeError&) {
+                    ++stats_.decode_failures;
+                    return;
+                  }
+                  Bytes material =
+                      mac_material(env.type, env.sender, endpoint_, env.body);
+                  if (!keys_.verify(env.sender, endpoint_, material, env.mac)) {
+                    ++stats_.mac_failures;
+                    return;
+                  }
+                  try {
+                    dispatch(std::move(env));
+                  } catch (const DecodeError&) {
+                    ++stats_.decode_failures;
+                  }
+                });
+}
+
+void Replica::dispatch(Envelope env) {
+  switch (env.type) {
+    case MsgType::kClientRequest:
+      handle_client_request(env);
+      break;
+    case MsgType::kPropose: {
+      Propose p = Propose::decode(env.body);
+      // The envelope sender must be the leader the message claims.
+      if (env.sender != crypto::replica_principal(p.leader)) return;
+      if (group_.leader_for(p.regency) != p.leader) return;
+      handle_propose(std::move(p), /*from_sync=*/false);
+      break;
+    }
+    case MsgType::kWrite: {
+      PhaseVote v = PhaseVote::decode(env.body);
+      if (env.sender != crypto::replica_principal(v.voter)) return;
+      handle_write(v);
+      break;
+    }
+    case MsgType::kAccept: {
+      PhaseVote v = PhaseVote::decode(env.body);
+      if (env.sender != crypto::replica_principal(v.voter)) return;
+      handle_accept(v);
+      break;
+    }
+    case MsgType::kStop: {
+      Stop s = Stop::decode(env.body);
+      if (env.sender != crypto::replica_principal(s.sender)) return;
+      handle_stop(s);
+      break;
+    }
+    case MsgType::kStopData: {
+      StopData sd = StopData::decode(env.body);
+      if (env.sender != crypto::replica_principal(sd.sender)) return;
+      handle_stop_data(sd);
+      break;
+    }
+    case MsgType::kSync: {
+      Sync s = Sync::decode(env.body);
+      if (env.sender != crypto::replica_principal(s.leader)) return;
+      handle_sync(s);
+      break;
+    }
+    case MsgType::kStateRequest: {
+      StateRequest req = StateRequest::decode(env.body);
+      if (env.sender != crypto::replica_principal(req.requester)) return;
+      handle_state_request(req);
+      break;
+    }
+    case MsgType::kStateReply: {
+      StateReply rep = StateReply::decode(env.body);
+      if (env.sender != crypto::replica_principal(rep.replica)) return;
+      handle_state_reply(rep);
+      break;
+    }
+    default:
+      break;  // replies/pushes are never addressed to a replica
+  }
+}
+
+void Replica::send_envelope(const std::string& to, MsgType type, Bytes body) {
+  if (byzantine_ == ByzantineMode::kSilent) return;
+  if (byzantine_ == ByzantineMode::kCorruptReplies &&
+      (type == MsgType::kClientReply || type == MsgType::kServerPush) &&
+      !body.empty()) {
+    body[byz_rng_.below(body.size())] ^= 0x5a;
+  }
+  if (byzantine_ == ByzantineMode::kCorruptVotes &&
+      (type == MsgType::kWrite || type == MsgType::kAccept)) {
+    PhaseVote v = PhaseVote::decode(body);
+    v.value[0] ^= 0xff;
+    body = v.encode();
+  }
+  Envelope env;
+  env.type = type;
+  env.sender = endpoint_;
+  env.body = std::move(body);
+  env.mac = keys_.mac(endpoint_, to, mac_material(type, endpoint_, to, env.body));
+  net_.send(endpoint_, to, env.encode());
+}
+
+void Replica::broadcast(MsgType type, const Bytes& body) {
+  for (ReplicaId peer : group_.replica_ids()) {
+    if (peer == id_) continue;
+    send_envelope(crypto::replica_principal(peer), type, body);
+  }
+}
+
+// --------------------------------------------------------------------------
+// client requests
+
+void Replica::handle_client_request(const Envelope& env) {
+  ClientRequest req = ClientRequest::decode(env.body);
+  // The envelope may come from the client itself or from a replica
+  // forwarding a stalled request; either way the request's own
+  // authenticator (below) is what proves the client issued it.
+  if (env.sender != crypto::client_principal(req.client)) {
+    bool from_replica = false;
+    for (ReplicaId peer : group_.replica_ids()) {
+      if (env.sender == crypto::replica_principal(peer)) {
+        from_replica = true;
+        break;
+      }
+    }
+    if (!from_replica) return;
+  }
+
+  // Verify this replica's entry in the request authenticator, so that a
+  // batch containing the request can be validated by every follower.
+  if (req.auth.size() != group_.n ||
+      !keys_.verify(crypto::client_principal(req.client), endpoint_,
+                    req.encode_core(), req.auth[id_.value])) {
+    ++stats_.auth_failures;
+    return;
+  }
+
+  if (req.mode == RequestMode::kUnordered) {
+    ++stats_.unordered_executed;
+    ClientReply reply;
+    reply.replica = id_;
+    reply.client = req.client;
+    reply.sequence = req.sequence;
+    reply.cid = ConsensusId{0};
+    reply.payload = app_.execute_unordered(req.client, req.payload);
+    send_envelope(crypto::client_principal(req.client), MsgType::kClientReply,
+                  reply.encode());
+    return;
+  }
+
+  if (already_executed(req.client, req.sequence)) {
+    // Retransmission of a completed request: resend the cached reply.
+    resend_cached_reply(req.client, req.sequence);
+    return;
+  }
+
+  enqueue_pending(std::move(req));
+  maybe_propose();
+}
+
+bool Replica::already_executed(ClientId client, RequestId seq) const {
+  auto it = executed_.find(client.value);
+  return it != executed_.end() && it->second.count(seq.value) > 0;
+}
+
+void Replica::remember_executed(ClientId client, RequestId seq) {
+  auto& seqs = executed_[client.value];
+  seqs.insert(seq.value);
+  // Bound memory: forget the oldest entries; a client that retransmits a
+  // request this stale has long since failed its own timeout.
+  while (seqs.size() > 4096) seqs.erase(seqs.begin());
+}
+
+void Replica::enqueue_pending(ClientRequest req) {
+  auto& per_client = pending_index_[req.client.value];
+  if (per_client.count(req.sequence.value) > 0) return;  // duplicate
+  if (per_client.size() >= opt_.max_pending_per_client) {
+    ++stats_.requests_flood_dropped;
+    return;  // flood protection; the client will retransmit
+  }
+  ClientId client = req.client;
+  RequestId seq = req.sequence;
+  pending_.push_back(std::move(req));
+  per_client[seq.value] = std::prev(pending_.end());
+  if (!is_leader()) arm_suspect_timer(client, seq);
+}
+
+void Replica::erase_pending(ClientId client, RequestId seq) {
+  auto cit = pending_index_.find(client.value);
+  if (cit == pending_index_.end()) return;
+  auto rit = cit->second.find(seq.value);
+  if (rit == cit->second.end()) return;
+  pending_.erase(rit->second);
+  cit->second.erase(rit);
+  if (cit->second.empty()) pending_index_.erase(cit);
+  auto tit = suspect_timers_.find({client.value, seq.value});
+  if (tit != suspect_timers_.end()) {
+    tit->second.cancel();
+    suspect_timers_.erase(tit);
+  }
+}
+
+void Replica::arm_suspect_timer(ClientId client, RequestId seq) {
+  PendingKey key{client.value, seq.value};
+  auto existing = suspect_timers_.find(key);
+  if (existing != suspect_timers_.end() && existing->second.active()) return;
+
+  auto still_pending = [this, client, seq] {
+    if (crashed_ || already_executed(client, seq)) return false;
+    auto cit = pending_index_.find(client.value);
+    return cit != pending_index_.end() && cit->second.count(seq.value) > 0;
+  };
+
+  // Phase 1 (request_timeout/2): the leader may never have received the
+  // request — forward it before blaming anyone (PBFT-style).
+  if (opt_.forward_to_leader) {
+    net_.loop().schedule(opt_.request_timeout / 2, [this, client, seq,
+                                                    still_pending] {
+      if (!still_pending() || is_leader()) return;
+      auto cit = pending_index_.find(client.value);
+      auto rit = cit->second.find(seq.value);
+      ++stats_.requests_forwarded;
+      send_envelope(crypto::replica_principal(group_.leader_for(regency_)),
+                    MsgType::kClientRequest, rit->second->encode());
+    });
+  }
+
+  // Phase 2 (request_timeout): the leader had its chance; vote it out.
+  suspect_timers_[key] =
+      net_.loop().schedule(opt_.request_timeout, [this, client, seq,
+                                                  still_pending] {
+        if (!still_pending()) return;
+        SS_LOG(LogLevel::kInfo, net_.loop().now(), endpoint_.c_str(),
+               "request (%u,%lu) not ordered in time; suspecting leader %u",
+               client.value, static_cast<unsigned long>(seq.value),
+               group_.leader_for(regency_).value);
+        suspect_leader();
+      });
+}
+
+// --------------------------------------------------------------------------
+// consensus: normal case
+
+Batch Replica::make_batch() {
+  Batch batch;
+  batch.timestamp = std::max(last_timestamp_ + 1, net_.loop().now());
+  for (const ClientRequest& req : pending_) {
+    if (batch.requests.size() >= opt_.max_batch) break;
+    batch.requests.push_back(req);
+  }
+  return batch;
+}
+
+void Replica::maybe_propose() {
+  if (crashed_ || !is_leader() || !sync_done_for_regency_) return;
+  if (pending_.empty()) return;
+  std::uint64_t next = last_decided_.value + 1;
+  auto it = instances_.find(next);
+  if (it != instances_.end() && it->second.proposal.has_value()) return;
+
+  Batch batch = make_batch();
+  Propose p;
+  p.cid = ConsensusId{next};
+  p.regency = regency_;
+  p.leader = id_;
+  p.batch = batch.encode();
+  ++stats_.proposals_sent;
+
+  if (byzantine_ == ByzantineMode::kEquivocate) {
+    // Send a conflicting batch (different timestamp => different digest) to
+    // half of the peers. Correct replicas cannot gather a WRITE quorum on
+    // either value; the suspect timers then vote the leader out.
+    Batch other = batch;
+    other.timestamp += 1;
+    Propose p2 = p;
+    p2.batch = other.encode();
+    bool flip = false;
+    for (ReplicaId peer : group_.replica_ids()) {
+      if (peer == id_) continue;
+      const Propose& chosen = flip ? p2 : p;
+      send_envelope(crypto::replica_principal(peer), MsgType::kPropose,
+                    chosen.encode());
+      flip = !flip;
+    }
+    // The equivocating leader does not vote itself, so neither value can
+    // reach a WRITE quorum and the correct replicas vote the leader out.
+    return;
+  }
+  broadcast(MsgType::kPropose, p.encode());
+  handle_propose(std::move(p), /*from_sync=*/false);
+}
+
+bool Replica::validate_proposal(const Propose& p, Batch& out_batch) {
+  try {
+    out_batch = Batch::decode(p.batch);
+  } catch (const DecodeError&) {
+    return false;
+  }
+  if (out_batch.timestamp <= last_timestamp_) return false;
+  if (out_batch.requests.empty()) return false;
+  for (const ClientRequest& req : out_batch.requests) {
+    if (req.auth.size() != group_.n) return false;
+    if (!keys_.verify(crypto::client_principal(req.client), endpoint_,
+                      req.encode_core(), req.auth[id_.value])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Replica::handle_propose(Propose p, bool from_sync) {
+  (void)from_sync;
+  if (p.regency > regency_) note_regency_evidence(p.leader, p.regency);
+  if (p.regency != regency_) return;
+  if (p.cid.value <= last_decided_.value) return;
+
+  ConsensusId inst_cid = p.cid;
+  Instance& inst = instances_[p.cid.value];
+  crypto::Digest digest = crypto::Sha256::hash(p.batch);
+  if (inst.proposal.has_value()) {
+    if (inst.digest != digest) {
+      // Equivocation: the leader sent conflicting proposals for one
+      // instance. That is proof of a Byzantine leader.
+      SS_LOG(LogLevel::kWarn, net_.loop().now(), endpoint_.c_str(),
+             "conflicting proposals for cid=%lu; suspecting leader",
+             static_cast<unsigned long>(p.cid.value));
+      suspect_leader();
+    }
+    return;
+  }
+  note_progress_evidence(inst_cid);
+  inst.proposal = std::move(p);
+  inst.digest = digest;
+  try_decide();
+}
+
+std::uint32_t Replica::matching_votes(
+    const std::map<ReplicaId, crypto::Digest>& votes,
+    const crypto::Digest& value) const {
+  std::uint32_t count = 0;
+  for (const auto& [voter, digest] : votes) {
+    if (digest == value) ++count;
+  }
+  return count;
+}
+
+void Replica::handle_write(const PhaseVote& v) {
+  if (v.regency > regency_) note_regency_evidence(v.voter, v.regency);
+  if (v.regency != regency_ || v.cid.value <= last_decided_.value) return;
+  if (v.voter.value >= group_.n) return;
+  instances_[v.cid.value].writes[v.voter] = v.value;
+  note_progress_evidence(v.cid);
+  try_decide();
+}
+
+void Replica::handle_accept(const PhaseVote& v) {
+  if (v.regency > regency_) note_regency_evidence(v.voter, v.regency);
+  if (v.regency != regency_ || v.cid.value <= last_decided_.value) return;
+  if (v.voter.value >= group_.n) return;
+  instances_[v.cid.value].accepts[v.voter] = v.value;
+  note_progress_evidence(v.cid);
+  try_decide();
+}
+
+void Replica::try_decide() {
+  for (;;) {
+    std::uint64_t next = last_decided_.value + 1;
+    auto it = instances_.find(next);
+    if (it == instances_.end()) return;
+    Instance& inst = it->second;
+    if (!inst.proposal.has_value()) return;
+
+    if (!inst.write_sent) {
+      Batch batch;
+      if (!validate_proposal(*inst.proposal, batch)) {
+        SS_LOG(LogLevel::kWarn, net_.loop().now(), endpoint_.c_str(),
+               "invalid proposal for cid=%lu; suspecting leader",
+               static_cast<unsigned long>(next));
+        instances_.erase(it);
+        suspect_leader();
+        return;
+      }
+      inst.write_sent = true;
+      inst.writes[id_] = inst.digest;
+      PhaseVote v{ConsensusId{next}, regency_, id_, inst.digest};
+      broadcast(MsgType::kWrite, v.encode());
+    }
+
+    if (!inst.accept_sent &&
+        matching_votes(inst.writes, inst.digest) >= group_.quorum()) {
+      inst.accept_sent = true;
+      inst.accepts[id_] = inst.digest;
+      PhaseVote v{ConsensusId{next}, regency_, id_, inst.digest};
+      broadcast(MsgType::kAccept, v.encode());
+    }
+
+    if (matching_votes(inst.accepts, inst.digest) < group_.quorum()) return;
+
+    // Decided.
+    Batch batch = Batch::decode(inst.proposal->batch);
+    ConsensusId cid{next};
+    instances_.erase(it);
+    last_decided_ = cid;
+    if (retained_writeset_.has_value() &&
+        retained_writeset_->cid.value <= cid.value) {
+      retained_writeset_.reset();
+    }
+    ++stats_.batches_decided;
+    lanes_.submit(opt_.per_decision_cost, [] {});
+    execute_batch(cid, batch);
+    last_timestamp_ = batch.timestamp;
+    maybe_checkpoint();
+    maybe_propose();
+  }
+}
+
+void Replica::execute_batch(ConsensusId cid, const Batch& batch) {
+  std::uint32_t order = 0;
+  for (const ClientRequest& req : batch.requests) {
+    erase_pending(req.client, req.sequence);
+    if (already_executed(req.client, req.sequence)) {
+      ++stats_.requests_deduped;
+      ++order;
+      continue;
+    }
+    ExecuteContext ctx;
+    ctx.cid = cid;
+    ctx.order = order++;
+    ctx.timestamp = batch.timestamp;
+    ctx.client = req.client;
+    ctx.request = req.sequence;
+
+    Bytes result = app_.execute_ordered(ctx, req.payload);
+    remember_executed(req.client, req.sequence);
+    ++stats_.requests_executed;
+
+    ClientReply reply;
+    reply.replica = id_;
+    reply.client = req.client;
+    reply.sequence = req.sequence;
+    reply.cid = cid;
+    reply.payload = result;
+    auto& cache = reply_cache_[req.client.value];
+    cache[req.sequence.value] = CachedReply{cid, std::move(result)};
+    while (cache.size() > 256) cache.erase(cache.begin());
+    send_envelope(crypto::client_principal(req.client), MsgType::kClientReply,
+                  reply.encode());
+  }
+}
+
+void Replica::resend_cached_reply(ClientId client, RequestId seq) {
+  auto cit = reply_cache_.find(client.value);
+  if (cit == reply_cache_.end()) return;
+  auto rit = cit->second.find(seq.value);
+  if (rit == cit->second.end()) return;
+  ClientReply reply;
+  reply.replica = id_;
+  reply.client = client;
+  reply.sequence = seq;
+  reply.cid = rit->second.cid;
+  reply.payload = rit->second.payload;
+  send_envelope(crypto::client_principal(client), MsgType::kClientReply,
+                reply.encode());
+}
+
+void Replica::push_to_client(ClientId client, Bytes payload) {
+  ServerPush push;
+  push.replica = id_;
+  push.client = client;
+  push.payload = std::move(payload);
+  ++stats_.pushes_sent;
+  send_envelope(crypto::client_principal(client), MsgType::kServerPush,
+                push.encode());
+}
+
+// --------------------------------------------------------------------------
+// view change (Mod-SMaRt synchronization phase)
+
+void Replica::suspect_leader() { send_stop(regency_ + 1); }
+
+void Replica::note_regency_evidence(ReplicaId sender, std::uint64_t regency) {
+  if (regency <= regency_ || sender.value >= group_.n) return;
+  auto& recorded = regency_evidence_[sender.value];
+  if (regency <= recorded) return;
+  recorded = regency;
+
+  // Adopt the largest regency that f+1 distinct peers are operating in —
+  // at least one of them is correct, so that regency was really installed.
+  std::vector<std::uint64_t> observed;
+  observed.reserve(regency_evidence_.size());
+  for (const auto& [peer, r] : regency_evidence_) observed.push_back(r);
+  std::sort(observed.begin(), observed.end(), std::greater<>());
+  if (observed.size() < group_.f + 1) return;
+  std::uint64_t adopt = observed[group_.f];
+  if (adopt <= regency_) return;
+
+  SS_LOG(LogLevel::kInfo, net_.loop().now(), endpoint_.c_str(),
+         "adopting regency %lu from peer evidence (was %lu)",
+         static_cast<unsigned long>(adopt),
+         static_cast<unsigned long>(regency_));
+  regency_ = adopt;
+  ++stats_.view_changes;
+  instances_.clear();
+  sync_done_for_regency_ = true;
+  for (auto it = regency_evidence_.begin(); it != regency_evidence_.end();) {
+    if (it->second <= adopt) {
+      it = regency_evidence_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  maybe_propose();
+}
+
+void Replica::send_stop(std::uint64_t regency) {
+  if (regency <= regency_ || highest_stop_sent_ >= regency) return;
+  highest_stop_sent_ = regency;
+  Stop s{regency, id_};
+  broadcast(MsgType::kStop, s.encode());
+  handle_stop(s);  // record own vote
+}
+
+void Replica::handle_stop(const Stop& s) {
+  if (s.regency <= regency_) return;
+  if (s.sender.value >= group_.n) return;
+  auto& recorded = stop_regency_from_[s.sender.value];
+  if (s.regency <= recorded) return;
+  recorded = s.regency;
+
+  // A STOP for regency r supports every target <= r. The largest target
+  // supported by f+1 peers is joined; by 2f+1 peers it is installed.
+  std::vector<std::uint64_t> supported;
+  supported.reserve(stop_regency_from_.size());
+  for (const auto& [sender, regency] : stop_regency_from_) {
+    supported.push_back(regency);
+  }
+  std::sort(supported.begin(), supported.end(), std::greater<>());
+
+  if (supported.size() >= group_.f + 1) {
+    std::uint64_t join_target = supported[group_.f];
+    if (join_target > regency_) send_stop(join_target);
+  }
+  if (supported.size() >= group_.sync_quorum()) {
+    std::uint64_t install_target = supported[group_.sync_quorum() - 1];
+    if (install_target > regency_) install_regency(install_target);
+  }
+}
+
+void Replica::install_regency(std::uint64_t regency) {
+  if (regency <= regency_) return;
+
+  // Capture (and retain across regencies) write-set evidence for the open
+  // instance before wiping it: a value that may have been decided somewhere
+  // must be re-reported in every synchronization phase until it decides
+  // here too — otherwise a second view change forgets it and a conflicting
+  // value could be ordered for the same instance.
+  refresh_retained_writeset();
+
+  StopData sd;
+  sd.regency = regency;
+  sd.sender = id_;
+  sd.last_decided = last_decided_;
+  if (retained_writeset_.has_value() &&
+      retained_writeset_->cid.value == last_decided_.value + 1) {
+    sd.has_writeset = true;
+    sd.writeset_cid = retained_writeset_->cid;
+    sd.writeset_regency = retained_writeset_->regency;
+    sd.writeset_digest = retained_writeset_->digest;
+    sd.writeset_proposal = retained_writeset_->proposal;
+  }
+
+  regency_ = regency;
+  ++stats_.view_changes;
+  instances_.clear();
+  // Votes up to the installed regency are consumed; higher ones remain
+  // valid support for future view changes.
+  for (auto vit = stop_regency_from_.begin();
+       vit != stop_regency_from_.end();) {
+    if (vit->second <= regency) {
+      vit = stop_regency_from_.erase(vit);
+    } else {
+      ++vit;
+    }
+  }
+
+  ReplicaId leader = group_.leader_for(regency_);
+  SS_LOG(LogLevel::kInfo, net_.loop().now(), endpoint_.c_str(),
+         "installed regency %lu (leader %u)",
+         static_cast<unsigned long>(regency), leader.value);
+
+  if (leader == id_) {
+    sync_done_for_regency_ = false;
+    handle_stop_data(sd);  // record own evidence
+    // If the STOP_DATA quorum never arrives (lossy links), step aside
+    // rather than wedging the group under a silent leader.
+    net_.loop().schedule(opt_.request_timeout, [this, regency] {
+      if (crashed_ || regency_ != regency || sync_done_for_regency_) return;
+      SS_LOG(LogLevel::kInfo, net_.loop().now(), endpoint_.c_str(),
+             "sync phase for regency %lu stalled; stepping aside",
+             static_cast<unsigned long>(regency));
+      send_stop(regency + 1);
+    });
+  } else {
+    sync_done_for_regency_ = true;
+    send_envelope(crypto::replica_principal(leader), MsgType::kStopData,
+                  sd.encode());
+    // Give the new leader a fresh chance before suspecting it too.
+    for (const ClientRequest& req : pending_) {
+      PendingKey key{req.client.value, req.sequence.value};
+      auto tit = suspect_timers_.find(key);
+      if (tit != suspect_timers_.end()) tit->second.cancel();
+      suspect_timers_.erase(key);
+      arm_suspect_timer(req.client, req.sequence);
+    }
+  }
+}
+
+void Replica::refresh_retained_writeset() {
+  if (retained_writeset_.has_value() &&
+      retained_writeset_->cid.value <= last_decided_.value) {
+    retained_writeset_.reset();  // stale: the instance decided meanwhile
+  }
+  std::uint64_t open = last_decided_.value + 1;
+  auto it = instances_.find(open);
+  if (it != instances_.end() && it->second.proposal.has_value() &&
+      matching_votes(it->second.writes, it->second.digest) >=
+          group_.quorum()) {
+    // Fresh quorum evidence under the current regency supersedes whatever
+    // was retained from earlier regencies.
+    retained_writeset_ =
+        RetainedWriteset{ConsensusId{open}, regency_, it->second.digest,
+                         it->second.proposal->batch};
+  }
+}
+
+void Replica::handle_stop_data(const StopData& sd) {
+  if (sd.regency != regency_ || group_.leader_for(regency_) != id_) return;
+  if (sync_done_for_regency_) return;
+  auto& collected = stop_data_[sd.regency];
+  collected[sd.sender.value] = sd;
+  if (collected.size() >= group_.sync_quorum()) {
+    run_sync_decision(sd.regency);
+  }
+}
+
+void Replica::run_sync_decision(std::uint64_t regency) {
+  if (regency != regency_ || sync_done_for_regency_) return;
+  sync_done_for_regency_ = true;
+
+  const auto& collected = stop_data_[regency];
+  std::uint64_t target_cid = last_decided_.value + 1;
+
+  // Among the reported write-sets for the target instance, a value with a
+  // write quorum in a *later* regency supersedes earlier ones (only one
+  // value can gain a write quorum per regency, and a later quorum implies
+  // knowledge of any earlier possibly-decided value).
+  const Bytes* chosen = nullptr;
+  std::uint64_t best_regency = 0;
+  crypto::Digest best_digest{};
+  for (const auto& [sender, sd] : collected) {
+    if (!sd.has_writeset || sd.writeset_cid.value != target_cid) continue;
+    if (crypto::Sha256::hash(sd.writeset_proposal) != sd.writeset_digest) {
+      continue;  // forged evidence
+    }
+    bool better = chosen == nullptr ||
+                  sd.writeset_regency > best_regency ||
+                  (sd.writeset_regency == best_regency &&
+                   sd.writeset_digest < best_digest);
+    if (better) {
+      chosen = &sd.writeset_proposal;
+      best_regency = sd.writeset_regency;
+      best_digest = sd.writeset_digest;
+    }
+  }
+  Bytes chosen_copy;
+  if (chosen != nullptr) chosen_copy = *chosen;
+  stop_data_.erase(regency);
+  chosen = chosen != nullptr ? &chosen_copy : nullptr;
+
+  if (chosen != nullptr) {
+    Sync sync;
+    sync.regency = regency;
+    sync.leader = id_;
+    sync.cid = ConsensusId{target_cid};
+    sync.batch = *chosen;
+    broadcast(MsgType::kSync, sync.encode());
+    Propose p{sync.cid, regency, id_, sync.batch};
+    handle_propose(std::move(p), /*from_sync=*/true);
+  } else {
+    maybe_propose();
+  }
+}
+
+void Replica::handle_sync(const Sync& s) {
+  if (group_.leader_for(s.regency) != s.leader) return;
+  if (s.regency < regency_) return;
+  if (s.regency > regency_) {
+    // We missed the STOP quorum; adopt the new regency via the SYNC.
+    regency_ = s.regency;
+    ++stats_.view_changes;
+    instances_.clear();
+    sync_done_for_regency_ = true;
+  }
+  Propose p{s.cid, s.regency, s.leader, s.batch};
+  handle_propose(std::move(p), /*from_sync=*/true);
+}
+
+// --------------------------------------------------------------------------
+// checkpoints & state transfer
+
+/// Replica-level recovery state (dedup table + reply cache) bundled with
+/// the application snapshot, so a restored replica neither re-executes
+/// requests nor goes mute toward retransmitting clients.
+Bytes Replica::encode_full_snapshot() const {
+  Bytes app_snapshot = recoverable_.snapshot();
+  Writer w(app_snapshot.size() + 64);
+  w.blob(app_snapshot);
+
+  std::vector<std::uint64_t> clients;
+  clients.reserve(executed_.size());
+  for (const auto& [client, _] : executed_) clients.push_back(client);
+  std::sort(clients.begin(), clients.end());
+  w.varint(clients.size());
+  for (std::uint64_t client : clients) {
+    const auto& seqs = executed_.at(client);
+    w.varint(client);
+    w.varint(seqs.size());
+    for (std::uint64_t s : seqs) w.varint(s);
+  }
+
+  w.varint(reply_cache_.size());
+  for (const auto& [client, replies] : reply_cache_) {
+    w.varint(client);
+    w.varint(replies.size());
+    for (const auto& [seq, cached] : replies) {
+      w.varint(seq);
+      w.id(cached.cid);
+      w.blob(cached.payload);
+    }
+  }
+  return std::move(w).take();
+}
+
+void Replica::apply_full_snapshot(ByteView data) {
+  Reader r(data);
+  Bytes app_snapshot = r.blob();
+
+  std::unordered_map<std::uint64_t, std::set<std::uint64_t>> executed;
+  std::uint64_t nclients = r.varint();
+  for (std::uint64_t i = 0; i < nclients; ++i) {
+    std::uint64_t client = r.varint();
+    std::uint64_t nseqs = r.varint();
+    auto& seqs = executed[client];
+    for (std::uint64_t j = 0; j < nseqs; ++j) seqs.insert(r.varint());
+  }
+
+  std::map<std::uint64_t, std::map<std::uint64_t, CachedReply>> replies;
+  std::uint64_t ncache = r.varint();
+  for (std::uint64_t i = 0; i < ncache; ++i) {
+    std::uint64_t client = r.varint();
+    std::uint64_t nreplies = r.varint();
+    auto& per_client = replies[client];
+    for (std::uint64_t j = 0; j < nreplies; ++j) {
+      std::uint64_t seq = r.varint();
+      CachedReply cached;
+      cached.cid = r.id<ConsensusId>();
+      cached.payload = r.blob();
+      per_client[seq] = std::move(cached);
+    }
+  }
+  r.expect_done();
+
+  // Only commit once everything decoded (basic exception safety).
+  recoverable_.restore(app_snapshot);
+  executed_ = std::move(executed);
+  reply_cache_ = std::move(replies);
+}
+
+void Replica::maybe_checkpoint() {
+  if (opt_.checkpoint_interval == 0) return;
+  if (last_decided_.value % opt_.checkpoint_interval != 0) return;
+  checkpoint_digest_ = crypto::Sha256::hash(recoverable_.snapshot());
+  ++stats_.checkpoints;
+}
+
+void Replica::request_state_now() {
+  if (transferring_) return;
+  transferring_ = true;
+  state_replies_.clear();
+  state_current_votes_.clear();
+  StateRequest req{id_, last_decided_};
+  broadcast(MsgType::kStateRequest, req.encode());
+  net_.loop().schedule(millis(500), [this] {
+    if (crashed_ || !transferring_) return;
+    transferring_ = false;
+    request_state_now();  // retry
+  });
+}
+
+void Replica::maybe_request_state(ConsensusId evidence_cid) {
+  if (evidence_cid.value < last_decided_.value + opt_.state_gap_threshold) {
+    return;
+  }
+  request_state_now();
+}
+
+void Replica::note_progress_evidence(ConsensusId cid) {
+  if (cid.value <= last_decided_.value + 1) return;
+  if (cid.value >= last_decided_.value + opt_.state_gap_threshold) {
+    request_state_now();
+    return;
+  }
+  // Small gap: peers are working on a later instance than we can reach.
+  // That is normal for a moment (we may still decide the open instance),
+  // so only transfer if the gap persists for a full request timeout.
+  if (stall_check_armed_) return;
+  stall_check_armed_ = true;
+  std::uint64_t target = cid.value;
+  net_.loop().schedule(opt_.request_timeout, [this, target] {
+    stall_check_armed_ = false;
+    if (crashed_) return;
+    if (last_decided_.value + 1 < target) {
+      request_state_now();
+    }
+  });
+}
+
+void Replica::handle_state_request(const StateRequest& req) {
+  if (req.requester == id_ || req.requester.value >= group_.n) return;
+  StateReply rep;
+  rep.replica = id_;
+  rep.cid = last_decided_;
+  rep.last_timestamp = last_timestamp_;
+  rep.snapshot = encode_full_snapshot();
+  send_envelope(crypto::replica_principal(req.requester), MsgType::kStateReply,
+                rep.encode());
+}
+
+void Replica::handle_state_reply(const StateReply& rep) {
+  if (!transferring_) return;
+  if (rep.replica.value >= group_.n) return;
+  if (rep.cid.value <= last_decided_.value) {
+    // f+1 peers say we are already current: end the transfer instead of
+    // re-requesting forever.
+    state_current_votes_.insert(rep.replica.value);
+    if (state_current_votes_.size() >= group_.reply_quorum()) {
+      transferring_ = false;
+      state_replies_.clear();
+      state_current_votes_.clear();
+    }
+    return;
+  }
+  auto& bucket = state_replies_[rep.cid.value];
+  for (const StateReply& existing : bucket) {
+    if (existing.replica == rep.replica) return;  // one vote per replica
+  }
+  bucket.push_back(rep);
+
+  // f+1 replies with identical (cid, timestamp, snapshot) digests ensure at
+  // least one is from a correct replica.
+  std::map<crypto::Digest, std::uint32_t> counts;
+  for (const StateReply& r : bucket) ++counts[r.digest()];
+  const crypto::Digest* winner = nullptr;
+  for (const auto& [digest, count] : counts) {
+    if (count >= group_.reply_quorum()) {
+      winner = &digest;
+      break;
+    }
+  }
+  if (winner == nullptr) return;
+
+  for (const StateReply& r : bucket) {
+    if (r.digest() != *winner) continue;
+    try {
+      apply_full_snapshot(r.snapshot);
+    } catch (const DecodeError&) {
+      return;  // malformed despite quorum: keep waiting
+    }
+    retained_writeset_.reset();  // the open instance is now in the past
+    last_decided_ = r.cid;
+    last_timestamp_ = r.last_timestamp;
+    // Keep instances buffered beyond the snapshot point: their proposals
+    // and votes let us participate immediately instead of falling behind
+    // again while traffic continues.
+    for (auto iit = instances_.begin(); iit != instances_.end();) {
+      if (iit->first <= last_decided_.value) {
+        iit = instances_.erase(iit);
+      } else {
+        ++iit;
+      }
+    }
+    transferring_ = false;
+    state_replies_.clear();
+    ++stats_.state_transfers;
+    SS_LOG(LogLevel::kInfo, net_.loop().now(), endpoint_.c_str(),
+           "state transfer complete at cid=%lu",
+           static_cast<unsigned long>(last_decided_.value));
+    // Drop pending requests that the snapshot already covers.
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (already_executed(it->client, it->sequence)) {
+        ClientId c = it->client;
+        RequestId s = it->sequence;
+        ++it;
+        erase_pending(c, s);
+      } else {
+        ++it;
+      }
+    }
+    maybe_propose();
+    return;
+  }
+}
+
+// --------------------------------------------------------------------------
+// crash / recovery
+
+void Replica::crash() {
+  crashed_ = true;
+  net_.detach(endpoint_);
+  for (auto& [key, timer] : suspect_timers_) timer.cancel();
+  suspect_timers_.clear();
+  pending_.clear();
+  pending_index_.clear();
+  instances_.clear();
+  transferring_ = false;
+}
+
+void Replica::recover() {
+  crashed_ = false;
+  net_.attach(endpoint_, [this](sim::Message m) { on_message(std::move(m)); });
+  transferring_ = true;
+  state_replies_.clear();
+  StateRequest req{id_, last_decided_};
+  broadcast(MsgType::kStateRequest, req.encode());
+}
+
+}  // namespace ss::bft

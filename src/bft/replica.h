@@ -1,0 +1,265 @@
+// BFT SMR replica (mini BFT-SMaRt).
+//
+// One Replica pairs with one application (in SMaRt-SCADA: the Adapter
+// wrapping a deterministic SCADA Master). Normal case is a sequential,
+// leader-driven 3-phase agreement per batch:
+//
+//   leader:    PROPOSE(cid, batch)  ->  all
+//   everyone:  WRITE(cid, digest)   ->  all   (on valid proposal)
+//   everyone:  ACCEPT(cid, digest)  ->  all   (on WRITE quorum)
+//   decide when ACCEPT quorum; execute batch in cid order.
+//
+// Quorums are ceil((n+f+1)/2). Leader change follows Mod-SMaRt's
+// STOP / STOP_DATA / SYNC synchronization phase; lagging replicas catch up
+// with snapshot-based state transfer. Deterministic time: the leader stamps
+// each batch, followers validate monotonicity, and the stamp is the only
+// clock the application ever sees.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bft/executable.h"
+#include "bft/messages.h"
+#include "common/config.h"
+#include "crypto/keychain.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+#include "sim/service_lane.h"
+
+namespace ss::bft {
+
+/// Fault behaviours a test/bench can switch a replica into. A Byzantine
+/// replica in these modes exercises the failure paths the protocol must
+/// mask (f of n replicas may behave this way).
+enum class ByzantineMode {
+  kNone,
+  kSilent,          ///< sends nothing at all (crash-like, but still receives)
+  kCorruptReplies,  ///< flips bytes in client replies and pushes
+  kCorruptVotes,    ///< votes WRITE/ACCEPT for a wrong digest
+  kEquivocate,      ///< as leader, proposes different batches to different peers
+};
+
+struct ReplicaOptions {
+  SimTime request_timeout = millis(400);  ///< leader-suspect timer
+  /// Before suspecting the leader, a non-leader forwards the pending
+  /// request to it at request_timeout/2 — the leader may simply never have
+  /// received it (PBFT/BFT-SMaRt request forwarding).
+  bool forward_to_leader = true;
+  /// Flood protection: pending requests per client beyond this are dropped.
+  std::size_t max_pending_per_client = 1024;
+  std::uint32_t max_batch = 64;
+  std::uint64_t checkpoint_interval = 128;
+  std::uint64_t state_gap_threshold = 64;  ///< behind by this much => transfer
+  /// Virtual CPU cost charged per received protocol message (MAC check etc.)
+  SimTime per_message_cost = 0;
+  /// Virtual CPU cost charged per decided batch (bookkeeping).
+  SimTime per_decision_cost = 0;
+  std::uint32_t lanes = 1;
+};
+
+struct ReplicaStats {
+  std::uint64_t proposals_sent = 0;
+  std::uint64_t batches_decided = 0;
+  std::uint64_t requests_executed = 0;
+  std::uint64_t requests_deduped = 0;
+  std::uint64_t unordered_executed = 0;
+  std::uint64_t mac_failures = 0;
+  std::uint64_t decode_failures = 0;
+  std::uint64_t auth_failures = 0;
+  std::uint64_t view_changes = 0;
+  std::uint64_t state_transfers = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t pushes_sent = 0;
+  std::uint64_t requests_forwarded = 0;
+  std::uint64_t requests_flood_dropped = 0;
+};
+
+class Replica {
+ public:
+  Replica(sim::Network& net, GroupConfig group, ReplicaId id,
+          const crypto::Keychain& keys, Executable& app, Recoverable& state,
+          ReplicaOptions options = {});
+  ~Replica();
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  ReplicaId id() const { return id_; }
+  const std::string& endpoint() const { return endpoint_; }
+  const ReplicaStats& stats() const { return stats_; }
+  std::uint64_t regency() const { return regency_; }
+  ConsensusId last_decided() const { return last_decided_; }
+  SimTime last_timestamp() const { return last_timestamp_; }
+  bool is_leader() const { return group_.leader_for(regency_) == id_; }
+
+  /// Pushes an asynchronous message to a client (see PushSink). Called by
+  /// the application during execute_ordered.
+  void push_to_client(ClientId client, Bytes payload);
+
+  /// Charges extra virtual CPU time to this replica's service lanes — the
+  /// deterministic SCADA Master shares the replica's (single) thread in
+  /// SMaRt-SCADA, so its processing time serializes with the protocol's.
+  void charge(SimTime cost) {
+    if (cost > 0) lanes_.submit(cost, [] {});
+  }
+
+  /// Digest of the latest checkpointed application state, for divergence
+  /// checks in tests.
+  const std::optional<crypto::Digest>& last_checkpoint_digest() const {
+    return checkpoint_digest_;
+  }
+
+  /// Detaches from the network (crash). A crashed replica stays silent until
+  /// recover() is called.
+  void crash();
+
+  /// Re-attaches and initiates state transfer from the peers.
+  void recover();
+  bool crashed() const { return crashed_; }
+
+  void set_byzantine(ByzantineMode mode) { byzantine_ = mode; }
+  ByzantineMode byzantine() const { return byzantine_; }
+
+ private:
+  struct Instance {
+    std::optional<Propose> proposal;
+    crypto::Digest digest{};
+    bool write_sent = false;
+    bool accept_sent = false;
+    std::map<ReplicaId, crypto::Digest> writes;
+    std::map<ReplicaId, crypto::Digest> accepts;
+  };
+
+  using PendingKey = std::pair<std::uint64_t, std::uint64_t>;  // client, seq
+
+  // --- networking ---------------------------------------------------------
+  void on_message(sim::Message msg);
+  void dispatch(Envelope env);
+  void send_envelope(const std::string& to, MsgType type, Bytes body);
+  void broadcast(MsgType type, const Bytes& body);
+
+  // --- client requests ----------------------------------------------------
+  void handle_client_request(const Envelope& env);
+  bool already_executed(ClientId client, RequestId seq) const;
+  void remember_executed(ClientId client, RequestId seq);
+  void enqueue_pending(ClientRequest req);
+  void erase_pending(ClientId client, RequestId seq);
+  void arm_suspect_timer(ClientId client, RequestId seq);
+
+  // --- consensus ----------------------------------------------------------
+  void maybe_propose();
+  void handle_propose(Propose p, bool from_sync);
+  void handle_write(const PhaseVote& v);
+  void handle_accept(const PhaseVote& v);
+  std::uint32_t matching_votes(const std::map<ReplicaId, crypto::Digest>& votes,
+                               const crypto::Digest& value) const;
+  void try_decide();
+  void execute_batch(ConsensusId cid, const Batch& batch);
+  bool validate_proposal(const Propose& p, Batch& out_batch);
+  Batch make_batch();
+
+  // --- view change --------------------------------------------------------
+  void suspect_leader();
+  void note_regency_evidence(ReplicaId sender, std::uint64_t regency);
+  void send_stop(std::uint64_t regency);
+  void handle_stop(const Stop& s);
+  void install_regency(std::uint64_t regency);
+  void handle_stop_data(const StopData& sd);
+  void run_sync_decision(std::uint64_t regency);
+  void handle_sync(const Sync& s);
+
+  // --- state transfer & checkpoints ----------------------------------------
+  void maybe_checkpoint();
+  void maybe_request_state(ConsensusId evidence_cid);
+  void note_progress_evidence(ConsensusId cid);
+  void request_state_now();
+  void resend_cached_reply(ClientId client, RequestId seq);
+  Bytes encode_full_snapshot() const;
+  void apply_full_snapshot(ByteView data);
+  void refresh_retained_writeset();
+  void handle_state_request(const StateRequest& req);
+  void handle_state_reply(const StateReply& rep);
+
+  sim::Network& net_;
+  GroupConfig group_;
+  ReplicaId id_;
+  std::string endpoint_;
+  const crypto::Keychain& keys_;
+  Executable& app_;
+  Recoverable& recoverable_;
+  ReplicaOptions opt_;
+  sim::ServiceLanes lanes_;
+
+  std::uint64_t regency_ = 0;
+  ConsensusId last_decided_{0};
+  SimTime last_timestamp_ = 0;
+  std::map<std::uint64_t, Instance> instances_;  // keyed by cid value
+
+  std::list<ClientRequest> pending_;
+  std::unordered_map<std::uint64_t, std::map<std::uint64_t,
+      std::list<ClientRequest>::iterator>> pending_index_;
+  std::unordered_map<std::uint64_t, std::set<std::uint64_t>> executed_;
+
+  /// Cached reply payloads for retransmitting clients. Part of the state
+  /// snapshot: a replica brought up to date by state transfer must be able
+  /// to answer retransmissions of requests it never executed itself.
+  struct CachedReply {
+    ConsensusId cid;
+    Bytes payload;
+  };
+  std::map<std::uint64_t, std::map<std::uint64_t, CachedReply>>
+      reply_cache_;  // client -> seq -> reply
+
+  /// Write-quorum evidence for the open instance, retained across view
+  /// changes until the instance decides (a possibly-decided value must be
+  /// re-reported in every STOP_DATA, not just the first one).
+  struct RetainedWriteset {
+    ConsensusId cid;
+    std::uint64_t regency = 0;
+    crypto::Digest digest{};
+    Bytes proposal;
+  };
+  std::optional<RetainedWriteset> retained_writeset_;
+
+  /// Small-gap stall detection: evidence that peers decided ahead of us.
+  bool stall_check_armed_ = false;
+
+  /// Highest regency each peer has been observed *operating* in (consensus
+  /// messages, not STOPs). A replica that slept through a view change —
+  /// e.g. crashed and recovered — adopts a regency once f+1 distinct peers
+  /// demonstrably run it; otherwise it stays deaf forever.
+  std::map<std::uint32_t, std::uint64_t> regency_evidence_;
+
+  std::map<PendingKey, sim::TimerHandle> suspect_timers_;
+  std::uint64_t highest_stop_sent_ = 0;
+  /// Highest regency each peer has STOPped for. A STOP for regency r also
+  /// supports every regency below r (PBFT-style aggregation), otherwise
+  /// lossy links can scatter votes across regencies and deadlock the view
+  /// change.
+  std::map<std::uint32_t, std::uint64_t> stop_regency_from_;
+  std::map<std::uint64_t, std::map<std::uint32_t, StopData>> stop_data_;
+  bool sync_done_for_regency_ = true;
+
+  // state transfer
+  bool transferring_ = false;
+  std::map<std::uint64_t, std::vector<StateReply>> state_replies_;
+  /// Peers confirming we are already up to date (ends a moot transfer).
+  std::set<std::uint32_t> state_current_votes_;
+
+  std::optional<crypto::Digest> checkpoint_digest_;
+  bool crashed_ = false;
+  ByzantineMode byzantine_ = ByzantineMode::kNone;
+  Rng byz_rng_{0xBAD};
+  ReplicaStats stats_;
+};
+
+}  // namespace ss::bft

@@ -1,0 +1,30 @@
+// Raw byte-buffer helpers used by the wire format and the crypto layer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ss {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Lowercase hex encoding of `data` ("deadbeef").
+std::string to_hex(ByteView data);
+
+/// Inverse of to_hex(); throws std::invalid_argument on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// Copies a string's characters into a byte vector.
+Bytes bytes_of(std::string_view s);
+
+/// Interprets a byte range as a string.
+std::string string_of(ByteView data);
+
+/// Constant-time equality, as needed when comparing MACs.
+bool constant_time_equal(ByteView a, ByteView b);
+
+}  // namespace ss

@@ -1,0 +1,24 @@
+#include "common/config.h"
+
+namespace ss {
+
+GroupConfig::GroupConfig(std::uint32_t n_in, std::uint32_t f_in)
+    : n(n_in), f(f_in) {
+  if (n < 3 * f + 1) {
+    throw std::invalid_argument("GroupConfig requires n >= 3f + 1");
+  }
+  if (n == 0) throw std::invalid_argument("GroupConfig requires n > 0");
+}
+
+GroupConfig GroupConfig::for_f(std::uint32_t f) {
+  return GroupConfig(3 * f + 1, f);
+}
+
+std::vector<ReplicaId> GroupConfig::replica_ids() const {
+  std::vector<ReplicaId> ids;
+  ids.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) ids.emplace_back(i);
+  return ids;
+}
+
+}  // namespace ss

@@ -1,0 +1,45 @@
+// Replica-group configuration shared by the BFT library and the SMaRt-SCADA
+// deployment builders.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ss {
+
+/// Static view of the replica group: n = 3f + 1 replicas tolerating f
+/// Byzantine faults (the paper's system model, §IV-B).
+struct GroupConfig {
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;
+
+  GroupConfig() = default;
+  GroupConfig(std::uint32_t n_in, std::uint32_t f_in);
+
+  /// Builds the canonical config for a given f (n = 3f + 1).
+  static GroupConfig for_f(std::uint32_t f);
+
+  /// Byzantine dissemination quorum: ceil((n + f + 1) / 2).
+  std::uint32_t quorum() const { return (n + f + 2) / 2; }
+
+  /// Votes needed by a client to accept a reply: f + 1 matching messages.
+  std::uint32_t reply_quorum() const { return f + 1; }
+
+  /// Votes needed to trigger a view change / logical timeout: 2f + 1.
+  std::uint32_t sync_quorum() const { return 2 * f + 1; }
+
+  /// Simple-majority quorum used by the logical-timeout protocol.
+  std::uint32_t majority() const { return n / 2 + 1; }
+
+  std::vector<ReplicaId> replica_ids() const;
+
+  /// Leader for a given regency (round-robin, as in BFT-SMaRt).
+  ReplicaId leader_for(std::uint64_t regency) const {
+    return ReplicaId{static_cast<std::uint32_t>(regency % n)};
+  }
+};
+
+}  // namespace ss

@@ -1,0 +1,43 @@
+#include "common/logging.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ss {
+
+LogLevel& Logger::threshold() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+const char* Logger::level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void Logger::log(LogLevel level, SimTime now, const char* component,
+                 const char* fmt, ...) {
+  std::fprintf(stderr, "[%9.3fms] %-5s %-16s ",
+               static_cast<double>(now) / kNanosPerMilli, level_name(level),
+               component);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace ss

@@ -1,0 +1,36 @@
+// Minimal leveled logging.
+//
+// Components log through a per-process Logger so tests can silence or
+// capture output. The simulation passes the virtual clock in, so log lines
+// are stamped with *simulated* time, which is what you want when debugging
+// a protocol trace.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+#include "common/types.h"
+
+namespace ss {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  /// Global minimum level; defaults to kWarn so tests stay quiet.
+  static LogLevel& threshold();
+
+  static void log(LogLevel level, SimTime now, const char* component,
+                  const char* fmt, ...) __attribute__((format(printf, 4, 5)));
+
+  static const char* level_name(LogLevel level);
+};
+
+#define SS_LOG(level, now, component, ...)                       \
+  do {                                                           \
+    if ((level) >= ::ss::Logger::threshold()) {                  \
+      ::ss::Logger::log((level), (now), (component), __VA_ARGS__); \
+    }                                                            \
+  } while (0)
+
+}  // namespace ss

@@ -1,0 +1,15 @@
+#include "common/serialization.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ss {
+
+std::string to_string(SimTime t) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%06" PRId64 "ms",
+                t / kNanosPerMilli, t % kNanosPerMilli);
+  return buf;
+}
+
+}  // namespace ss

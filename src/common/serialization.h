@@ -1,0 +1,199 @@
+// Compact, deterministic binary wire format.
+//
+// Every message that crosses the simulated network (SCADA DA/AE frames, BFT
+// consensus messages, RTU modbus frames) is encoded with Writer and decoded
+// with Reader. Determinism of the encoding matters: replica state digests
+// and reply voting compare encoded bytes, so a value must always encode to
+// the same bytes.
+//
+// Integers are little-endian fixed width or LEB128 varints; strings and
+// blobs are length-prefixed with a varint.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "common/bytes.h"
+#include "common/types.h"
+
+namespace ss {
+
+/// Thrown by Reader when the buffer is truncated or malformed. A Byzantine
+/// sender can produce arbitrary bytes, so *every* decode path must be
+/// prepared for this exception and treat it as a faulty-sender signal.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { fixed(v); }
+  void u32(std::uint32_t v) { fixed(v); }
+  void u64(std::uint64_t v) { fixed(v); }
+  void i64(std::int64_t v) { fixed(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    fixed(bits);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// LEB128 unsigned varint.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void str(std::string_view s) {
+    varint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void blob(ByteView b) {
+    varint(b.size());
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  /// Raw bytes with no length prefix (for framing layers).
+  void raw(ByteView b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
+  template <typename Tag, typename Rep>
+  void id(StrongId<Tag, Rep> v) {
+    varint(static_cast<std::uint64_t>(v.value));
+  }
+
+  template <typename E>
+    requires std::is_enum_v<E>
+  void enumeration(E e) {
+    varint(static_cast<std::uint64_t>(e));
+  }
+
+  const Bytes& bytes() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void fixed(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(ByteView data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16() { return fixed<std::uint16_t>(); }
+  std::uint32_t u32() { return fixed<std::uint32_t>(); }
+  std::uint64_t u64() { return fixed<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  bool boolean() {
+    std::uint8_t v = u8();
+    if (v > 1) throw DecodeError("bad boolean");
+    return v == 1;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      if (shift >= 64) throw DecodeError("varint overflow");
+      std::uint8_t b = u8();
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  std::string str() {
+    std::uint64_t n = length_prefix();
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  Bytes blob() {
+    std::uint64_t n = length_prefix();
+    Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+
+  template <typename IdType>
+  IdType id() {
+    return IdType{static_cast<decltype(IdType{}.value)>(varint())};
+  }
+
+  template <typename E>
+    requires std::is_enum_v<E>
+  E enumeration(std::uint64_t max_value) {
+    std::uint64_t v = varint();
+    if (v > max_value) throw DecodeError("enum out of range");
+    return static_cast<E>(v);
+  }
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// Decoders call this after reading a full message to reject messages
+  /// with trailing garbage (a cheap Byzantine-input sanity check).
+  void expect_done() const {
+    if (!done()) throw DecodeError("trailing bytes");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw DecodeError("truncated buffer");
+  }
+
+  std::uint64_t length_prefix() {
+    std::uint64_t n = varint();
+    need(n);
+    return n;
+  }
+
+  template <typename T>
+  T fixed() {
+    need(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ss

@@ -1,0 +1,74 @@
+// Strong identifier and time types shared by every SMaRt-SCADA module.
+//
+// All ids are small wrappers over integers so that, e.g., a consensus id can
+// never be passed where an item id is expected (C++ Core Guidelines I.4:
+// make interfaces precisely and strongly typed).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ss {
+
+/// Virtual time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosPerMicro = 1'000;
+inline constexpr SimTime kNanosPerMilli = 1'000'000;
+inline constexpr SimTime kNanosPerSec = 1'000'000'000;
+
+constexpr SimTime micros(std::int64_t v) { return v * kNanosPerMicro; }
+constexpr SimTime millis(std::int64_t v) { return v * kNanosPerMilli; }
+constexpr SimTime seconds(std::int64_t v) { return v * kNanosPerSec; }
+
+/// CRTP base for strongly-typed integral ids.
+template <typename Tag, typename Rep = std::uint64_t>
+struct StrongId {
+  Rep value{0};
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep v) : value(v) {}
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+  /// Successor id; handy for sequence counters.
+  constexpr StrongId next() const { return StrongId{value + 1}; }
+};
+
+struct NodeIdTag {};
+struct ClientIdTag {};
+struct ConsensusIdTag {};
+struct RequestIdTag {};
+struct ItemIdTag {};
+struct EventIdTag {};
+struct OpIdTag {};
+
+/// Identifies a replica (ProxyMaster/SCADA Master pair) in the BFT group.
+using ReplicaId = StrongId<NodeIdTag, std::uint32_t>;
+/// Identifies a BFT client (a ProxyHMI or ProxyFrontend instance).
+using ClientId = StrongId<ClientIdTag, std::uint32_t>;
+/// Identifies one consensus instance (one decided batch).
+using ConsensusId = StrongId<ConsensusIdTag, std::uint64_t>;
+/// Client-local monotonically increasing request sequence number.
+using RequestId = StrongId<RequestIdTag, std::uint64_t>;
+/// Identifies a SCADA item (sensor/actuator data point).
+using ItemId = StrongId<ItemIdTag, std::uint32_t>;
+/// Identifies an alarm/event record in the event storage.
+using EventId = StrongId<EventIdTag, std::uint64_t>;
+/// Identifies one end-to-end SCADA operation (for tracing/step counting).
+using OpId = StrongId<OpIdTag, std::uint64_t>;
+
+std::string to_string(SimTime t);
+
+}  // namespace ss
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<ss::StrongId<Tag, Rep>> {
+  size_t operator()(const ss::StrongId<Tag, Rep>& id) const noexcept {
+    return std::hash<Rep>{}(id.value);
+  }
+};
+}  // namespace std

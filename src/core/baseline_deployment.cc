@@ -1,0 +1,60 @@
+#include "core/baseline_deployment.h"
+
+#include <stdexcept>
+
+namespace ss::core {
+
+namespace {
+
+scada::MasterOptions baseline_master_options(sim::EventLoop& loop,
+                                             SimTime skew,
+                                             std::size_t retention) {
+  scada::MasterOptions options;
+  options.deterministic = false;
+  options.clock = [&loop, skew] { return loop.now() + skew; };
+  options.storage_retention = retention;
+  return options;
+}
+
+}  // namespace
+
+BaselineDeployment::BaselineDeployment(BaselineOptions options)
+    : opt_(options),
+      net_(loop_, opt_.costs.hop_latency, opt_.costs.ns_per_byte,
+           opt_.fault_seed),
+      keys_("baseline-secret"),
+      master_(baseline_master_options(loop_, opt_.master_clock_skew,
+                                      opt_.storage_retention)),
+      frontend_(scada::FrontendOptions{.instance_id = 1}),
+      hmi_(scada::HmiOptions{.instance_id = 2,
+                             .subscriber_name = kHmiEndpoint}),
+      master_node_(net_, keys_, master_, opt_.costs, kMasterEndpoint,
+                   opt_.costs.baseline_master_lanes),
+      frontend_node_(net_, keys_, frontend_,
+                     NodeOptions{.endpoint = kFrontendEndpoint,
+                                 .peer = kMasterEndpoint,
+                                 .per_message_cost =
+                                     opt_.costs.serialize_per_msg,
+                                 .lanes = opt_.costs.frontend_lanes}),
+      hmi_node_(net_, keys_, hmi_,
+                NodeOptions{.endpoint = kHmiEndpoint,
+                            .peer = kMasterEndpoint,
+                            .per_message_cost = opt_.costs.serialize_per_msg,
+                            .lanes = opt_.costs.hmi_lanes}) {}
+
+ItemId BaselineDeployment::add_point(const std::string& name,
+                                     scada::Variant initial) {
+  ItemId frontend_id = frontend_.add_item(name, std::move(initial));
+  ItemId master_id = master_.add_item(name);
+  if (frontend_id != master_id) {
+    throw std::logic_error("item id mismatch between frontend and master");
+  }
+  return master_id;
+}
+
+void BaselineDeployment::start() {
+  hmi_.subscribe_all();
+  loop_.run_until(loop_.now() + opt_.costs.hop_latency * 4 + millis(1));
+}
+
+}  // namespace ss::core

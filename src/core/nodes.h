@@ -1,0 +1,88 @@
+// Network shims: put a transport-agnostic SCADA component behind a network
+// endpoint speaking authenticated SCADA frames, with a CPU service-time
+// model (ServiceLanes) in front of its message handler.
+//
+// The same Hmi/Frontend cores run in both deployments; only the peer
+// differs (the Master directly in the baseline, the respective proxy in
+// SMaRt-SCADA) — which is the paper's point that HMI and Frontends "are not
+// aware of the replication library in between" (§IV-C).
+#pragma once
+
+#include <string>
+
+#include "core/scada_link.h"
+#include "scada/frontend.h"
+#include "scada/hmi.h"
+#include "scada/master.h"
+#include "sim/cost_model.h"
+#include "sim/service_lane.h"
+
+namespace ss::core {
+
+struct NodeOptions {
+  std::string endpoint;
+  std::string peer;  ///< only frames from this sender are accepted
+  SimTime per_message_cost = 0;
+  std::uint32_t lanes = 1;
+};
+
+/// HMI behind an endpoint.
+class HmiNode {
+ public:
+  HmiNode(sim::Network& net, const crypto::Keychain& keys, scada::Hmi& hmi,
+          NodeOptions options);
+  ~HmiNode();
+
+  HmiNode(const HmiNode&) = delete;
+  HmiNode& operator=(const HmiNode&) = delete;
+
+ private:
+  sim::Network& net_;
+  const crypto::Keychain& keys_;
+  scada::Hmi& hmi_;
+  NodeOptions opt_;
+  sim::ServiceLanes lanes_;
+};
+
+/// Frontend behind an endpoint.
+class FrontendNode {
+ public:
+  FrontendNode(sim::Network& net, const crypto::Keychain& keys,
+               scada::Frontend& frontend, NodeOptions options);
+  ~FrontendNode();
+
+  FrontendNode(const FrontendNode&) = delete;
+  FrontendNode& operator=(const FrontendNode&) = delete;
+
+ private:
+  sim::Network& net_;
+  const crypto::Keychain& keys_;
+  scada::Frontend& frontend_;
+  NodeOptions opt_;
+  sim::ServiceLanes lanes_;
+};
+
+/// The baseline (non-replicated) SCADA Master behind an endpoint: multiple
+/// entry points, multi-lane CPU, local clock — stock NeoSCADA.
+class MasterNode {
+ public:
+  MasterNode(sim::Network& net, const crypto::Keychain& keys,
+             scada::ScadaMaster& master, const sim::CostModel& costs,
+             std::string endpoint, std::uint32_t lanes);
+  ~MasterNode();
+
+  MasterNode(const MasterNode&) = delete;
+  MasterNode& operator=(const MasterNode&) = delete;
+
+ private:
+  void on_message(sim::Message msg);
+
+  sim::Network& net_;
+  const crypto::Keychain& keys_;
+  scada::ScadaMaster& master_;
+  sim::CostModel costs_;
+  std::string endpoint_;
+  sim::ServiceLanes lanes_;
+};
+
+}  // namespace ss::core

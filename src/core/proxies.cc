@@ -1,0 +1,46 @@
+#include "core/proxies.h"
+
+namespace ss::core {
+
+ComponentProxy::ComponentProxy(sim::Network& net, GroupConfig group,
+                               ClientId id, const crypto::Keychain& keys,
+                               ProxyOptions options)
+    : net_(net),
+      keys_(keys),
+      opt_(std::move(options)),
+      client_(net, group, id, keys, opt_.client),
+      voter_(group,
+             [this](const scada::ScadaMessage& msg) { deliver(msg); }),
+      lanes_(net.loop(), opt_.lanes) {
+  net_.attach(opt_.endpoint, [this](sim::Message m) {
+    on_component_message(std::move(m));
+  });
+  client_.set_push_handler([this](ReplicaId replica, Bytes payload) {
+    lanes_.submit(opt_.per_message_cost,
+                  [this, replica, payload = std::move(payload)] {
+                    voter_.offer(replica, payload);
+                  });
+  });
+}
+
+ComponentProxy::~ComponentProxy() { net_.detach(opt_.endpoint); }
+
+void ComponentProxy::on_component_message(sim::Message msg) {
+  std::string sender;
+  auto decoded = receive_scada(keys_, opt_.endpoint, msg, &sender);
+  if (!decoded.has_value() || sender != opt_.component_endpoint) {
+    ++stats_.rejected;
+    return;
+  }
+  lanes_.submit(opt_.per_message_cost, [this, scada_msg = *decoded] {
+    ++stats_.forwarded;
+    client_.invoke_ordered(CoreRequest::scada(scada_msg).encode());
+  });
+}
+
+void ComponentProxy::deliver(const scada::ScadaMessage& msg) {
+  ++stats_.delivered;
+  send_scada(net_, keys_, opt_.endpoint, opt_.component_endpoint, msg);
+}
+
+}  // namespace ss::core

@@ -1,0 +1,65 @@
+// ProxyHMI and ProxyFrontend (paper §IV-A).
+//
+// Both proxies have the same shape: they terminate the component's secure
+// SCADA link, forward every inbound message as an ordered BFT request (so
+// the replicas see a single, totally-ordered entry point), and run an f+1
+// voter over the asynchronous replica pushes before releasing them to the
+// component. ProxyHMI additionally emulates the Master's DA/AE servers
+// toward the HMI and ProxyFrontend emulates a DA server toward the
+// Frontend — in this codebase that emulation is exactly the act of
+// terminating the link and speaking plain SCADA frames on it.
+#pragma once
+
+#include <string>
+
+#include "bft/client.h"
+#include "core/push_voter.h"
+#include "core/requests.h"
+#include "core/scada_link.h"
+#include "sim/service_lane.h"
+
+namespace ss::core {
+
+struct ProxyOptions {
+  std::string endpoint;            ///< the proxy's own network name
+  std::string component_endpoint;  ///< the HMI / Frontend it serves
+  SimTime per_message_cost = 0;    ///< CPU charged per message each way
+  std::uint32_t lanes = 2;
+  bft::ClientOptions client;
+};
+
+struct ProxyStats {
+  std::uint64_t forwarded = 0;   ///< component -> replicas (ordered)
+  std::uint64_t delivered = 0;   ///< voted pushes -> component
+  std::uint64_t rejected = 0;    ///< bad frames from the component link
+};
+
+class ComponentProxy {
+ public:
+  ComponentProxy(sim::Network& net, GroupConfig group, ClientId id,
+                 const crypto::Keychain& keys, ProxyOptions options);
+  ~ComponentProxy();
+
+  ComponentProxy(const ComponentProxy&) = delete;
+  ComponentProxy& operator=(const ComponentProxy&) = delete;
+
+  ClientId client_id() const { return client_.id(); }
+  const std::string& endpoint() const { return opt_.endpoint; }
+  const ProxyStats& stats() const { return stats_; }
+  const PushVoterStats& voter_stats() const { return voter_.stats(); }
+  const bft::ClientStats& client_stats() const { return client_.stats(); }
+
+ private:
+  void on_component_message(sim::Message msg);
+  void deliver(const scada::ScadaMessage& msg);
+
+  sim::Network& net_;
+  const crypto::Keychain& keys_;
+  ProxyOptions opt_;
+  bft::ClientProxy client_;
+  PushVoter voter_;
+  sim::ServiceLanes lanes_;
+  ProxyStats stats_;
+};
+
+}  // namespace ss::core

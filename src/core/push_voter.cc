@@ -1,0 +1,55 @@
+#include "core/push_voter.h"
+
+namespace ss::core {
+
+namespace {
+constexpr std::size_t kDeliveredWindow = 65536;
+constexpr std::size_t kVoteWindow = 65536;
+}  // namespace
+
+void PushVoter::offer(ReplicaId replica, ByteView payload) {
+  ++stats_.offered;
+  if (replica.value >= group_.n) return;
+
+  scada::ScadaMessage msg;
+  try {
+    msg = scada::decode_message(payload);
+  } catch (const DecodeError&) {
+    ++stats_.malformed;
+    return;
+  }
+  crypto::Digest digest = crypto::Sha256::hash(payload);
+
+  if (delivered_.count(digest) > 0) {
+    ++stats_.stragglers;
+    return;
+  }
+
+  auto [it, inserted] = votes_.try_emplace(digest);
+  if (inserted) vote_order_.push_back(digest);
+  if (!it->second.insert(replica.value).second) {
+    ++stats_.duplicate_votes;
+    return;
+  }
+  if (it->second.size() < group_.reply_quorum()) return;
+
+  votes_.erase(it);
+  delivered_.insert(digest);
+  delivered_order_.push_back(digest);
+  ++stats_.delivered;
+  prune();
+  deliver_(msg);
+}
+
+void PushVoter::prune() {
+  while (delivered_order_.size() > kDeliveredWindow) {
+    delivered_.erase(delivered_order_.front());
+    delivered_order_.pop_front();
+  }
+  while (vote_order_.size() > kVoteWindow) {
+    votes_.erase(vote_order_.front());
+    vote_order_.pop_front();
+  }
+}
+
+}  // namespace ss::core

@@ -1,0 +1,55 @@
+// f+1 voting over asynchronous replica pushes.
+//
+// The ProxyHMI "waits for f+1 matching messages from the replicas" before
+// delivering ItemUpdate / EventUpdate / WriteResult to the HMI (paper
+// §IV-D); the ProxyFrontend does the same for Master->Frontend WriteValue
+// commands. Matching is by message digest — replicas produce byte-identical
+// messages because the Adapter stamped deterministic ordering info into
+// them (that is the whole point of challenges (c) and (d)).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/config.h"
+#include "crypto/sha256.h"
+#include "scada/messages.h"
+
+namespace ss::core {
+
+struct PushVoterStats {
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t duplicate_votes = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t stragglers = 0;  ///< votes arriving after delivery
+};
+
+class PushVoter {
+ public:
+  using Deliver = std::function<void(const scada::ScadaMessage& msg)>;
+
+  PushVoter(const GroupConfig& group, Deliver deliver)
+      : group_(group), deliver_(std::move(deliver)) {}
+
+  /// Offers one replica's push. Delivers downstream exactly once per
+  /// distinct message, as soon as f+1 replicas agree on it.
+  void offer(ReplicaId replica, ByteView payload);
+
+  const PushVoterStats& stats() const { return stats_; }
+
+ private:
+  void prune();
+
+  GroupConfig group_;
+  Deliver deliver_;
+  std::map<crypto::Digest, std::set<std::uint32_t>> votes_;
+  std::deque<crypto::Digest> vote_order_;
+  std::set<crypto::Digest> delivered_;
+  std::deque<crypto::Digest> delivered_order_;
+  PushVoterStats stats_;
+};
+
+}  // namespace ss::core

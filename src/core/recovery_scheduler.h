@@ -1,0 +1,93 @@
+// Proactive recovery scheduler (Castro & Liskov, "Practical Byzantine
+// Fault-Tolerance and Proactive Recovery" — reference [14] of the paper).
+//
+// Intrusion tolerance assumes at most f compromised replicas *at a time*;
+// periodically reincarnating each replica from a clean image bounds the
+// window an undetected intrusion can survive. The scheduler restarts one
+// replica per period, round-robin, and only when the rest of the group is
+// healthy (never more than one replica down by its own doing); the restart
+// wipes volatile state and rejoins via state transfer.
+#pragma once
+
+#include <functional>
+
+#include "bft/replica.h"
+#include "sim/event_loop.h"
+
+namespace ss::core {
+
+struct RecoverySchedulerOptions {
+  /// Time between two consecutive replica reincarnations.
+  SimTime period = seconds(60);
+  /// How long a reincarnating replica stays down before rejoining.
+  SimTime downtime = millis(500);
+};
+
+struct RecoverySchedulerStats {
+  std::uint64_t recoveries = 0;
+  std::uint64_t skipped_unhealthy = 0;
+};
+
+class RecoveryScheduler {
+ public:
+  /// `replica_at(i)` must return the i-th replica of the group (the
+  /// scheduler does not own them).
+  RecoveryScheduler(sim::EventLoop& loop, GroupConfig group,
+                    std::function<bft::Replica&(std::uint32_t)> replica_at,
+                    RecoverySchedulerOptions options = {})
+      : loop_(loop),
+        group_(group),
+        replica_at_(std::move(replica_at)),
+        opt_(options) {}
+
+  void start() {
+    if (started_) return;
+    started_ = true;
+    schedule_next();
+  }
+
+  void stop() { stopped_ = true; }
+
+  const RecoverySchedulerStats& stats() const { return stats_; }
+
+ private:
+  void schedule_next() {
+    loop_.schedule(opt_.period, [this] { tick(); });
+  }
+
+  void tick() {
+    if (stopped_) return;
+    // Only reincarnate when every *other* replica is up: the scheduler must
+    // never be the reason the group exceeds its fault budget.
+    bool others_healthy = true;
+    for (std::uint32_t i = 0; i < group_.n; ++i) {
+      if (i != next_ && replica_at_(i).crashed()) others_healthy = false;
+    }
+    if (!others_healthy || replica_at_(next_).crashed()) {
+      ++stats_.skipped_unhealthy;
+      schedule_next();
+      return;
+    }
+
+    std::uint32_t victim = next_;
+    next_ = (next_ + 1) % group_.n;
+    ++stats_.recoveries;
+    replica_at_(victim).crash();
+    loop_.schedule(opt_.downtime, [this, victim] {
+      if (stopped_) return;
+      replica_at_(victim).recover();
+    });
+    schedule_next();
+  }
+
+  sim::EventLoop& loop_;
+  GroupConfig group_;
+  std::function<bft::Replica&(std::uint32_t)> replica_at_;
+  RecoverySchedulerOptions opt_;
+  std::uint32_t next_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+  RecoverySchedulerStats stats_;
+};
+
+}  // namespace ss::core

@@ -1,0 +1,146 @@
+#include "core/replicated_deployment.h"
+
+#include <stdexcept>
+
+namespace ss::core {
+
+ReplicatedDeployment::ReplicatedDeployment(ReplicatedOptions options)
+    : opt_(options),
+      net_(loop_, opt_.costs.hop_latency, opt_.costs.ns_per_byte,
+           opt_.fault_seed),
+      keys_("smart-scada-secret"),
+      frontend_(scada::FrontendOptions{.instance_id = 1}),
+      hmi_(scada::HmiOptions{.instance_id = 2,
+                             .subscriber_name = kHmiEndpoint}) {
+  const std::uint32_t n = opt_.group.n;
+
+  // ProxyMasters: deterministic Master + Adapter + replica + timeout client.
+  masters_.reserve(n);
+  adapters_.reserve(n);
+  replicas_.reserve(n);
+  adapter_clients_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    scada::MasterOptions master_options;
+    master_options.deterministic = true;  // challenge (b)/(c): no local clock
+    master_options.storage_retention = opt_.storage_retention;
+    masters_.push_back(
+        std::make_unique<scada::ScadaMaster>(std::move(master_options)));
+
+    AdapterOptions adapter_options;
+    adapter_options.write_timeout = opt_.write_timeout;
+    adapter_options.costs = opt_.costs;
+    adapter_options.executor_lanes = opt_.executor_lanes;
+    adapters_.push_back(std::make_unique<Adapter>(
+        net_, opt_.group, ReplicaId{i}, keys_, *masters_.back(),
+        adapter_options));
+    adapters_.back()->register_client(kHmiEndpoint,
+                                      ClientId{kProxyHmiClient});
+    adapters_.back()->register_client(kFrontendEndpoint,
+                                      ClientId{kProxyFrontendClient});
+  }
+
+  bft::ReplicaOptions replica_options;
+  replica_options.request_timeout = opt_.request_timeout;
+  replica_options.max_batch = opt_.max_batch;
+  replica_options.checkpoint_interval = opt_.checkpoint_interval;
+  replica_options.per_message_cost =
+      opt_.costs.bft_crypto_per_msg + opt_.costs.serialize_per_msg;
+  replica_options.per_decision_cost = opt_.costs.bft_consensus_overhead;
+  replica_options.lanes = opt_.costs.replicated_master_lanes;
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    replicas_.push_back(std::make_unique<bft::Replica>(
+        net_, opt_.group, ReplicaId{i}, keys_, *adapters_[i], *adapters_[i],
+        replica_options));
+    adapters_[i]->attach_replica(replicas_.back().get());
+
+    bft::ClientOptions timeout_client_options;
+    timeout_client_options.reply_timeout = opt_.client_reply_timeout;
+    adapter_clients_.push_back(std::make_unique<bft::ClientProxy>(
+        net_, opt_.group, ClientId{kAdapterClientBase + i}, keys_,
+        timeout_client_options));
+    adapters_[i]->attach_timeout_client(adapter_clients_.back().get());
+    for (std::uint32_t j = 0; j < n; ++j) {
+      // Timeout injections reach the masters tagged with a neutral source:
+      // no adapter client is registered as a named source on purpose.
+      (void)j;
+    }
+  }
+
+  // Proxies.
+  ProxyOptions hmi_proxy_options;
+  hmi_proxy_options.endpoint = kProxyHmiEndpoint;
+  hmi_proxy_options.component_endpoint = kHmiEndpoint;
+  hmi_proxy_options.per_message_cost =
+      opt_.costs.serialize_per_msg + opt_.costs.voter_process;
+  hmi_proxy_options.lanes = opt_.costs.proxy_lanes;
+  hmi_proxy_options.client.reply_timeout = opt_.client_reply_timeout;
+  proxy_hmi_ = std::make_unique<ComponentProxy>(
+      net_, opt_.group, ClientId{kProxyHmiClient}, keys_, hmi_proxy_options);
+
+  ProxyOptions frontend_proxy_options;
+  frontend_proxy_options.endpoint = kProxyFrontendEndpoint;
+  frontend_proxy_options.component_endpoint = kFrontendEndpoint;
+  frontend_proxy_options.per_message_cost =
+      opt_.costs.serialize_per_msg + opt_.costs.voter_process;
+  frontend_proxy_options.lanes = opt_.costs.proxy_lanes;
+  frontend_proxy_options.client.reply_timeout = opt_.client_reply_timeout;
+  proxy_frontend_ = std::make_unique<ComponentProxy>(
+      net_, opt_.group, ClientId{kProxyFrontendClient}, keys_,
+      frontend_proxy_options);
+
+  // The real HMI and Frontend, pointed at their proxies.
+  frontend_node_ = std::make_unique<FrontendNode>(
+      net_, keys_, frontend_,
+      NodeOptions{.endpoint = kFrontendEndpoint,
+                  .peer = kProxyFrontendEndpoint,
+                  .per_message_cost = opt_.costs.serialize_per_msg,
+                  .lanes = opt_.costs.frontend_lanes});
+  hmi_node_ = std::make_unique<HmiNode>(
+      net_, keys_, hmi_,
+      NodeOptions{.endpoint = kHmiEndpoint,
+                  .peer = kProxyHmiEndpoint,
+                  .per_message_cost = opt_.costs.serialize_per_msg,
+                  .lanes = opt_.costs.hmi_lanes});
+}
+
+ItemId ReplicatedDeployment::add_point(const std::string& name,
+                                       scada::Variant initial) {
+  ItemId frontend_id = frontend_.add_item(name, std::move(initial));
+  for (auto& master : masters_) {
+    ItemId master_id = master->add_item(name);
+    if (master_id != frontend_id) {
+      throw std::logic_error("item id mismatch between frontend and master");
+    }
+  }
+  return frontend_id;
+}
+
+void ReplicatedDeployment::configure_masters(
+    const std::function<void(scada::ScadaMaster&)>& configure) {
+  for (auto& master : masters_) configure(*master);
+}
+
+void ReplicatedDeployment::start() {
+  hmi_.subscribe_all();
+  // Let the subscriptions order and execute before traffic starts.
+  loop_.run_until(loop_.now() + millis(50));
+}
+
+bool ReplicatedDeployment::masters_converged() const {
+  const crypto::Digest* reference = nullptr;
+  crypto::Digest first;
+  for (std::uint32_t i = 0; i < opt_.group.n; ++i) {
+    if (replicas_[i]->crashed()) continue;
+    crypto::Digest digest = masters_[i]->state_digest();
+    if (reference == nullptr) {
+      first = digest;
+      reference = &first;
+    } else if (digest != *reference) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ss::core

@@ -1,0 +1,109 @@
+// The SMaRt-SCADA deployment (paper Figure 5): one Frontend + ProxyFrontend,
+// one HMI + ProxyHMI, and n = 3f+1 ProxyMasters, each bundling a BFT replica,
+// an Adapter, and a deterministic single-threaded SCADA Master.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bft/client.h"
+#include "bft/replica.h"
+#include "core/adapter.h"
+#include "core/nodes.h"
+#include "core/proxies.h"
+#include "crypto/keychain.h"
+#include "scada/frontend.h"
+#include "scada/hmi.h"
+#include "scada/master.h"
+#include "sim/cost_model.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+
+namespace ss::core {
+
+struct ReplicatedOptions {
+  GroupConfig group = GroupConfig::for_f(1);
+  sim::CostModel costs = sim::CostModel::paper_testbed();
+  SimTime write_timeout = millis(800);      ///< logical timeout
+  SimTime request_timeout = millis(400);    ///< replica leader-suspect timer
+  SimTime client_reply_timeout = millis(300);
+  std::uint32_t max_batch = 64;
+  std::uint64_t checkpoint_interval = 128;
+  std::uint64_t fault_seed = 0xFA111;
+  /// Event-storage retention per Master (0 = unlimited); benches bound it.
+  std::size_t storage_retention = 0;
+  /// Parallel-execution lanes per Adapter (paper §VII-b future work);
+  /// 1 = the paper's single-threaded prototype. See AdapterOptions.
+  std::uint32_t executor_lanes = 1;
+};
+
+/// Well-known client ids.
+inline constexpr std::uint32_t kProxyHmiClient = 1;
+inline constexpr std::uint32_t kProxyFrontendClient = 2;
+inline constexpr std::uint32_t kAdapterClientBase = 100;
+
+class ReplicatedDeployment {
+ public:
+  explicit ReplicatedDeployment(ReplicatedOptions options = {});
+
+  /// Registers one data point on the Frontend and every Master replica.
+  ItemId add_point(const std::string& name, scada::Variant initial = {});
+
+  /// Applies a configuration function to every Master replica — handler
+  /// chains must be configured identically on all of them.
+  void configure_masters(
+      const std::function<void(scada::ScadaMaster&)>& configure);
+
+  /// Subscribes the HMI; call once after configuration.
+  void start();
+
+  std::uint32_t n() const { return opt_.group.n; }
+  const GroupConfig& group() const { return opt_.group; }
+
+  sim::EventLoop& loop() { return loop_; }
+  sim::Network& net() { return net_; }
+  scada::Hmi& hmi() { return hmi_; }
+  scada::Frontend& frontend() { return frontend_; }
+  scada::ScadaMaster& master(std::uint32_t i) { return *masters_.at(i); }
+  bft::Replica& replica(std::uint32_t i) { return *replicas_.at(i); }
+  Adapter& adapter(std::uint32_t i) { return *adapters_.at(i); }
+  ComponentProxy& proxy_hmi() { return *proxy_hmi_; }
+  ComponentProxy& proxy_frontend() { return *proxy_frontend_; }
+  const crypto::Keychain& keys() const { return keys_; }
+
+  /// Fault injection helpers.
+  void crash_replica(std::uint32_t i) { replicas_.at(i)->crash(); }
+  void recover_replica(std::uint32_t i) { replicas_.at(i)->recover(); }
+  void set_byzantine(std::uint32_t i, bft::ByzantineMode mode) {
+    replicas_.at(i)->set_byzantine(mode);
+  }
+
+  /// True when all non-crashed masters report the same state digest.
+  bool masters_converged() const;
+
+  void run_until(SimTime deadline) { loop_.run_until(deadline); }
+  void settle() { loop_.run(); }
+
+ private:
+  ReplicatedOptions opt_;
+  sim::EventLoop loop_;
+  sim::Network net_;
+  crypto::Keychain keys_;
+
+  std::vector<std::unique_ptr<scada::ScadaMaster>> masters_;
+  std::vector<std::unique_ptr<Adapter>> adapters_;
+  std::vector<std::unique_ptr<bft::Replica>> replicas_;
+  std::vector<std::unique_ptr<bft::ClientProxy>> adapter_clients_;
+
+  std::unique_ptr<ComponentProxy> proxy_hmi_;
+  std::unique_ptr<ComponentProxy> proxy_frontend_;
+
+  scada::Frontend frontend_;
+  scada::Hmi hmi_;
+  std::unique_ptr<FrontendNode> frontend_node_;
+  std::unique_ptr<HmiNode> hmi_node_;
+};
+
+}  // namespace ss::core

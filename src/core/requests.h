@@ -1,0 +1,95 @@
+// The request vocabulary between the SMaRt-SCADA proxies and the Adapter.
+//
+// Every ordered BFT request carries one CoreRequest: either a SCADA message
+// funneled through the single entry point, or a logical-timeout result
+// injection (the deterministic variant of the paper's "empty WriteResult").
+// Unordered requests are read-only queries served from local replica state.
+#pragma once
+
+#include <cstdint>
+
+#include "common/serialization.h"
+#include "common/types.h"
+#include "scada/messages.h"
+
+namespace ss::core {
+
+enum class CoreRequestKind : std::uint8_t {
+  kScada = 0,          ///< body: encoded ScadaMessage
+  kTimeoutResult = 1,  ///< body: OpId of the write to unblock
+  kMax = kTimeoutResult,
+};
+
+struct CoreRequest {
+  CoreRequestKind kind = CoreRequestKind::kScada;
+  Bytes body;
+
+  Bytes encode() const {
+    Writer w(body.size() + 4);
+    w.enumeration(kind);
+    w.blob(body);
+    return std::move(w).take();
+  }
+
+  static CoreRequest decode(ByteView data) {
+    Reader r(data);
+    CoreRequest req;
+    req.kind = r.enumeration<CoreRequestKind>(
+        static_cast<std::uint64_t>(CoreRequestKind::kMax));
+    req.body = r.blob();
+    r.expect_done();
+    return req;
+  }
+
+  static CoreRequest scada(const scada::ScadaMessage& msg) {
+    return CoreRequest{CoreRequestKind::kScada, scada::encode_message(msg)};
+  }
+
+  static CoreRequest timeout_result(OpId op) {
+    Writer w(8);
+    w.id(op);
+    return CoreRequest{CoreRequestKind::kTimeoutResult, std::move(w).take()};
+  }
+};
+
+/// Read-only queries served by execute_unordered.
+enum class QueryKind : std::uint8_t {
+  kReadItem = 0,      ///< body: ItemId -> encoded Item (or empty if unknown)
+  kStateDigest = 1,   ///< -> 32-byte master state digest
+  kEventCount = 2,    ///< -> varint total events appended
+  kHistoryTail = 3,   ///< ItemId + n -> last n archive samples (oldest first)
+  kHistoryAggregate = 4,  ///< ItemId -> count/min/max/mean over the archive
+  kMax = kHistoryAggregate,
+};
+
+inline Bytes encode_query(QueryKind kind, ItemId item = ItemId{0},
+                          std::uint64_t arg = 0) {
+  Writer w(12);
+  w.enumeration(kind);
+  w.id(item);
+  w.varint(arg);
+  return std::move(w).take();
+}
+
+/// The Adapter's inter-replica timeout vote (paper §IV-D).
+struct TimeoutVote {
+  OpId op;
+  ReplicaId voter;
+
+  Bytes encode() const {
+    Writer w(12);
+    w.id(op);
+    w.id(voter);
+    return std::move(w).take();
+  }
+  static TimeoutVote decode(ByteView data) {
+    Reader r(data);
+    TimeoutVote v;
+    v.op = r.id<OpId>();
+    v.voter = r.id<ReplicaId>();
+    r.expect_done();
+    return v;
+  }
+};
+
+}  // namespace ss::core

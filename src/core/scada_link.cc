@@ -1,0 +1,52 @@
+#include "core/scada_link.h"
+
+namespace ss::core {
+
+namespace {
+
+Bytes frame_material(const std::string& from, const std::string& to,
+                     const Bytes& body) {
+  Writer w(body.size() + from.size() + to.size() + 8);
+  w.str(from);
+  w.str(to);
+  w.blob(body);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+void send_scada(sim::Network& net, const crypto::Keychain& keys,
+                const std::string& from, const std::string& to,
+                const scada::ScadaMessage& msg) {
+  Bytes body = scada::encode_message(msg);
+  crypto::Digest mac = keys.mac(from, to, frame_material(from, to, body));
+  Writer w(body.size() + from.size() + 40);
+  w.str(from);
+  w.blob(body);
+  w.raw(ByteView(mac));
+  net.send(from, to, std::move(w).take());
+}
+
+std::optional<scada::ScadaMessage> receive_scada(const crypto::Keychain& keys,
+                                                 const std::string& self,
+                                                 const sim::Message& msg,
+                                                 std::string* sender_out) {
+  try {
+    Reader r(msg.payload);
+    std::string sender = r.str();
+    Bytes body = r.blob();
+    crypto::Digest mac{};
+    for (auto& b : mac) b = r.u8();
+    r.expect_done();
+    if (!keys.verify(sender, self, frame_material(sender, self, body), mac)) {
+      return std::nullopt;
+    }
+    scada::ScadaMessage decoded = scada::decode_message(body);
+    if (sender_out != nullptr) *sender_out = std::move(sender);
+    return decoded;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace ss::core

@@ -1,0 +1,38 @@
+// HMAC-authenticated SCADA frames over the simulated network.
+//
+// Stands in for the paper's TLS channels between each component and its
+// proxy (and for the plain NeoSCADA connections in the baseline): provides
+// per-link integrity/authenticity, which is all the paper's system model
+// asks of those channels.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "crypto/keychain.h"
+#include "scada/messages.h"
+#include "sim/network.h"
+
+namespace ss::core {
+
+/// Canonical deployment endpoint names.
+inline constexpr const char* kHmiEndpoint = "hmi";
+inline constexpr const char* kFrontendEndpoint = "frontend";
+inline constexpr const char* kProxyHmiEndpoint = "proxy/hmi";
+inline constexpr const char* kProxyFrontendEndpoint = "proxy/frontend";
+inline constexpr const char* kMasterEndpoint = "master";
+
+/// Encodes msg into an authenticated frame and sends it from -> to.
+void send_scada(sim::Network& net, const crypto::Keychain& keys,
+                const std::string& from, const std::string& to,
+                const scada::ScadaMessage& msg);
+
+/// Verifies and decodes a frame delivered to `self`. Returns nullopt (and
+/// never throws) on any forgery or malformation; `sender_out` receives the
+/// authenticated sender name.
+std::optional<scada::ScadaMessage> receive_scada(const crypto::Keychain& keys,
+                                                 const std::string& self,
+                                                 const sim::Message& msg,
+                                                 std::string* sender_out);
+
+}  // namespace ss::core

@@ -1,0 +1,19 @@
+// HMAC-SHA-256 (RFC 2104).
+//
+// BFT-SMaRt authenticates point-to-point channels with MACs rather than
+// per-message signatures for the common case; we do the same. The paper's
+// TLS channels between components and their proxies are likewise replaced
+// by HMAC-authenticated sim links (same integrity/authenticity property).
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace ss::crypto {
+
+Digest hmac_sha256(ByteView key, ByteView message);
+
+/// Verifies in constant time.
+bool hmac_verify(ByteView key, ByteView message, const Digest& mac);
+
+}  // namespace ss::crypto

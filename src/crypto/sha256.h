@@ -1,0 +1,47 @@
+// SHA-256 (FIPS 180-4).
+//
+// Used for request/reply digests (reply voting compares digests, not full
+// payloads), replica state digests (the determinism tests), and as the PRF
+// inside HMAC. This is a from-scratch implementation validated against the
+// FIPS test vectors in tests/crypto_test.cc.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace ss::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(ByteView data);
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(ByteView data) {
+    Sha256 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::uint64_t total_len_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+};
+
+std::string to_hex(const Digest& d);
+
+/// Truncated 64-bit view of a digest, used as a cheap hash-map key.
+std::uint64_t digest_prefix64(const Digest& d);
+
+}  // namespace ss::crypto

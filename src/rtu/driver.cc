@@ -1,0 +1,128 @@
+#include "rtu/driver.h"
+
+namespace ss::rtu {
+
+RtuDriver::RtuDriver(sim::Network& net, scada::Frontend& frontend,
+                     DriverOptions options)
+    : net_(net), frontend_(frontend), opt_(std::move(options)) {
+  net_.attach(opt_.endpoint,
+              [this](sim::Message m) { on_message(std::move(m)); });
+}
+
+RtuDriver::~RtuDriver() { net_.detach(opt_.endpoint); }
+
+void RtuDriver::bind_sensor(const std::string& rtu_endpoint, std::uint16_t reg,
+                            RegisterScaling scaling, ItemId item) {
+  sensors_.push_back(SensorBinding{rtu_endpoint, reg, scaling, item, {}});
+}
+
+void RtuDriver::bind_actuator(const std::string& rtu_endpoint,
+                              std::uint16_t reg, RegisterScaling scaling,
+                              ItemId item) {
+  actuators_[item.value] = ActuatorBinding{rtu_endpoint, reg, scaling};
+}
+
+void RtuDriver::start() {
+  if (started_) return;
+  started_ = true;
+  frontend_.set_field_writer(
+      [this](ItemId item, const scada::Variant& value,
+             std::function<void(bool, std::string)> done) {
+        field_write(item, value, std::move(done));
+      });
+  poll_tick();
+}
+
+void RtuDriver::poll_tick() {
+  for (std::size_t i = 0; i < sensors_.size(); ++i) {
+    const SensorBinding& binding = sensors_[i];
+    ModbusRequest req;
+    req.transaction = next_transaction_++;
+    req.function = FunctionCode::kReadHoldingRegisters;
+    req.address = binding.reg;
+    req.count = 1;
+    PendingRequest pending;
+    pending.is_write = false;
+    pending.sensor_index = i;
+    pending_[req.transaction] = std::move(pending);
+    ++counters_.polls_sent;
+    net_.send(opt_.endpoint, binding.rtu, req.encode());
+  }
+  net_.loop().schedule(opt_.poll_period, [this] { poll_tick(); });
+}
+
+void RtuDriver::field_write(ItemId item, const scada::Variant& value,
+                            std::function<void(bool, std::string)> done) {
+  auto it = actuators_.find(item.value);
+  if (it == actuators_.end()) {
+    done(false, "no actuator bound for item");
+    return;
+  }
+  const ActuatorBinding& binding = it->second;
+  ModbusRequest req;
+  req.transaction = next_transaction_++;
+  req.function = FunctionCode::kWriteSingleRegister;
+  req.address = binding.reg;
+  req.values.push_back(binding.scaling.to_raw(value.to_double_or_zero()));
+
+  PendingRequest pending;
+  pending.is_write = true;
+  pending.done = std::move(done);
+  if (opt_.write_timeout > 0) {
+    std::uint16_t transaction = req.transaction;
+    pending.timeout =
+        net_.loop().schedule(opt_.write_timeout, [this, transaction] {
+          auto pit = pending_.find(transaction);
+          if (pit == pending_.end()) return;
+          auto callback = std::move(pit->second.done);
+          pending_.erase(pit);
+          ++counters_.write_timeouts;
+          if (callback) callback(false, "rtu timeout");
+        });
+  }
+  pending_[req.transaction] = std::move(pending);
+  ++counters_.writes_sent;
+  net_.send(opt_.endpoint, binding.rtu, req.encode());
+}
+
+void RtuDriver::on_message(sim::Message msg) {
+  ModbusResponse rsp;
+  try {
+    rsp = ModbusResponse::decode(msg.payload);
+  } catch (const DecodeError&) {
+    return;
+  }
+  auto it = pending_.find(rsp.transaction);
+  if (it == pending_.end()) return;
+  PendingRequest pending = std::move(it->second);
+  pending.timeout.cancel();
+  pending_.erase(it);
+
+  if (pending.is_write) {
+    ++counters_.write_responses;
+    if (pending.done) {
+      if (rsp.ok()) {
+        pending.done(true, "");
+      } else {
+        pending.done(false, "rtu exception " +
+                                std::to_string(static_cast<int>(rsp.exception)));
+      }
+    }
+    return;
+  }
+
+  ++counters_.poll_responses;
+  if (!rsp.ok() || rsp.values.empty()) return;
+  SensorBinding& binding = sensors_[pending.sensor_index];
+  std::uint16_t raw = rsp.values[0];
+  if (binding.last_raw.has_value() && *binding.last_raw == raw) {
+    return;  // report by exception: unchanged
+  }
+  binding.last_raw = raw;
+  ++counters_.changes_reported;
+  frontend_.field_update(binding.item,
+                         scada::Variant{binding.scaling.to_engineering(raw)},
+                         scada::Quality::kGood, net_.loop().now());
+}
+
+}  // namespace ss::rtu

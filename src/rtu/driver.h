@@ -1,0 +1,100 @@
+// The Frontend's field driver: bridges scada::Frontend items to Modbus
+// registers on simulated RTUs — the "protocol translator" role the paper
+// assigns to the Frontend.
+//
+// Sensor bindings are polled cyclically (report-by-exception: only changed
+// values produce ItemUpdates). Actuator bindings install a field writer on
+// the Frontend so WriteValue commands become Modbus write requests; the
+// Modbus response completes the WriteResult.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtu/modbus.h"
+#include "rtu/rtu.h"
+#include "scada/frontend.h"
+#include "sim/network.h"
+
+namespace ss::rtu {
+
+struct DriverOptions {
+  std::string endpoint = "frontend/driver";
+  SimTime poll_period = millis(100);
+  /// 0 disables; otherwise a write with no Modbus response for this long
+  /// fails with "rtu timeout". Disabled by default because the replicated
+  /// system's logical-timeout protocol is the mechanism under study.
+  SimTime write_timeout = 0;
+};
+
+struct DriverCounters {
+  std::uint64_t polls_sent = 0;
+  std::uint64_t poll_responses = 0;
+  std::uint64_t changes_reported = 0;
+  std::uint64_t writes_sent = 0;
+  std::uint64_t write_responses = 0;
+  std::uint64_t write_timeouts = 0;
+};
+
+class RtuDriver {
+ public:
+  RtuDriver(sim::Network& net, scada::Frontend& frontend,
+            DriverOptions options = {});
+  ~RtuDriver();
+
+  RtuDriver(const RtuDriver&) = delete;
+  RtuDriver& operator=(const RtuDriver&) = delete;
+
+  /// Polled input point: RTU register -> frontend item.
+  void bind_sensor(const std::string& rtu_endpoint, std::uint16_t reg,
+                   RegisterScaling scaling, ItemId item);
+
+  /// Writable output point: frontend item -> RTU register.
+  void bind_actuator(const std::string& rtu_endpoint, std::uint16_t reg,
+                     RegisterScaling scaling, ItemId item);
+
+  /// Starts the polling loop and installs the Frontend field writer.
+  void start();
+
+  const DriverCounters& counters() const { return counters_; }
+
+ private:
+  struct SensorBinding {
+    std::string rtu;
+    std::uint16_t reg;
+    RegisterScaling scaling;
+    ItemId item;
+    std::optional<std::uint16_t> last_raw;
+  };
+  struct ActuatorBinding {
+    std::string rtu;
+    std::uint16_t reg;
+    RegisterScaling scaling;
+  };
+  struct PendingRequest {
+    bool is_write = false;
+    std::size_t sensor_index = 0;  ///< for reads
+    std::function<void(bool, std::string)> done;  ///< for writes
+    sim::TimerHandle timeout;
+  };
+
+  void on_message(sim::Message msg);
+  void poll_tick();
+  void field_write(ItemId item, const scada::Variant& value,
+                   std::function<void(bool, std::string)> done);
+
+  sim::Network& net_;
+  scada::Frontend& frontend_;
+  DriverOptions opt_;
+  std::vector<SensorBinding> sensors_;
+  std::map<std::uint32_t, ActuatorBinding> actuators_;  // by item id
+  std::map<std::uint16_t, PendingRequest> pending_;     // by transaction
+  std::uint16_t next_transaction_ = 1;
+  bool started_ = false;
+  DriverCounters counters_;
+};
+
+}  // namespace ss::rtu

@@ -1,0 +1,47 @@
+#include "rtu/iec104.h"
+
+namespace ss::rtu {
+
+namespace {
+
+bool valid_type(std::uint8_t t) {
+  return t == 13 || t == 50 || t == 100;
+}
+
+bool valid_cot(std::uint8_t c) {
+  return c == 3 || c == 6 || c == 7 || c == 10 || c == 20 || c == 47;
+}
+
+}  // namespace
+
+Bytes Iec104Asdu::encode() const {
+  Writer w(24);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(static_cast<std::uint8_t>(cause));
+  w.boolean(negative);
+  w.u16(common_address);
+  w.u32(ioa);
+  w.f64(value);
+  w.boolean(quality_good);
+  return std::move(w).take();
+}
+
+Iec104Asdu Iec104Asdu::decode(ByteView data) {
+  Reader r(data);
+  Iec104Asdu asdu;
+  std::uint8_t type = r.u8();
+  if (!valid_type(type)) throw DecodeError("bad iec104 type id");
+  asdu.type = static_cast<Iec104Type>(type);
+  std::uint8_t cause = r.u8();
+  if (!valid_cot(cause)) throw DecodeError("bad iec104 cot");
+  asdu.cause = static_cast<Iec104Cot>(cause);
+  asdu.negative = r.boolean();
+  asdu.common_address = r.u16();
+  asdu.ioa = r.u32();
+  asdu.value = r.f64();
+  asdu.quality_good = r.boolean();
+  r.expect_done();
+  return asdu;
+}
+
+}  // namespace ss::rtu

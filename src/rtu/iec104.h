@@ -1,0 +1,50 @@
+// Simplified IEC 60870-5-104 application layer.
+//
+// NeoSCADA's frontends speak several field protocols; besides the polled
+// Modbus driver we provide an event-driven IEC-104-style one: devices push
+// spontaneous measured-value telegrams (M_ME_NC_1) when a point changes,
+// answer a general interrogation (C_IC_NA_1) with a snapshot of all points,
+// and execute floating-point setpoint commands (C_SE_NC_1) with an
+// activation-confirmation handshake. Framing is reduced to the ASDU fields
+// the SCADA path needs; link-layer sequence numbers are left to the
+// simulated network.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/serialization.h"
+
+namespace ss::rtu {
+
+/// ASDU type identifiers (subset).
+enum class Iec104Type : std::uint8_t {
+  kMeasuredFloat = 13,    ///< M_ME_NC_1: measured value, short float
+  kSetpointFloat = 50,    ///< C_SE_NC_1: setpoint command, short float
+  kInterrogation = 100,   ///< C_IC_NA_1: general interrogation
+};
+
+/// Cause of transmission (subset).
+enum class Iec104Cot : std::uint8_t {
+  kSpontaneous = 3,
+  kActivation = 6,
+  kActivationCon = 7,
+  kActivationTerm = 10,
+  kInterrogated = 20,
+  kUnknownObject = 47,
+};
+
+struct Iec104Asdu {
+  Iec104Type type = Iec104Type::kMeasuredFloat;
+  Iec104Cot cause = Iec104Cot::kSpontaneous;
+  bool negative = false;           ///< negative confirmation
+  std::uint16_t common_address = 1;
+  std::uint32_t ioa = 0;           ///< information object address
+  double value = 0;
+  bool quality_good = true;
+
+  Bytes encode() const;
+  static Iec104Asdu decode(ByteView data);  // throws DecodeError
+};
+
+}  // namespace ss::rtu

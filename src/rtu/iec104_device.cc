@@ -1,0 +1,138 @@
+#include "rtu/iec104_device.h"
+
+#include <cmath>
+
+namespace ss::rtu {
+
+Iec104Device::Iec104Device(sim::Network& net, std::string endpoint,
+                           Iec104DeviceOptions options)
+    : net_(net),
+      endpoint_(std::move(endpoint)),
+      opt_(options),
+      rng_(options.seed) {
+  net_.attach(endpoint_, [this](sim::Message m) { on_message(std::move(m)); });
+}
+
+Iec104Device::~Iec104Device() { net_.detach(endpoint_); }
+
+void Iec104Device::add_measurement(std::uint32_t ioa,
+                                   std::unique_ptr<Signal> signal) {
+  measurements_[ioa] = Measurement{std::move(signal), std::nullopt};
+}
+
+void Iec104Device::add_setpoint(std::uint32_t ioa, double initial) {
+  setpoints_[ioa] = initial;
+}
+
+double Iec104Device::point_value(std::uint32_t ioa) const {
+  if (auto it = setpoints_.find(ioa); it != setpoints_.end()) {
+    return it->second;
+  }
+  if (auto it = measurements_.find(ioa); it != measurements_.end()) {
+    return it->second.last_reported.value_or(0);
+  }
+  return 0;
+}
+
+void Iec104Device::start() {
+  if (started_) return;
+  started_ = true;
+  scan_tick();
+}
+
+void Iec104Device::send_asdu(const Iec104Asdu& asdu) {
+  if (station_.empty()) return;  // nobody connected yet
+  net_.send(endpoint_, station_, asdu.encode());
+}
+
+void Iec104Device::scan_tick() {
+  SimTime now = net_.loop().now();
+  for (auto& [ioa, point] : measurements_) {
+    double value = point.signal->sample(now, rng_);
+    if (point.last_reported.has_value() &&
+        std::abs(value - *point.last_reported) <= opt_.report_deadband) {
+      continue;
+    }
+    point.last_reported = value;
+    Iec104Asdu asdu;
+    asdu.type = Iec104Type::kMeasuredFloat;
+    asdu.cause = Iec104Cot::kSpontaneous;
+    asdu.common_address = opt_.common_address;
+    asdu.ioa = ioa;
+    asdu.value = value;
+    ++spontaneous_sent_;
+    send_asdu(asdu);
+  }
+  net_.loop().schedule(opt_.scan_period, [this] { scan_tick(); });
+}
+
+void Iec104Device::on_message(sim::Message msg) {
+  if (swallow_ > 0) {
+    --swallow_;
+    return;
+  }
+  Iec104Asdu asdu;
+  try {
+    asdu = Iec104Asdu::decode(msg.payload);
+  } catch (const DecodeError&) {
+    return;
+  }
+  if (station_.empty()) station_ = msg.from;
+
+  switch (asdu.type) {
+    case Iec104Type::kInterrogation: {
+      if (asdu.cause != Iec104Cot::kActivation) return;
+      // Confirm, dump every point with COT=interrogated, then terminate.
+      Iec104Asdu con = asdu;
+      con.cause = Iec104Cot::kActivationCon;
+      send_asdu(con);
+      SimTime now = net_.loop().now();
+      for (auto& [ioa, point] : measurements_) {
+        double value = point.signal->sample(now, rng_);
+        point.last_reported = value;
+        Iec104Asdu reply;
+        reply.type = Iec104Type::kMeasuredFloat;
+        reply.cause = Iec104Cot::kInterrogated;
+        reply.common_address = opt_.common_address;
+        reply.ioa = ioa;
+        reply.value = value;
+        send_asdu(reply);
+      }
+      for (const auto& [ioa, value] : setpoints_) {
+        Iec104Asdu reply;
+        reply.type = Iec104Type::kMeasuredFloat;
+        reply.cause = Iec104Cot::kInterrogated;
+        reply.common_address = opt_.common_address;
+        reply.ioa = ioa;
+        reply.value = value;
+        send_asdu(reply);
+      }
+      Iec104Asdu term = asdu;
+      term.cause = Iec104Cot::kActivationTerm;
+      send_asdu(term);
+      return;
+    }
+    case Iec104Type::kSetpointFloat: {
+      if (asdu.cause != Iec104Cot::kActivation) return;
+      Iec104Asdu con = asdu;
+      con.cause = Iec104Cot::kActivationCon;
+      auto it = setpoints_.find(asdu.ioa);
+      if (it == setpoints_.end()) {
+        con.cause = Iec104Cot::kUnknownObject;
+        con.negative = true;
+      } else if (fail_commands_ > 0) {
+        --fail_commands_;
+        con.negative = true;
+      } else {
+        it->second = asdu.value;
+        ++commands_applied_;
+      }
+      send_asdu(con);
+      return;
+    }
+    case Iec104Type::kMeasuredFloat:
+      return;  // controlling stations do not send measurements
+  }
+}
+
+}  // namespace ss::rtu

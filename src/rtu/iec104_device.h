@@ -1,0 +1,86 @@
+// A simulated IEC-104 field device (controlled station).
+//
+// Unlike the polled Modbus Rtu, this device *pushes*: measurement points
+// are scanned from their Signal generators and any change beyond the
+// reporting deadband is sent spontaneously to the connected controlling
+// station. Setpoint commands are confirmed (or negatively confirmed for
+// unknown objects / injected failures), and a general interrogation answers
+// with a snapshot of every point.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/rng.h"
+#include "rtu/iec104.h"
+#include "rtu/sensors.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+
+namespace ss::rtu {
+
+struct Iec104DeviceOptions {
+  std::uint16_t common_address = 1;
+  SimTime scan_period = millis(100);
+  double report_deadband = 0.0;  ///< spontaneous report threshold
+  std::uint64_t seed = 31;
+};
+
+class Iec104Device {
+ public:
+  Iec104Device(sim::Network& net, std::string endpoint,
+               Iec104DeviceOptions options = {});
+  ~Iec104Device();
+
+  Iec104Device(const Iec104Device&) = delete;
+  Iec104Device& operator=(const Iec104Device&) = delete;
+
+  const std::string& endpoint() const { return endpoint_; }
+
+  /// A measurement point backed by a signal generator.
+  void add_measurement(std::uint32_t ioa, std::unique_ptr<Signal> signal);
+
+  /// A controllable setpoint.
+  void add_setpoint(std::uint32_t ioa, double initial = 0);
+
+  /// Makes the next `n` setpoint commands fail (negative confirmation).
+  void fail_next_commands(std::uint64_t n) { fail_commands_ = n; }
+  /// Silently ignores the next `n` inbound ASDUs.
+  void swallow_next(std::uint64_t n) { swallow_ = n; }
+
+  double point_value(std::uint32_t ioa) const;
+  std::uint64_t commands_applied() const { return commands_applied_; }
+  std::uint64_t spontaneous_sent() const { return spontaneous_sent_; }
+
+  /// Starts scanning once a controlling station name is known. The station
+  /// is remembered from the first frame received if not set explicitly.
+  void connect_station(std::string station) { station_ = std::move(station); }
+  void start();
+
+ private:
+  struct Measurement {
+    std::unique_ptr<Signal> signal;
+    std::optional<double> last_reported;
+  };
+
+  void on_message(sim::Message msg);
+  void scan_tick();
+  void send_asdu(const Iec104Asdu& asdu);
+
+  sim::Network& net_;
+  std::string endpoint_;
+  Iec104DeviceOptions opt_;
+  Rng rng_;
+  std::map<std::uint32_t, Measurement> measurements_;
+  std::map<std::uint32_t, double> setpoints_;
+  std::string station_;
+  std::uint64_t fail_commands_ = 0;
+  std::uint64_t swallow_ = 0;
+  std::uint64_t commands_applied_ = 0;
+  std::uint64_t spontaneous_sent_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ss::rtu

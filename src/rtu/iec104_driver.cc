@@ -1,0 +1,132 @@
+#include "rtu/iec104_driver.h"
+
+#include <set>
+
+namespace ss::rtu {
+
+Iec104Driver::Iec104Driver(sim::Network& net, scada::Frontend& frontend,
+                           Iec104DriverOptions options)
+    : net_(net), frontend_(frontend), opt_(std::move(options)) {
+  net_.attach(opt_.endpoint,
+              [this](sim::Message m) { on_message(std::move(m)); });
+}
+
+Iec104Driver::~Iec104Driver() { net_.detach(opt_.endpoint); }
+
+void Iec104Driver::bind_measurement(const std::string& device,
+                                    std::uint32_t ioa, ItemId item) {
+  measurements_[PointKey{device, ioa}] = item;
+}
+
+void Iec104Driver::bind_setpoint(const std::string& device, std::uint32_t ioa,
+                                 ItemId item) {
+  setpoints_[item.value] = PointKey{device, ioa};
+}
+
+void Iec104Driver::start() {
+  if (started_) return;
+  started_ = true;
+  frontend_.set_field_writer(
+      [this](ItemId item, const scada::Variant& value,
+             std::function<void(bool, std::string)> done) {
+        field_write(item, value, std::move(done));
+      });
+
+  std::set<std::string> devices;
+  for (const auto& [key, item] : measurements_) devices.insert(key.device);
+  for (const auto& [item, key] : setpoints_) devices.insert(key.device);
+  for (const std::string& device : devices) {
+    Iec104Asdu interrogation;
+    interrogation.type = Iec104Type::kInterrogation;
+    interrogation.cause = Iec104Cot::kActivation;
+    net_.send(opt_.endpoint, device, interrogation.encode());
+  }
+}
+
+void Iec104Driver::field_write(ItemId item, const scada::Variant& value,
+                               std::function<void(bool, std::string)> done) {
+  auto it = setpoints_.find(item.value);
+  if (it == setpoints_.end()) {
+    done(false, "no setpoint bound for item");
+    return;
+  }
+  const PointKey& key = it->second;
+  if (pending_.count(key) > 0) {
+    done(false, "setpoint command already in flight");
+    return;
+  }
+
+  Iec104Asdu command;
+  command.type = Iec104Type::kSetpointFloat;
+  command.cause = Iec104Cot::kActivation;
+  command.ioa = key.ioa;
+  command.value = value.to_double_or_zero();
+
+  PendingCommand pending;
+  pending.done = std::move(done);
+  if (opt_.command_timeout > 0) {
+    pending.timeout = net_.loop().schedule(opt_.command_timeout, [this, key] {
+      auto pit = pending_.find(key);
+      if (pit == pending_.end()) return;
+      auto callback = std::move(pit->second.done);
+      pending_.erase(pit);
+      ++counters_.command_timeouts;
+      if (callback) callback(false, "iec104 command timeout");
+    });
+  }
+  pending_[key] = std::move(pending);
+  ++counters_.commands_sent;
+  net_.send(opt_.endpoint, key.device, command.encode());
+}
+
+void Iec104Driver::on_message(sim::Message msg) {
+  Iec104Asdu asdu;
+  try {
+    asdu = Iec104Asdu::decode(msg.payload);
+  } catch (const DecodeError&) {
+    return;
+  }
+  ++counters_.telegrams_received;
+  PointKey key{msg.from, asdu.ioa};
+
+  switch (asdu.type) {
+    case Iec104Type::kMeasuredFloat: {
+      if (asdu.cause != Iec104Cot::kSpontaneous &&
+          asdu.cause != Iec104Cot::kInterrogated) {
+        return;
+      }
+      auto it = measurements_.find(key);
+      if (it == measurements_.end()) return;
+      ++counters_.updates_reported;
+      frontend_.field_update(it->second, scada::Variant{asdu.value},
+                             asdu.quality_good ? scada::Quality::kGood
+                                               : scada::Quality::kBad,
+                             net_.loop().now());
+      return;
+    }
+    case Iec104Type::kSetpointFloat: {
+      // Activation confirmation (positive or negative) for our command.
+      if (asdu.cause != Iec104Cot::kActivationCon &&
+          asdu.cause != Iec104Cot::kUnknownObject) {
+        return;
+      }
+      auto it = pending_.find(key);
+      if (it == pending_.end()) return;
+      PendingCommand pending = std::move(it->second);
+      pending.timeout.cancel();
+      pending_.erase(it);
+      if (asdu.negative) {
+        ++counters_.commands_rejected;
+        if (pending.done) pending.done(false, "iec104 negative confirmation");
+      } else {
+        ++counters_.commands_confirmed;
+        if (pending.done) pending.done(true, "");
+      }
+      return;
+    }
+    case Iec104Type::kInterrogation:
+      return;  // confirmation/termination of our interrogation
+  }
+}
+
+}  // namespace ss::rtu

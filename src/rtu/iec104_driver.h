@@ -1,0 +1,82 @@
+// Frontend driver for IEC-104 devices: the event-driven counterpart of the
+// polled Modbus RtuDriver. On start it interrogates every device for a
+// state snapshot, then consumes spontaneous measurement telegrams; item
+// writes become setpoint commands completed by the device's (possibly
+// negative) activation confirmation.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "rtu/iec104.h"
+#include "scada/frontend.h"
+#include "sim/network.h"
+
+namespace ss::rtu {
+
+struct Iec104DriverOptions {
+  std::string endpoint = "frontend/iec104";
+  /// 0 disables; otherwise an unanswered setpoint command fails after this.
+  SimTime command_timeout = 0;
+};
+
+struct Iec104DriverCounters {
+  std::uint64_t telegrams_received = 0;
+  std::uint64_t updates_reported = 0;
+  std::uint64_t commands_sent = 0;
+  std::uint64_t commands_confirmed = 0;
+  std::uint64_t commands_rejected = 0;
+  std::uint64_t command_timeouts = 0;
+};
+
+class Iec104Driver {
+ public:
+  Iec104Driver(sim::Network& net, scada::Frontend& frontend,
+               Iec104DriverOptions options = {});
+  ~Iec104Driver();
+
+  Iec104Driver(const Iec104Driver&) = delete;
+  Iec104Driver& operator=(const Iec104Driver&) = delete;
+
+  /// Measurement point: (device, ioa) -> frontend item.
+  void bind_measurement(const std::string& device, std::uint32_t ioa,
+                        ItemId item);
+  /// Controllable point: frontend item -> (device, ioa).
+  void bind_setpoint(const std::string& device, std::uint32_t ioa,
+                     ItemId item);
+
+  /// Installs the field writer and sends a general interrogation to every
+  /// bound device.
+  void start();
+
+  const Iec104DriverCounters& counters() const { return counters_; }
+
+ private:
+  struct PointKey {
+    std::string device;
+    std::uint32_t ioa;
+    bool operator<(const PointKey& other) const {
+      return std::tie(device, ioa) < std::tie(other.device, other.ioa);
+    }
+  };
+  struct PendingCommand {
+    std::function<void(bool, std::string)> done;
+    sim::TimerHandle timeout;
+  };
+
+  void on_message(sim::Message msg);
+  void field_write(ItemId item, const scada::Variant& value,
+                   std::function<void(bool, std::string)> done);
+
+  sim::Network& net_;
+  scada::Frontend& frontend_;
+  Iec104DriverOptions opt_;
+  std::map<PointKey, ItemId> measurements_;
+  std::map<std::uint32_t, PointKey> setpoints_;     // by item id
+  std::map<PointKey, PendingCommand> pending_;
+  Iec104DriverCounters counters_;
+  bool started_ = false;
+};
+
+}  // namespace ss::rtu

@@ -1,0 +1,73 @@
+#include "rtu/modbus.h"
+
+namespace ss::rtu {
+
+Bytes ModbusRequest::encode() const {
+  Writer w(16 + values.size() * 2);
+  w.u16(transaction);
+  w.u8(unit);
+  w.u8(static_cast<std::uint8_t>(function));
+  w.u16(address);
+  w.u16(count);
+  w.varint(values.size());
+  for (std::uint16_t v : values) w.u16(v);
+  return std::move(w).take();
+}
+
+ModbusRequest ModbusRequest::decode(ByteView data) {
+  Reader r(data);
+  ModbusRequest req;
+  req.transaction = r.u16();
+  req.unit = r.u8();
+  std::uint8_t fc = r.u8();
+  if (fc != 0x03 && fc != 0x06 && fc != 0x10) {
+    throw DecodeError("unsupported modbus function");
+  }
+  req.function = static_cast<FunctionCode>(fc);
+  req.address = r.u16();
+  req.count = r.u16();
+  std::uint64_t n = r.varint();
+  if (n > 125) throw DecodeError("modbus write too large");
+  req.values.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) req.values.push_back(r.u16());
+  r.expect_done();
+  return req;
+}
+
+Bytes ModbusResponse::encode() const {
+  Writer w(16 + values.size() * 2);
+  w.u16(transaction);
+  w.u8(unit);
+  w.u8(static_cast<std::uint8_t>(function));
+  w.u8(static_cast<std::uint8_t>(exception));
+  w.u16(address);
+  w.u16(count);
+  w.varint(values.size());
+  for (std::uint16_t v : values) w.u16(v);
+  return std::move(w).take();
+}
+
+ModbusResponse ModbusResponse::decode(ByteView data) {
+  Reader r(data);
+  ModbusResponse rsp;
+  rsp.transaction = r.u16();
+  rsp.unit = r.u8();
+  std::uint8_t fc = r.u8();
+  if (fc != 0x03 && fc != 0x06 && fc != 0x10) {
+    throw DecodeError("unsupported modbus function");
+  }
+  rsp.function = static_cast<FunctionCode>(fc);
+  std::uint8_t ex = r.u8();
+  if (ex > 0x04) throw DecodeError("bad modbus exception");
+  rsp.exception = static_cast<ModbusException>(ex);
+  rsp.address = r.u16();
+  rsp.count = r.u16();
+  std::uint64_t n = r.varint();
+  if (n > 125) throw DecodeError("modbus read too large");
+  rsp.values.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) rsp.values.push_back(r.u16());
+  r.expect_done();
+  return rsp;
+}
+
+}  // namespace ss::rtu

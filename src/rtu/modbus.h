@@ -1,0 +1,59 @@
+// Minimal Modbus-TCP-style framing for Frontend <-> RTU traffic.
+//
+// Eclipse NeoSCADA natively speaks Modbus TCP/RTU to field devices; our
+// Frontend driver does the same against simulated RTUs. Only the function
+// codes the SCADA path needs are implemented: read holding registers (0x03),
+// write single register (0x06) and write multiple registers (0x10), plus
+// exception responses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/serialization.h"
+
+namespace ss::rtu {
+
+enum class FunctionCode : std::uint8_t {
+  kReadHoldingRegisters = 0x03,
+  kWriteSingleRegister = 0x06,
+  kWriteMultipleRegisters = 0x10,
+};
+
+enum class ModbusException : std::uint8_t {
+  kNone = 0,
+  kIllegalFunction = 0x01,
+  kIllegalDataAddress = 0x02,
+  kIllegalDataValue = 0x03,
+  kServerDeviceFailure = 0x04,
+};
+
+struct ModbusRequest {
+  std::uint16_t transaction = 0;
+  std::uint8_t unit = 0;
+  FunctionCode function = FunctionCode::kReadHoldingRegisters;
+  std::uint16_t address = 0;
+  std::uint16_t count = 0;                 ///< read / write-multiple
+  std::vector<std::uint16_t> values;       ///< write payloads
+
+  Bytes encode() const;
+  static ModbusRequest decode(ByteView data);  // throws DecodeError
+};
+
+struct ModbusResponse {
+  std::uint16_t transaction = 0;
+  std::uint8_t unit = 0;
+  FunctionCode function = FunctionCode::kReadHoldingRegisters;
+  ModbusException exception = ModbusException::kNone;
+  std::vector<std::uint16_t> values;  ///< read results
+  std::uint16_t address = 0;          ///< echoed on writes
+  std::uint16_t count = 0;
+
+  bool ok() const { return exception == ModbusException::kNone; }
+
+  Bytes encode() const;
+  static ModbusResponse decode(ByteView data);  // throws DecodeError
+};
+
+}  // namespace ss::rtu

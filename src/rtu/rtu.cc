@@ -1,0 +1,136 @@
+#include "rtu/rtu.h"
+
+namespace ss::rtu {
+
+Rtu::Rtu(sim::Network& net, std::string endpoint, RtuOptions options)
+    : net_(net),
+      endpoint_(std::move(endpoint)),
+      opt_(options),
+      rng_(options.seed) {
+  net_.attach(endpoint_, [this](sim::Message m) { on_message(std::move(m)); });
+}
+
+Rtu::~Rtu() { net_.detach(endpoint_); }
+
+void Rtu::add_sensor(std::uint16_t reg, std::unique_ptr<Signal> signal,
+                     RegisterScaling scaling) {
+  sensors_[reg] = Sensor{std::move(signal), scaling};
+  registers_[reg] = 0;
+}
+
+void Rtu::add_actuator(std::uint16_t reg, std::uint16_t initial) {
+  actuators_[reg] = true;
+  registers_[reg] = initial;
+}
+
+std::uint16_t Rtu::register_value(std::uint16_t reg) const {
+  auto it = registers_.find(reg);
+  return it == registers_.end() ? 0 : it->second;
+}
+
+void Rtu::start() {
+  if (started_) return;
+  started_ = true;
+  sample_tick();
+}
+
+void Rtu::sample_tick() {
+  SimTime now = net_.loop().now();
+  for (auto& [reg, sensor] : sensors_) {
+    double value = sensor.signal->sample(now, rng_);
+    registers_[reg] = sensor.scaling.to_raw(value);
+  }
+  net_.loop().schedule(opt_.sample_period, [this] { sample_tick(); });
+}
+
+void Rtu::on_message(sim::Message msg) {
+  if (swallow_ > 0) {
+    --swallow_;
+    return;
+  }
+  ModbusRequest req;
+  try {
+    req = ModbusRequest::decode(msg.payload);
+  } catch (const DecodeError&) {
+    return;
+  }
+  ModbusResponse rsp = process(req);
+  net_.loop().schedule(opt_.respond_delay,
+                       [this, from = msg.from, rsp = std::move(rsp)] {
+                         net_.send(endpoint_, from, rsp.encode());
+                       });
+}
+
+ModbusResponse Rtu::process(const ModbusRequest& req) {
+  ModbusResponse rsp;
+  rsp.transaction = req.transaction;
+  rsp.unit = req.unit;
+  rsp.function = req.function;
+  rsp.address = req.address;
+
+  switch (req.function) {
+    case FunctionCode::kReadHoldingRegisters: {
+      if (req.count == 0 || req.count > 125) {
+        rsp.exception = ModbusException::kIllegalDataValue;
+        return rsp;
+      }
+      rsp.count = req.count;
+      for (std::uint16_t i = 0; i < req.count; ++i) {
+        auto it = registers_.find(req.address + i);
+        if (it == registers_.end()) {
+          rsp.exception = ModbusException::kIllegalDataAddress;
+          rsp.values.clear();
+          return rsp;
+        }
+        rsp.values.push_back(it->second);
+      }
+      return rsp;
+    }
+    case FunctionCode::kWriteSingleRegister: {
+      if (req.values.size() != 1) {
+        rsp.exception = ModbusException::kIllegalDataValue;
+        return rsp;
+      }
+      if (actuators_.count(req.address) == 0) {
+        rsp.exception = ModbusException::kIllegalDataAddress;
+        return rsp;
+      }
+      if (fail_writes_ > 0) {
+        --fail_writes_;
+        rsp.exception = ModbusException::kServerDeviceFailure;
+        return rsp;
+      }
+      registers_[req.address] = req.values[0];
+      ++writes_applied_;
+      rsp.count = 1;
+      return rsp;
+    }
+    case FunctionCode::kWriteMultipleRegisters: {
+      if (req.values.size() != req.count || req.count == 0) {
+        rsp.exception = ModbusException::kIllegalDataValue;
+        return rsp;
+      }
+      for (std::uint16_t i = 0; i < req.count; ++i) {
+        if (actuators_.count(req.address + i) == 0) {
+          rsp.exception = ModbusException::kIllegalDataAddress;
+          return rsp;
+        }
+      }
+      if (fail_writes_ > 0) {
+        --fail_writes_;
+        rsp.exception = ModbusException::kServerDeviceFailure;
+        return rsp;
+      }
+      for (std::uint16_t i = 0; i < req.count; ++i) {
+        registers_[req.address + i] = req.values[i];
+        ++writes_applied_;
+      }
+      rsp.count = req.count;
+      return rsp;
+    }
+  }
+  rsp.exception = ModbusException::kIllegalFunction;
+  return rsp;
+}
+
+}  // namespace ss::rtu

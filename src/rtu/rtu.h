@@ -1,0 +1,97 @@
+// A simulated Remote Terminal Unit.
+//
+// An RTU owns a bank of 16-bit holding registers. Sensor registers are
+// refreshed from Signal generators on a sampling tick; actuator registers
+// accept Modbus writes (optionally failing, to exercise the WriteResult
+// error and logical-timeout paths). The RTU answers Modbus frames on its
+// network endpoint.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "rtu/modbus.h"
+#include "rtu/sensors.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+
+namespace ss::rtu {
+
+struct RtuOptions {
+  SimTime sample_period = millis(100);  ///< sensor refresh cadence
+  SimTime respond_delay = micros(200);  ///< device processing time
+  std::uint64_t seed = 7;
+};
+
+/// Scaling between engineering values and raw 16-bit registers.
+struct RegisterScaling {
+  double scale = 1.0;   ///< raw = value / scale (engineering -> raw)
+  double offset = 0.0;  ///< raw = (value - offset) / scale
+
+  std::uint16_t to_raw(double value) const {
+    double raw = (value - offset) / scale;
+    return static_cast<std::uint16_t>(
+        std::clamp(raw, 0.0, 65535.0));
+  }
+  double to_engineering(std::uint16_t raw) const {
+    return static_cast<double>(raw) * scale + offset;
+  }
+};
+
+class Rtu {
+ public:
+  Rtu(sim::Network& net, std::string endpoint, RtuOptions options = {});
+  ~Rtu();
+
+  Rtu(const Rtu&) = delete;
+  Rtu& operator=(const Rtu&) = delete;
+
+  const std::string& endpoint() const { return endpoint_; }
+
+  /// Binds a sensor signal to a register; refreshed every sample period.
+  void add_sensor(std::uint16_t reg, std::unique_ptr<Signal> signal,
+                  RegisterScaling scaling = {});
+
+  /// Declares a writable actuator register.
+  void add_actuator(std::uint16_t reg, std::uint16_t initial = 0);
+
+  /// Makes the next `n` actuator writes fail with a device error.
+  void fail_next_writes(std::uint64_t n) { fail_writes_ = n; }
+  /// Silently swallows the next `n` requests (no response at all) — the
+  /// scenario the logical-timeout protocol protects against.
+  void swallow_next_requests(std::uint64_t n) { swallow_ = n; }
+
+  std::uint16_t register_value(std::uint16_t reg) const;
+
+  /// Starts the sensor sampling loop.
+  void start();
+
+  std::uint64_t writes_applied() const { return writes_applied_; }
+
+ private:
+  struct Sensor {
+    std::unique_ptr<Signal> signal;
+    RegisterScaling scaling;
+  };
+
+  void on_message(sim::Message msg);
+  ModbusResponse process(const ModbusRequest& req);
+  void sample_tick();
+
+  sim::Network& net_;
+  std::string endpoint_;
+  RtuOptions opt_;
+  Rng rng_;
+  std::map<std::uint16_t, std::uint16_t> registers_;
+  std::map<std::uint16_t, Sensor> sensors_;
+  std::map<std::uint16_t, bool> actuators_;
+  std::uint64_t fail_writes_ = 0;
+  std::uint64_t swallow_ = 0;
+  std::uint64_t writes_applied_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ss::rtu

@@ -1,0 +1,106 @@
+// Sensor signal generators for the simulated field.
+//
+// Each generator produces an engineering value as a function of virtual
+// time (plus seeded noise), standing in for the physical quantities the
+// paper's RTUs would sample: temperatures, pressures, levels, breaker
+// states.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace ss::rtu {
+
+class Signal {
+ public:
+  virtual ~Signal() = default;
+  virtual double sample(SimTime now, Rng& rng) = 0;
+};
+
+class ConstantSignal final : public Signal {
+ public:
+  explicit ConstantSignal(double value) : value_(value) {}
+  double sample(SimTime, Rng&) override { return value_; }
+
+ private:
+  double value_;
+};
+
+/// mean + amplitude * sin(2*pi*t/period) + noise
+class SineSignal final : public Signal {
+ public:
+  SineSignal(double mean, double amplitude, SimTime period,
+             double noise = 0.0)
+      : mean_(mean), amplitude_(amplitude), period_(period), noise_(noise) {}
+
+  double sample(SimTime now, Rng& rng) override {
+    double phase = 2.0 * M_PI * static_cast<double>(now % period_) /
+                   static_cast<double>(period_);
+    double noise = noise_ > 0 ? (rng.uniform() - 0.5) * 2.0 * noise_ : 0.0;
+    return mean_ + amplitude_ * std::sin(phase) + noise;
+  }
+
+ private:
+  double mean_;
+  double amplitude_;
+  SimTime period_;
+  double noise_;
+};
+
+/// Bounded random walk.
+class RandomWalkSignal final : public Signal {
+ public:
+  RandomWalkSignal(double start, double step, double min_value,
+                   double max_value)
+      : value_(start), step_(step), min_(min_value), max_(max_value) {}
+
+  double sample(SimTime, Rng& rng) override {
+    value_ += (rng.uniform() - 0.5) * 2.0 * step_;
+    value_ = std::clamp(value_, min_, max_);
+    return value_;
+  }
+
+ private:
+  double value_;
+  double step_;
+  double min_;
+  double max_;
+};
+
+/// Steps between low and high every half period (e.g. a breaker toggling).
+class SquareSignal final : public Signal {
+ public:
+  SquareSignal(double low, double high, SimTime period)
+      : low_(low), high_(high), period_(period) {}
+
+  double sample(SimTime now, Rng&) override {
+    return (now % period_) * 2 < period_ ? low_ : high_;
+  }
+
+ private:
+  double low_;
+  double high_;
+  SimTime period_;
+};
+
+/// Ramp from `start` at `rate` per second — useful to drive a Monitor
+/// handler past its threshold at a known time.
+class RampSignal final : public Signal {
+ public:
+  RampSignal(double start, double rate_per_sec)
+      : start_(start), rate_(rate_per_sec) {}
+
+  double sample(SimTime now, Rng&) override {
+    return start_ + rate_ * static_cast<double>(now) / kNanosPerSec;
+  }
+
+ private:
+  double start_;
+  double rate_;
+};
+
+}  // namespace ss::rtu

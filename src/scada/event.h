@@ -1,0 +1,77 @@
+// Alarm & Event records (the AE subsystem's data model).
+//
+// Events are created by handlers (e.g. Monitor when a value crosses its
+// threshold, Block when it denies a write) and persisted in EventStorage.
+// Their timestamp is the deterministic operation timestamp in replicated
+// mode — never the local OS clock (paper challenge (c)).
+#pragma once
+
+#include <string>
+
+#include "common/serialization.h"
+#include "common/types.h"
+#include "scada/variant.h"
+
+namespace ss::scada {
+
+enum class Severity : std::uint8_t {
+  kInfo = 0,
+  kWarning,
+  kAlarm,
+  kCritical,
+  kMax = kCritical,
+};
+
+inline const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kAlarm:
+      return "alarm";
+    case Severity::kCritical:
+      return "critical";
+  }
+  return "?";
+}
+
+struct Event {
+  EventId id;          ///< storage sequence number, assigned on append
+  ItemId item;
+  Severity severity = Severity::kInfo;
+  std::string code;    ///< machine-readable, e.g. "MONITOR_HIGH"
+  std::string message; ///< human-readable reason
+  Variant value;       ///< item value that triggered the event
+  SimTime timestamp = 0;
+  OpId op;             ///< operation that produced the event
+
+  void encode(Writer& w) const {
+    w.id(id);
+    w.id(item);
+    w.enumeration(severity);
+    w.str(code);
+    w.str(message);
+    value.encode(w);
+    w.i64(timestamp);
+    w.id(op);
+  }
+
+  static Event decode(Reader& r) {
+    Event e;
+    e.id = r.id<EventId>();
+    e.item = r.id<ItemId>();
+    e.severity =
+        r.enumeration<Severity>(static_cast<std::uint64_t>(Severity::kMax));
+    e.code = r.str();
+    e.message = r.str();
+    e.value = Variant::decode(r);
+    e.timestamp = r.i64();
+    e.op = r.id<OpId>();
+    return e;
+  }
+
+  bool operator==(const Event&) const = default;
+};
+
+}  // namespace ss::scada

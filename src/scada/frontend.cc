@@ -1,0 +1,80 @@
+#include "scada/frontend.h"
+
+namespace ss::scada {
+
+Frontend::Frontend(FrontendOptions options) : opt_(options) {}
+
+ItemId Frontend::add_item(const std::string& name, Variant initial) {
+  ItemId id = registry_.register_item(name);
+  auto [it, inserted] = items_.try_emplace(id.value);
+  if (inserted) {
+    it->second.id = id;
+    it->second.name = name;
+    it->second.value = std::move(initial);
+    it->second.quality = Quality::kUncertain;
+  }
+  return id;
+}
+
+const Item* Frontend::item(ItemId id) const {
+  auto it = items_.find(id.value);
+  return it == items_.end() ? nullptr : &it->second;
+}
+
+OpId Frontend::next_op() {
+  return OpId{(static_cast<std::uint64_t>(opt_.instance_id) << 40) |
+              ++op_counter_};
+}
+
+void Frontend::field_update(ItemId item, Variant value, Quality quality,
+                            SimTime source_time) {
+  auto it = items_.find(item.value);
+  if (it == items_.end()) return;
+  it->second.value = value;
+  it->second.quality = quality;
+  it->second.timestamp = source_time;
+
+  ItemUpdate update;
+  update.ctx.op = next_op();
+  update.item = item;
+  update.value = std::move(value);
+  update.quality = quality;
+  update.source_time = source_time;
+  ++counters_.updates_sent;
+  if (master_sink_) master_sink_(ScadaMessage{std::move(update)});
+}
+
+void Frontend::handle(const ScadaMessage& msg) {
+  if (kind_of(msg) != ScadaMsgKind::kWriteValue) return;
+  const auto& write = std::get<WriteValue>(msg);
+  ++counters_.writes_received;
+
+  auto finish = [this, ctx = write.ctx, item = write.item,
+                 value = write.value](bool ok, std::string reason) {
+    auto it = items_.find(item.value);
+    if (ok && it != items_.end()) {
+      it->second.value = value;
+      it->second.quality = Quality::kGood;
+    }
+    WriteResult result;
+    result.ctx = ctx;
+    result.item = item;
+    result.status = ok ? WriteStatus::kOk : WriteStatus::kFailed;
+    result.reason = std::move(reason);
+    ++counters_.write_results_sent;
+    if (!ok) ++counters_.write_failures;
+    if (master_sink_) master_sink_(ScadaMessage{std::move(result)});
+  };
+
+  if (items_.count(write.item.value) == 0) {
+    finish(false, "unknown item at frontend");
+    return;
+  }
+  if (field_writer_) {
+    field_writer_(write.item, write.value, finish);
+  } else {
+    finish(true, "");
+  }
+}
+
+}  // namespace ss::scada

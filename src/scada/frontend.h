@@ -1,0 +1,77 @@
+// The Frontend: protocol translator between RTUs and the SCADA Master
+// (paper §II-A). It owns the authoritative items backed by field devices,
+// originates ItemUpdate traffic toward the Master, and executes WriteValue
+// commands against the field, answering with WriteResult.
+//
+// Transport-agnostic like ScadaMaster: the deployment wires master_sink to
+// the network (baseline) or to the ProxyFrontend's BFT client (replicated).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "scada/item.h"
+#include "scada/messages.h"
+
+namespace ss::scada {
+
+struct FrontendOptions {
+  /// Disambiguates OpIds minted by different components (Frontend updates
+  /// vs HMI writes must never collide).
+  std::uint32_t instance_id = 1;
+};
+
+struct FrontendCounters {
+  std::uint64_t updates_sent = 0;
+  std::uint64_t writes_received = 0;
+  std::uint64_t write_results_sent = 0;
+  std::uint64_t write_failures = 0;
+};
+
+class Frontend {
+ public:
+  using MasterSink = std::function<void(const ScadaMessage&)>;
+  /// Applies a write to the field device; `done(ok, reason)` may fire
+  /// asynchronously (an RTU round-trip) or never (a dropped reply — which
+  /// is exactly what the logical-timeout protocol exists for).
+  using FieldWriter =
+      std::function<void(ItemId item, const Variant& value,
+                         std::function<void(bool ok, std::string reason)>)>;
+
+  explicit Frontend(FrontendOptions options = {});
+
+  // --- configuration ------------------------------------------------------
+  ItemId add_item(const std::string& name, Variant initial = {});
+  void set_master_sink(MasterSink sink) { master_sink_ = std::move(sink); }
+  /// Without a field writer, writes apply locally and succeed immediately.
+  void set_field_writer(FieldWriter writer) {
+    field_writer_ = std::move(writer);
+  }
+
+  // --- field side ----------------------------------------------------------
+  /// A device reported a new value: update the item, notify the Master.
+  void field_update(ItemId item, Variant value,
+                    Quality quality = Quality::kGood, SimTime source_time = 0);
+
+  // --- master side ---------------------------------------------------------
+  /// Handles a message from the Master (WriteValue).
+  void handle(const ScadaMessage& msg);
+
+  const Item* item(ItemId id) const;
+  ItemRegistry& registry() { return registry_; }
+  const FrontendCounters& counters() const { return counters_; }
+
+ private:
+  OpId next_op();
+
+  FrontendOptions opt_;
+  ItemRegistry registry_;
+  std::map<std::uint32_t, Item> items_;
+  std::uint64_t op_counter_ = 0;
+  MasterSink master_sink_;
+  FieldWriter field_writer_;
+  FrontendCounters counters_;
+};
+
+}  // namespace ss::scada

@@ -1,0 +1,240 @@
+#include "scada/handlers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ss::scada {
+
+UpdateAction Handler::on_update(const HandlerContext&, Variant&,
+                                std::vector<Event>&) {
+  return UpdateAction::kContinue;
+}
+
+bool Handler::on_write(const HandlerContext&, const Variant&,
+                       std::vector<Event>&, std::string&) {
+  return true;
+}
+
+void Handler::on_write_result(const HandlerContext&, bool,
+                              std::vector<Event>&) {}
+
+void Handler::encode_state(Writer&) const {}
+void Handler::decode_state(Reader&) {}
+
+// --------------------------------------------------------------------------
+
+UpdateAction ScaleHandler::on_update(const HandlerContext&, Variant& value,
+                                     std::vector<Event>&) {
+  if (value.is_numeric()) {
+    value = Variant{value.as_double() * factor_ + offset_};
+  }
+  return UpdateAction::kContinue;
+}
+
+// --------------------------------------------------------------------------
+
+UpdateAction OverrideHandler::on_update(const HandlerContext& ctx,
+                                        Variant& value,
+                                        std::vector<Event>& events) {
+  if (!active_) return UpdateAction::kContinue;
+  if (value == override_value_) return UpdateAction::kContinue;
+  value = override_value_;
+  Event e;
+  e.item = ctx.item;
+  e.severity = Severity::kInfo;
+  e.code = "OVERRIDE_APPLIED";
+  e.message = "value overridden on item " + ctx.item_name;
+  e.value = value;
+  e.timestamp = ctx.timestamp;
+  e.op = ctx.op;
+  events.push_back(std::move(e));
+  return UpdateAction::kContinue;
+}
+
+void OverrideHandler::encode_state(Writer& w) const {
+  w.boolean(active_);
+  override_value_.encode(w);
+}
+
+void OverrideHandler::decode_state(Reader& r) {
+  active_ = r.boolean();
+  override_value_ = Variant::decode(r);
+}
+
+// --------------------------------------------------------------------------
+
+bool MonitorHandler::matches(const Variant& value) const {
+  if (!value.is_numeric()) return false;
+  double v = value.as_double();
+  switch (condition_) {
+    case Condition::kAbove:
+      return v > threshold_;
+    case Condition::kBelow:
+      return v < threshold_;
+    case Condition::kEquals:
+      return v == threshold_;
+  }
+  return false;
+}
+
+UpdateAction MonitorHandler::on_update(const HandlerContext& ctx,
+                                       Variant& value,
+                                       std::vector<Event>& events) {
+  bool active = matches(value);
+  bool fire = edge_triggered_ ? (active && !was_active_) : active;
+  was_active_ = active;
+  if (fire) {
+    ++triggers_;
+    Event e;
+    e.item = ctx.item;
+    e.severity = severity_;
+    e.code = "MONITOR_TRIGGER";
+    e.message = "monitor condition met on item " + ctx.item_name;
+    e.value = value;
+    e.timestamp = ctx.timestamp;
+    e.op = ctx.op;
+    events.push_back(std::move(e));
+  }
+  return UpdateAction::kContinue;
+}
+
+void MonitorHandler::encode_state(Writer& w) const {
+  w.boolean(was_active_);
+  w.varint(triggers_);
+}
+
+void MonitorHandler::decode_state(Reader& r) {
+  was_active_ = r.boolean();
+  triggers_ = r.varint();
+}
+
+// --------------------------------------------------------------------------
+
+bool BlockHandler::on_write(const HandlerContext& ctx,
+                            const Variant& requested,
+                            std::vector<Event>& events, std::string& reason) {
+  auto deny = [&](std::string why) {
+    reason = std::move(why);
+    Event e;
+    e.item = ctx.item;
+    e.severity = Severity::kWarning;
+    e.code = "WRITE_DENIED";
+    e.message = reason;
+    e.value = requested;
+    e.timestamp = ctx.timestamp;
+    e.op = ctx.op;
+    events.push_back(std::move(e));
+    return false;
+  };
+
+  if (blocked_) {
+    return deny("write blocked on item " + ctx.item_name + ": " +
+                (block_reason_.empty() ? "operator lock" : block_reason_));
+  }
+  if (has_range_ && requested.is_numeric()) {
+    double v = requested.as_double();
+    if (v < min_ || v > max_) {
+      return deny("write out of range on item " + ctx.item_name);
+    }
+  }
+  return true;
+}
+
+void BlockHandler::encode_state(Writer& w) const {
+  w.boolean(blocked_);
+  w.str(block_reason_);
+}
+
+void BlockHandler::decode_state(Reader& r) {
+  blocked_ = r.boolean();
+  block_reason_ = r.str();
+}
+
+// --------------------------------------------------------------------------
+
+UpdateAction DeadbandHandler::on_update(const HandlerContext&, Variant& value,
+                                        std::vector<Event>&) {
+  if (!value.is_numeric()) return UpdateAction::kContinue;
+  double v = value.as_double();
+  if (has_last_ && std::abs(v - last_) < delta_) {
+    return UpdateAction::kSuppress;
+  }
+  has_last_ = true;
+  last_ = v;
+  return UpdateAction::kContinue;
+}
+
+void DeadbandHandler::encode_state(Writer& w) const {
+  w.boolean(has_last_);
+  w.f64(last_);
+}
+
+void DeadbandHandler::decode_state(Reader& r) {
+  has_last_ = r.boolean();
+  last_ = r.f64();
+}
+
+// --------------------------------------------------------------------------
+
+UpdateAction ClampHandler::on_update(const HandlerContext& ctx, Variant& value,
+                                     std::vector<Event>& events) {
+  if (!value.is_numeric()) return UpdateAction::kContinue;
+  double v = value.as_double();
+  double clamped = std::clamp(v, min_, max_);
+  if (clamped != v) {
+    value = Variant{clamped};
+    Event e;
+    e.item = ctx.item;
+    e.severity = Severity::kWarning;
+    e.code = "VALUE_CLAMPED";
+    e.message = "value clamped on item " + ctx.item_name;
+    e.value = value;
+    e.timestamp = ctx.timestamp;
+    e.op = ctx.op;
+    events.push_back(std::move(e));
+  }
+  return UpdateAction::kContinue;
+}
+
+// --------------------------------------------------------------------------
+
+UpdateAction HandlerChain::run_update(const HandlerContext& ctx,
+                                      Variant& value,
+                                      std::vector<Event>& events) const {
+  for (const auto& handler : handlers_) {
+    if (handler->on_update(ctx, value, events) == UpdateAction::kSuppress) {
+      return UpdateAction::kSuppress;
+    }
+  }
+  return UpdateAction::kContinue;
+}
+
+bool HandlerChain::run_write(const HandlerContext& ctx,
+                             const Variant& requested,
+                             std::vector<Event>& events,
+                             std::string& reason) const {
+  for (const auto& handler : handlers_) {
+    if (!handler->on_write(ctx, requested, events, reason)) return false;
+  }
+  return true;
+}
+
+void HandlerChain::run_write_result(const HandlerContext& ctx, bool success,
+                                    std::vector<Event>& events) const {
+  for (const auto& handler : handlers_) {
+    handler->on_write_result(ctx, success, events);
+  }
+}
+
+void HandlerChain::encode_state(Writer& w) const {
+  w.varint(handlers_.size());
+  for (const auto& handler : handlers_) handler->encode_state(w);
+}
+
+void HandlerChain::decode_state(Reader& r) {
+  std::uint64_t n = r.varint();
+  if (n != handlers_.size()) throw DecodeError("handler chain mismatch");
+  for (const auto& handler : handlers_) handler->decode_state(r);
+}
+
+}  // namespace ss::scada

@@ -1,0 +1,227 @@
+// Item handlers (NeoSCADA's default handler set, §II-A of the paper).
+//
+// Handlers are attached to a Master item and process its data: Scale scales
+// values, Override replaces them, Monitor raises alarm events past a
+// threshold, Block gates write operations. Deadband and Clamp demonstrate
+// the "others can be added" extension point. Handlers may keep state (e.g.
+// Monitor's edge detection), which therefore participates in the replica
+// snapshot — encode_state/decode_state must round-trip deterministically.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/serialization.h"
+#include "common/types.h"
+#include "scada/event.h"
+#include "scada/variant.h"
+
+namespace ss::scada {
+
+/// What the master knows about the operation being processed; timestamp is
+/// the deterministic one in replicated mode.
+struct HandlerContext {
+  ItemId item;
+  std::string item_name;
+  SimTime timestamp = 0;
+  OpId op;
+};
+
+/// Outcome of running a value through a handler.
+enum class UpdateAction : std::uint8_t {
+  kContinue,  ///< pass the (possibly modified) value down the chain
+  kSuppress,  ///< drop the update entirely (e.g. inside a deadband)
+};
+
+class Handler {
+ public:
+  virtual ~Handler() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Processes an incoming value update. May modify `value` and append
+  /// events. Returning kSuppress stops the chain and drops the update.
+  virtual UpdateAction on_update(const HandlerContext& ctx, Variant& value,
+                                 std::vector<Event>& events);
+
+  /// Gates a write request. Returning false denies the write; `reason`
+  /// then explains why (it travels back to the operator, and an event with
+  /// the reason is recorded — paper §II-B).
+  virtual bool on_write(const HandlerContext& ctx, const Variant& requested,
+                        std::vector<Event>& events, std::string& reason);
+
+  /// Observes the completion of a write operation.
+  virtual void on_write_result(const HandlerContext& ctx, bool success,
+                               std::vector<Event>& events);
+
+  /// Handler-local state, included in replica snapshots.
+  virtual void encode_state(Writer& w) const;
+  virtual void decode_state(Reader& r);
+};
+
+/// value' = value * factor + offset (numeric values only).
+class ScaleHandler final : public Handler {
+ public:
+  ScaleHandler(double factor, double offset)
+      : factor_(factor), offset_(offset) {}
+  std::string_view name() const override { return "Scale"; }
+  UpdateAction on_update(const HandlerContext& ctx, Variant& value,
+                         std::vector<Event>& events) override;
+
+ private:
+  double factor_;
+  double offset_;
+};
+
+/// Replaces the incoming value with a fixed one while active.
+class OverrideHandler final : public Handler {
+ public:
+  explicit OverrideHandler(Variant value, bool active = false)
+      : override_value_(std::move(value)), active_(active) {}
+  std::string_view name() const override { return "Override"; }
+
+  void set_active(bool active) { active_ = active; }
+  bool active() const { return active_; }
+
+  UpdateAction on_update(const HandlerContext& ctx, Variant& value,
+                         std::vector<Event>& events) override;
+  void encode_state(Writer& w) const override;
+  void decode_state(Reader& r) override;
+
+ private:
+  Variant override_value_;
+  bool active_;
+};
+
+/// Raises an alarm event when the value satisfies the condition.
+class MonitorHandler final : public Handler {
+ public:
+  enum class Condition : std::uint8_t { kAbove = 0, kBelow, kEquals };
+
+  MonitorHandler(Condition condition, double threshold,
+                 Severity severity = Severity::kAlarm,
+                 bool edge_triggered = false)
+      : condition_(condition),
+        threshold_(threshold),
+        severity_(severity),
+        edge_triggered_(edge_triggered) {}
+  std::string_view name() const override { return "Monitor"; }
+
+  UpdateAction on_update(const HandlerContext& ctx, Variant& value,
+                         std::vector<Event>& events) override;
+  void encode_state(Writer& w) const override;
+  void decode_state(Reader& r) override;
+
+  std::uint64_t triggers() const { return triggers_; }
+
+ private:
+  bool matches(const Variant& value) const;
+
+  Condition condition_;
+  double threshold_;
+  Severity severity_;
+  bool edge_triggered_;
+  bool was_active_ = false;
+  std::uint64_t triggers_ = 0;
+};
+
+/// Gates writes: denies while blocked, and optionally enforces a value
+/// range. A denied write produces an event carrying the reason.
+class BlockHandler final : public Handler {
+ public:
+  BlockHandler() = default;
+  BlockHandler(double min_value, double max_value)
+      : has_range_(true), min_(min_value), max_(max_value) {}
+  std::string_view name() const override { return "Block"; }
+
+  void block(std::string reason) {
+    blocked_ = true;
+    block_reason_ = std::move(reason);
+  }
+  void unblock() {
+    blocked_ = false;
+    block_reason_.clear();
+  }
+  bool blocked() const { return blocked_; }
+
+  bool on_write(const HandlerContext& ctx, const Variant& requested,
+                std::vector<Event>& events, std::string& reason) override;
+  void encode_state(Writer& w) const override;
+  void decode_state(Reader& r) override;
+
+ private:
+  bool blocked_ = false;
+  std::string block_reason_;
+  bool has_range_ = false;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Suppresses updates that moved less than `delta` from the last reported
+/// value (classic telemetry deadband).
+class DeadbandHandler final : public Handler {
+ public:
+  explicit DeadbandHandler(double delta) : delta_(delta) {}
+  std::string_view name() const override { return "Deadband"; }
+
+  UpdateAction on_update(const HandlerContext& ctx, Variant& value,
+                         std::vector<Event>& events) override;
+  void encode_state(Writer& w) const override;
+  void decode_state(Reader& r) override;
+
+ private:
+  double delta_;
+  bool has_last_ = false;
+  double last_ = 0;
+};
+
+/// Clamps numeric values into [min, max], raising a warning when it clips.
+class ClampHandler final : public Handler {
+ public:
+  ClampHandler(double min_value, double max_value)
+      : min_(min_value), max_(max_value) {}
+  std::string_view name() const override { return "Clamp"; }
+
+  UpdateAction on_update(const HandlerContext& ctx, Variant& value,
+                         std::vector<Event>& events) override;
+
+ private:
+  double min_;
+  double max_;
+};
+
+/// An ordered pipeline of handlers attached to one item.
+class HandlerChain {
+ public:
+  /// Appends a handler; returns a non-owning pointer for configuration.
+  template <typename H, typename... Args>
+  H* emplace(Args&&... args) {
+    auto handler = std::make_unique<H>(std::forward<Args>(args)...);
+    H* raw = handler.get();
+    handlers_.push_back(std::move(handler));
+    return raw;
+  }
+
+  bool empty() const { return handlers_.empty(); }
+  std::size_t size() const { return handlers_.size(); }
+
+  /// Runs the update pipeline; kSuppress from any handler stops it.
+  UpdateAction run_update(const HandlerContext& ctx, Variant& value,
+                          std::vector<Event>& events) const;
+
+  /// Runs the write gate; the first denial wins.
+  bool run_write(const HandlerContext& ctx, const Variant& requested,
+                 std::vector<Event>& events, std::string& reason) const;
+
+  void run_write_result(const HandlerContext& ctx, bool success,
+                        std::vector<Event>& events) const;
+
+  void encode_state(Writer& w) const;
+  void decode_state(Reader& r);
+
+ private:
+  std::vector<std::unique_ptr<Handler>> handlers_;
+};
+
+}  // namespace ss::scada

@@ -1,0 +1,91 @@
+#include "scada/historian.h"
+
+#include <algorithm>
+
+namespace ss::scada {
+
+void Historian::record(ItemId item, SimTime timestamp, const Variant& value,
+                       Quality quality) {
+  auto& samples = series_[item.value];
+  samples.push_back(Sample{timestamp, value, quality});
+  ++total_;
+  if (samples.size() > capacity_) samples.pop_front();
+}
+
+std::vector<Sample> Historian::range(ItemId item, SimTime from,
+                                     SimTime to) const {
+  std::vector<Sample> out;
+  auto it = series_.find(item.value);
+  if (it == series_.end()) return out;
+  for (const Sample& sample : it->second) {
+    if (sample.timestamp >= from && sample.timestamp <= to) {
+      out.push_back(sample);
+    }
+  }
+  return out;
+}
+
+std::vector<Sample> Historian::tail(ItemId item, std::size_t n) const {
+  std::vector<Sample> out;
+  auto it = series_.find(item.value);
+  if (it == series_.end()) return out;
+  const auto& samples = it->second;
+  std::size_t start = samples.size() > n ? samples.size() - n : 0;
+  out.assign(samples.begin() + static_cast<std::ptrdiff_t>(start),
+             samples.end());
+  return out;
+}
+
+std::optional<Sample> Historian::latest(ItemId item) const {
+  auto it = series_.find(item.value);
+  if (it == series_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+Aggregate Historian::aggregate(ItemId item, SimTime from, SimTime to) const {
+  Aggregate agg;
+  double sum = 0;
+  auto it = series_.find(item.value);
+  if (it == series_.end()) return agg;
+  for (const Sample& sample : it->second) {
+    if (sample.timestamp < from || sample.timestamp > to) continue;
+    if (!sample.value.is_numeric()) continue;
+    double v = sample.value.as_double();
+    if (agg.count == 0) {
+      agg.min = agg.max = v;
+    } else {
+      agg.min = std::min(agg.min, v);
+      agg.max = std::max(agg.max, v);
+    }
+    sum += v;
+    ++agg.count;
+  }
+  if (agg.count > 0) agg.mean = sum / static_cast<double>(agg.count);
+  return agg;
+}
+
+void Historian::encode(Writer& w) const {
+  w.varint(total_);
+  w.varint(series_.size());
+  for (const auto& [item, samples] : series_) {
+    w.varint(item);
+    w.varint(samples.size());
+    for (const Sample& sample : samples) sample.encode(w);
+  }
+}
+
+void Historian::decode(Reader& r) {
+  total_ = r.varint();
+  series_.clear();
+  std::uint64_t n_items = r.varint();
+  for (std::uint64_t i = 0; i < n_items; ++i) {
+    std::uint32_t item = static_cast<std::uint32_t>(r.varint());
+    std::uint64_t n_samples = r.varint();
+    auto& samples = series_[item];
+    for (std::uint64_t j = 0; j < n_samples; ++j) {
+      samples.push_back(Sample::decode(r));
+    }
+  }
+}
+
+}  // namespace ss::scada

@@ -1,0 +1,83 @@
+// Value archive (historian): time-series storage of item values.
+//
+// Eclipse NeoSCADA ships a value-archive component next to the event
+// storage; operators use it for trend displays. Ours records every accepted
+// item update (bounded ring per item), serves range / tail / aggregate
+// queries, and participates in replica snapshots — in SMaRt-SCADA the
+// archive contents must be byte-identical across replicas, which only works
+// because samples are stamped with the deterministic operation timestamps.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/serialization.h"
+#include "common/types.h"
+#include "scada/item.h"
+#include "scada/variant.h"
+
+namespace ss::scada {
+
+struct Sample {
+  SimTime timestamp = 0;
+  Variant value;
+  Quality quality = Quality::kGood;
+
+  void encode(Writer& w) const {
+    w.i64(timestamp);
+    value.encode(w);
+    w.enumeration(quality);
+  }
+  static Sample decode(Reader& r) {
+    Sample s;
+    s.timestamp = r.i64();
+    s.value = Variant::decode(r);
+    s.quality =
+        r.enumeration<Quality>(static_cast<std::uint64_t>(Quality::kMax));
+    return s;
+  }
+  bool operator==(const Sample&) const = default;
+};
+
+/// min/max/mean/count over a time range (numeric samples only).
+struct Aggregate {
+  std::uint64_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+};
+
+class Historian {
+ public:
+  /// Keeps at most `samples_per_item` recent samples per item (0 = 4096).
+  explicit Historian(std::size_t samples_per_item = 4096)
+      : capacity_(samples_per_item == 0 ? 4096 : samples_per_item) {}
+
+  void record(ItemId item, SimTime timestamp, const Variant& value,
+              Quality quality);
+
+  /// Samples with timestamp in [from, to], oldest first.
+  std::vector<Sample> range(ItemId item, SimTime from, SimTime to) const;
+
+  /// The most recent `n` samples, oldest first.
+  std::vector<Sample> tail(ItemId item, std::size_t n) const;
+
+  std::optional<Sample> latest(ItemId item) const;
+
+  Aggregate aggregate(ItemId item, SimTime from, SimTime to) const;
+
+  std::uint64_t total_samples() const { return total_; }
+  std::size_t items_tracked() const { return series_.size(); }
+
+  void encode(Writer& w) const;
+  void decode(Reader& r);
+
+ private:
+  std::size_t capacity_;
+  std::map<std::uint32_t, std::deque<Sample>> series_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ss::scada

@@ -1,0 +1,91 @@
+#include "scada/hmi.h"
+
+namespace ss::scada {
+
+Hmi::Hmi(HmiOptions options) : opt_(std::move(options)) {}
+
+OpId Hmi::next_op() {
+  return OpId{(static_cast<std::uint64_t>(opt_.instance_id) << 40) |
+              ++op_counter_};
+}
+
+void Hmi::subscribe_all() {
+  subscribe(Channel::kDa, ItemId{0});
+  subscribe(Channel::kAe, ItemId{0});
+}
+
+void Hmi::subscribe(Channel channel, ItemId item) {
+  Subscribe msg;
+  msg.channel = channel;
+  msg.item = item;
+  msg.subscriber = opt_.subscriber_name;
+  if (master_sink_) master_sink_(ScadaMessage{std::move(msg)});
+}
+
+OpId Hmi::write(ItemId item, Variant value, WriteCallback on_result) {
+  OpId op = next_op();
+  ++counters_.writes_issued;
+  pending_[op.value] = std::move(on_result);
+
+  WriteValue msg;
+  msg.ctx.op = op;
+  msg.item = item;
+  msg.value = std::move(value);
+  if (master_sink_) master_sink_(ScadaMessage{std::move(msg)});
+  return op;
+}
+
+void Hmi::handle(const ScadaMessage& msg) {
+  switch (kind_of(msg)) {
+    case ScadaMsgKind::kItemUpdate: {
+      const auto& update = std::get<ItemUpdate>(msg);
+      ++counters_.updates_received;
+      Item& mirror = mirror_[update.item.value];
+      mirror.id = update.item;
+      mirror.value = update.value;
+      mirror.quality = update.quality;
+      mirror.timestamp = update.ctx.timestamp;
+      if (on_update_) on_update_(update);
+      break;
+    }
+    case ScadaMsgKind::kEventUpdate: {
+      const auto& event = std::get<EventUpdate>(msg);
+      ++counters_.events_received;
+      event_log_.push_back(event.event);
+      if (on_event_) on_event_(event);
+      break;
+    }
+    case ScadaMsgKind::kWriteResult: {
+      const auto& result = std::get<WriteResult>(msg);
+      auto it = pending_.find(result.ctx.op.value);
+      if (it == pending_.end()) return;  // duplicate result
+      WriteCallback callback = std::move(it->second);
+      pending_.erase(it);
+      switch (result.status) {
+        case WriteStatus::kOk:
+          ++counters_.writes_ok;
+          break;
+        case WriteStatus::kDenied:
+          ++counters_.writes_denied;
+          break;
+        case WriteStatus::kTimeout:
+          ++counters_.writes_timeout;
+          break;
+        case WriteStatus::kFailed:
+          ++counters_.writes_failed;
+          break;
+      }
+      if (callback) callback(result);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+const Item* Hmi::item(ItemId id) const {
+  auto it = mirror_.find(id.value);
+  return it == mirror_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ss::scada

@@ -1,0 +1,82 @@
+// The HMI: the operator's window into the system (paper §II-A). It mirrors
+// subscribed items, collects alarm events, and issues write commands whose
+// WriteResult it awaits synchronously (the paper's Write-value use case).
+//
+// Transport-agnostic; the deployment wires master_sink to the network
+// (baseline) or to the ProxyHMI (replicated). Either way the HMI is unaware
+// of replication — it just sees DA/AE traffic (paper §IV-C).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scada/event.h"
+#include "scada/item.h"
+#include "scada/messages.h"
+
+namespace ss::scada {
+
+struct HmiOptions {
+  std::uint32_t instance_id = 2;  ///< OpId namespace (see FrontendOptions)
+  std::string subscriber_name = "hmi";
+};
+
+struct HmiCounters {
+  std::uint64_t updates_received = 0;
+  std::uint64_t events_received = 0;
+  std::uint64_t writes_issued = 0;
+  std::uint64_t writes_ok = 0;
+  std::uint64_t writes_denied = 0;
+  std::uint64_t writes_timeout = 0;
+  std::uint64_t writes_failed = 0;
+};
+
+class Hmi {
+ public:
+  using MasterSink = std::function<void(const ScadaMessage&)>;
+  using WriteCallback = std::function<void(const WriteResult&)>;
+  using UpdateCallback = std::function<void(const ItemUpdate&)>;
+  using EventCallback = std::function<void(const EventUpdate&)>;
+
+  explicit Hmi(HmiOptions options = {});
+
+  void set_master_sink(MasterSink sink) { master_sink_ = std::move(sink); }
+  void set_update_callback(UpdateCallback cb) { on_update_ = std::move(cb); }
+  void set_event_callback(EventCallback cb) { on_event_ = std::move(cb); }
+
+  const std::string& subscriber_name() const { return opt_.subscriber_name; }
+
+  /// Subscribes to every item on both the DA and AE channels.
+  void subscribe_all();
+  void subscribe(Channel channel, ItemId item);
+
+  /// Issues a write; the callback fires when the WriteResult arrives.
+  OpId write(ItemId item, Variant value, WriteCallback on_result = {});
+
+  /// Handles a message pushed by the Master (ItemUpdate / EventUpdate /
+  /// WriteResult).
+  void handle(const ScadaMessage& msg);
+
+  /// Last known value of an item (mirror refreshed by ItemUpdate).
+  const Item* item(ItemId id) const;
+  const std::vector<Event>& event_log() const { return event_log_; }
+  const HmiCounters& counters() const { return counters_; }
+  std::size_t pending_writes() const { return pending_.size(); }
+
+ private:
+  OpId next_op();
+
+  HmiOptions opt_;
+  std::map<std::uint32_t, Item> mirror_;
+  std::vector<Event> event_log_;
+  std::map<std::uint64_t, WriteCallback> pending_;  // by op id
+  std::uint64_t op_counter_ = 0;
+  MasterSink master_sink_;
+  UpdateCallback on_update_;
+  EventCallback on_event_;
+  HmiCounters counters_;
+};
+
+}  // namespace ss::scada

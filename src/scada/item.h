@@ -1,0 +1,99 @@
+// SCADA items: the named data points that represent field devices.
+//
+// The Frontend holds the authoritative items (backed by RTU registers); the
+// SCADA Master and the HMI hold mirror items refreshed by ItemUpdate
+// messages (paper §II-A).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+#include "scada/variant.h"
+
+namespace ss::scada {
+
+/// OPC-style data quality attached to every value.
+enum class Quality : std::uint8_t {
+  kGood = 0,
+  kUncertain,
+  kBad,
+  kTimeout,  ///< value synthesized by the logical-timeout protocol
+  kMax = kTimeout,
+};
+
+inline const char* quality_name(Quality q) {
+  switch (q) {
+    case Quality::kGood:
+      return "good";
+    case Quality::kUncertain:
+      return "uncertain";
+    case Quality::kBad:
+      return "bad";
+    case Quality::kTimeout:
+      return "timeout";
+  }
+  return "?";
+}
+
+struct Item {
+  ItemId id;
+  std::string name;
+  Variant value;
+  Quality quality = Quality::kUncertain;
+  SimTime timestamp = 0;  ///< time of last value change
+
+  void encode(Writer& w) const {
+    w.id(id);
+    w.str(name);
+    value.encode(w);
+    w.enumeration(quality);
+    w.i64(timestamp);
+  }
+
+  static Item decode(Reader& r) {
+    Item item;
+    item.id = r.id<ItemId>();
+    item.name = r.str();
+    item.value = Variant::decode(r);
+    item.quality =
+        r.enumeration<Quality>(static_cast<std::uint64_t>(Quality::kMax));
+    item.timestamp = r.i64();
+    return item;
+  }
+};
+
+/// Name <-> id table. Items are registered once at configuration time; ids
+/// are dense and deterministic (registration order).
+class ItemRegistry {
+ public:
+  ItemId register_item(const std::string& name) {
+    auto it = by_name_.find(name);
+    if (it != by_name_.end()) return it->second;
+    ItemId id{next_++};
+    by_name_[name] = id;
+    names_[id.value] = name;
+    return id;
+  }
+
+  std::optional<ItemId> lookup(const std::string& name) const {
+    auto it = by_name_.find(name);
+    if (it == by_name_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  const std::string* name_of(ItemId id) const {
+    auto it = names_.find(id.value);
+    return it == names_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t size() const { return by_name_.size(); }
+
+ private:
+  std::uint32_t next_ = 1;
+  std::map<std::string, ItemId> by_name_;
+  std::map<std::uint32_t, std::string> names_;
+};
+
+}  // namespace ss::scada

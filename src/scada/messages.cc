@@ -1,0 +1,173 @@
+#include "scada/messages.h"
+
+namespace ss::scada {
+
+const char* scada_msg_kind_name(ScadaMsgKind kind) {
+  switch (kind) {
+    case ScadaMsgKind::kSubscribe:
+      return "Subscribe";
+    case ScadaMsgKind::kUnsubscribe:
+      return "Unsubscribe";
+    case ScadaMsgKind::kItemUpdate:
+      return "ItemUpdate";
+    case ScadaMsgKind::kWriteValue:
+      return "WriteValue";
+    case ScadaMsgKind::kWriteResult:
+      return "WriteResult";
+    case ScadaMsgKind::kEventUpdate:
+      return "EventUpdate";
+  }
+  return "?";
+}
+
+const char* write_status_name(WriteStatus status) {
+  switch (status) {
+    case WriteStatus::kOk:
+      return "ok";
+    case WriteStatus::kDenied:
+      return "denied";
+    case WriteStatus::kTimeout:
+      return "timeout";
+    case WriteStatus::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+ScadaMsgKind kind_of(const ScadaMessage& msg) {
+  return static_cast<ScadaMsgKind>(msg.index());
+}
+
+namespace {
+
+struct Encoder {
+  Writer& w;
+
+  void operator()(const Subscribe& m) {
+    w.enumeration(m.channel);
+    w.id(m.item);
+    w.str(m.subscriber);
+  }
+  void operator()(const Unsubscribe& m) {
+    w.enumeration(m.channel);
+    w.id(m.item);
+    w.str(m.subscriber);
+  }
+  void operator()(const ItemUpdate& m) {
+    m.ctx.encode(w);
+    w.id(m.item);
+    m.value.encode(w);
+    w.enumeration(m.quality);
+    w.i64(m.source_time);
+  }
+  void operator()(const WriteValue& m) {
+    m.ctx.encode(w);
+    w.id(m.item);
+    m.value.encode(w);
+  }
+  void operator()(const WriteResult& m) {
+    m.ctx.encode(w);
+    w.id(m.item);
+    w.enumeration(m.status);
+    w.str(m.reason);
+  }
+  void operator()(const EventUpdate& m) {
+    m.ctx.encode(w);
+    m.event.encode(w);
+  }
+};
+
+}  // namespace
+
+Bytes encode_message(const ScadaMessage& msg) {
+  Writer w(64);
+  w.enumeration(kind_of(msg));
+  std::visit(Encoder{w}, msg);
+  return std::move(w).take();
+}
+
+ScadaMessage decode_message(ByteView data) {
+  Reader r(data);
+  auto kind = r.enumeration<ScadaMsgKind>(
+      static_cast<std::uint64_t>(ScadaMsgKind::kMax));
+  ScadaMessage out;
+  switch (kind) {
+    case ScadaMsgKind::kSubscribe: {
+      Subscribe m;
+      m.channel = r.enumeration<Channel>(1);
+      m.item = r.id<ItemId>();
+      m.subscriber = r.str();
+      out = std::move(m);
+      break;
+    }
+    case ScadaMsgKind::kUnsubscribe: {
+      Unsubscribe m;
+      m.channel = r.enumeration<Channel>(1);
+      m.item = r.id<ItemId>();
+      m.subscriber = r.str();
+      out = std::move(m);
+      break;
+    }
+    case ScadaMsgKind::kItemUpdate: {
+      ItemUpdate m;
+      m.ctx = MsgContext::decode(r);
+      m.item = r.id<ItemId>();
+      m.value = Variant::decode(r);
+      m.quality =
+          r.enumeration<Quality>(static_cast<std::uint64_t>(Quality::kMax));
+      m.source_time = r.i64();
+      out = std::move(m);
+      break;
+    }
+    case ScadaMsgKind::kWriteValue: {
+      WriteValue m;
+      m.ctx = MsgContext::decode(r);
+      m.item = r.id<ItemId>();
+      m.value = Variant::decode(r);
+      out = std::move(m);
+      break;
+    }
+    case ScadaMsgKind::kWriteResult: {
+      WriteResult m;
+      m.ctx = MsgContext::decode(r);
+      m.item = r.id<ItemId>();
+      m.status = r.enumeration<WriteStatus>(
+          static_cast<std::uint64_t>(WriteStatus::kMax));
+      m.reason = r.str();
+      out = std::move(m);
+      break;
+    }
+    case ScadaMsgKind::kEventUpdate: {
+      EventUpdate m;
+      m.ctx = MsgContext::decode(r);
+      m.event = Event::decode(r);
+      out = std::move(m);
+      break;
+    }
+  }
+  r.expect_done();
+  return out;
+}
+
+crypto::Digest message_digest(const ScadaMessage& msg) {
+  return crypto::Sha256::hash(encode_message(msg));
+}
+
+namespace {
+
+struct ContextGetter {
+  MsgContext operator()(const Subscribe&) const { return {}; }
+  MsgContext operator()(const Unsubscribe&) const { return {}; }
+  MsgContext operator()(const ItemUpdate& m) const { return m.ctx; }
+  MsgContext operator()(const WriteValue& m) const { return m.ctx; }
+  MsgContext operator()(const WriteResult& m) const { return m.ctx; }
+  MsgContext operator()(const EventUpdate& m) const { return m.ctx; }
+};
+
+}  // namespace
+
+MsgContext context_of(const ScadaMessage& msg) {
+  return std::visit(ContextGetter{}, msg);
+}
+
+}  // namespace ss::scada

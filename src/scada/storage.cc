@@ -1,0 +1,60 @@
+#include "scada/storage.h"
+
+namespace ss::scada {
+
+const Event& EventStorage::append(Event event) {
+  event.id = EventId{appended_ + 1};
+  Writer w(96);
+  event.encode(w);
+
+  crypto::Sha256 hasher;
+  hasher.update(ByteView(chain_));
+  hasher.update(w.bytes());
+  chain_ = hasher.finish();
+
+  ++appended_;
+  events_.push_back(std::move(event));
+  if (retention_ > 0 && events_.size() > retention_) events_.pop_front();
+  return events_.back();
+}
+
+std::vector<Event> EventStorage::query_item(ItemId item) const {
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.item == item) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Event> EventStorage::query_severity(Severity floor) const {
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.severity >= floor) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Event> EventStorage::query_range(SimTime from, SimTime to) const {
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.timestamp >= from && e.timestamp <= to) out.push_back(e);
+  }
+  return out;
+}
+
+void EventStorage::encode(Writer& w) const {
+  w.varint(appended_);
+  w.raw(ByteView(chain_));
+  w.varint(events_.size());
+  for (const Event& e : events_) e.encode(w);
+}
+
+void EventStorage::decode(Reader& r) {
+  appended_ = r.varint();
+  for (auto& b : chain_) b = r.u8();
+  std::uint64_t n = r.varint();
+  events_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) events_.push_back(Event::decode(r));
+}
+
+}  // namespace ss::scada

@@ -1,0 +1,55 @@
+// Append-only event storage (NeoSCADA's internal storage component).
+//
+// Every event a handler raises is persisted here before the EventUpdate is
+// pushed to AE subscribers. The storage keeps a running chain digest so two
+// replicas can compare their entire event history in O(1) — the determinism
+// tests and checkpoint digests build on this.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/serialization.h"
+#include "crypto/sha256.h"
+#include "scada/event.h"
+
+namespace ss::scada {
+
+class EventStorage {
+ public:
+  /// `retention` bounds memory: older events are evicted (their effect stays
+  /// in the chain digest). 0 = unlimited.
+  explicit EventStorage(std::size_t retention = 0) : retention_(retention) {}
+
+  /// Assigns the next EventId, persists, extends the chain digest, and
+  /// returns a reference to the stored record.
+  const Event& append(Event event);
+
+  std::uint64_t size() const { return appended_; }
+  std::size_t resident() const { return events_.size(); }
+
+  /// Chain digest: H(prev_digest || encoded event), seeded with zeros.
+  const crypto::Digest& chain_digest() const { return chain_; }
+
+  /// Events for one item, newest last (resident window only).
+  std::vector<Event> query_item(ItemId item) const;
+
+  /// Events with severity >= floor (resident window only).
+  std::vector<Event> query_severity(Severity floor) const;
+
+  /// Events with timestamp in [from, to] (resident window only).
+  std::vector<Event> query_range(SimTime from, SimTime to) const;
+
+  const std::deque<Event>& all() const { return events_; }
+
+  void encode(Writer& w) const;
+  void decode(Reader& r);
+
+ private:
+  std::size_t retention_;
+  std::deque<Event> events_;
+  std::uint64_t appended_ = 0;
+  crypto::Digest chain_{};
+};
+
+}  // namespace ss::scada

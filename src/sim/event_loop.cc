@@ -1,0 +1,57 @@
+#include "sim/event_loop.h"
+
+#include <stdexcept>
+
+namespace ss::sim {
+
+TimerHandle EventLoop::schedule_at(SimTime when, Action action) {
+  if (when < now_) when = now_;
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{when, next_seq_++, std::move(action), alive});
+  return TimerHandle{std::move(alive)};
+}
+
+bool EventLoop::pop_and_run() {
+  if (queue_.empty()) return false;
+  if (executed_ >= budget_) {
+    throw std::runtime_error("EventLoop budget exhausted (message loop?)");
+  }
+  // priority_queue::top() is const; move out via const_cast is UB-free here
+  // because we pop immediately and Event's members are not const.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  if (*ev.alive) {
+    ++executed_;
+    ev.action();
+    return true;
+  }
+  return false;  // cancelled: consumed but not counted as executed
+}
+
+std::size_t EventLoop::run() {
+  std::size_t count = 0;
+  while (!queue_.empty()) {
+    if (pop_and_run()) ++count;
+  }
+  return count;
+}
+
+std::size_t EventLoop::run_until(SimTime deadline) {
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    if (pop_and_run()) ++count;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+std::size_t EventLoop::run_steps(std::size_t n) {
+  std::size_t count = 0;
+  while (count < n && !queue_.empty()) {
+    if (pop_and_run()) ++count;
+  }
+  return count;
+}
+
+}  // namespace ss::sim

@@ -1,0 +1,90 @@
+// Deterministic discrete-event simulation kernel.
+//
+// All SMaRt-SCADA components run on one EventLoop: network deliveries,
+// timers, and CPU service completions are events ordered by virtual time.
+// Ties are broken by insertion sequence number, so a run is a pure function
+// of (code, seeds) — the property the determinism tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ss::sim {
+
+/// Handle that allows cancelling a scheduled event (e.g. a retransmission
+/// timer that became moot). Cheap to copy; cancelling twice is a no-op.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+  bool active() const { return alive_ && *alive_; }
+
+ private:
+  friend class EventLoop;
+  explicit TimerHandle(std::shared_ptr<bool> alive)
+      : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class EventLoop {
+ public:
+  using Action = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` to run `delay` nanoseconds from now (delay >= 0).
+  TimerHandle schedule(SimTime delay, Action action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Schedules `action` at absolute virtual time `when` (>= now()).
+  TimerHandle schedule_at(SimTime when, Action action);
+
+  /// Runs events until the queue drains. Returns the number executed.
+  std::size_t run();
+
+  /// Runs events with time <= deadline; leaves later events queued and
+  /// advances now() to the deadline. Returns the number executed.
+  std::size_t run_until(SimTime deadline);
+
+  /// Runs at most `n` events (for incremental stepping in tests).
+  std::size_t run_steps(std::size_t n);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Safety valve: run()/run_until() throw std::runtime_error after this
+  /// many events, catching accidental infinite message loops in tests.
+  void set_event_budget(std::size_t budget) { budget_ = budget; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Action action;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+  std::size_t budget_ = SIZE_MAX;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace ss::sim

@@ -1,0 +1,70 @@
+#include "sim/network.h"
+
+namespace ss::sim {
+
+LinkPolicy* Network::find_policy(const std::string& from,
+                                 const std::string& to) {
+  auto it = policies_.find({from, to});
+  return it == policies_.end() ? nullptr : &it->second;
+}
+
+void Network::isolate(const std::string& node) { isolated_[node] = true; }
+
+void Network::heal(const std::string& node) { isolated_.erase(node); }
+
+void Network::deliver_after(SimTime delay, Message msg) {
+  loop_.schedule(delay, [this, msg = std::move(msg)]() mutable {
+    auto it = endpoints_.find(msg.to);
+    if (it == endpoints_.end()) return;  // crashed or never existed
+    ++stats_.delivered;
+    it->second(std::move(msg));
+  });
+}
+
+void Network::send(const std::string& from, const std::string& to,
+                   Bytes payload) {
+  ++stats_.sent;
+  stats_.bytes += payload.size();
+
+  if (isolated_.count(from) || isolated_.count(to)) {
+    ++stats_.dropped;
+    return;
+  }
+
+  SimTime delay =
+      hop_latency_ + static_cast<SimTime>(payload.size()) * ns_per_byte_;
+
+  if (LinkPolicy* p = find_policy(from, to)) {
+    if (p->cut) {
+      ++stats_.dropped;
+      return;
+    }
+    if (p->drop_first_n > 0) {
+      --p->drop_first_n;
+      ++stats_.dropped;
+      return;
+    }
+    if (p->drop_prob > 0 && rng_.chance(p->drop_prob)) {
+      ++stats_.dropped;
+      return;
+    }
+    if (p->corrupt_prob > 0 && !payload.empty() &&
+        rng_.chance(p->corrupt_prob)) {
+      payload[rng_.below(payload.size())] ^= 0xff;
+      ++stats_.corrupted;
+    }
+    delay += p->extra_delay;
+    if (p->jitter > 0) {
+      delay += static_cast<SimTime>(
+          rng_.below(static_cast<std::uint64_t>(p->jitter) + 1));
+    }
+    if (p->dup_prob > 0 && rng_.chance(p->dup_prob)) {
+      ++stats_.duplicated;
+      deliver_after(delay + 1, Message{from, to, payload});
+    }
+  }
+
+  deliver_after(delay, Message{from, to, std::move(payload)});
+}
+
+}  // namespace ss::sim

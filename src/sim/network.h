@@ -1,0 +1,127 @@
+// Simulated message-passing network with fault injection.
+//
+// Replaces the paper's Gigabit-Ethernet testbed. Endpoints are registered by
+// name; send() charges link latency plus a per-byte serialization-on-the-wire
+// cost, then schedules delivery on the EventLoop. Per-directed-link policies
+// inject the faults the Byzantine model allows an adversary on the network:
+// drops, duplication, corruption, extra delay, and partitions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/event_loop.h"
+
+namespace ss::sim {
+
+/// One delivered network message.
+struct Message {
+  std::string from;
+  std::string to;
+  Bytes payload;
+};
+
+/// Fault-injection policy for one directed link (or the global default).
+struct LinkPolicy {
+  double drop_prob = 0.0;       ///< i.i.d. drop probability
+  double dup_prob = 0.0;        ///< i.i.d. duplication probability
+  double corrupt_prob = 0.0;    ///< i.i.d. single-byte-flip probability
+  SimTime extra_delay = 0;      ///< fixed additional latency
+  SimTime jitter = 0;           ///< uniform random additional latency [0, jitter]
+  bool cut = false;             ///< hard partition: nothing gets through
+  std::uint64_t drop_first_n = 0;  ///< deterministically drop the next n sends
+
+  static LinkPolicy cut_link() {
+    LinkPolicy p;
+    p.cut = true;
+    return p;
+  }
+};
+
+/// Aggregate traffic counters; the fig_steps bench reads these to reproduce
+/// the communication-step counts of the paper's Figures 3/4/6/7.
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(Message)>;
+
+  /// `hop_latency`: one-way latency per message; `ns_per_byte`: wire cost.
+  Network(EventLoop& loop, SimTime hop_latency, SimTime ns_per_byte,
+          std::uint64_t fault_seed = 0xFA111)
+      : loop_(loop),
+        hop_latency_(hop_latency),
+        ns_per_byte_(ns_per_byte),
+        rng_(fault_seed) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers (or replaces) the receive handler for `name`.
+  void attach(const std::string& name, Handler handler) {
+    endpoints_[name] = std::move(handler);
+  }
+
+  /// Removes an endpoint; in-flight messages to it are silently dropped
+  /// (models a crashed node).
+  void detach(const std::string& name) { endpoints_.erase(name); }
+
+  bool attached(const std::string& name) const {
+    return endpoints_.count(name) > 0;
+  }
+
+  /// Sends payload from -> to, applying the link policy. Delivery is
+  /// asynchronous even with zero latency (scheduled on the loop), so a
+  /// handler never runs re-entrantly inside send().
+  void send(const std::string& from, const std::string& to, Bytes payload);
+
+  /// Sets the fault policy for the directed link from -> to.
+  void set_policy(const std::string& from, const std::string& to,
+                  LinkPolicy policy) {
+    policies_[{from, to}] = policy;
+  }
+
+  void clear_policy(const std::string& from, const std::string& to) {
+    policies_.erase({from, to});
+  }
+
+  /// Cuts / restores every link touching `node` (both directions).
+  void isolate(const std::string& node);
+  void heal(const std::string& node);
+
+  EventLoop& loop() { return loop_; }
+  const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NetworkStats{}; }
+
+  SimTime hop_latency() const { return hop_latency_; }
+
+ private:
+  LinkPolicy* find_policy(const std::string& from, const std::string& to);
+  void deliver_after(SimTime delay, Message msg);
+
+  EventLoop& loop_;
+  SimTime hop_latency_;
+  SimTime ns_per_byte_;
+  Rng rng_;
+  std::unordered_map<std::string, Handler> endpoints_;
+  std::map<std::pair<std::string, std::string>, LinkPolicy> policies_;
+  std::map<std::string, bool> isolated_;
+  NetworkStats stats_;
+};
+
+}  // namespace ss::sim

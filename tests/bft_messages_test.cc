@@ -1,0 +1,235 @@
+// Wire-format tests for the BFT protocol messages: round-trips, digest
+// stability, and rejection of malformed/truncated/oversized input (every
+// decoder is a Byzantine-input surface).
+#include <gtest/gtest.h>
+
+#include "bft/messages.h"
+
+namespace ss::bft {
+namespace {
+
+ClientRequest sample_request() {
+  ClientRequest req;
+  req.client = ClientId{7};
+  req.sequence = RequestId{42};
+  req.mode = RequestMode::kOrdered;
+  req.payload = Bytes{1, 2, 3, 4};
+  req.auth.assign(4, crypto::Digest{});
+  req.auth[1][0] = 0xaa;
+  return req;
+}
+
+TEST(BftMessages, EnvelopeRoundTrip) {
+  Envelope env;
+  env.type = MsgType::kPropose;
+  env.sender = "replica/2";
+  env.body = Bytes{9, 8, 7};
+  env.mac[0] = 0x11;
+  Envelope decoded = Envelope::decode(env.encode());
+  EXPECT_EQ(decoded.type, MsgType::kPropose);
+  EXPECT_EQ(decoded.sender, "replica/2");
+  EXPECT_EQ(decoded.body, env.body);
+  EXPECT_EQ(decoded.mac, env.mac);
+}
+
+TEST(BftMessages, EnvelopeRejectsBadType) {
+  Envelope env;
+  env.type = MsgType::kPropose;
+  env.sender = "x";
+  Bytes encoded = env.encode();
+  encoded[0] = 0x7f;  // type varint out of range
+  EXPECT_THROW(Envelope::decode(encoded), DecodeError);
+}
+
+TEST(BftMessages, EnvelopeRejectsTrailingBytes) {
+  Envelope env;
+  env.type = MsgType::kStop;
+  env.sender = "x";
+  Bytes encoded = env.encode();
+  encoded.push_back(0);
+  EXPECT_THROW(Envelope::decode(encoded), DecodeError);
+}
+
+TEST(BftMessages, ClientRequestRoundTripWithAuth) {
+  ClientRequest req = sample_request();
+  ClientRequest decoded = ClientRequest::decode(req.encode());
+  EXPECT_EQ(decoded.client, req.client);
+  EXPECT_EQ(decoded.sequence, req.sequence);
+  EXPECT_EQ(decoded.mode, req.mode);
+  EXPECT_EQ(decoded.payload, req.payload);
+  ASSERT_EQ(decoded.auth.size(), 4u);
+  EXPECT_EQ(decoded.auth[1][0], 0xaa);
+}
+
+TEST(BftMessages, ClientRequestDigestIgnoresAuth) {
+  ClientRequest a = sample_request();
+  ClientRequest b = sample_request();
+  b.auth[2][5] = 0xff;  // different authenticator
+  EXPECT_EQ(a.digest(), b.digest());
+  b.payload.push_back(5);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(BftMessages, ClientRequestRejectsHugeAuth) {
+  Writer w;
+  w.id(ClientId{1});
+  w.id(RequestId{1});
+  w.enumeration(RequestMode::kOrdered);
+  w.blob(Bytes{});
+  w.varint(100000);  // absurd authenticator count
+  EXPECT_THROW(ClientRequest::decode(w.bytes()), DecodeError);
+}
+
+TEST(BftMessages, BatchRoundTripAndDigest) {
+  Batch batch;
+  batch.timestamp = millis(123);
+  batch.requests.push_back(sample_request());
+  batch.requests.push_back(sample_request());
+  batch.requests[1].sequence = RequestId{43};
+
+  Bytes encoded = batch.encode();
+  Batch decoded = Batch::decode(encoded);
+  EXPECT_EQ(decoded.timestamp, millis(123));
+  ASSERT_EQ(decoded.requests.size(), 2u);
+  EXPECT_EQ(decoded.requests[1].sequence, RequestId{43});
+  EXPECT_EQ(decoded.digest(), batch.digest());
+
+  // Different timestamp -> different digest (equivocation is detectable).
+  Batch other = batch;
+  other.timestamp += 1;
+  EXPECT_NE(other.digest(), batch.digest());
+}
+
+TEST(BftMessages, BatchRejectsAbsurdSize) {
+  Writer w;
+  w.i64(0);
+  w.varint(1000000);
+  EXPECT_THROW(Batch::decode(w.bytes()), DecodeError);
+}
+
+TEST(BftMessages, ProposeAndVotesRoundTrip) {
+  Propose p;
+  p.cid = ConsensusId{5};
+  p.regency = 2;
+  p.leader = ReplicaId{2};
+  p.batch = Bytes{1, 2, 3};
+  Propose pd = Propose::decode(p.encode());
+  EXPECT_EQ(pd.cid, p.cid);
+  EXPECT_EQ(pd.regency, 2u);
+  EXPECT_EQ(pd.leader, p.leader);
+  EXPECT_EQ(pd.batch, p.batch);
+
+  PhaseVote v;
+  v.cid = ConsensusId{5};
+  v.regency = 2;
+  v.voter = ReplicaId{3};
+  v.value[31] = 0xee;
+  PhaseVote vd = PhaseVote::decode(v.encode());
+  EXPECT_EQ(vd.cid, v.cid);
+  EXPECT_EQ(vd.voter, v.voter);
+  EXPECT_EQ(vd.value, v.value);
+}
+
+TEST(BftMessages, ViewChangeMessagesRoundTrip) {
+  Stop s{9, ReplicaId{1}};
+  Stop sd = Stop::decode(s.encode());
+  EXPECT_EQ(sd.regency, 9u);
+  EXPECT_EQ(sd.sender, ReplicaId{1});
+
+  StopData data;
+  data.regency = 9;
+  data.sender = ReplicaId{2};
+  data.last_decided = ConsensusId{17};
+  data.has_writeset = true;
+  data.writeset_cid = ConsensusId{18};
+  data.writeset_digest[0] = 0x42;
+  data.writeset_proposal = Bytes{7, 7, 7};
+  StopData dd = StopData::decode(data.encode());
+  EXPECT_EQ(dd.last_decided, ConsensusId{17});
+  EXPECT_TRUE(dd.has_writeset);
+  EXPECT_EQ(dd.writeset_cid, ConsensusId{18});
+  EXPECT_EQ(dd.writeset_digest[0], 0x42);
+  EXPECT_EQ(dd.writeset_proposal, (Bytes{7, 7, 7}));
+
+  Sync sync;
+  sync.regency = 9;
+  sync.leader = ReplicaId{1};
+  sync.cid = ConsensusId{18};
+  sync.batch = Bytes{1};
+  Sync syncd = Sync::decode(sync.encode());
+  EXPECT_EQ(syncd.cid, ConsensusId{18});
+  EXPECT_EQ(syncd.batch, (Bytes{1}));
+}
+
+TEST(BftMessages, StateTransferRoundTripAndDigest) {
+  StateRequest req{ReplicaId{3}, ConsensusId{10}};
+  StateRequest reqd = StateRequest::decode(req.encode());
+  EXPECT_EQ(reqd.requester, ReplicaId{3});
+  EXPECT_EQ(reqd.have, ConsensusId{10});
+
+  StateReply rep;
+  rep.replica = ReplicaId{0};
+  rep.cid = ConsensusId{20};
+  rep.last_timestamp = millis(5);
+  rep.snapshot = Bytes{9, 9};
+  StateReply repd = StateReply::decode(rep.encode());
+  EXPECT_EQ(repd.cid, ConsensusId{20});
+  EXPECT_EQ(repd.snapshot, (Bytes{9, 9}));
+
+  // The voted digest covers (cid, timestamp, snapshot) but NOT the replica
+  // id — replies from different replicas with the same state must match.
+  StateReply other = rep;
+  other.replica = ReplicaId{1};
+  EXPECT_EQ(other.digest(), rep.digest());
+  other.snapshot[0] ^= 1;
+  EXPECT_NE(other.digest(), rep.digest());
+}
+
+TEST(BftMessages, ReplyAndPushRoundTrip) {
+  ClientReply reply;
+  reply.replica = ReplicaId{2};
+  reply.client = ClientId{9};
+  reply.sequence = RequestId{100};
+  reply.cid = ConsensusId{55};
+  reply.payload = Bytes{4, 5};
+  ClientReply rd = ClientReply::decode(reply.encode());
+  EXPECT_EQ(rd.replica, reply.replica);
+  EXPECT_EQ(rd.cid, reply.cid);
+  EXPECT_EQ(rd.payload, reply.payload);
+
+  ServerPush push;
+  push.replica = ReplicaId{1};
+  push.client = ClientId{9};
+  push.payload = Bytes{6};
+  ServerPush pd = ServerPush::decode(push.encode());
+  EXPECT_EQ(pd.replica, push.replica);
+  EXPECT_EQ(pd.client, push.client);
+  EXPECT_EQ(pd.payload, push.payload);
+}
+
+// Truncation sweep: every prefix of a valid encoding must throw, never
+// crash or return garbage (Byzantine-input robustness).
+class TruncationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TruncationSweep, EveryPrefixThrows) {
+  Batch batch;
+  batch.timestamp = millis(1);
+  batch.requests.push_back(sample_request());
+  Bytes full = batch.encode();
+  std::size_t cut = full.size() * static_cast<std::size_t>(GetParam()) / 10;
+  if (cut >= full.size()) return;
+  Bytes truncated(full.begin(), full.begin() + static_cast<long>(cut));
+  EXPECT_THROW(Batch::decode(truncated), DecodeError) << "cut=" << cut;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, TruncationSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8, 9));
+
+TEST(BftMessages, TypeNames) {
+  EXPECT_STREQ(msg_type_name(MsgType::kPropose), "PROPOSE");
+  EXPECT_STREQ(msg_type_name(MsgType::kStopData), "STOP_DATA");
+  EXPECT_STREQ(msg_type_name(MsgType::kStateReply), "STATE_REPLY");
+}
+
+}  // namespace
+}  // namespace ss::bft

@@ -1,0 +1,325 @@
+// Property-style sweeps over the BFT library (TEST_P): safety and liveness
+// under drop-probability x f grids, network jitter seeds, batch-size
+// sweeps, Byzantine-mode sweeps, and repeated leader churn.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tests/bft_harness.h"
+
+namespace ss::bft {
+namespace {
+
+using testing::Cluster;
+using testing::KvApp;
+
+// ---------------------------------------------------------------------------
+// Safety + liveness under lossy replica-to-replica links, swept over
+// (f, drop probability). Retransmissions and state transfer must mask the
+// losses; all correct replicas must converge to identical state.
+
+class LossSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, int>> {};
+
+TEST_P(LossSweep, ConvergesDespiteReplicaLinkLoss) {
+  auto [f, drop_pct] = GetParam();
+  ReplicaOptions options;
+  options.state_gap_threshold = 8;  // recover stragglers quickly
+  Cluster cluster(f, options, /*fault_seed=*/1234 + f * 100 + drop_pct);
+
+  sim::LinkPolicy lossy;
+  lossy.drop_prob = drop_pct / 100.0;
+  for (ReplicaId a : cluster.group.replica_ids()) {
+    for (ReplicaId b : cluster.group.replica_ids()) {
+      if (a == b) continue;
+      cluster.net.set_policy(crypto::replica_principal(a),
+                             crypto::replica_principal(b), lossy);
+    }
+  }
+
+  ClientOptions client_options;
+  client_options.reply_timeout = millis(200);
+  client_options.max_retries = 200;
+  auto client = cluster.make_client(1, client_options);
+
+  int completed = 0;
+  for (int i = 0; i < 15; ++i) {
+    client->invoke_ordered(KvApp::put("k" + std::to_string(i), "v"),
+                           [&](Bytes) { ++completed; });
+  }
+  cluster.run_for(seconds(60));
+
+  EXPECT_EQ(completed, 15);
+  // Give stragglers time to state-transfer, then check convergence.
+  cluster.run_for(seconds(10));
+  std::uint64_t max_applied = 0;
+  for (auto& app : cluster.apps) {
+    max_applied = std::max(max_applied, app->applied());
+  }
+  EXPECT_GE(max_applied, 15u);
+  // Safety: no two replicas disagree on a key they both applied.
+  for (auto& app : cluster.apps) {
+    for (const auto& [key, value] : app->data()) {
+      EXPECT_EQ(value, "v") << key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LossSweep,
+    ::testing::Combine(::testing::Values(1u, 2u),
+                       ::testing::Values(0, 10, 25)),
+    [](const ::testing::TestParamInfo<LossSweep::ParamType>& info) {
+      return "f" + std::to_string(std::get<0>(info.param)) + "_drop" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Jitter seeds: arbitrary message reordering between replicas must never
+// break agreement (total order is the whole point).
+
+class JitterSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JitterSweep, TotalOrderSurvivesReordering) {
+  Cluster cluster(1, {}, GetParam());
+  sim::LinkPolicy jitter;
+  jitter.jitter = millis(20);  // up to 20 ms random extra delay per message
+  for (ReplicaId a : cluster.group.replica_ids()) {
+    for (ReplicaId b : cluster.group.replica_ids()) {
+      if (a == b) continue;
+      cluster.net.set_policy(crypto::replica_principal(a),
+                             crypto::replica_principal(b), jitter);
+    }
+  }
+
+  auto client_a = cluster.make_client(1);
+  auto client_b = cluster.make_client(2);
+  int completed = 0;
+  for (int i = 0; i < 25; ++i) {
+    client_a->invoke_ordered(KvApp::put("shared", "a" + std::to_string(i)),
+                             [&](Bytes) { ++completed; });
+    client_b->invoke_ordered(KvApp::put("shared", "b" + std::to_string(i)),
+                             [&](Bytes) { ++completed; });
+  }
+  cluster.run_for(seconds(30));
+
+  EXPECT_EQ(completed, 50);
+  EXPECT_TRUE(cluster.apps_converged());
+  // All replicas agree on the final (arbitrary but identical) winner.
+  std::string winner = cluster.apps[0]->data().at("shared");
+  for (auto& app : cluster.apps) {
+    EXPECT_EQ(app->data().at("shared"), winner);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JitterSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------------------------------------------------------------------------
+// Batch-size sweep: any max_batch must yield the same application state.
+
+class BatchSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BatchSweep, StateIndependentOfBatching) {
+  ReplicaOptions options;
+  options.max_batch = GetParam();
+  Cluster cluster(1, options);
+  auto client = cluster.make_client(1);
+  int completed = 0;
+  for (int i = 0; i < 40; ++i) {
+    client->invoke_ordered(
+        KvApp::put("k" + std::to_string(i % 7), std::to_string(i)),
+        [&](Bytes) { ++completed; });
+  }
+  cluster.run_for(seconds(10));
+  ASSERT_EQ(completed, 40);
+  EXPECT_TRUE(cluster.apps_converged());
+  // Final state is workload-determined, not batching-determined.
+  EXPECT_EQ(cluster.apps[0]->data().at("k4"), "39");
+  EXPECT_EQ(cluster.apps[0]->data().at("k0"), "35");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BatchSweep,
+                         ::testing::Values(1u, 2u, 8u, 64u, 256u));
+
+// ---------------------------------------------------------------------------
+// Byzantine-mode sweep: a single faulty replica in any mode must not break
+// safety or liveness for f = 1.
+
+class ByzantineSweep : public ::testing::TestWithParam<ByzantineMode> {};
+
+TEST_P(ByzantineSweep, OneFaultyReplicaIsMasked) {
+  Cluster cluster;
+  cluster.replicas[0]->set_byzantine(GetParam());  // the worst spot: leader
+  auto client = cluster.make_client(1);
+  int completed = 0;
+  for (int i = 0; i < 8; ++i) {
+    client->invoke_ordered(KvApp::put("k" + std::to_string(i), "v"),
+                           [&](Bytes) { ++completed; });
+  }
+  cluster.run_for(seconds(20));
+  EXPECT_EQ(completed, 8);
+  // The three correct replicas agree.
+  Bytes reference = cluster.apps[1]->snapshot();
+  EXPECT_EQ(cluster.apps[2]->snapshot(), reference);
+  EXPECT_EQ(cluster.apps[3]->snapshot(), reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ByzantineSweep,
+    ::testing::Values(ByzantineMode::kSilent, ByzantineMode::kCorruptReplies,
+                      ByzantineMode::kCorruptVotes,
+                      ByzantineMode::kEquivocate),
+    [](const ::testing::TestParamInfo<ByzantineMode>& info) {
+      switch (info.param) {
+        case ByzantineMode::kSilent:
+          return std::string("Silent");
+        case ByzantineMode::kCorruptReplies:
+          return std::string("CorruptReplies");
+        case ByzantineMode::kCorruptVotes:
+          return std::string("CorruptVotes");
+        case ByzantineMode::kEquivocate:
+          return std::string("Equivocate");
+        default:
+          return std::string("None");
+      }
+    });
+
+// ---------------------------------------------------------------------------
+// Leader churn: crash each leader in turn; every view change must preserve
+// the executed prefix and allow progress.
+
+TEST(LeaderChurn, SurvivesSequentialLeaderCrashes) {
+  ReplicaOptions options;
+  options.state_gap_threshold = 4;  // recovered leaders catch up fast
+  Cluster cluster(1, options);
+  auto client = cluster.make_client(1);
+  int completed = 0;
+
+  // f = 1: only one replica may be down at a time, so recover the previous
+  // victim before crashing the next leader.
+  ReplicaId previous{UINT32_MAX};
+  for (std::uint32_t round = 0; round < 3; ++round) {
+    std::uint64_t regency = 0;
+    for (auto& replica : cluster.replicas) {
+      if (!replica->crashed()) regency = std::max(regency, replica->regency());
+    }
+    ReplicaId leader = cluster.group.leader_for(regency);
+    if (previous.value != UINT32_MAX) {
+      cluster.replicas[previous.value]->recover();
+      cluster.run_for(seconds(2));
+    }
+    cluster.replicas[leader.value]->crash();
+    previous = leader;
+
+    for (int i = 0; i < 3; ++i) {
+      client->invoke_ordered(
+          KvApp::put("round" + std::to_string(round), std::to_string(i)),
+          [&](Bytes) { ++completed; });
+    }
+    cluster.run_for(seconds(15));
+  }
+
+  EXPECT_EQ(completed, 9);
+  EXPECT_TRUE(cluster.apps_converged());
+}
+
+// ---------------------------------------------------------------------------
+// Recovery churn: a replica repeatedly crashes and recovers while traffic
+// flows; each recovery must state-transfer and reconverge.
+
+TEST(RecoveryChurn, RepeatedCrashRecoverReconverges) {
+  ReplicaOptions options;
+  options.state_gap_threshold = 8;
+  Cluster cluster(1, options);
+  auto client = cluster.make_client(1);
+  int completed = 0;
+  int issued = 0;
+
+  for (int round = 0; round < 3; ++round) {
+    cluster.replicas[3]->crash();
+    for (int i = 0; i < 10; ++i) {
+      client->invoke_ordered(
+          KvApp::put("k" + std::to_string(issued++), "v"),
+          [&](Bytes) { ++completed; });
+    }
+    cluster.run_for(seconds(5));
+    cluster.replicas[3]->recover();
+    cluster.run_for(seconds(5));
+    EXPECT_EQ(cluster.replicas[3]->last_decided(),
+              cluster.replicas[0]->last_decided())
+        << "round " << round;
+  }
+
+  EXPECT_EQ(completed, 30);
+  EXPECT_TRUE(cluster.apps_converged());
+  EXPECT_GE(cluster.replicas[3]->stats().state_transfers, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: a replica that crashes *through a view change* must adopt the
+// new regency on recovery (from f+1 peers' consensus traffic) — otherwise
+// it stays deaf to the group forever.
+
+TEST(RecoveryChurn, RecoverAcrossViewChangeRejoins) {
+  ReplicaOptions options;
+  options.state_gap_threshold = 8;
+  Cluster cluster(1, options);
+  auto client = cluster.make_client(1);
+
+  // Crash the leader: the others elect regency 1 while 0 is down.
+  cluster.replicas[0]->crash();
+  int completed = 0;
+  for (int i = 0; i < 5; ++i) {
+    client->invoke_ordered(KvApp::put("k" + std::to_string(i), "v"),
+                           [&](Bytes) { ++completed; });
+  }
+  cluster.run_for(seconds(10));
+  ASSERT_EQ(completed, 5);
+  ASSERT_GE(cluster.replicas[1]->regency(), 1u);
+
+  cluster.replicas[0]->recover();
+  // New traffic carries the new regency; the recovered replica must adopt
+  // it and catch up.
+  for (int i = 5; i < 10; ++i) {
+    client->invoke_ordered(KvApp::put("k" + std::to_string(i), "v"),
+                           [&](Bytes) { ++completed; });
+  }
+  cluster.run_for(seconds(10));
+  EXPECT_EQ(completed, 10);
+  EXPECT_GE(cluster.replicas[0]->regency(), 1u);
+  EXPECT_EQ(cluster.replicas[0]->last_decided(),
+            cluster.replicas[1]->last_decided());
+  EXPECT_TRUE(cluster.apps_converged());
+}
+
+// ---------------------------------------------------------------------------
+// Unordered reads always reflect *some* committed prefix (here: final state
+// after quiescence equals ordered state), for every replica count.
+
+class ReadSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ReadSweep, QuiescentReadsMatchOrderedState) {
+  Cluster cluster(GetParam());
+  auto client = cluster.make_client(1);
+  bool done = false;
+  client->invoke_ordered(KvApp::put("x", "final"), [&](Bytes) { done = true; });
+  cluster.run_for(seconds(5));
+  ASSERT_TRUE(done);
+
+  std::string read_value;
+  bool read_done = false;
+  client->invoke_unordered(KvApp::get("x"), [&](Bytes reply) {
+    Reader r(reply);
+    read_value = r.str();
+    read_done = true;
+  });
+  cluster.run_for(seconds(5));
+  EXPECT_TRUE(read_done);
+  EXPECT_EQ(read_value, "final");
+}
+
+INSTANTIATE_TEST_SUITE_P(FSweep, ReadSweep, ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace ss::bft

@@ -1,0 +1,470 @@
+// Integration tests for the BFT SMR library: ordering, voting, batching,
+// fault tolerance (crash, Byzantine, drops), view change, state transfer.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bft/client.h"
+#include "bft/replica.h"
+#include "common/config.h"
+#include "crypto/keychain.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+
+namespace ss::bft {
+namespace {
+
+// A small replicated key-value service used as the test application.
+class KvApp final : public Executable, public Recoverable {
+ public:
+  enum class Op : std::uint8_t { kPut = 0, kGet = 1 };
+
+  static Bytes put(const std::string& key, const std::string& value) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(Op::kPut));
+    w.str(key);
+    w.str(value);
+    return std::move(w).take();
+  }
+
+  static Bytes get(const std::string& key) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(Op::kGet));
+    w.str(key);
+    return std::move(w).take();
+  }
+
+  Bytes execute_ordered(const ExecuteContext& ctx, ByteView request) override {
+    timestamps_.push_back(ctx.timestamp);
+    ++applied_;
+    Reader r(request);
+    Op op = static_cast<Op>(r.u8());
+    std::string key = r.str();
+    Writer reply;
+    if (op == Op::kPut) {
+      std::string value = r.str();
+      reply.str(data_[key]);
+      data_[key] = value;
+    } else {
+      reply.str(data_[key]);
+    }
+    return std::move(reply).take();
+  }
+
+  Bytes execute_unordered(ClientId, ByteView request) override {
+    Reader r(request);
+    r.u8();
+    std::string key = r.str();
+    Writer reply;
+    auto it = data_.find(key);
+    reply.str(it == data_.end() ? "" : it->second);
+    return std::move(reply).take();
+  }
+
+  Bytes snapshot() const override {
+    Writer w;
+    w.varint(applied_);
+    w.varint(data_.size());
+    for (const auto& [key, value] : data_) {
+      w.str(key);
+      w.str(value);
+    }
+    return std::move(w).take();
+  }
+
+  void restore(ByteView snapshot) override {
+    Reader r(snapshot);
+    applied_ = r.varint();
+    data_.clear();
+    std::uint64_t n = r.varint();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::string key = r.str();
+      data_[key] = r.str();
+    }
+    r.expect_done();
+  }
+
+  std::uint64_t applied() const { return applied_; }
+  const std::map<std::string, std::string>& data() const { return data_; }
+  const std::vector<SimTime>& timestamps() const { return timestamps_; }
+
+ private:
+  std::map<std::string, std::string> data_;
+  std::uint64_t applied_ = 0;
+  std::vector<SimTime> timestamps_;
+};
+
+struct Cluster {
+  sim::EventLoop loop;
+  sim::Network net;
+  crypto::Keychain keys{"bft-test"};
+  GroupConfig group;
+  std::vector<std::unique_ptr<KvApp>> apps;
+  std::vector<std::unique_ptr<Replica>> replicas;
+
+  explicit Cluster(std::uint32_t f = 1, ReplicaOptions options = {})
+      : net(loop, micros(50), 0), group(GroupConfig::for_f(f)) {
+    for (ReplicaId id : group.replica_ids()) {
+      apps.push_back(std::make_unique<KvApp>());
+      replicas.push_back(std::make_unique<Replica>(
+          net, group, id, keys, *apps.back(), *apps.back(), options));
+    }
+  }
+
+  std::unique_ptr<ClientProxy> make_client(std::uint32_t id,
+                                           ClientOptions options = {}) {
+    return std::make_unique<ClientProxy>(net, group, ClientId{id}, keys,
+                                         options);
+  }
+
+  void run_for(SimTime duration) { loop.run_until(loop.now() + duration); }
+
+  bool apps_converged() const {
+    Bytes reference;
+    bool first = true;
+    for (std::uint32_t i = 0; i < group.n; ++i) {
+      if (replicas[i]->crashed()) continue;
+      Bytes snap = apps[i]->snapshot();
+      if (first) {
+        reference = snap;
+        first = false;
+      } else if (snap != reference) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+TEST(Bft, OrdersASingleRequest) {
+  Cluster cluster;
+  auto client = cluster.make_client(1);
+  std::string reply_old;
+  bool done = false;
+  client->invoke_ordered(KvApp::put("grid", "stable"), [&](Bytes reply) {
+    Reader r(reply);
+    reply_old = r.str();
+    done = true;
+  });
+  cluster.run_for(seconds(1));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(reply_old, "");
+  for (auto& app : cluster.apps) {
+    EXPECT_EQ(app->applied(), 1u);
+    EXPECT_EQ(app->data().at("grid"), "stable");
+  }
+  EXPECT_TRUE(cluster.apps_converged());
+}
+
+TEST(Bft, OrdersManyRequestsFromOneClient) {
+  Cluster cluster;
+  auto client = cluster.make_client(1);
+  int completed = 0;
+  for (int i = 0; i < 50; ++i) {
+    client->invoke_ordered(
+        KvApp::put("k" + std::to_string(i), "v" + std::to_string(i)),
+        [&](Bytes) { ++completed; });
+  }
+  cluster.run_for(seconds(5));
+  EXPECT_EQ(completed, 50);
+  for (auto& app : cluster.apps) EXPECT_EQ(app->applied(), 50u);
+  EXPECT_TRUE(cluster.apps_converged());
+}
+
+TEST(Bft, MultipleClientsConverge) {
+  Cluster cluster;
+  std::vector<std::unique_ptr<ClientProxy>> clients;
+  int completed = 0;
+  for (std::uint32_t c = 1; c <= 4; ++c) {
+    clients.push_back(cluster.make_client(c));
+  }
+  for (int i = 0; i < 20; ++i) {
+    for (auto& client : clients) {
+      client->invoke_ordered(
+          KvApp::put("c" + std::to_string(client->id().value),
+                     std::to_string(i)),
+          [&](Bytes) { ++completed; });
+    }
+  }
+  cluster.run_for(seconds(5));
+  EXPECT_EQ(completed, 80);
+  EXPECT_TRUE(cluster.apps_converged());
+  for (auto& app : cluster.apps) {
+    EXPECT_EQ(app->data().at("c1"), "19");
+    EXPECT_EQ(app->data().at("c4"), "19");
+  }
+}
+
+TEST(Bft, BatchingCoalescesRequests) {
+  Cluster cluster;
+  auto client = cluster.make_client(1);
+  int completed = 0;
+  for (int i = 0; i < 100; ++i) {
+    client->invoke_ordered(KvApp::put("k" + std::to_string(i), "v"),
+                           [&](Bytes) { ++completed; });
+  }
+  cluster.run_for(seconds(5));
+  EXPECT_EQ(completed, 100);
+  // Pipelined requests must have been batched: far fewer decisions than
+  // requests.
+  EXPECT_LT(cluster.replicas[0]->stats().batches_decided, 60u);
+  EXPECT_EQ(cluster.replicas[0]->stats().requests_executed, 100u);
+}
+
+TEST(Bft, UnorderedReadsServeLocalState) {
+  Cluster cluster;
+  auto client = cluster.make_client(1);
+  bool put_done = false;
+  client->invoke_ordered(KvApp::put("x", "42"),
+                         [&](Bytes) { put_done = true; });
+  cluster.run_for(seconds(1));
+  ASSERT_TRUE(put_done);
+
+  std::string value;
+  bool read_done = false;
+  client->invoke_unordered(KvApp::get("x"), [&](Bytes reply) {
+    Reader r(reply);
+    value = r.str();
+    read_done = true;
+  });
+  cluster.run_for(seconds(1));
+  EXPECT_TRUE(read_done);
+  EXPECT_EQ(value, "42");
+  // Unordered requests do not consume consensus instances.
+  EXPECT_EQ(cluster.replicas[0]->stats().batches_decided, 1u);
+}
+
+TEST(Bft, TimestampsAreMonotonicallyIncreasing) {
+  Cluster cluster;
+  auto client = cluster.make_client(1);
+  for (int i = 0; i < 30; ++i) {
+    client->invoke_ordered(KvApp::put("k", std::to_string(i)), {});
+  }
+  cluster.run_for(seconds(5));
+  for (auto& app : cluster.apps) {
+    const auto& ts = app->timestamps();
+    ASSERT_FALSE(ts.empty());
+    for (std::size_t i = 1; i < ts.size(); ++i) {
+      EXPECT_GE(ts[i], ts[i - 1]);
+    }
+  }
+  // All replicas assigned the *same* timestamps (determinism challenge (c)).
+  for (std::uint32_t i = 1; i < cluster.group.n; ++i) {
+    EXPECT_EQ(cluster.apps[i]->timestamps(), cluster.apps[0]->timestamps());
+  }
+}
+
+TEST(Bft, DropsAreMaskedByRetransmission) {
+  Cluster cluster;
+  // Lossy links between the client and every replica, both ways.
+  sim::LinkPolicy lossy;
+  lossy.drop_prob = 0.3;
+  for (ReplicaId id : cluster.group.replica_ids()) {
+    cluster.net.set_policy("client/1", crypto::replica_principal(id), lossy);
+    cluster.net.set_policy(crypto::replica_principal(id), "client/1", lossy);
+  }
+  ClientOptions options;
+  options.reply_timeout = millis(200);
+  auto client = cluster.make_client(1, options);
+  int completed = 0;
+  for (int i = 0; i < 20; ++i) {
+    client->invoke_ordered(KvApp::put("k" + std::to_string(i), "v"),
+                           [&](Bytes) { ++completed; });
+  }
+  cluster.run_for(seconds(30));
+  EXPECT_EQ(completed, 20);
+  EXPECT_TRUE(cluster.apps_converged());
+  // Each replica must have executed each request exactly once despite
+  // retransmissions.
+  for (auto& app : cluster.apps) EXPECT_EQ(app->applied(), 20u);
+}
+
+TEST(Bft, CrashFaultyReplicaDoesNotBlockProgress) {
+  Cluster cluster;
+  cluster.replicas[3]->crash();  // a follower
+  auto client = cluster.make_client(1);
+  int completed = 0;
+  for (int i = 0; i < 10; ++i) {
+    client->invoke_ordered(KvApp::put("k" + std::to_string(i), "v"),
+                           [&](Bytes) { ++completed; });
+  }
+  cluster.run_for(seconds(5));
+  EXPECT_EQ(completed, 10);
+  EXPECT_EQ(cluster.apps[0]->applied(), 10u);
+  EXPECT_EQ(cluster.apps[3]->applied(), 0u);
+}
+
+TEST(Bft, LeaderCrashTriggersViewChange) {
+  Cluster cluster;
+  cluster.replicas[0]->crash();  // the initial leader
+  auto client = cluster.make_client(1);
+  bool done = false;
+  client->invoke_ordered(KvApp::put("grid", "resilient"),
+                         [&](Bytes) { done = true; });
+  cluster.run_for(seconds(10));
+  EXPECT_TRUE(done);
+  for (std::uint32_t i = 1; i < 4; ++i) {
+    EXPECT_GE(cluster.replicas[i]->regency(), 1u);
+    EXPECT_EQ(cluster.apps[i]->applied(), 1u);
+  }
+}
+
+TEST(Bft, SilentByzantineLeaderIsVotedOut) {
+  Cluster cluster;
+  cluster.replicas[0]->set_byzantine(ByzantineMode::kSilent);
+  auto client = cluster.make_client(1);
+  bool done = false;
+  client->invoke_ordered(KvApp::put("k", "v"), [&](Bytes) { done = true; });
+  cluster.run_for(seconds(10));
+  EXPECT_TRUE(done);
+  EXPECT_GE(cluster.replicas[1]->regency(), 1u);
+}
+
+TEST(Bft, EquivocatingLeaderIsVotedOut) {
+  Cluster cluster;
+  cluster.replicas[0]->set_byzantine(ByzantineMode::kEquivocate);
+  auto client = cluster.make_client(1);
+  bool done = false;
+  client->invoke_ordered(KvApp::put("k", "v"), [&](Bytes) { done = true; });
+  cluster.run_for(seconds(10));
+  EXPECT_TRUE(done);
+  for (std::uint32_t i = 1; i < 4; ++i) {
+    EXPECT_GE(cluster.replicas[i]->regency(), 1u);
+  }
+  // Safety: the correct replicas agree.
+  Bytes reference = cluster.apps[1]->snapshot();
+  EXPECT_EQ(cluster.apps[2]->snapshot(), reference);
+  EXPECT_EQ(cluster.apps[3]->snapshot(), reference);
+}
+
+TEST(Bft, CorruptRepliesAreOutvoted) {
+  Cluster cluster;
+  cluster.replicas[2]->set_byzantine(ByzantineMode::kCorruptReplies);
+  auto client = cluster.make_client(1);
+  std::string old_value = "sentinel";
+  bool done = false;
+  client->invoke_ordered(KvApp::put("k", "v"), [&](Bytes reply) {
+    Reader r(reply);
+    old_value = r.str();
+    done = true;
+  });
+  cluster.run_for(seconds(5));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(old_value, "");  // the correct (voted) reply, not the corrupted one
+}
+
+TEST(Bft, CorruptVotesDoNotBlockQuorum) {
+  Cluster cluster;
+  cluster.replicas[3]->set_byzantine(ByzantineMode::kCorruptVotes);
+  auto client = cluster.make_client(1);
+  int completed = 0;
+  for (int i = 0; i < 10; ++i) {
+    client->invoke_ordered(KvApp::put("k" + std::to_string(i), "v"),
+                           [&](Bytes) { ++completed; });
+  }
+  cluster.run_for(seconds(5));
+  EXPECT_EQ(completed, 10);
+}
+
+TEST(Bft, RecoveredReplicaCatchesUpViaStateTransfer) {
+  Cluster cluster;
+  cluster.replicas[3]->crash();
+  auto client = cluster.make_client(1);
+  int completed = 0;
+  for (int i = 0; i < 30; ++i) {
+    client->invoke_ordered(KvApp::put("k" + std::to_string(i), "v"),
+                           [&](Bytes) { ++completed; });
+  }
+  cluster.run_for(seconds(5));
+  ASSERT_EQ(completed, 30);
+
+  cluster.replicas[3]->recover();
+  cluster.run_for(seconds(5));
+  EXPECT_GE(cluster.replicas[3]->stats().state_transfers, 1u);
+  EXPECT_EQ(cluster.replicas[3]->last_decided(),
+            cluster.replicas[0]->last_decided());
+  EXPECT_TRUE(cluster.apps_converged());
+
+  // And the recovered replica participates in new decisions.
+  bool done = false;
+  client->invoke_ordered(KvApp::put("post", "recovery"),
+                         [&](Bytes) { done = true; });
+  cluster.run_for(seconds(5));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(cluster.apps[3]->data().at("post"), "recovery");
+}
+
+TEST(Bft, ForgedClientRequestsAreRejected) {
+  Cluster cluster;
+  // Craft a request with a broken authenticator and send it directly.
+  ClientRequest req;
+  req.client = ClientId{1};
+  req.sequence = RequestId{1};
+  req.payload = KvApp::put("evil", "1");
+  req.auth.assign(4, crypto::Digest{});  // all-zero MACs
+
+  Envelope env;
+  env.type = MsgType::kClientRequest;
+  env.sender = "client/1";
+  env.body = req.encode();
+  // Even with a valid envelope MAC, the per-replica authenticator fails.
+  Writer material;
+  material.enumeration(env.type);
+  material.str(env.sender);
+  material.str("replica/0");
+  material.blob(env.body);
+  env.mac = cluster.keys.mac("client/1", "replica/0", material.bytes());
+  cluster.net.send("client/1", "replica/0", env.encode());
+
+  cluster.run_for(seconds(2));
+  EXPECT_EQ(cluster.apps[0]->applied(), 0u);
+  EXPECT_GE(cluster.replicas[0]->stats().auth_failures, 1u);
+}
+
+TEST(Bft, CheckpointDigestsMatchAcrossReplicas) {
+  ReplicaOptions options;
+  options.checkpoint_interval = 4;
+  options.max_batch = 1;  // force many instances
+  Cluster cluster(1, options);
+  auto client = cluster.make_client(1);
+  int completed = 0;
+  for (int i = 0; i < 12; ++i) {
+    client->invoke_ordered(KvApp::put("k" + std::to_string(i), "v"),
+                           [&](Bytes) { ++completed; });
+  }
+  cluster.run_for(seconds(10));
+  ASSERT_EQ(completed, 12);
+  ASSERT_TRUE(cluster.replicas[0]->last_checkpoint_digest().has_value());
+  for (std::uint32_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(cluster.replicas[i]->last_checkpoint_digest(),
+              cluster.replicas[0]->last_checkpoint_digest());
+  }
+}
+
+class BftFSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BftFSweep, ToleratesFCrashes) {
+  std::uint32_t f = GetParam();
+  Cluster cluster(f);
+  // Crash f followers (the worst allowed crash pattern for throughput).
+  for (std::uint32_t i = 0; i < f; ++i) {
+    cluster.replicas[cluster.group.n - 1 - i]->crash();
+  }
+  auto client = cluster.make_client(1);
+  int completed = 0;
+  for (int i = 0; i < 10; ++i) {
+    client->invoke_ordered(KvApp::put("k" + std::to_string(i), "v"),
+                           [&](Bytes) { ++completed; });
+  }
+  cluster.run_for(seconds(10));
+  EXPECT_EQ(completed, 10);
+  EXPECT_TRUE(cluster.apps_converged());
+}
+
+INSTANTIATE_TEST_SUITE_P(FSweep, BftFSweep, ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace ss::bft

@@ -1,0 +1,260 @@
+// Unit tests for the BFT ClientProxy: voting edge cases, retransmission,
+// failure reporting, and push delivery — against scripted fake replicas so
+// each behaviour is pinned down in isolation.
+#include <gtest/gtest.h>
+
+#include "bft/client.h"
+#include "bft/messages.h"
+#include "crypto/keychain.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+
+namespace ss::bft {
+namespace {
+
+// A scripted replica endpoint: records requests, replies on demand.
+struct FakeReplica {
+  sim::Network& net;
+  crypto::Keychain& keys;
+  ReplicaId id;
+  std::string endpoint;
+  std::vector<ClientRequest> requests;
+
+  FakeReplica(sim::Network& net_in, crypto::Keychain& keys_in, ReplicaId id_in)
+      : net(net_in), keys(keys_in), id(id_in),
+        endpoint(crypto::replica_principal(id)) {
+    net.attach(endpoint, [this](sim::Message m) {
+      Envelope env = Envelope::decode(m.payload);
+      if (env.type == MsgType::kClientRequest) {
+        requests.push_back(ClientRequest::decode(env.body));
+      }
+    });
+  }
+  ~FakeReplica() { net.detach(endpoint); }
+
+  Bytes mac_material(MsgType type, const std::string& to, const Bytes& body) {
+    Writer w;
+    w.enumeration(type);
+    w.str(endpoint);
+    w.str(to);
+    w.blob(body);
+    return std::move(w).take();
+  }
+
+  void reply(ClientId client, RequestId seq, Bytes payload) {
+    ClientReply r;
+    r.replica = id;
+    r.client = client;
+    r.sequence = seq;
+    r.cid = ConsensusId{1};
+    r.payload = std::move(payload);
+    std::string to = crypto::client_principal(client);
+    Envelope env;
+    env.type = MsgType::kClientReply;
+    env.sender = endpoint;
+    env.body = r.encode();
+    env.mac = keys.mac(endpoint, to,
+                       mac_material(MsgType::kClientReply, to, env.body));
+    net.send(endpoint, to, env.encode());
+  }
+
+  void push(ClientId client, Bytes payload) {
+    ServerPush p;
+    p.replica = id;
+    p.client = client;
+    p.payload = std::move(payload);
+    std::string to = crypto::client_principal(client);
+    Envelope env;
+    env.type = MsgType::kServerPush;
+    env.sender = endpoint;
+    env.body = p.encode();
+    env.mac = keys.mac(endpoint, to,
+                       mac_material(MsgType::kServerPush, to, env.body));
+    net.send(endpoint, to, env.encode());
+  }
+};
+
+struct Harness {
+  sim::EventLoop loop;
+  sim::Network net{loop, 0, 0};
+  crypto::Keychain keys{"client-test"};
+  GroupConfig group = GroupConfig::for_f(1);
+  std::vector<std::unique_ptr<FakeReplica>> replicas;
+
+  Harness() {
+    for (ReplicaId id : group.replica_ids()) {
+      replicas.push_back(std::make_unique<FakeReplica>(net, keys, id));
+    }
+  }
+
+  /// Advances virtual time a little — enough for in-flight deliveries but
+  /// not for the client's retransmission timers to churn.
+  void step() { loop.run_until(loop.now() + millis(5)); }
+};
+
+TEST(ClientProxyTest, RequestsGoToAllReplicasWithFullAuthenticators) {
+  Harness h;
+  ClientProxy client(h.net, h.group, ClientId{1}, h.keys);
+  client.invoke_ordered(Bytes{1, 2, 3});
+  h.step();
+  for (auto& replica : h.replicas) {
+    ASSERT_EQ(replica->requests.size(), 1u);
+    EXPECT_EQ(replica->requests[0].payload, (Bytes{1, 2, 3}));
+    EXPECT_EQ(replica->requests[0].auth.size(), 4u);
+  }
+}
+
+TEST(ClientProxyTest, FPlusOneMatchingRepliesComplete) {
+  Harness h;
+  ClientProxy client(h.net, h.group, ClientId{1}, h.keys);
+  int completions = 0;
+  Bytes voted;
+  RequestId seq = client.invoke_ordered(Bytes{9}, [&](Bytes payload) {
+    ++completions;
+    voted = std::move(payload);
+  });
+  h.step();
+
+  h.replicas[0]->reply(ClientId{1}, seq, Bytes{42});
+  h.step();
+  EXPECT_EQ(completions, 0);  // one reply is not enough
+
+  h.replicas[1]->reply(ClientId{1}, seq, Bytes{42});
+  h.step();
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(voted, (Bytes{42}));
+
+  // Stragglers after completion change nothing.
+  h.replicas[2]->reply(ClientId{1}, seq, Bytes{42});
+  h.step();
+  EXPECT_EQ(completions, 1);
+}
+
+TEST(ClientProxyTest, DivergentRepliesDoNotVote) {
+  Harness h;
+  ClientProxy client(h.net, h.group, ClientId{1}, h.keys);
+  int completions = 0;
+  RequestId seq = client.invoke_ordered(Bytes{9},
+                                        [&](Bytes) { ++completions; });
+  h.step();
+
+  // Two Byzantine-looking, disagreeing replies: no f+1 match.
+  h.replicas[0]->reply(ClientId{1}, seq, Bytes{1});
+  h.replicas[1]->reply(ClientId{1}, seq, Bytes{2});
+  h.step();
+  EXPECT_EQ(completions, 0);
+
+  // A third reply matching one of them completes.
+  h.replicas[2]->reply(ClientId{1}, seq, Bytes{2});
+  h.step();
+  EXPECT_EQ(completions, 1);
+}
+
+TEST(ClientProxyTest, OneReplicaCannotVoteTwice) {
+  Harness h;
+  ClientProxy client(h.net, h.group, ClientId{1}, h.keys);
+  int completions = 0;
+  RequestId seq = client.invoke_ordered(Bytes{9},
+                                        [&](Bytes) { ++completions; });
+  h.step();
+  h.replicas[0]->reply(ClientId{1}, seq, Bytes{5});
+  h.replicas[0]->reply(ClientId{1}, seq, Bytes{5});
+  h.replicas[0]->reply(ClientId{1}, seq, Bytes{5});
+  h.step();
+  EXPECT_EQ(completions, 0);  // still only one distinct replica
+}
+
+TEST(ClientProxyTest, RetransmitsUntilQuorum) {
+  Harness h;
+  ClientOptions options;
+  options.reply_timeout = millis(100);
+  ClientProxy client(h.net, h.group, ClientId{1}, h.keys, options);
+  client.invoke_ordered(Bytes{9});
+  h.loop.run_until(millis(450));
+  // Initial send + 4 retransmissions.
+  EXPECT_GE(h.replicas[0]->requests.size(), 4u);
+  EXPECT_GE(client.stats().retransmissions, 3u);
+}
+
+TEST(ClientProxyTest, FailureHandlerFiresAfterMaxRetries) {
+  Harness h;
+  ClientOptions options;
+  options.reply_timeout = millis(50);
+  options.max_retries = 3;
+  ClientProxy client(h.net, h.group, ClientId{1}, h.keys, options);
+  RequestId failed{0};
+  client.set_failure_handler([&](RequestId seq) { failed = seq; });
+  RequestId seq = client.invoke_ordered(Bytes{9});
+  h.loop.run_until(seconds(1));
+  EXPECT_EQ(failed, seq);
+  EXPECT_EQ(client.stats().failed, 1u);
+}
+
+TEST(ClientProxyTest, PushesDeliveredPerReplica) {
+  Harness h;
+  ClientProxy client(h.net, h.group, ClientId{1}, h.keys);
+  std::vector<std::pair<std::uint32_t, Bytes>> pushes;
+  client.set_push_handler([&](ReplicaId replica, Bytes payload) {
+    pushes.emplace_back(replica.value, std::move(payload));
+  });
+  h.replicas[2]->push(ClientId{1}, Bytes{7, 7});
+  h.replicas[3]->push(ClientId{1}, Bytes{8});
+  h.step();
+  ASSERT_EQ(pushes.size(), 2u);
+  EXPECT_EQ(pushes[0].first, 2u);
+  EXPECT_EQ(pushes[0].second, (Bytes{7, 7}));
+  EXPECT_EQ(pushes[1].first, 3u);
+}
+
+TEST(ClientProxyTest, MisattributedRepliesDropped) {
+  Harness h;
+  ClientProxy client(h.net, h.group, ClientId{1}, h.keys);
+  int completions = 0;
+  RequestId seq = client.invoke_ordered(Bytes{9},
+                                        [&](Bytes) { ++completions; });
+  h.step();
+
+  // Replica 0 sends replies claiming to be replicas 0, 1, 2: the sender
+  // check pins the reply's replica id to the authenticated envelope sender.
+  for (std::uint32_t fake = 0; fake < 3; ++fake) {
+    ClientReply r;
+    r.replica = ReplicaId{fake};
+    r.client = ClientId{1};
+    r.sequence = seq;
+    r.payload = Bytes{1};
+    Envelope env;
+    env.type = MsgType::kClientReply;
+    env.sender = "replica/0";
+    env.body = r.encode();
+    env.mac = h.keys.mac(
+        "replica/0", "client/1",
+        h.replicas[0]->mac_material(MsgType::kClientReply, "client/1",
+                                    env.body));
+    h.net.send("replica/0", "client/1", env.encode());
+  }
+  h.step();
+  EXPECT_EQ(completions, 0);  // only the honest self-attributed one counted
+}
+
+TEST(ClientProxyTest, ConcurrentRequestsVoteIndependently) {
+  Harness h;
+  ClientProxy client(h.net, h.group, ClientId{1}, h.keys);
+  std::vector<std::uint64_t> completed;
+  RequestId a = client.invoke_ordered(Bytes{1}, [&](Bytes) {
+    completed.push_back(1);
+  });
+  RequestId b = client.invoke_ordered(Bytes{2}, [&](Bytes) {
+    completed.push_back(2);
+  });
+  h.step();
+
+  h.replicas[0]->reply(ClientId{1}, b, Bytes{20});
+  h.replicas[1]->reply(ClientId{1}, b, Bytes{20});
+  h.replicas[0]->reply(ClientId{1}, a, Bytes{10});
+  h.replicas[1]->reply(ClientId{1}, a, Bytes{10});
+  h.step();
+  EXPECT_EQ(completed, (std::vector<std::uint64_t>{2, 1}));
+}
+
+}  // namespace
+}  // namespace ss::bft

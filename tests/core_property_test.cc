@@ -1,0 +1,268 @@
+// Property-style sweeps over the full SMaRt-SCADA deployment: replica
+// convergence under network jitter and drops, logical-timeout parameter
+// sweeps, the parallel-executor feature, and proactive recovery.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/replicated_deployment.h"
+
+namespace ss::core {
+namespace {
+
+sim::CostModel fast_costs() {
+  sim::CostModel costs = sim::CostModel::zero();
+  costs.hop_latency = micros(50);
+  return costs;
+}
+
+ReplicatedOptions fast_options(std::uint64_t seed = 0xFA111) {
+  ReplicatedOptions options;
+  options.costs = fast_costs();
+  options.fault_seed = seed;
+  return options;
+}
+
+/// Drives a mixed update/write workload and returns true when every HMI
+/// write completed.
+bool drive_workload(ReplicatedDeployment& system, ItemId sensor, ItemId valve,
+                    int rounds) {
+  int writes_done = 0;
+  int writes_issued = 0;
+  for (int round = 0; round < rounds; ++round) {
+    system.frontend().field_update(sensor,
+                                   scada::Variant{double(round)});
+    if (round % 4 == 1) {
+      ++writes_issued;
+      system.hmi().write(valve, scada::Variant{double(round)},
+                         [&](const scada::WriteResult&) { ++writes_done; });
+    }
+    system.run_until(system.loop().now() + millis(60));
+  }
+  system.run_until(system.loop().now() + seconds(5));
+  return writes_done == writes_issued;
+}
+
+// ---------------------------------------------------------------------------
+// Convergence under message reordering: all inter-replica links get random
+// jitter; the Masters must still end byte-identical, and the HMI must see
+// each message exactly once.
+
+class JitterConvergence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JitterConvergence, MastersStayIdentical) {
+  ReplicatedDeployment system(fast_options(GetParam()));
+  ItemId sensor = system.add_point("sensor");
+  ItemId valve = system.add_point("valve", scada::Variant{0.0});
+  system.configure_masters([sensor](scada::ScadaMaster& master) {
+    master.handlers(sensor).emplace<scada::MonitorHandler>(
+        scada::MonitorHandler::Condition::kAbove, 10.0);
+  });
+  system.start();
+
+  sim::LinkPolicy jitter;
+  jitter.jitter = millis(5);
+  for (std::uint32_t a = 0; a < system.n(); ++a) {
+    for (std::uint32_t b = 0; b < system.n(); ++b) {
+      if (a == b) continue;
+      system.net().set_policy(crypto::replica_principal(ReplicaId{a}),
+                              crypto::replica_principal(ReplicaId{b}), jitter);
+    }
+  }
+
+  EXPECT_TRUE(drive_workload(system, sensor, valve, 20));
+  EXPECT_TRUE(system.masters_converged());
+  EXPECT_EQ(system.hmi().counters().updates_received, 20u);
+  // Storage histories byte-identical too.
+  for (std::uint32_t i = 1; i < system.n(); ++i) {
+    EXPECT_EQ(system.master(i).storage().chain_digest(),
+              system.master(0).storage().chain_digest());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JitterConvergence,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+// ---------------------------------------------------------------------------
+// Convergence under lossy replica links (client/proxy links stay clean so
+// the voted outputs are still observable).
+
+class LossyConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(LossyConvergence, SystemStaysLiveAndConsistent) {
+  ReplicatedOptions options = fast_options(99);
+  options.request_timeout = millis(300);
+  ReplicatedDeployment system(options);
+  ItemId sensor = system.add_point("sensor");
+  ItemId valve = system.add_point("valve", scada::Variant{0.0});
+  system.start();
+
+  sim::LinkPolicy lossy;
+  lossy.drop_prob = GetParam() / 100.0;
+  for (std::uint32_t a = 0; a < system.n(); ++a) {
+    for (std::uint32_t b = 0; b < system.n(); ++b) {
+      if (a == b) continue;
+      system.net().set_policy(crypto::replica_principal(ReplicaId{a}),
+                              crypto::replica_principal(ReplicaId{b}), lossy);
+    }
+  }
+
+  EXPECT_TRUE(drive_workload(system, sensor, valve, 16));
+  EXPECT_EQ(system.hmi().counters().updates_received, 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(DropPct, LossyConvergence,
+                         ::testing::Values(0, 5, 15));
+
+// ---------------------------------------------------------------------------
+// Logical-timeout sweep: whatever the timeout value, a cut Frontend reply
+// link must resolve every write with kTimeout and leave no pending state.
+
+class TimeoutSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimeoutSweep, AlwaysResolvesBlockedWrites) {
+  ReplicatedOptions options = fast_options();
+  options.write_timeout = millis(GetParam());
+  ReplicatedDeployment system(options);
+  ItemId valve = system.add_point("valve", scada::Variant{0.0});
+  system.start();
+  system.net().set_policy(kFrontendEndpoint, kProxyFrontendEndpoint,
+                          sim::LinkPolicy::cut_link());
+
+  int timeouts = 0;
+  for (int i = 0; i < 3; ++i) {
+    bool done = false;
+    system.hmi().write(valve, scada::Variant{double(i)},
+                       [&](const scada::WriteResult& result) {
+                         done = true;
+                         if (result.status == scada::WriteStatus::kTimeout) {
+                           ++timeouts;
+                         }
+                       });
+    system.run_until(system.loop().now() + millis(GetParam()) * 5 +
+                     seconds(2));
+    EXPECT_TRUE(done) << "write " << i;
+  }
+  EXPECT_EQ(timeouts, 3);
+  for (std::uint32_t i = 0; i < system.n(); ++i) {
+    EXPECT_EQ(system.master(i).pending_write_count(), 0u);
+  }
+  EXPECT_TRUE(system.masters_converged());
+}
+
+INSTANTIATE_TEST_SUITE_P(TimeoutsMs, TimeoutSweep,
+                         ::testing::Values(100, 400, 1500));
+
+// ---------------------------------------------------------------------------
+// Parallel executor (paper §VII-b future work): behaviour must be identical
+// to the single-threaded prototype — only the virtual-time cost accounting
+// changes. Convergence, voting and ordering all still hold.
+
+class ExecutorSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ExecutorSweep, SemanticsIndependentOfExecutorLanes) {
+  ReplicatedOptions options = fast_options();
+  options.executor_lanes = GetParam();
+  ReplicatedDeployment system(options);
+  ItemId a = system.add_point("a");
+  ItemId b = system.add_point("b");
+  ItemId valve = system.add_point("valve", scada::Variant{0.0});
+  system.configure_masters([a, b](scada::ScadaMaster& master) {
+    master.handlers(a).emplace<scada::MonitorHandler>(
+        scada::MonitorHandler::Condition::kAbove, 5.0);
+    master.handlers(b).emplace<scada::MonitorHandler>(
+        scada::MonitorHandler::Condition::kAbove, 5.0);
+  });
+  system.start();
+
+  for (int i = 0; i < 10; ++i) {
+    system.frontend().field_update(i % 2 == 0 ? a : b,
+                                   scada::Variant{double(i)});
+    system.run_until(system.loop().now() + millis(50));
+  }
+  bool write_done = false;
+  system.hmi().write(valve, scada::Variant{1.0},
+                     [&](const scada::WriteResult&) { write_done = true; });
+  system.run_until(system.loop().now() + seconds(3));
+
+  EXPECT_TRUE(write_done);
+  EXPECT_EQ(system.hmi().counters().updates_received, 10u);
+  // 6..9 exceed the threshold -> 4 alarms.
+  EXPECT_EQ(system.hmi().counters().events_received, 4u);
+  EXPECT_TRUE(system.masters_converged());
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, ExecutorSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+// ---------------------------------------------------------------------------
+// Proactive recovery (Castro-Liskov style, the intrusion-tolerance practice
+// the paper's §I cites): periodically restart each replica in turn; every
+// restart wipes volatile state and rejoins via state transfer. The system
+// must stay live and consistent throughout.
+
+TEST(ProactiveRecovery, RollingRestartsPreserveServiceAndState) {
+  ReplicatedOptions options = fast_options();
+  ReplicatedDeployment system(options);
+  ItemId sensor = system.add_point("sensor");
+  ItemId valve = system.add_point("valve", scada::Variant{0.0});
+  system.start();
+
+  int updates_sent = 0;
+  int writes_done = 0;
+  int writes_issued = 0;
+  for (std::uint32_t victim = 0; victim < system.n(); ++victim) {
+    system.crash_replica(victim);
+    for (int i = 0; i < 5; ++i) {
+      system.frontend().field_update(sensor,
+                                     scada::Variant{double(updates_sent++)});
+      system.run_until(system.loop().now() + millis(80));
+    }
+    ++writes_issued;
+    system.hmi().write(valve, scada::Variant{double(victim)},
+                       [&](const scada::WriteResult&) { ++writes_done; });
+    system.run_until(system.loop().now() + seconds(8));
+    system.recover_replica(victim);
+    system.run_until(system.loop().now() + seconds(3));
+    EXPECT_EQ(system.replica(victim).last_decided(),
+              system.replica((victim + 1) % system.n()).last_decided())
+        << "victim " << victim;
+  }
+
+  EXPECT_EQ(writes_done, writes_issued);
+  EXPECT_EQ(system.hmi().counters().updates_received,
+            static_cast<std::uint64_t>(updates_sent));
+  EXPECT_TRUE(system.masters_converged());
+  for (std::uint32_t i = 0; i < system.n(); ++i) {
+    EXPECT_GE(system.replica(i).stats().state_transfers, 1u) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism across seeds: for any fault seed, two runs with
+// that seed give identical master state (the repeatability the DES design
+// guarantees and the tests rely on).
+
+class RunDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RunDeterminism, IdenticalDigestsAcrossRuns) {
+  auto run_once = [&] {
+    ReplicatedDeployment system(fast_options(GetParam()));
+    ItemId sensor = system.add_point("sensor");
+    ItemId valve = system.add_point("valve", scada::Variant{0.0});
+    system.configure_masters([sensor](scada::ScadaMaster& master) {
+      master.handlers(sensor).emplace<scada::MonitorHandler>(
+          scada::MonitorHandler::Condition::kAbove, 3.0);
+    });
+    system.start();
+    drive_workload(system, sensor, valve, 12);
+    return system.master(0).state_digest();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RunDeterminism,
+                         ::testing::Values(7u, 1234u, 0xDEADBEEFu));
+
+}  // namespace
+}  // namespace ss::core

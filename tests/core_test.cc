@@ -1,0 +1,532 @@
+// Integration tests for the SMaRt-SCADA core: baseline end-to-end flows,
+// replicated end-to-end flows, push voting, the logical-timeout protocol,
+// Byzantine masking, crash/recovery, and cross-replica determinism.
+#include <gtest/gtest.h>
+
+#include "core/baseline_deployment.h"
+#include "core/push_voter.h"
+#include "core/replicated_deployment.h"
+#include "core/scada_link.h"
+
+namespace ss::core {
+namespace {
+
+sim::CostModel fast_costs() {
+  // Keep unit tests snappy: small but non-zero network, zero CPU.
+  sim::CostModel costs = sim::CostModel::zero();
+  costs.hop_latency = micros(50);
+  return costs;
+}
+
+// ---------------------------------------------------------------------------
+// scada_link
+
+TEST(ScadaLink, RoundTripAndForgeryRejected) {
+  sim::EventLoop loop;
+  sim::Network net(loop, 0, 0);
+  crypto::Keychain keys("secret");
+
+  std::optional<scada::ScadaMessage> received;
+  std::string sender;
+  net.attach("b", [&](sim::Message m) {
+    received = receive_scada(keys, "b", m, &sender);
+  });
+
+  scada::WriteValue write;
+  write.ctx.op = OpId{7};
+  write.item = ItemId{1};
+  write.value = scada::Variant{2.0};
+  send_scada(net, keys, "a", "b", scada::ScadaMessage{write});
+  loop.run();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(sender, "a");
+  EXPECT_EQ(std::get<scada::WriteValue>(*received).ctx.op, OpId{7});
+
+  // Tampered frames are rejected.
+  received.reset();
+  sim::LinkPolicy corrupt;
+  corrupt.corrupt_prob = 1.0;
+  net.set_policy("a", "b", corrupt);
+  send_scada(net, keys, "a", "b", scada::ScadaMessage{write});
+  loop.run();
+  EXPECT_FALSE(received.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// PushVoter
+
+scada::ScadaMessage sample_update(std::uint64_t op) {
+  scada::ItemUpdate update;
+  update.ctx.op = OpId{op};
+  update.item = ItemId{1};
+  update.value = scada::Variant{1.0};
+  return scada::ScadaMessage{update};
+}
+
+TEST(PushVoterTest, DeliversOnceAtFPlusOne) {
+  GroupConfig group = GroupConfig::for_f(1);
+  int delivered = 0;
+  PushVoter voter(group, [&](const scada::ScadaMessage&) { ++delivered; });
+  Bytes payload = scada::encode_message(sample_update(1));
+  voter.offer(ReplicaId{0}, payload);
+  EXPECT_EQ(delivered, 0);
+  voter.offer(ReplicaId{1}, payload);
+  EXPECT_EQ(delivered, 1);
+  voter.offer(ReplicaId{2}, payload);  // straggler
+  voter.offer(ReplicaId{3}, payload);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(voter.stats().stragglers, 2u);
+}
+
+TEST(PushVoterTest, DuplicateVotesFromOneReplicaDoNotCount) {
+  GroupConfig group = GroupConfig::for_f(1);
+  int delivered = 0;
+  PushVoter voter(group, [&](const scada::ScadaMessage&) { ++delivered; });
+  Bytes payload = scada::encode_message(sample_update(1));
+  voter.offer(ReplicaId{0}, payload);
+  voter.offer(ReplicaId{0}, payload);
+  voter.offer(ReplicaId{0}, payload);
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(voter.stats().duplicate_votes, 2u);
+}
+
+TEST(PushVoterTest, CorruptMinorityNeverDelivers) {
+  GroupConfig group = GroupConfig::for_f(1);
+  int delivered = 0;
+  PushVoter voter(group, [&](const scada::ScadaMessage&) { ++delivered; });
+  // One Byzantine replica pushes a forged message; f+1 is never reached.
+  Bytes forged = scada::encode_message(sample_update(666));
+  voter.offer(ReplicaId{2}, forged);
+  EXPECT_EQ(delivered, 0);
+  // Malformed pushes are counted, not crashed on.
+  voter.offer(ReplicaId{2}, Bytes{0xff, 0xff});
+  EXPECT_EQ(voter.stats().malformed, 1u);
+}
+
+TEST(PushVoterTest, OutOfRangeReplicaRejected) {
+  GroupConfig group = GroupConfig::for_f(1);
+  int delivered = 0;
+  PushVoter voter(group, [&](const scada::ScadaMessage&) { ++delivered; });
+  Bytes payload = scada::encode_message(sample_update(1));
+  voter.offer(ReplicaId{9}, payload);
+  voter.offer(ReplicaId{10}, payload);
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(PushVoterTest, DistinctMessagesVoteIndependently) {
+  GroupConfig group = GroupConfig::for_f(1);
+  std::vector<std::uint64_t> delivered;
+  PushVoter voter(group, [&](const scada::ScadaMessage& msg) {
+    delivered.push_back(context_of(msg).op.value);
+  });
+  Bytes a = scada::encode_message(sample_update(1));
+  Bytes b = scada::encode_message(sample_update(2));
+  voter.offer(ReplicaId{0}, a);
+  voter.offer(ReplicaId{0}, b);
+  voter.offer(ReplicaId{1}, b);
+  voter.offer(ReplicaId{1}, a);
+  EXPECT_EQ(delivered, (std::vector<std::uint64_t>{2, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// Baseline deployment end-to-end
+
+TEST(Baseline, UpdateReachesHmi) {
+  BaselineDeployment system(BaselineOptions{.costs = fast_costs()});
+  ItemId item = system.add_point("grid/voltage");
+  system.start();
+
+  system.frontend().field_update(item, scada::Variant{231.5});
+  system.run_until(system.loop().now() + millis(10));
+
+  EXPECT_EQ(system.hmi().counters().updates_received, 1u);
+  ASSERT_NE(system.hmi().item(item), nullptr);
+  EXPECT_DOUBLE_EQ(system.hmi().item(item)->value.as_double(), 231.5);
+}
+
+TEST(Baseline, AlarmReachesHmiViaAeChannel) {
+  BaselineDeployment system(BaselineOptions{.costs = fast_costs()});
+  ItemId item = system.add_point("grid/voltage");
+  system.master().handlers(item).emplace<scada::MonitorHandler>(
+      scada::MonitorHandler::Condition::kAbove, 240.0);
+  system.start();
+
+  system.frontend().field_update(item, scada::Variant{250.0});
+  system.run_until(system.loop().now() + millis(10));
+
+  EXPECT_EQ(system.hmi().counters().updates_received, 1u);
+  EXPECT_EQ(system.hmi().counters().events_received, 1u);
+  ASSERT_EQ(system.hmi().event_log().size(), 1u);
+  EXPECT_EQ(system.hmi().event_log()[0].code, "MONITOR_TRIGGER");
+  EXPECT_EQ(system.master().storage().size(), 1u);
+}
+
+TEST(Baseline, SynchronousWriteCompletes) {
+  BaselineDeployment system(BaselineOptions{.costs = fast_costs()});
+  ItemId item = system.add_point("breaker/1", scada::Variant{0.0});
+  system.start();
+
+  scada::WriteResult result;
+  bool done = false;
+  system.hmi().write(item, scada::Variant{1.0},
+                     [&](const scada::WriteResult& r) {
+                       result = r;
+                       done = true;
+                     });
+  system.run_until(system.loop().now() + millis(20));
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(result.status, scada::WriteStatus::kOk);
+  EXPECT_DOUBLE_EQ(system.frontend().item(item)->value.as_double(), 1.0);
+}
+
+TEST(Baseline, BlockedWriteDeniedWithReason) {
+  BaselineDeployment system(BaselineOptions{.costs = fast_costs()});
+  ItemId item = system.add_point("breaker/1");
+  auto* block = system.master().handlers(item).emplace<scada::BlockHandler>();
+  block->block("switchyard maintenance");
+  system.start();
+
+  scada::WriteResult result;
+  bool done = false;
+  system.hmi().write(item, scada::Variant{1.0},
+                     [&](const scada::WriteResult& r) {
+                       result = r;
+                       done = true;
+                     });
+  system.run_until(system.loop().now() + millis(20));
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(result.status, scada::WriteStatus::kDenied);
+  EXPECT_NE(result.reason.find("maintenance"), std::string::npos);
+  // The paper's §II-B flow: the denial reason also arrives as an AE event.
+  EXPECT_EQ(system.hmi().counters().events_received, 1u);
+}
+
+TEST(Baseline, CommunicationStepsMatchPaperFigure3) {
+  // Figure 3: ItemUpdate takes 3 communication steps (Frontend->Master,
+  // internal, Master->HMI) — on the wire that is 2 network messages.
+  BaselineDeployment system(BaselineOptions{.costs = fast_costs()});
+  ItemId item = system.add_point("x");
+  system.start();
+  system.net().reset_stats();
+
+  system.frontend().field_update(item, scada::Variant{1.0});
+  system.run_until(system.loop().now() + millis(10));
+  EXPECT_EQ(system.net().stats().delivered, 2u);
+}
+
+TEST(Baseline, CommunicationStepsMatchPaperFigure4) {
+  // Figure 4: WriteValue takes 6 steps; on the wire: HMI->Master,
+  // Master->Frontend, Frontend->Master, Master->HMI = 4 messages.
+  BaselineDeployment system(BaselineOptions{.costs = fast_costs()});
+  ItemId item = system.add_point("x");
+  system.start();
+  system.net().reset_stats();
+
+  bool done = false;
+  system.hmi().write(item, scada::Variant{1.0},
+                     [&](const scada::WriteResult&) { done = true; });
+  system.run_until(system.loop().now() + millis(20));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(system.net().stats().delivered, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Replicated deployment end-to-end
+
+ReplicatedOptions fast_replicated() {
+  ReplicatedOptions options;
+  options.costs = fast_costs();
+  options.write_timeout = millis(500);
+  return options;
+}
+
+TEST(Replicated, UpdateReachesHmiThroughAgreement) {
+  ReplicatedDeployment system(fast_replicated());
+  ItemId item = system.add_point("grid/voltage");
+  system.start();
+
+  system.frontend().field_update(item, scada::Variant{231.5});
+  system.run_until(system.loop().now() + seconds(1));
+
+  EXPECT_EQ(system.hmi().counters().updates_received, 1u);
+  ASSERT_NE(system.hmi().item(item), nullptr);
+  EXPECT_DOUBLE_EQ(system.hmi().item(item)->value.as_double(), 231.5);
+  // Every replica executed the update.
+  for (std::uint32_t i = 0; i < system.n(); ++i) {
+    EXPECT_EQ(system.master(i).counters().updates_processed, 1u);
+  }
+  EXPECT_TRUE(system.masters_converged());
+}
+
+TEST(Replicated, AlarmsAreVotedAndDeliveredOnce) {
+  ReplicatedDeployment system(fast_replicated());
+  ItemId item = system.add_point("grid/voltage");
+  system.configure_masters([item](scada::ScadaMaster& master) {
+    master.handlers(item).emplace<scada::MonitorHandler>(
+        scada::MonitorHandler::Condition::kAbove, 240.0);
+  });
+  system.start();
+
+  system.frontend().field_update(item, scada::Variant{250.0});
+  system.run_until(system.loop().now() + seconds(1));
+
+  // Despite 4 replicas pushing, the HMI sees exactly one update and one
+  // alarm — the ProxyHMI voter deduplicates (challenge (d)).
+  EXPECT_EQ(system.hmi().counters().updates_received, 1u);
+  EXPECT_EQ(system.hmi().counters().events_received, 1u);
+  ASSERT_EQ(system.hmi().event_log().size(), 1u);
+  EXPECT_EQ(system.hmi().event_log()[0].code, "MONITOR_TRIGGER");
+  EXPECT_TRUE(system.masters_converged());
+}
+
+TEST(Replicated, EventTimestampsIdenticalAcrossReplicas) {
+  ReplicatedDeployment system(fast_replicated());
+  ItemId item = system.add_point("grid/voltage");
+  system.configure_masters([item](scada::ScadaMaster& master) {
+    master.handlers(item).emplace<scada::MonitorHandler>(
+        scada::MonitorHandler::Condition::kAbove, 0.0);
+  });
+  system.start();
+
+  for (int i = 1; i <= 5; ++i) {
+    system.frontend().field_update(item, scada::Variant{double(i)});
+  }
+  system.run_until(system.loop().now() + seconds(2));
+
+  ASSERT_EQ(system.master(0).storage().size(), 5u);
+  for (std::uint32_t i = 1; i < system.n(); ++i) {
+    ASSERT_EQ(system.master(i).storage().size(), 5u);
+    EXPECT_EQ(system.master(i).storage().chain_digest(),
+              system.master(0).storage().chain_digest());
+  }
+}
+
+TEST(Replicated, SynchronousWriteCompletes) {
+  ReplicatedDeployment system(fast_replicated());
+  ItemId item = system.add_point("breaker/1", scada::Variant{0.0});
+  system.start();
+
+  scada::WriteResult result;
+  bool done = false;
+  system.hmi().write(item, scada::Variant{1.0},
+                     [&](const scada::WriteResult& r) {
+                       result = r;
+                       done = true;
+                     });
+  system.run_until(system.loop().now() + seconds(2));
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(result.status, scada::WriteStatus::kOk);
+  EXPECT_DOUBLE_EQ(system.frontend().item(item)->value.as_double(), 1.0);
+  EXPECT_TRUE(system.masters_converged());
+  for (std::uint32_t i = 0; i < system.n(); ++i) {
+    EXPECT_EQ(system.master(i).pending_write_count(), 0u);
+  }
+}
+
+TEST(Replicated, BlockedWriteDeniedDeterministically) {
+  ReplicatedDeployment system(fast_replicated());
+  ItemId item = system.add_point("breaker/1");
+  system.configure_masters([item](scada::ScadaMaster& master) {
+    auto* block = master.handlers(item).emplace<scada::BlockHandler>();
+    block->block("interlock");
+  });
+  system.start();
+
+  scada::WriteResult result;
+  bool done = false;
+  system.hmi().write(item, scada::Variant{1.0},
+                     [&](const scada::WriteResult& r) {
+                       result = r;
+                       done = true;
+                     });
+  system.run_until(system.loop().now() + seconds(2));
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(result.status, scada::WriteStatus::kDenied);
+  EXPECT_EQ(system.hmi().counters().events_received, 1u);
+  EXPECT_TRUE(system.masters_converged());
+}
+
+TEST(Replicated, LogicalTimeoutUnblocksDroppedWriteResult) {
+  ReplicatedDeployment system(fast_replicated());
+  ItemId item = system.add_point("valve/1", scada::Variant{0.0});
+  system.start();
+
+  // The frontend never answers: its reply link to the proxy is cut after
+  // the write command reaches it (the paper's attacker dropping
+  // WriteResult messages).
+  system.net().set_policy(kFrontendEndpoint, kProxyFrontendEndpoint,
+                          sim::LinkPolicy::cut_link());
+
+  scada::WriteResult result;
+  bool done = false;
+  system.hmi().write(item, scada::Variant{1.0},
+                     [&](const scada::WriteResult& r) {
+                       result = r;
+                       done = true;
+                     });
+  system.run_until(system.loop().now() + seconds(5));
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(result.status, scada::WriteStatus::kTimeout);
+  // The masters resolved the op and stay alive (liveness preserved).
+  for (std::uint32_t i = 0; i < system.n(); ++i) {
+    EXPECT_EQ(system.master(i).pending_write_count(), 0u);
+    EXPECT_EQ(system.master(i).counters().write_timeouts, 1u);
+  }
+  EXPECT_TRUE(system.masters_converged());
+  // The HMI also received the WRITE_TIMEOUT event on the AE channel.
+  ASSERT_GE(system.hmi().event_log().size(), 1u);
+  EXPECT_EQ(system.hmi().event_log()[0].code, "WRITE_TIMEOUT");
+}
+
+TEST(Replicated, WritesProceedAfterTimeoutRecovery) {
+  ReplicatedDeployment system(fast_replicated());
+  ItemId item = system.add_point("valve/1", scada::Variant{0.0});
+  system.start();
+
+  system.net().set_policy(kFrontendEndpoint, kProxyFrontendEndpoint,
+                          sim::LinkPolicy::cut_link());
+  bool first_done = false;
+  system.hmi().write(item, scada::Variant{1.0},
+                     [&](const scada::WriteResult&) { first_done = true; });
+  system.run_until(system.loop().now() + seconds(5));
+  ASSERT_TRUE(first_done);
+
+  // Heal the link; the next write completes normally.
+  system.net().clear_policy(kFrontendEndpoint, kProxyFrontendEndpoint);
+  scada::WriteResult result;
+  bool done = false;
+  system.hmi().write(item, scada::Variant{2.0},
+                     [&](const scada::WriteResult& r) {
+                       result = r;
+                       done = true;
+                     });
+  system.run_until(system.loop().now() + seconds(3));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(result.status, scada::WriteStatus::kOk);
+  EXPECT_TRUE(system.masters_converged());
+}
+
+TEST(Replicated, ToleratesCrashedReplica) {
+  ReplicatedDeployment system(fast_replicated());
+  ItemId item = system.add_point("grid/voltage");
+  system.start();
+
+  system.crash_replica(3);
+  for (int i = 1; i <= 10; ++i) {
+    system.frontend().field_update(item, scada::Variant{double(i)});
+  }
+  system.run_until(system.loop().now() + seconds(2));
+  EXPECT_EQ(system.hmi().counters().updates_received, 10u);
+
+  bool done = false;
+  system.hmi().write(item, scada::Variant{99.0},
+                     [&](const scada::WriteResult&) { done = true; });
+  system.run_until(system.loop().now() + seconds(2));
+  EXPECT_TRUE(done);
+}
+
+TEST(Replicated, ToleratesCrashedLeader) {
+  ReplicatedDeployment system(fast_replicated());
+  ItemId item = system.add_point("grid/voltage");
+  system.start();
+
+  system.crash_replica(0);  // the leader
+  system.frontend().field_update(item, scada::Variant{1.0});
+  system.run_until(system.loop().now() + seconds(10));
+  EXPECT_EQ(system.hmi().counters().updates_received, 1u);
+  EXPECT_GE(system.replica(1).regency(), 1u);
+}
+
+TEST(Replicated, MasksByzantineReplicaCorruptingPushes) {
+  ReplicatedDeployment system(fast_replicated());
+  ItemId item = system.add_point("grid/voltage");
+  system.start();
+
+  system.set_byzantine(2, bft::ByzantineMode::kCorruptReplies);
+  for (int i = 1; i <= 10; ++i) {
+    system.frontend().field_update(item, scada::Variant{double(i)});
+  }
+  system.run_until(system.loop().now() + seconds(2));
+
+  // All updates delivered, with the correct (voted) values.
+  EXPECT_EQ(system.hmi().counters().updates_received, 10u);
+  EXPECT_DOUBLE_EQ(system.hmi().item(item)->value.as_double(), 10.0);
+}
+
+TEST(Replicated, RecoveredReplicaRejoinsWithFullScadaState) {
+  ReplicatedDeployment system(fast_replicated());
+  ItemId item = system.add_point("grid/voltage");
+  system.configure_masters([item](scada::ScadaMaster& master) {
+    master.handlers(item).emplace<scada::MonitorHandler>(
+        scada::MonitorHandler::Condition::kAbove, 5.0);
+  });
+  system.start();
+
+  system.crash_replica(3);
+  for (int i = 1; i <= 10; ++i) {
+    system.frontend().field_update(item, scada::Variant{double(i)});
+  }
+  system.run_until(system.loop().now() + seconds(2));
+
+  system.recover_replica(3);
+  system.run_until(system.loop().now() + seconds(3));
+
+  EXPECT_GE(system.replica(3).stats().state_transfers, 1u);
+  EXPECT_EQ(system.master(3).state_digest(), system.master(0).state_digest());
+  EXPECT_EQ(system.master(3).storage().chain_digest(),
+            system.master(0).storage().chain_digest());
+}
+
+TEST(Replicated, MixedWorkloadConverges) {
+  ReplicatedDeployment system(fast_replicated());
+  ItemId sensor = system.add_point("sensor/a");
+  ItemId valve = system.add_point("valve/b", scada::Variant{0.0});
+  system.configure_masters([sensor](scada::ScadaMaster& master) {
+    master.handlers(sensor).emplace<scada::MonitorHandler>(
+        scada::MonitorHandler::Condition::kAbove, 50.0);
+  });
+  system.start();
+
+  int writes_done = 0;
+  for (int round = 0; round < 10; ++round) {
+    system.frontend().field_update(sensor, scada::Variant{double(40 + round * 2)});
+    if (round % 3 == 0) {
+      system.hmi().write(valve, scada::Variant{double(round)},
+                         [&](const scada::WriteResult&) { ++writes_done; });
+    }
+    system.run_until(system.loop().now() + millis(100));
+  }
+  system.run_until(system.loop().now() + seconds(3));
+
+  EXPECT_EQ(system.hmi().counters().updates_received, 10u);
+  EXPECT_EQ(writes_done, 4);
+  EXPECT_TRUE(system.masters_converged());
+  // Updates 51..58 crossed the threshold: alarms flowed.
+  EXPECT_GT(system.hmi().counters().events_received, 0u);
+}
+
+TEST(Replicated, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    ReplicatedDeployment system(fast_replicated());
+    ItemId item = system.add_point("grid/voltage");
+    system.configure_masters([item](scada::ScadaMaster& master) {
+      master.handlers(item).emplace<scada::MonitorHandler>(
+          scada::MonitorHandler::Condition::kAbove, 3.0);
+    });
+    system.start();
+    for (int i = 1; i <= 8; ++i) {
+      system.frontend().field_update(item, scada::Variant{double(i)});
+    }
+    system.run_until(system.loop().now() + seconds(2));
+    return system.master(0).state_digest();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace ss::core

@@ -1,0 +1,168 @@
+// Unit tests for src/crypto: SHA-256 against FIPS 180-4 vectors, HMAC
+// against RFC 4231 vectors, keychain and MAC-vector semantics.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "crypto/hmac.h"
+#include "crypto/keychain.h"
+#include "crypto/sha256.h"
+
+namespace ss::crypto {
+namespace {
+
+TEST(Sha256, EmptyInput) {
+  EXPECT_EQ(to_hex(Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  Bytes abc = bytes_of("abc");
+  EXPECT_EQ(to_hex(Sha256::hash(abc)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  Bytes msg = bytes_of(
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  EXPECT_EQ(to_hex(Sha256::hash(msg)),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Bytes msg = bytes_of("the quick brown fox jumps over the lazy dog, twice.");
+  Sha256 h;
+  for (std::size_t i = 0; i < msg.size(); i += 7) {
+    std::size_t len = std::min<std::size_t>(7, msg.size() - i);
+    h.update(ByteView(msg.data() + i, len));
+  }
+  EXPECT_EQ(h.finish(), Sha256::hash(msg));
+}
+
+TEST(Sha256, ReusableAfterFinish) {
+  Sha256 h;
+  h.update(bytes_of("abc"));
+  Digest first = h.finish();
+  h.update(bytes_of("abc"));
+  Digest second = h.finish();
+  EXPECT_EQ(first, second);
+}
+
+TEST(Sha256, BoundaryLengths) {
+  // 55, 56, 63, 64, 65 bytes cross the padding boundaries.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u}) {
+    Bytes msg(len, 'x');
+    Sha256 h;
+    h.update(msg);
+    EXPECT_EQ(h.finish(), Sha256::hash(msg)) << "len=" << len;
+  }
+}
+
+TEST(Sha256, Prefix64) {
+  Digest d{};
+  d[0] = 0x01;
+  d[7] = 0xff;
+  EXPECT_EQ(digest_prefix64(d), 0x01000000000000ffULL);
+}
+
+// RFC 4231 test case 1.
+TEST(Hmac, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  Bytes msg = bytes_of("Hi There");
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(Hmac, Rfc4231Case2) {
+  Bytes key = bytes_of("Jefe");
+  Bytes msg = bytes_of("what do ya want for nothing?");
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 20-byte 0xaa key, 50-byte 0xdd data.
+TEST(Hmac, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes msg(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: 131-byte key (hashed first).
+TEST(Hmac, Rfc4231LongKey) {
+  Bytes key(131, 0xaa);
+  Bytes msg = bytes_of("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, VerifyDetectsTamper) {
+  Bytes key = bytes_of("key");
+  Bytes msg = bytes_of("message");
+  Digest mac = hmac_sha256(key, msg);
+  EXPECT_TRUE(hmac_verify(key, msg, mac));
+  Bytes tampered = msg;
+  tampered[0] ^= 1;
+  EXPECT_FALSE(hmac_verify(key, tampered, mac));
+  Digest bad_mac = mac;
+  bad_mac[31] ^= 1;
+  EXPECT_FALSE(hmac_verify(key, msg, bad_mac));
+}
+
+TEST(Keychain, PairKeySymmetricAndDistinct) {
+  Keychain chain("secret");
+  Bytes ab = chain.pair_key("a", "b");
+  Bytes ba = chain.pair_key("b", "a");
+  Bytes ac = chain.pair_key("a", "c");
+  EXPECT_EQ(ab, ba);
+  EXPECT_NE(ab, ac);
+
+  Keychain other("other-secret");
+  EXPECT_NE(chain.pair_key("a", "b"), other.pair_key("a", "b"));
+}
+
+TEST(Keychain, MacVerifyRoundTrip) {
+  Keychain chain("secret");
+  Bytes msg = bytes_of("payload");
+  Digest mac = chain.mac("client/1", "replica/0", msg);
+  EXPECT_TRUE(chain.verify("client/1", "replica/0", msg, mac));
+  // Receiver mismatch -> different key -> fails.
+  EXPECT_FALSE(chain.verify("client/1", "replica/1", msg, mac));
+  // Sender spoofing fails too.
+  EXPECT_FALSE(chain.verify("client/2", "replica/0", msg, mac));
+}
+
+TEST(MacVector, PerReplicaEntries) {
+  Keychain chain("secret");
+  GroupConfig group = GroupConfig::for_f(1);
+  Bytes msg = bytes_of("broadcast");
+  MacVector v = MacVector::create(chain, "client/9", group, msg);
+  ASSERT_EQ(v.macs.size(), 4u);
+  for (ReplicaId id : group.replica_ids()) {
+    EXPECT_TRUE(v.verify_entry(chain, "client/9", id, msg));
+  }
+  // A tampered message fails everywhere.
+  Bytes tampered = msg;
+  tampered[0] ^= 1;
+  for (ReplicaId id : group.replica_ids()) {
+    EXPECT_FALSE(v.verify_entry(chain, "client/9", id, tampered));
+  }
+  // Out-of-range replica id is rejected, not UB.
+  EXPECT_FALSE(v.verify_entry(chain, "client/9", ReplicaId{99}, msg));
+}
+
+TEST(Principals, Naming) {
+  EXPECT_EQ(replica_principal(ReplicaId{3}), "replica/3");
+  EXPECT_EQ(client_principal(ClientId{17}), "client/17");
+}
+
+}  // namespace
+}  // namespace ss::crypto

@@ -1,0 +1,328 @@
+// Unit tests for the RTU/field simulation: modbus frames, RTU register
+// semantics, frontend driver polling and writes.
+#include <gtest/gtest.h>
+
+#include "rtu/driver.h"
+#include "rtu/modbus.h"
+#include "rtu/rtu.h"
+#include "rtu/sensors.h"
+#include "scada/frontend.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+
+namespace ss::rtu {
+namespace {
+
+TEST(Modbus, RequestRoundTrip) {
+  ModbusRequest req;
+  req.transaction = 77;
+  req.unit = 3;
+  req.function = FunctionCode::kWriteMultipleRegisters;
+  req.address = 100;
+  req.count = 2;
+  req.values = {0xdead, 0xbeef};
+  ModbusRequest decoded = ModbusRequest::decode(req.encode());
+  EXPECT_EQ(decoded.transaction, 77);
+  EXPECT_EQ(decoded.unit, 3);
+  EXPECT_EQ(decoded.function, FunctionCode::kWriteMultipleRegisters);
+  EXPECT_EQ(decoded.address, 100);
+  EXPECT_EQ(decoded.values, req.values);
+}
+
+TEST(Modbus, ResponseRoundTrip) {
+  ModbusResponse rsp;
+  rsp.transaction = 5;
+  rsp.function = FunctionCode::kReadHoldingRegisters;
+  rsp.exception = ModbusException::kIllegalDataAddress;
+  rsp.values = {1, 2, 3};
+  ModbusResponse decoded = ModbusResponse::decode(rsp.encode());
+  EXPECT_EQ(decoded.transaction, 5);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.values, rsp.values);
+}
+
+TEST(Modbus, RejectsUnknownFunction) {
+  ModbusRequest req;
+  Bytes encoded = req.encode();
+  encoded[3] = 0x55;  // function byte
+  EXPECT_THROW(ModbusRequest::decode(encoded), DecodeError);
+}
+
+TEST(Scaling, RoundTripsEngineeringValues) {
+  RegisterScaling scaling{0.1, -50.0};  // raw 0..65535 -> -50.0 .. 6503.5
+  std::uint16_t raw = scaling.to_raw(25.0);
+  EXPECT_NEAR(scaling.to_engineering(raw), 25.0, 0.11);
+  EXPECT_EQ(scaling.to_raw(-1000.0), 0u);   // clamped
+  EXPECT_EQ(scaling.to_raw(1e9), 65535u);   // clamped
+}
+
+TEST(Signals, SineStaysInBand) {
+  SineSignal sine(50.0, 10.0, seconds(60));
+  Rng rng(1);
+  for (SimTime t = 0; t < seconds(120); t += seconds(1)) {
+    double v = sine.sample(t, rng);
+    EXPECT_GE(v, 39.9);
+    EXPECT_LE(v, 60.1);
+  }
+}
+
+TEST(Signals, RandomWalkRespectsBounds) {
+  RandomWalkSignal walk(5.0, 1.0, 0.0, 10.0);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    double v = walk.sample(0, rng);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 10.0);
+  }
+}
+
+TEST(Signals, SquareToggles) {
+  SquareSignal square(0.0, 1.0, seconds(10));
+  Rng rng(3);
+  EXPECT_EQ(square.sample(seconds(1), rng), 0.0);
+  EXPECT_EQ(square.sample(seconds(6), rng), 1.0);
+}
+
+TEST(Signals, RampGrowsLinearly) {
+  RampSignal ramp(10.0, 2.0);
+  Rng rng(4);
+  EXPECT_DOUBLE_EQ(ramp.sample(0, rng), 10.0);
+  EXPECT_DOUBLE_EQ(ramp.sample(seconds(5), rng), 20.0);
+}
+
+struct RtuHarness {
+  sim::EventLoop loop;
+  sim::Network net{loop, micros(100), 0};
+  Rtu rtu{net, "rtu/1"};
+
+  ModbusResponse roundtrip(const ModbusRequest& req) {
+    ModbusResponse rsp;
+    bool got = false;
+    net.attach("tester", [&](sim::Message m) {
+      rsp = ModbusResponse::decode(m.payload);
+      got = true;
+    });
+    net.send("tester", "rtu/1", req.encode());
+    loop.run();
+    EXPECT_TRUE(got);
+    return rsp;
+  }
+};
+
+TEST(Rtu, ReadAndWriteRegisters) {
+  RtuHarness h;
+  h.rtu.add_actuator(10, 123);
+
+  ModbusRequest read;
+  read.transaction = 1;
+  read.function = FunctionCode::kReadHoldingRegisters;
+  read.address = 10;
+  read.count = 1;
+  ModbusResponse rsp = h.roundtrip(read);
+  ASSERT_TRUE(rsp.ok());
+  ASSERT_EQ(rsp.values.size(), 1u);
+  EXPECT_EQ(rsp.values[0], 123u);
+
+  ModbusRequest write;
+  write.transaction = 2;
+  write.function = FunctionCode::kWriteSingleRegister;
+  write.address = 10;
+  write.values = {999};
+  EXPECT_TRUE(h.roundtrip(write).ok());
+  EXPECT_EQ(h.rtu.register_value(10), 999u);
+  EXPECT_EQ(h.rtu.writes_applied(), 1u);
+}
+
+TEST(Rtu, ReadUnknownAddressFails) {
+  RtuHarness h;
+  ModbusRequest read;
+  read.function = FunctionCode::kReadHoldingRegisters;
+  read.address = 55;
+  read.count = 1;
+  EXPECT_EQ(h.roundtrip(read).exception, ModbusException::kIllegalDataAddress);
+}
+
+TEST(Rtu, WriteToSensorRegisterFails) {
+  RtuHarness h;
+  h.rtu.add_sensor(20, std::make_unique<ConstantSignal>(1.0));
+  ModbusRequest write;
+  write.function = FunctionCode::kWriteSingleRegister;
+  write.address = 20;
+  write.values = {1};
+  EXPECT_EQ(h.roundtrip(write).exception,
+            ModbusException::kIllegalDataAddress);
+}
+
+TEST(Rtu, InjectedWriteFailure) {
+  RtuHarness h;
+  h.rtu.add_actuator(10);
+  h.rtu.fail_next_writes(1);
+  ModbusRequest write;
+  write.function = FunctionCode::kWriteSingleRegister;
+  write.address = 10;
+  write.values = {1};
+  EXPECT_EQ(h.roundtrip(write).exception,
+            ModbusException::kServerDeviceFailure);
+  EXPECT_TRUE(h.roundtrip(write).ok());  // next one succeeds
+}
+
+TEST(Rtu, SensorSamplingUpdatesRegisters) {
+  sim::EventLoop loop;
+  sim::Network net(loop, 0, 0);
+  Rtu rtu(net, "rtu/1", RtuOptions{.sample_period = millis(10)});
+  rtu.add_sensor(5, std::make_unique<RampSignal>(0.0, 1000.0),
+                 RegisterScaling{1.0, 0.0});
+  rtu.start();
+  loop.run_until(millis(55));
+  // After 55 ms the ramp reached ~55 engineering units.
+  EXPECT_GT(rtu.register_value(5), 30u);
+}
+
+TEST(Rtu, SwallowedRequestsNeverAnswer) {
+  RtuHarness h;
+  h.rtu.add_actuator(10);
+  h.rtu.swallow_next_requests(1);
+  int responses = 0;
+  h.net.attach("tester", [&](sim::Message) { ++responses; });
+  ModbusRequest write;
+  write.function = FunctionCode::kWriteSingleRegister;
+  write.address = 10;
+  write.values = {1};
+  h.net.send("tester", "rtu/1", write.encode());
+  h.loop.run();
+  EXPECT_EQ(responses, 0);
+}
+
+struct DriverHarness {
+  sim::EventLoop loop;
+  sim::Network net{loop, micros(100), 0};
+  Rtu rtu{net, "rtu/1", RtuOptions{.sample_period = millis(10)}};
+  scada::Frontend frontend;
+  RtuDriver driver{net, frontend, DriverOptions{.poll_period = millis(20)}};
+  std::vector<scada::ScadaMessage> to_master;
+
+  DriverHarness() {
+    frontend.set_master_sink(
+        [this](const scada::ScadaMessage& m) { to_master.push_back(m); });
+  }
+};
+
+TEST(Driver, PollsAndReportsByException) {
+  DriverHarness h;
+  h.rtu.add_sensor(5, std::make_unique<ConstantSignal>(42.0),
+                   RegisterScaling{1.0, 0.0});
+  ItemId item = h.frontend.add_item("sensor/a");
+  h.driver.bind_sensor("rtu/1", 5, RegisterScaling{1.0, 0.0}, item);
+  h.rtu.start();
+  h.driver.start();
+  h.loop.run_until(millis(200));
+
+  // Constant signal: exactly one change report despite ~10 polls.
+  std::size_t updates = 0;
+  for (const auto& msg : h.to_master) {
+    if (kind_of(msg) == scada::ScadaMsgKind::kItemUpdate) ++updates;
+  }
+  EXPECT_EQ(updates, 1u);
+  EXPECT_GT(h.driver.counters().polls_sent, 5u);
+  EXPECT_DOUBLE_EQ(h.frontend.item(item)->value.as_double(), 42.0);
+}
+
+TEST(Driver, ChangingSignalReportsRepeatedly) {
+  DriverHarness h;
+  h.rtu.add_sensor(5, std::make_unique<RampSignal>(0.0, 1000.0),
+                   RegisterScaling{1.0, 0.0});
+  ItemId item = h.frontend.add_item("sensor/a");
+  h.driver.bind_sensor("rtu/1", 5, RegisterScaling{1.0, 0.0}, item);
+  h.rtu.start();
+  h.driver.start();
+  h.loop.run_until(millis(200));
+  EXPECT_GT(h.driver.counters().changes_reported, 3u);
+}
+
+TEST(Driver, WriteGoesToRtuAndCompletes) {
+  DriverHarness h;
+  h.rtu.add_actuator(7, 0);
+  ItemId item = h.frontend.add_item("valve/a");
+  h.driver.bind_actuator("rtu/1", 7, RegisterScaling{1.0, 0.0}, item);
+  h.driver.start();
+
+  scada::WriteValue write;
+  write.ctx.op = OpId{1};
+  write.item = item;
+  write.value = scada::Variant{55.0};
+  h.frontend.handle(scada::ScadaMessage{write});
+  h.loop.run_until(millis(50));
+
+  EXPECT_EQ(h.rtu.register_value(7), 55u);
+  ASSERT_EQ(h.to_master.size(), 1u);
+  EXPECT_EQ(std::get<scada::WriteResult>(h.to_master[0]).status,
+            scada::WriteStatus::kOk);
+}
+
+TEST(Driver, RtuExceptionBecomesFailedResult) {
+  DriverHarness h;
+  h.rtu.add_actuator(7);
+  h.rtu.fail_next_writes(1);
+  ItemId item = h.frontend.add_item("valve/a");
+  h.driver.bind_actuator("rtu/1", 7, RegisterScaling{1.0, 0.0}, item);
+  h.driver.start();
+
+  scada::WriteValue write;
+  write.ctx.op = OpId{1};
+  write.item = item;
+  write.value = scada::Variant{5.0};
+  h.frontend.handle(scada::ScadaMessage{write});
+  h.loop.run_until(millis(50));
+
+  ASSERT_EQ(h.to_master.size(), 1u);
+  EXPECT_EQ(std::get<scada::WriteResult>(h.to_master[0]).status,
+            scada::WriteStatus::kFailed);
+}
+
+TEST(Driver, WriteTimeoutFiresWhenRtuSilent) {
+  sim::EventLoop loop;
+  sim::Network net(loop, micros(100), 0);
+  Rtu rtu(net, "rtu/1");
+  scada::Frontend frontend;
+  RtuDriver driver(net, frontend,
+                   DriverOptions{.write_timeout = millis(100)});
+  std::vector<scada::ScadaMessage> to_master;
+  frontend.set_master_sink(
+      [&](const scada::ScadaMessage& m) { to_master.push_back(m); });
+
+  rtu.add_actuator(7);
+  rtu.swallow_next_requests(1);
+  ItemId item = frontend.add_item("valve/a");
+  driver.bind_actuator("rtu/1", 7, RegisterScaling{1.0, 0.0}, item);
+  driver.start();
+
+  scada::WriteValue write;
+  write.ctx.op = OpId{1};
+  write.item = item;
+  write.value = scada::Variant{5.0};
+  frontend.handle(scada::ScadaMessage{write});
+  loop.run_until(millis(300));
+
+  ASSERT_EQ(to_master.size(), 1u);
+  EXPECT_EQ(std::get<scada::WriteResult>(to_master[0]).status,
+            scada::WriteStatus::kFailed);
+  EXPECT_EQ(driver.counters().write_timeouts, 1u);
+}
+
+TEST(Driver, UnboundWriteFailsFast) {
+  DriverHarness h;
+  ItemId item = h.frontend.add_item("valve/a");
+  h.driver.start();
+  scada::WriteValue write;
+  write.ctx.op = OpId{1};
+  write.item = item;
+  write.value = scada::Variant{5.0};
+  h.frontend.handle(scada::ScadaMessage{write});
+  h.loop.run_until(millis(10));
+  ASSERT_EQ(h.to_master.size(), 1u);
+  EXPECT_EQ(std::get<scada::WriteResult>(h.to_master[0]).status,
+            scada::WriteStatus::kFailed);
+}
+
+}  // namespace
+}  // namespace ss::rtu

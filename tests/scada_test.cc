@@ -1,0 +1,902 @@
+// Unit tests for the SCADA substrate: variant, items, messages, storage,
+// handlers, master routing, frontend, HMI.
+#include <gtest/gtest.h>
+
+#include "scada/frontend.h"
+#include "scada/handlers.h"
+#include "scada/hmi.h"
+#include "scada/master.h"
+#include "scada/messages.h"
+#include "scada/storage.h"
+
+namespace ss::scada {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Variant
+
+TEST(Variant, TypesAndAccessors) {
+  EXPECT_TRUE(Variant{}.is_null());
+  EXPECT_TRUE(Variant{true}.as_bool());
+  EXPECT_EQ(Variant{std::int64_t{42}}.as_int(), 42);
+  EXPECT_DOUBLE_EQ(Variant{2.5}.as_double(), 2.5);
+  EXPECT_EQ(Variant{std::string("on")}.as_string(), "on");
+  EXPECT_TRUE(Variant{std::int64_t{1}}.is_numeric());
+  EXPECT_TRUE(Variant{1.0}.is_numeric());
+  EXPECT_FALSE(Variant{true}.is_numeric());
+}
+
+TEST(Variant, NumericCoercion) {
+  EXPECT_EQ(Variant{2.6}.as_int(), 3);  // rounds
+  EXPECT_DOUBLE_EQ(Variant{std::int64_t{7}}.as_double(), 7.0);
+  EXPECT_THROW(Variant{std::string("x")}.as_int(), std::runtime_error);
+  EXPECT_DOUBLE_EQ(Variant{}.to_double_or_zero(), 0.0);
+  EXPECT_DOUBLE_EQ(Variant{true}.to_double_or_zero(), 1.0);
+}
+
+class VariantRoundTrip : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(VariantRoundTrip, EncodesDeterministically) {
+  Writer w1, w2;
+  GetParam().encode(w1);
+  GetParam().encode(w2);
+  EXPECT_EQ(w1.bytes(), w2.bytes());
+  Reader r(w1.bytes());
+  Variant decoded = Variant::decode(r);
+  EXPECT_EQ(decoded, GetParam());
+  EXPECT_TRUE(r.done());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, VariantRoundTrip,
+    ::testing::Values(Variant{}, Variant{true}, Variant{false},
+                      Variant{std::int64_t{-123456}}, Variant{3.14159},
+                      Variant{std::string("") }, Variant{std::string("abc")}));
+
+// ---------------------------------------------------------------------------
+// Items and registry
+
+TEST(ItemRegistry, StableDenseIds) {
+  ItemRegistry registry;
+  ItemId a = registry.register_item("grid/voltage");
+  ItemId b = registry.register_item("grid/current");
+  EXPECT_EQ(a, ItemId{1});
+  EXPECT_EQ(b, ItemId{2});
+  EXPECT_EQ(registry.register_item("grid/voltage"), a);  // idempotent
+  EXPECT_EQ(*registry.lookup("grid/current"), b);
+  EXPECT_FALSE(registry.lookup("missing").has_value());
+  EXPECT_EQ(*registry.name_of(a), "grid/voltage");
+  EXPECT_EQ(registry.name_of(ItemId{99}), nullptr);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(Item, EncodeDecodeRoundTrip) {
+  Item item;
+  item.id = ItemId{7};
+  item.name = "pump/1/speed";
+  item.value = Variant{55.5};
+  item.quality = Quality::kGood;
+  item.timestamp = millis(123);
+  Writer w;
+  item.encode(w);
+  Reader r(w.bytes());
+  Item decoded = Item::decode(r);
+  EXPECT_EQ(decoded.id, item.id);
+  EXPECT_EQ(decoded.name, item.name);
+  EXPECT_EQ(decoded.value, item.value);
+  EXPECT_EQ(decoded.quality, item.quality);
+  EXPECT_EQ(decoded.timestamp, item.timestamp);
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+
+TEST(Messages, RoundTripAllKinds) {
+  MsgContext ctx;
+  ctx.op = OpId{77};
+  ctx.cid = ConsensusId{5};
+  ctx.order = 2;
+  ctx.timestamp = millis(99);
+
+  ItemUpdate update;
+  update.ctx = ctx;
+  update.item = ItemId{3};
+  update.value = Variant{1.25};
+  update.quality = Quality::kGood;
+  update.source_time = millis(98);
+
+  WriteValue write;
+  write.ctx = ctx;
+  write.item = ItemId{4};
+  write.value = Variant{std::int64_t{10}};
+
+  WriteResult result;
+  result.ctx = ctx;
+  result.item = ItemId{4};
+  result.status = WriteStatus::kDenied;
+  result.reason = "blocked";
+
+  Event event;
+  event.id = EventId{9};
+  event.item = ItemId{3};
+  event.severity = Severity::kAlarm;
+  event.code = "MONITOR_TRIGGER";
+  event.message = "limit";
+  event.value = Variant{2.0};
+  event.timestamp = millis(99);
+  event.op = OpId{77};
+  EventUpdate event_update;
+  event_update.ctx = ctx;
+  event_update.event = event;
+
+  Subscribe subscribe{Channel::kAe, ItemId{3}, "hmi"};
+  Unsubscribe unsubscribe{Channel::kDa, ItemId{0}, "hmi"};
+
+  for (const ScadaMessage& msg :
+       {ScadaMessage{update}, ScadaMessage{write}, ScadaMessage{result},
+        ScadaMessage{event_update}, ScadaMessage{subscribe},
+        ScadaMessage{unsubscribe}}) {
+    Bytes encoded = encode_message(msg);
+    ScadaMessage decoded = decode_message(encoded);
+    EXPECT_EQ(kind_of(decoded), kind_of(msg));
+    EXPECT_EQ(encode_message(decoded), encoded);  // deterministic re-encode
+  }
+}
+
+TEST(Messages, ContextOfDataMessages) {
+  WriteValue write;
+  write.ctx.op = OpId{123};
+  write.ctx.timestamp = millis(5);
+  EXPECT_EQ(context_of(ScadaMessage{write}).op, OpId{123});
+  Subscribe subscribe;
+  EXPECT_EQ(context_of(ScadaMessage{subscribe}).op, OpId{0});
+}
+
+TEST(Messages, MalformedRejected) {
+  EXPECT_THROW(decode_message(Bytes{}), DecodeError);
+  EXPECT_THROW(decode_message(Bytes{0xff, 0x01}), DecodeError);
+  Bytes valid = encode_message(ScadaMessage{Subscribe{}});
+  Bytes trailing = valid;
+  trailing.push_back(0);
+  EXPECT_THROW(decode_message(trailing), DecodeError);
+}
+
+// ---------------------------------------------------------------------------
+// Storage
+
+TEST(Storage, AppendAssignsSequentialIds) {
+  EventStorage storage;
+  Event e;
+  e.item = ItemId{1};
+  EXPECT_EQ(storage.append(e).id, EventId{1});
+  EXPECT_EQ(storage.append(e).id, EventId{2});
+  EXPECT_EQ(storage.size(), 2u);
+}
+
+TEST(Storage, ChainDigestDependsOnHistory) {
+  EventStorage a, b;
+  Event e1;
+  e1.item = ItemId{1};
+  e1.code = "A";
+  Event e2;
+  e2.item = ItemId{1};
+  e2.code = "B";
+  a.append(e1);
+  a.append(e2);
+  b.append(e2);
+  b.append(e1);
+  EXPECT_NE(a.chain_digest(), b.chain_digest());  // order matters
+
+  EventStorage c;
+  c.append(e1);
+  c.append(e2);
+  EXPECT_EQ(a.chain_digest(), c.chain_digest());  // same history, same digest
+}
+
+TEST(Storage, Queries) {
+  EventStorage storage;
+  for (int i = 0; i < 10; ++i) {
+    Event e;
+    e.item = ItemId{static_cast<std::uint32_t>(1 + i % 2)};
+    e.severity = i < 5 ? Severity::kInfo : Severity::kAlarm;
+    e.timestamp = millis(i);
+    storage.append(e);
+  }
+  EXPECT_EQ(storage.query_item(ItemId{1}).size(), 5u);
+  EXPECT_EQ(storage.query_severity(Severity::kAlarm).size(), 5u);
+  EXPECT_EQ(storage.query_range(millis(2), millis(4)).size(), 3u);
+}
+
+TEST(Storage, RetentionEvictsButDigestPersists) {
+  EventStorage storage(4);
+  Event e;
+  e.item = ItemId{1};
+  for (int i = 0; i < 10; ++i) storage.append(e);
+  EXPECT_EQ(storage.size(), 10u);
+  EXPECT_EQ(storage.resident(), 4u);
+}
+
+TEST(Storage, EncodeDecodeRoundTrip) {
+  EventStorage storage;
+  Event e;
+  e.item = ItemId{1};
+  e.code = "X";
+  storage.append(e);
+  storage.append(e);
+  Writer w;
+  storage.encode(w);
+  EventStorage restored;
+  Reader r(w.bytes());
+  restored.decode(r);
+  EXPECT_EQ(restored.size(), storage.size());
+  EXPECT_EQ(restored.chain_digest(), storage.chain_digest());
+  // Appending after restore continues the chain identically.
+  storage.append(e);
+  restored.append(e);
+  EXPECT_EQ(restored.chain_digest(), storage.chain_digest());
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+
+HandlerContext test_ctx() {
+  return HandlerContext{ItemId{1}, "item", millis(10), OpId{5}};
+}
+
+TEST(Handlers, ScaleTransformsValue) {
+  ScaleHandler handler(2.0, 1.0);
+  Variant value{std::int64_t{10}};
+  std::vector<Event> events;
+  EXPECT_EQ(handler.on_update(test_ctx(), value, events),
+            UpdateAction::kContinue);
+  EXPECT_DOUBLE_EQ(value.as_double(), 21.0);
+  EXPECT_TRUE(events.empty());
+  // Non-numeric values pass through untouched.
+  Variant text{std::string("n/a")};
+  handler.on_update(test_ctx(), text, events);
+  EXPECT_EQ(text.as_string(), "n/a");
+}
+
+TEST(Handlers, OverrideReplacesWhileActive) {
+  OverrideHandler handler(Variant{99.0});
+  Variant value{1.0};
+  std::vector<Event> events;
+  handler.on_update(test_ctx(), value, events);
+  EXPECT_DOUBLE_EQ(value.as_double(), 1.0);  // inactive: untouched
+
+  handler.set_active(true);
+  handler.on_update(test_ctx(), value, events);
+  EXPECT_DOUBLE_EQ(value.as_double(), 99.0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].code, "OVERRIDE_APPLIED");
+}
+
+TEST(Handlers, MonitorFiresOnCondition) {
+  MonitorHandler handler(MonitorHandler::Condition::kAbove, 50.0);
+  std::vector<Event> events;
+  Variant low{40.0};
+  handler.on_update(test_ctx(), low, events);
+  EXPECT_TRUE(events.empty());
+  Variant high{60.0};
+  handler.on_update(test_ctx(), high, events);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].code, "MONITOR_TRIGGER");
+  EXPECT_EQ(events[0].severity, Severity::kAlarm);
+  EXPECT_EQ(events[0].timestamp, millis(10));
+  // Level-triggered: fires on every matching update.
+  handler.on_update(test_ctx(), high, events);
+  EXPECT_EQ(events.size(), 2u);
+  EXPECT_EQ(handler.triggers(), 2u);
+}
+
+TEST(Handlers, MonitorEdgeTriggeredFiresOnTransitions) {
+  MonitorHandler handler(MonitorHandler::Condition::kAbove, 50.0,
+                         Severity::kAlarm, /*edge_triggered=*/true);
+  std::vector<Event> events;
+  Variant high{60.0};
+  Variant low{40.0};
+  handler.on_update(test_ctx(), high, events);
+  handler.on_update(test_ctx(), high, events);  // still active: no new event
+  EXPECT_EQ(events.size(), 1u);
+  handler.on_update(test_ctx(), low, events);
+  handler.on_update(test_ctx(), high, events);  // re-trigger
+  EXPECT_EQ(events.size(), 2u);
+}
+
+TEST(Handlers, MonitorBelowAndEquals) {
+  MonitorHandler below(MonitorHandler::Condition::kBelow, 10.0);
+  MonitorHandler equals(MonitorHandler::Condition::kEquals, 5.0);
+  std::vector<Event> events;
+  Variant v{5.0};
+  below.on_update(test_ctx(), v, events);
+  EXPECT_EQ(events.size(), 1u);
+  equals.on_update(test_ctx(), v, events);
+  EXPECT_EQ(events.size(), 2u);
+}
+
+TEST(Handlers, BlockDeniesWithReasonAndEvent) {
+  BlockHandler handler;
+  handler.block("maintenance window");
+  std::vector<Event> events;
+  std::string reason;
+  EXPECT_FALSE(handler.on_write(test_ctx(), Variant{1.0}, events, reason));
+  EXPECT_NE(reason.find("maintenance window"), std::string::npos);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].code, "WRITE_DENIED");
+
+  handler.unblock();
+  reason.clear();
+  EXPECT_TRUE(handler.on_write(test_ctx(), Variant{1.0}, events, reason));
+  EXPECT_TRUE(reason.empty());
+}
+
+TEST(Handlers, BlockEnforcesRange) {
+  BlockHandler handler(0.0, 100.0);
+  std::vector<Event> events;
+  std::string reason;
+  EXPECT_TRUE(handler.on_write(test_ctx(), Variant{50.0}, events, reason));
+  EXPECT_FALSE(handler.on_write(test_ctx(), Variant{150.0}, events, reason));
+  EXPECT_FALSE(handler.on_write(test_ctx(), Variant{-1.0}, events, reason));
+}
+
+TEST(Handlers, DeadbandSuppressesSmallChanges) {
+  DeadbandHandler handler(1.0);
+  std::vector<Event> events;
+  Variant first{10.0};
+  EXPECT_EQ(handler.on_update(test_ctx(), first, events),
+            UpdateAction::kContinue);
+  Variant close{10.5};
+  EXPECT_EQ(handler.on_update(test_ctx(), close, events),
+            UpdateAction::kSuppress);
+  Variant far{11.5};
+  EXPECT_EQ(handler.on_update(test_ctx(), far, events),
+            UpdateAction::kContinue);
+}
+
+TEST(Handlers, ClampClipsAndWarns) {
+  ClampHandler handler(0.0, 10.0);
+  std::vector<Event> events;
+  Variant high{15.0};
+  handler.on_update(test_ctx(), high, events);
+  EXPECT_DOUBLE_EQ(high.as_double(), 10.0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].code, "VALUE_CLAMPED");
+  Variant ok{5.0};
+  handler.on_update(test_ctx(), ok, events);
+  EXPECT_EQ(events.size(), 1u);
+}
+
+TEST(Handlers, ChainRunsInOrderAndStateRoundTrips) {
+  HandlerChain chain;
+  chain.emplace<ScaleHandler>(2.0, 0.0);
+  auto* monitor = chain.emplace<MonitorHandler>(
+      MonitorHandler::Condition::kAbove, 15.0);
+  std::vector<Event> events;
+  Variant value{10.0};  // scaled to 20 -> monitor fires
+  EXPECT_EQ(chain.run_update(test_ctx(), value, events),
+            UpdateAction::kContinue);
+  EXPECT_DOUBLE_EQ(value.as_double(), 20.0);
+  EXPECT_EQ(events.size(), 1u);
+  EXPECT_EQ(monitor->triggers(), 1u);
+
+  // State snapshot/restore across an identically configured chain.
+  Writer w;
+  chain.encode_state(w);
+  HandlerChain other;
+  other.emplace<ScaleHandler>(2.0, 0.0);
+  other.emplace<MonitorHandler>(MonitorHandler::Condition::kAbove, 15.0);
+  Reader r(w.bytes());
+  other.decode_state(r);
+  Writer w2;
+  other.encode_state(w2);
+  EXPECT_EQ(w.bytes(), w2.bytes());
+}
+
+TEST(Handlers, ChainStateMismatchThrows) {
+  HandlerChain chain;
+  chain.emplace<ScaleHandler>(1.0, 0.0);
+  Writer w;
+  chain.encode_state(w);
+  HandlerChain other;  // no handlers
+  Reader r(w.bytes());
+  EXPECT_THROW(other.decode_state(r), DecodeError);
+}
+
+// ---------------------------------------------------------------------------
+// Master
+
+struct MasterHarness {
+  ScadaMaster master;
+  std::vector<std::pair<std::string, ScadaMessage>> hmi_out;
+  std::vector<ScadaMessage> frontend_out;
+  ItemId item;
+
+  MasterHarness() : master(make_options()) {
+    master.set_da_sink([this](const std::string& sub, const ScadaMessage& m) {
+      hmi_out.emplace_back(sub, m);
+    });
+    master.set_ae_sink([this](const std::string& sub, const ScadaMessage& m) {
+      hmi_out.emplace_back(sub, m);
+    });
+    master.set_frontend_sink(
+        [this](const std::string&, const ScadaMessage& m) {
+          frontend_out.push_back(m);
+        });
+    item = master.add_item("tank/level");
+    master.handle(ScadaMessage{Subscribe{Channel::kDa, ItemId{0}, "hmi"}},
+                  MsgContext{}, "hmi");
+    master.handle(ScadaMessage{Subscribe{Channel::kAe, ItemId{0}, "hmi"}},
+                  MsgContext{}, "hmi");
+  }
+
+  static MasterOptions make_options() {
+    MasterOptions options;
+    options.deterministic = true;
+    return options;
+  }
+
+  MsgContext ctx(std::uint64_t op, SimTime ts) {
+    MsgContext c;
+    c.op = OpId{op};
+    c.cid = ConsensusId{op};
+    c.timestamp = ts;
+    return c;
+  }
+};
+
+TEST(Master, ItemUpdateFansOutToSubscribers) {
+  MasterHarness h;
+  ItemUpdate update;
+  update.ctx.op = OpId{1};
+  update.item = h.item;
+  update.value = Variant{42.0};
+  h.master.handle(ScadaMessage{update}, h.ctx(1, millis(5)), "frontend");
+
+  ASSERT_EQ(h.hmi_out.size(), 1u);
+  EXPECT_EQ(h.hmi_out[0].first, "hmi");
+  const auto& out = std::get<ItemUpdate>(h.hmi_out[0].second);
+  EXPECT_DOUBLE_EQ(out.value.as_double(), 42.0);
+  EXPECT_EQ(out.ctx.timestamp, millis(5));  // deterministic stamp
+
+  const Item* mirror = h.master.item(h.item);
+  ASSERT_NE(mirror, nullptr);
+  EXPECT_DOUBLE_EQ(mirror->value.as_double(), 42.0);
+  EXPECT_EQ(mirror->timestamp, millis(5));
+}
+
+TEST(Master, UpdateForUnknownItemIgnored) {
+  MasterHarness h;
+  ItemUpdate update;
+  update.item = ItemId{999};
+  update.value = Variant{1.0};
+  h.master.handle(ScadaMessage{update}, h.ctx(1, millis(5)), "frontend");
+  EXPECT_TRUE(h.hmi_out.empty());
+  EXPECT_EQ(h.master.counters().updates_processed, 0u);
+}
+
+TEST(Master, MonitorCreatesEventAndStores) {
+  MasterHarness h;
+  h.master.handlers(h.item).emplace<MonitorHandler>(
+      MonitorHandler::Condition::kAbove, 100.0);
+  ItemUpdate update;
+  update.item = h.item;
+  update.value = Variant{150.0};
+  h.master.handle(ScadaMessage{update}, h.ctx(1, millis(7)), "frontend");
+
+  // ItemUpdate + EventUpdate both reach the HMI.
+  ASSERT_EQ(h.hmi_out.size(), 2u);
+  EXPECT_EQ(kind_of(h.hmi_out[0].second), ScadaMsgKind::kItemUpdate);
+  EXPECT_EQ(kind_of(h.hmi_out[1].second), ScadaMsgKind::kEventUpdate);
+  const auto& event = std::get<EventUpdate>(h.hmi_out[1].second).event;
+  EXPECT_EQ(event.code, "MONITOR_TRIGGER");
+  EXPECT_EQ(event.timestamp, millis(7));
+  EXPECT_EQ(h.master.storage().size(), 1u);
+}
+
+TEST(Master, WriteFlowsToFrontendAndBack) {
+  MasterHarness h;
+  WriteValue write;
+  write.ctx.op = OpId{9};
+  write.item = h.item;
+  write.value = Variant{75.0};
+  h.master.handle(ScadaMessage{write}, h.ctx(9, millis(1)), "hmi");
+
+  ASSERT_EQ(h.frontend_out.size(), 1u);
+  EXPECT_TRUE(h.master.has_pending_write(OpId{9}));
+  EXPECT_TRUE(h.hmi_out.empty());  // nothing to the HMI yet
+
+  WriteResult result;
+  result.ctx.op = OpId{9};
+  result.item = h.item;
+  result.status = WriteStatus::kOk;
+  h.master.handle(ScadaMessage{result}, h.ctx(9, millis(2)), "frontend");
+
+  EXPECT_FALSE(h.master.has_pending_write(OpId{9}));
+  ASSERT_EQ(h.hmi_out.size(), 1u);
+  EXPECT_EQ(kind_of(h.hmi_out[0].second), ScadaMsgKind::kWriteResult);
+  EXPECT_EQ(std::get<WriteResult>(h.hmi_out[0].second).status,
+            WriteStatus::kOk);
+}
+
+TEST(Master, BlockedWriteDeniedWithEvent) {
+  MasterHarness h;
+  auto* block = h.master.handlers(h.item).emplace<BlockHandler>();
+  block->block("safety interlock");
+
+  WriteValue write;
+  write.ctx.op = OpId{9};
+  write.item = h.item;
+  write.value = Variant{75.0};
+  h.master.handle(ScadaMessage{write}, h.ctx(9, millis(1)), "hmi");
+
+  EXPECT_TRUE(h.frontend_out.empty());
+  EXPECT_FALSE(h.master.has_pending_write(OpId{9}));
+  // Per the paper (§II-B): a WriteResult on DA *and* an EventUpdate on AE.
+  ASSERT_EQ(h.hmi_out.size(), 2u);
+  EXPECT_EQ(kind_of(h.hmi_out[0].second), ScadaMsgKind::kEventUpdate);
+  EXPECT_EQ(kind_of(h.hmi_out[1].second), ScadaMsgKind::kWriteResult);
+  EXPECT_EQ(std::get<WriteResult>(h.hmi_out[1].second).status,
+            WriteStatus::kDenied);
+  EXPECT_EQ(h.master.counters().writes_denied, 1u);
+}
+
+TEST(Master, FailedWriteResultRaisesEvent) {
+  MasterHarness h;
+  WriteValue write;
+  write.ctx.op = OpId{5};
+  write.item = h.item;
+  write.value = Variant{1.0};
+  h.master.handle(ScadaMessage{write}, h.ctx(5, millis(1)), "hmi");
+  h.hmi_out.clear();
+
+  WriteResult result;
+  result.ctx.op = OpId{5};
+  result.item = h.item;
+  result.status = WriteStatus::kFailed;
+  result.reason = "rtu exception 4";
+  h.master.handle(ScadaMessage{result}, h.ctx(5, millis(2)), "frontend");
+
+  ASSERT_EQ(h.hmi_out.size(), 2u);
+  EXPECT_EQ(kind_of(h.hmi_out[0].second), ScadaMsgKind::kEventUpdate);
+  EXPECT_EQ(std::get<EventUpdate>(h.hmi_out[0].second).event.code,
+            "WRITE_FAILED");
+  EXPECT_EQ(kind_of(h.hmi_out[1].second), ScadaMsgKind::kWriteResult);
+}
+
+TEST(Master, InjectTimeoutResultUnblocksWrite) {
+  MasterHarness h;
+  WriteValue write;
+  write.ctx.op = OpId{5};
+  write.item = h.item;
+  write.value = Variant{1.0};
+  h.master.handle(ScadaMessage{write}, h.ctx(5, millis(1)), "hmi");
+  h.hmi_out.clear();
+
+  h.master.inject_timeout_result(OpId{5});
+  EXPECT_FALSE(h.master.has_pending_write(OpId{5}));
+  ASSERT_EQ(h.hmi_out.size(), 2u);
+  EXPECT_EQ(std::get<EventUpdate>(h.hmi_out[0].second).event.code,
+            "WRITE_TIMEOUT");
+  EXPECT_EQ(std::get<WriteResult>(h.hmi_out[1].second).status,
+            WriteStatus::kTimeout);
+  EXPECT_EQ(h.master.counters().write_timeouts, 1u);
+
+  // Injecting again is a no-op (idempotent across the adapter group).
+  h.hmi_out.clear();
+  h.master.inject_timeout_result(OpId{5});
+  EXPECT_TRUE(h.hmi_out.empty());
+}
+
+TEST(Master, DuplicateWriteResultIgnored) {
+  MasterHarness h;
+  WriteValue write;
+  write.ctx.op = OpId{5};
+  write.item = h.item;
+  write.value = Variant{1.0};
+  h.master.handle(ScadaMessage{write}, h.ctx(5, millis(1)), "hmi");
+  WriteResult result;
+  result.ctx.op = OpId{5};
+  result.item = h.item;
+  result.status = WriteStatus::kOk;
+  h.master.handle(ScadaMessage{result}, h.ctx(5, millis(2)), "frontend");
+  h.hmi_out.clear();
+  h.master.handle(ScadaMessage{result}, h.ctx(5, millis(3)), "frontend");
+  EXPECT_TRUE(h.hmi_out.empty());
+}
+
+TEST(Master, UnsubscribeStopsDelivery) {
+  MasterHarness h;
+  h.master.handle(ScadaMessage{Unsubscribe{Channel::kDa, ItemId{0}, "hmi"}},
+                  MsgContext{}, "hmi");
+  ItemUpdate update;
+  update.item = h.item;
+  update.value = Variant{1.0};
+  h.master.handle(ScadaMessage{update}, h.ctx(1, millis(1)), "frontend");
+  EXPECT_TRUE(h.hmi_out.empty());
+}
+
+TEST(Master, PerItemSubscriptionOnlyThatItem) {
+  MasterHarness h;
+  // Replace the wildcard subscription with a per-item one on a second item.
+  h.master.handle(ScadaMessage{Unsubscribe{Channel::kDa, ItemId{0}, "hmi"}},
+                  MsgContext{}, "hmi");
+  ItemId other = h.master.add_item("tank/temp");
+  h.master.handle(ScadaMessage{Subscribe{Channel::kDa, other, "hmi"}},
+                  MsgContext{}, "hmi");
+
+  ItemUpdate update;
+  update.item = h.item;
+  update.value = Variant{1.0};
+  h.master.handle(ScadaMessage{update}, h.ctx(1, millis(1)), "frontend");
+  EXPECT_TRUE(h.hmi_out.empty());
+
+  update.item = other;
+  h.master.handle(ScadaMessage{update}, h.ctx(2, millis(2)), "frontend");
+  EXPECT_EQ(h.hmi_out.size(), 1u);
+}
+
+TEST(Master, SnapshotRestoreRoundTrip) {
+  MasterHarness h;
+  h.master.handlers(h.item).emplace<MonitorHandler>(
+      MonitorHandler::Condition::kAbove, 10.0);
+  ItemUpdate update;
+  update.item = h.item;
+  update.value = Variant{20.0};
+  h.master.handle(ScadaMessage{update}, h.ctx(1, millis(1)), "frontend");
+  WriteValue write;
+  write.ctx.op = OpId{2};
+  write.item = h.item;
+  write.value = Variant{5.0};
+  h.master.handle(ScadaMessage{write}, h.ctx(2, millis(2)), "hmi");
+
+  Bytes snap = h.master.snapshot();
+  crypto::Digest digest = h.master.state_digest();
+
+  // Build an identically configured master and restore into it.
+  MasterHarness other;
+  other.master.handlers(other.item)
+      .emplace<MonitorHandler>(MonitorHandler::Condition::kAbove, 10.0);
+  other.master.restore(snap);
+  EXPECT_EQ(other.master.state_digest(), digest);
+  EXPECT_TRUE(other.master.has_pending_write(OpId{2}));
+  EXPECT_EQ(other.master.storage().size(), 1u);
+  EXPECT_DOUBLE_EQ(other.master.item(h.item)->value.as_double(), 20.0);
+}
+
+TEST(Master, DeterministicTimestampsVsLocalClock) {
+  // Two baseline masters with skewed clocks diverge on event timestamps —
+  // the paper's challenge (c). The deterministic masters do not.
+  SimTime skew = millis(3);
+  MasterOptions opt_a;
+  opt_a.clock = [] { return millis(100); };
+  MasterOptions opt_b;
+  opt_b.clock = [skew] { return millis(100) + skew; };
+
+  auto run = [](ScadaMaster& master) {
+    ItemId item = master.add_item("x");
+    master.handlers(item).emplace<MonitorHandler>(
+        MonitorHandler::Condition::kAbove, 0.0);
+    ItemUpdate update;
+    update.item = item;
+    update.value = Variant{1.0};
+    master.handle(ScadaMessage{update}, MsgContext{}, "frontend");
+    return master.state_digest();
+  };
+
+  ScadaMaster a((MasterOptions(opt_a))), b((MasterOptions(opt_b)));
+  EXPECT_NE(run(a), run(b));  // local clocks => divergence
+
+  MasterOptions det;
+  det.deterministic = true;
+  ScadaMaster c((MasterOptions(det))), d((MasterOptions(det)));
+  auto run_det = [](ScadaMaster& master) {
+    ItemId item = master.add_item("x");
+    master.handlers(item).emplace<MonitorHandler>(
+        MonitorHandler::Condition::kAbove, 0.0);
+    ItemUpdate update;
+    update.item = item;
+    update.value = Variant{1.0};
+    MsgContext ctx;
+    ctx.timestamp = millis(55);
+    ctx.op = OpId{1};
+    master.handle(ScadaMessage{update}, ctx, "frontend");
+    return master.state_digest();
+  };
+  EXPECT_EQ(run_det(c), run_det(d));  // agreed timestamps => identical state
+}
+
+TEST(Master, OrderSensitivityMotivatesTotalOrder) {
+  // The same two messages applied in different orders leave different state
+  // — why challenge (a)/(b) (multiple entry points, multi-threading) breaks
+  // naive replication.
+  MasterOptions det;
+  det.deterministic = true;
+  ScadaMaster a{MasterOptions(det)}, b{MasterOptions(det)};
+  for (ScadaMaster* m : {&a, &b}) m->add_item("x");
+
+  ItemUpdate u1;
+  u1.item = ItemId{1};
+  u1.value = Variant{1.0};
+  ItemUpdate u2;
+  u2.item = ItemId{1};
+  u2.value = Variant{2.0};
+  MsgContext c1;
+  c1.op = OpId{1};
+  c1.timestamp = millis(1);
+  MsgContext c2;
+  c2.op = OpId{2};
+  c2.timestamp = millis(1);
+
+  a.handle(ScadaMessage{u1}, c1, "frontend");
+  a.handle(ScadaMessage{u2}, c2, "frontend");
+  b.handle(ScadaMessage{u2}, c2, "frontend");
+  b.handle(ScadaMessage{u1}, c1, "frontend");
+  EXPECT_NE(a.state_digest(), b.state_digest());
+}
+
+// ---------------------------------------------------------------------------
+// Frontend
+
+TEST(Frontend, FieldUpdateEmitsItemUpdate) {
+  Frontend frontend;
+  ItemId item = frontend.add_item("pump/speed", Variant{0.0});
+  std::vector<ScadaMessage> out;
+  frontend.set_master_sink([&](const ScadaMessage& m) { out.push_back(m); });
+  frontend.field_update(item, Variant{10.0}, Quality::kGood, millis(3));
+  ASSERT_EQ(out.size(), 1u);
+  const auto& update = std::get<ItemUpdate>(out[0]);
+  EXPECT_EQ(update.item, item);
+  EXPECT_DOUBLE_EQ(update.value.as_double(), 10.0);
+  EXPECT_EQ(update.source_time, millis(3));
+  EXPECT_NE(update.ctx.op.value, 0u);  // op minted
+  EXPECT_DOUBLE_EQ(frontend.item(item)->value.as_double(), 10.0);
+}
+
+TEST(Frontend, OpIdsAreUniqueAndNamespaced) {
+  Frontend frontend(FrontendOptions{.instance_id = 3});
+  ItemId item = frontend.add_item("x");
+  std::vector<OpId> ops;
+  frontend.set_master_sink([&](const ScadaMessage& m) {
+    ops.push_back(context_of(m).op);
+  });
+  frontend.field_update(item, Variant{1.0});
+  frontend.field_update(item, Variant{2.0});
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_NE(ops[0], ops[1]);
+  EXPECT_EQ(ops[0].value >> 40, 3u);
+}
+
+TEST(Frontend, WriteValueAppliesAndAcks) {
+  Frontend frontend;
+  ItemId item = frontend.add_item("valve", Variant{0.0});
+  std::vector<ScadaMessage> out;
+  frontend.set_master_sink([&](const ScadaMessage& m) { out.push_back(m); });
+
+  WriteValue write;
+  write.ctx.op = OpId{42};
+  write.item = item;
+  write.value = Variant{1.0};
+  frontend.handle(ScadaMessage{write});
+
+  ASSERT_EQ(out.size(), 1u);
+  const auto& result = std::get<WriteResult>(out[0]);
+  EXPECT_EQ(result.status, WriteStatus::kOk);
+  EXPECT_EQ(result.ctx.op, OpId{42});  // context preserved end-to-end
+  EXPECT_DOUBLE_EQ(frontend.item(item)->value.as_double(), 1.0);
+}
+
+TEST(Frontend, UnknownItemWriteFails) {
+  Frontend frontend;
+  std::vector<ScadaMessage> out;
+  frontend.set_master_sink([&](const ScadaMessage& m) { out.push_back(m); });
+  WriteValue write;
+  write.ctx.op = OpId{1};
+  write.item = ItemId{77};
+  frontend.handle(ScadaMessage{write});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(std::get<WriteResult>(out[0]).status, WriteStatus::kFailed);
+}
+
+TEST(Frontend, FieldWriterFailurePropagates) {
+  Frontend frontend;
+  ItemId item = frontend.add_item("valve", Variant{0.0});
+  frontend.set_field_writer(
+      [](ItemId, const Variant&,
+         std::function<void(bool, std::string)> done) {
+        done(false, "device offline");
+      });
+  std::vector<ScadaMessage> out;
+  frontend.set_master_sink([&](const ScadaMessage& m) { out.push_back(m); });
+  WriteValue write;
+  write.ctx.op = OpId{1};
+  write.item = item;
+  write.value = Variant{1.0};
+  frontend.handle(ScadaMessage{write});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(std::get<WriteResult>(out[0]).status, WriteStatus::kFailed);
+  EXPECT_EQ(std::get<WriteResult>(out[0]).reason, "device offline");
+  // Value untouched on failure.
+  EXPECT_DOUBLE_EQ(frontend.item(item)->value.as_double(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// HMI
+
+TEST(Hmi, SubscribesAndMirrorsUpdates) {
+  Hmi hmi;
+  std::vector<ScadaMessage> out;
+  hmi.set_master_sink([&](const ScadaMessage& m) { out.push_back(m); });
+  hmi.subscribe_all();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(std::get<Subscribe>(out[0]).channel, Channel::kDa);
+  EXPECT_EQ(std::get<Subscribe>(out[1]).channel, Channel::kAe);
+
+  ItemUpdate update;
+  update.item = ItemId{1};
+  update.value = Variant{9.0};
+  update.ctx.timestamp = millis(4);
+  hmi.handle(ScadaMessage{update});
+  EXPECT_EQ(hmi.counters().updates_received, 1u);
+  ASSERT_NE(hmi.item(ItemId{1}), nullptr);
+  EXPECT_DOUBLE_EQ(hmi.item(ItemId{1})->value.as_double(), 9.0);
+  EXPECT_EQ(hmi.item(ItemId{1})->timestamp, millis(4));
+}
+
+TEST(Hmi, WriteLifecycle) {
+  Hmi hmi;
+  std::vector<ScadaMessage> out;
+  hmi.set_master_sink([&](const ScadaMessage& m) { out.push_back(m); });
+
+  WriteResult received;
+  OpId op = hmi.write(ItemId{2}, Variant{5.0},
+                      [&](const WriteResult& r) { received = r; });
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(std::get<WriteValue>(out[0]).ctx.op, op);
+  EXPECT_EQ(hmi.pending_writes(), 1u);
+
+  WriteResult result;
+  result.ctx.op = op;
+  result.item = ItemId{2};
+  result.status = WriteStatus::kOk;
+  hmi.handle(ScadaMessage{result});
+  EXPECT_EQ(hmi.pending_writes(), 0u);
+  EXPECT_EQ(received.status, WriteStatus::kOk);
+  EXPECT_EQ(hmi.counters().writes_ok, 1u);
+
+  // A duplicate result does not fire the callback twice.
+  hmi.handle(ScadaMessage{result});
+  EXPECT_EQ(hmi.counters().writes_ok, 1u);
+}
+
+TEST(Hmi, CountsResultStatuses) {
+  Hmi hmi;
+  hmi.set_master_sink([](const ScadaMessage&) {});
+  for (WriteStatus status :
+       {WriteStatus::kDenied, WriteStatus::kTimeout, WriteStatus::kFailed}) {
+    OpId op = hmi.write(ItemId{1}, Variant{1.0});
+    WriteResult result;
+    result.ctx.op = op;
+    result.status = status;
+    hmi.handle(ScadaMessage{result});
+  }
+  EXPECT_EQ(hmi.counters().writes_denied, 1u);
+  EXPECT_EQ(hmi.counters().writes_timeout, 1u);
+  EXPECT_EQ(hmi.counters().writes_failed, 1u);
+}
+
+TEST(Hmi, EventLogAccumulates) {
+  Hmi hmi;
+  int callbacks = 0;
+  hmi.set_event_callback([&](const EventUpdate&) { ++callbacks; });
+  for (int i = 0; i < 3; ++i) {
+    EventUpdate event;
+    event.event.code = "E" + std::to_string(i);
+    hmi.handle(ScadaMessage{event});
+  }
+  EXPECT_EQ(hmi.event_log().size(), 3u);
+  EXPECT_EQ(callbacks, 3);
+  EXPECT_EQ(hmi.counters().events_received, 3u);
+}
+
+}  // namespace
+}  // namespace ss::scada
