@@ -81,11 +81,15 @@ int main() {
   print_header("Ablation: resilience level", "f sweep (n = 3f + 1)");
   std::printf("%-6s %-6s %18s %16s\n", "f", "n", "updates/s @1000/s",
               "sync writes/s");
+  JsonReport json("ablation_f");
   for (std::uint32_t f : {1u, 2u, 3u}) {
     Result result = run(f);
     std::printf("%-6u %-6u %18.1f %16.1f\n", f, 3 * f + 1, result.updates,
                 result.writes);
+    json.add("f" + std::to_string(f) + "_updates", result.updates);
+    json.add("f" + std::to_string(f) + "_writes", result.writes);
   }
+  json.write();
   std::printf(
       "\nreading: each extra f adds 3 replicas; quadratic agreement traffic\n"
       "on the single replica thread erodes the update capacity and the\n"

@@ -1,9 +1,12 @@
 // Shared helpers for the figure-reproduction benches.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "core/baseline_deployment.h"
 #include "core/replicated_deployment.h"
@@ -42,5 +45,68 @@ inline void print_note(const std::string& note) {
 inline double overhead_pct(double baseline, double value) {
   return baseline <= 0 ? 0.0 : 100.0 * (baseline - value) / baseline;
 }
+
+/// Nearest-rank percentile; `p` in [0, 100]. Sorts a copy.
+inline double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  double rank = std::ceil(p / 100.0 * static_cast<double>(samples.size()));
+  std::size_t index = rank < 1 ? 0 : static_cast<std::size_t>(rank) - 1;
+  return samples[std::min(index, samples.size() - 1)];
+}
+
+/// Machine-readable companion to the stdout report: collects named records
+/// (ops/s plus optional latency samples) and writes `BENCH_<bench>.json` to
+/// the working directory on write(), so the perf trajectory can be tracked
+/// mechanically across commits.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Adds one record. `latencies_us` may be empty: the record then carries
+  /// only the rate and omits the percentile fields.
+  void add(const std::string& name, double ops_per_sec,
+           std::vector<double> latencies_us = {}) {
+    records_.push_back(
+        Record{name, ops_per_sec, std::move(latencies_us)});
+  }
+
+  /// Writes BENCH_<bench>.json and prints the path to stdout.
+  void write() const {
+    std::string path = "BENCH_" + bench_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"records\": [",
+                 bench_.c_str());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(out, "%s\n    {\"name\": \"%s\", \"ops_per_sec\": %.2f",
+                   i == 0 ? "" : ",", r.name.c_str(), r.ops_per_sec);
+      if (!r.latencies_us.empty()) {
+        std::fprintf(out,
+                     ", \"p50_us\": %.2f, \"p99_us\": %.2f, \"samples\": %zu",
+                     percentile(r.latencies_us, 50.0),
+                     percentile(r.latencies_us, 99.0), r.latencies_us.size());
+      }
+      std::fprintf(out, "}");
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    double ops_per_sec;
+    std::vector<double> latencies_us;
+  };
+
+  std::string bench_;
+  std::vector<Record> records_;
+};
 
 }  // namespace ss::bench

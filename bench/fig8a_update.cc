@@ -17,26 +17,58 @@ constexpr double kRate = 1000.0;
 constexpr SimTime kWarmup = seconds(2);
 constexpr SimTime kMeasure = seconds(20);
 
-double run_baseline(const sim::CostModel& costs) {
+struct Result {
+  double ops_per_sec = 0;
+  std::vector<double> latencies_us;  ///< field_update -> HMI, measure window
+};
+
+/// Tracks per-update delivery latency: the tick records the emission time
+/// under the update's integer value, the HMI callback looks it up again.
+struct LatencyProbe {
+  template <typename System>
+  void attach(System& system) {
+    loop = &system.loop();
+    system.hmi().set_update_callback([this](const scada::ItemUpdate& update) {
+      auto index = static_cast<std::size_t>(update.value.as_double());
+      if (measuring && index < emitted_at.size()) {
+        samples.push_back(
+            static_cast<double>(loop->now() - emitted_at[index]) / 1000.0);
+      }
+    });
+  }
+  void emit() { emitted_at.push_back(loop->now()); }
+
+  sim::EventLoop* loop = nullptr;
+  std::vector<SimTime> emitted_at;
+  std::vector<double> samples;
+  bool measuring = false;
+};
+
+Result run_baseline(const sim::CostModel& costs) {
   core::BaselineDeployment system(
       core::BaselineOptions{.costs = costs, .storage_retention = 1024});
   ItemId item = system.add_point("grid/feeder");
   system.start();
+  LatencyProbe probe;
+  probe.attach(system);
 
   double value = 0;
   auto tick = [&] {
+    probe.emit();
     system.frontend().field_update(item, scada::Variant{value});
     value += 1.0;
   };
   drive_open_loop(system.loop(), kRate, kWarmup, tick);
+  probe.measuring = true;
   std::uint64_t before = system.hmi().counters().updates_received;
   drive_open_loop(system.loop(), kRate, kMeasure, tick);
   std::uint64_t after = system.hmi().counters().updates_received;
-  return static_cast<double>(after - before) /
-         (static_cast<double>(kMeasure) / kNanosPerSec);
+  return Result{static_cast<double>(after - before) /
+                    (static_cast<double>(kMeasure) / kNanosPerSec),
+                std::move(probe.samples)};
 }
 
-double run_replicated(const sim::CostModel& costs) {
+Result run_replicated(const sim::CostModel& costs) {
   core::ReplicatedOptions options;
   options.costs = costs;
   options.storage_retention = 1024;
@@ -50,18 +82,23 @@ double run_replicated(const sim::CostModel& costs) {
   core::ReplicatedDeployment system(options);
   ItemId item = system.add_point("grid/feeder");
   system.start();
+  LatencyProbe probe;
+  probe.attach(system);
 
   double value = 0;
   auto tick = [&] {
+    probe.emit();
     system.frontend().field_update(item, scada::Variant{value});
     value += 1.0;
   };
   drive_open_loop(system.loop(), kRate, kWarmup, tick);
+  probe.measuring = true;
   std::uint64_t before = system.hmi().counters().updates_received;
   drive_open_loop(system.loop(), kRate, kMeasure, tick);
   std::uint64_t after = system.hmi().counters().updates_received;
-  return static_cast<double>(after - before) /
-         (static_cast<double>(kMeasure) / kNanosPerSec);
+  return Result{static_cast<double>(after - before) /
+                    (static_cast<double>(kMeasure) / kNanosPerSec),
+                std::move(probe.samples)};
 }
 
 }  // namespace
@@ -74,21 +111,31 @@ int main() {
   sim::CostModel costs = sim::CostModel::paper_testbed();
   print_header("Figure 8(a)", "Update value use case, 1000 ItemUpdate/s");
 
-  double neo = run_baseline(costs);
-  double smart = run_replicated(costs);
-  print_row("NeoSCADA", neo, "ops/s   (paper: ~1000)");
-  print_row("SMaRt-SCADA", smart, "ops/s   (paper: ~940)");
+  Result neo = run_baseline(costs);
+  Result smart = run_replicated(costs);
+  print_row("NeoSCADA", neo.ops_per_sec, "ops/s   (paper: ~1000)");
+  print_row("SMaRt-SCADA", smart.ops_per_sec, "ops/s   (paper: ~940)");
   std::printf("%-34s %10.1f %%       (paper: ~6%%)\n", "overhead",
-              overhead_pct(neo, smart));
+              overhead_pct(neo.ops_per_sec, smart.ops_per_sec));
+  std::printf("%-34s p50 %.0f us  p99 %.0f us\n", "NeoSCADA latency",
+              percentile(neo.latencies_us, 50), percentile(neo.latencies_us, 99));
+  std::printf("%-34s p50 %.0f us  p99 %.0f us\n", "SMaRt-SCADA latency",
+              percentile(smart.latencies_us, 50),
+              percentile(smart.latencies_us, 99));
 
   // Sensitivity: the shape must survive +/-50% CPU-cost perturbation.
   print_note("sensitivity (CPU costs scaled):");
   for (double scale : {0.5, 1.5}) {
     sim::CostModel scaled = costs.scaled_cpu(scale);
-    double neo_s = run_baseline(scaled);
-    double smart_s = run_replicated(scaled);
+    double neo_s = run_baseline(scaled).ops_per_sec;
+    double smart_s = run_replicated(scaled).ops_per_sec;
     std::printf("  x%.1f: NeoSCADA %7.1f  SMaRt-SCADA %7.1f  overhead %5.1f%%\n",
                 scale, neo_s, smart_s, overhead_pct(neo_s, smart_s));
   }
+
+  JsonReport json("fig8a_update");
+  json.add("neoscada", neo.ops_per_sec, std::move(neo.latencies_us));
+  json.add("smart_scada", smart.ops_per_sec, std::move(smart.latencies_us));
+  json.write();
   return 0;
 }

@@ -137,5 +137,16 @@ int main() {
               "100%%: %.1f\n",
               neo50.events_per_sec, neo100.events_per_sec,
               smart50.events_per_sec, smart100.events_per_sec);
+
+  JsonReport json("fig8b_alarms");
+  json.add("neoscada_50pct", neo50.updates_per_sec);
+  json.add("neoscada_100pct", neo100.updates_per_sec);
+  json.add("smart_scada_50pct", smart50.updates_per_sec);
+  json.add("smart_scada_100pct", smart100.updates_per_sec);
+  json.add("neoscada_50pct_events", neo50.events_per_sec);
+  json.add("neoscada_100pct_events", neo100.events_per_sec);
+  json.add("smart_scada_50pct_events", smart50.events_per_sec);
+  json.add("smart_scada_100pct_events", smart100.events_per_sec);
+  json.write();
   return 0;
 }

@@ -18,29 +18,44 @@ namespace {
 constexpr SimTime kWarmup = seconds(1);
 constexpr SimTime kMeasure = seconds(20);
 
+struct Result {
+  double ops_per_sec = 0;
+  std::vector<double> latencies_us;  ///< write -> WriteResult, measure window
+};
+
 /// Issues writes back-to-back: the next write starts when the previous
-/// result arrives. Returns completed writes per second.
+/// result arrives. Returns completed writes per second plus the per-write
+/// round-trip latencies seen during the measure window.
 template <typename System>
-double run_closed_loop(System& system, ItemId item) {
+Result run_closed_loop(System& system, ItemId item) {
   std::uint64_t completed = 0;
   double value = 0;
+  bool measuring = false;
+  std::vector<double> latencies;
   std::function<void()> issue = [&] {
+    SimTime issued = system.loop().now();
     system.hmi().write(item, scada::Variant{value},
-                       [&](const scada::WriteResult&) {
+                       [&, issued](const scada::WriteResult&) {
                          ++completed;
                          value += 1.0;
+                         if (measuring) {
+                           latencies.push_back(static_cast<double>(
+                               system.loop().now() - issued) / 1000.0);
+                         }
                          issue();
                        });
   };
   issue();
   system.run_until(system.loop().now() + kWarmup);
+  measuring = true;
   std::uint64_t before = completed;
   system.run_until(system.loop().now() + kMeasure);
-  return static_cast<double>(completed - before) /
-         (static_cast<double>(kMeasure) / kNanosPerSec);
+  return Result{static_cast<double>(completed - before) /
+                    (static_cast<double>(kMeasure) / kNanosPerSec),
+                std::move(latencies)};
 }
 
-double run_baseline(const sim::CostModel& costs) {
+Result run_baseline(const sim::CostModel& costs) {
   core::BaselineDeployment system(
       core::BaselineOptions{.costs = costs, .storage_retention = 1024});
   ItemId item = system.add_point("breaker/1", scada::Variant{0.0});
@@ -48,7 +63,7 @@ double run_baseline(const sim::CostModel& costs) {
   return run_closed_loop(system, item);
 }
 
-double run_replicated(const sim::CostModel& costs) {
+Result run_replicated(const sim::CostModel& costs) {
   core::ReplicatedOptions options;
   options.costs = costs;
   options.storage_retention = 1024;
@@ -111,21 +126,31 @@ int main(int argc, char** argv) {
   }
 
   print_header("Figure 8(c)", "Write value use case, synchronous writes");
-  double neo = run_baseline(costs);
-  double smart = run_replicated(costs);
-  print_row("NeoSCADA", neo, "writes/s  (paper: ~450)");
-  print_row("SMaRt-SCADA", smart, "writes/s  (paper: ~100)");
+  Result neo = run_baseline(costs);
+  Result smart = run_replicated(costs);
+  print_row("NeoSCADA", neo.ops_per_sec, "writes/s  (paper: ~450)");
+  print_row("SMaRt-SCADA", smart.ops_per_sec, "writes/s  (paper: ~100)");
   std::printf("%-34s %10.1f %%       (paper: ~78%%)\n", "overhead",
-              overhead_pct(neo, smart));
+              overhead_pct(neo.ops_per_sec, smart.ops_per_sec));
+  std::printf("%-34s p50 %.0f us  p99 %.0f us\n", "NeoSCADA write latency",
+              percentile(neo.latencies_us, 50), percentile(neo.latencies_us, 99));
+  std::printf("%-34s p50 %.0f us  p99 %.0f us\n", "SMaRt-SCADA write latency",
+              percentile(smart.latencies_us, 50),
+              percentile(smart.latencies_us, 99));
 
   print_note("sensitivity (CPU costs scaled):");
   for (double scale : {0.5, 1.5}) {
     sim::CostModel scaled = costs.scaled_cpu(scale);
-    double neo_s = run_baseline(scaled);
-    double smart_s = run_replicated(scaled);
+    double neo_s = run_baseline(scaled).ops_per_sec;
+    double smart_s = run_replicated(scaled).ops_per_sec;
     std::printf("  x%.1f: NeoSCADA %7.1f  SMaRt-SCADA %7.1f  overhead %5.1f%%\n",
                 scale, neo_s, smart_s, overhead_pct(neo_s, smart_s));
   }
+
+  JsonReport json("fig8c_write");
+  json.add("neoscada", neo.ops_per_sec, std::move(neo.latencies_us));
+  json.add("smart_scada", smart.ops_per_sec, std::move(smart.latencies_us));
+  json.write();
 
   run_drops(costs);
   return 0;

@@ -445,19 +445,26 @@ void Replica::try_decide() {
 
     if (matching_votes(inst.accepts, inst.digest) < group_.quorum()) return;
 
-    // Decided.
+    // Decided. Keep the decided value as the retained write-set: deciding
+    // consumes the instance, but if the other accept-voters go quiet before
+    // anyone else decides, this replica's STOP_DATA is the only surviving
+    // certificate for the value — a fresh proposal at this cid would fork
+    // the history.
     Batch batch = Batch::decode(inst.proposal->batch);
+    crypto::Digest decided_digest = inst.digest;
     ConsensusId cid{next};
+    Bytes decided_proposal = std::move(inst.proposal->batch);
     instances_.erase(it);
     last_decided_ = cid;
-    if (retained_writeset_.has_value() &&
-        retained_writeset_->cid.value <= cid.value) {
-      retained_writeset_.reset();
-    }
+    retained_writeset_ = RetainedWriteset{cid, regency_, decided_digest,
+                                          std::move(decided_proposal)};
     ++stats_.batches_decided;
     lanes_.submit(opt_.per_decision_cost, [] {});
     execute_batch(cid, batch);
     last_timestamp_ = batch.timestamp;
+    if (decision_observer_) {
+      decision_observer_(cid, decided_digest, batch.timestamp);
+    }
     maybe_checkpoint();
     maybe_propose();
   }
@@ -547,6 +554,7 @@ void Replica::note_regency_evidence(ReplicaId sender, std::uint64_t regency) {
          "adopting regency %lu from peer evidence (was %lu)",
          static_cast<unsigned long>(adopt),
          static_cast<unsigned long>(regency_));
+  refresh_retained_writeset();
   regency_ = adopt;
   ++stats_.view_changes;
   instances_.clear();
@@ -562,11 +570,15 @@ void Replica::note_regency_evidence(ReplicaId sender, std::uint64_t regency) {
 }
 
 void Replica::send_stop(std::uint64_t regency) {
-  if (regency <= regency_ || highest_stop_sent_ >= regency) return;
+  if (regency <= regency_ || highest_stop_sent_ > regency) return;
+  // Re-broadcasting an already-sent STOP is deliberate: STOPs can be lost
+  // on lossy links, and peers stuck below the install quorum have no other
+  // way to learn of this replica's vote. The suspect timers keep firing
+  // while the view change is needed, so the retransmit is periodic.
   highest_stop_sent_ = regency;
   Stop s{regency, id_};
   broadcast(MsgType::kStop, s.encode());
-  handle_stop(s);  // record own vote
+  handle_stop(s);  // record own vote (deduplicated by sender regency)
 }
 
 void Replica::handle_stop(const Stop& s) {
@@ -610,7 +622,8 @@ void Replica::install_regency(std::uint64_t regency) {
   sd.sender = id_;
   sd.last_decided = last_decided_;
   if (retained_writeset_.has_value() &&
-      retained_writeset_->cid.value == last_decided_.value + 1) {
+      (retained_writeset_->cid.value == last_decided_.value + 1 ||
+       retained_writeset_->cid.value == last_decided_.value)) {
     sd.has_writeset = true;
     sd.writeset_cid = retained_writeset_->cid;
     sd.writeset_regency = retained_writeset_->regency;
@@ -666,8 +679,11 @@ void Replica::install_regency(std::uint64_t regency) {
 
 void Replica::refresh_retained_writeset() {
   if (retained_writeset_.has_value() &&
-      retained_writeset_->cid.value <= last_decided_.value) {
-    retained_writeset_.reset();  // stale: the instance decided meanwhile
+      retained_writeset_->cid.value < last_decided_.value) {
+    // Stale: a later instance decided, so a quorum advanced past this cid
+    // and its value is durable elsewhere. Evidence at exactly last_decided
+    // is kept — it may be the only surviving certificate (see try_decide).
+    retained_writeset_.reset();
   }
   std::uint64_t open = last_decided_.value + 1;
   auto it = instances_.find(open);
@@ -697,7 +713,23 @@ void Replica::run_sync_decision(std::uint64_t regency) {
   sync_done_for_regency_ = true;
 
   const auto& collected = stop_data_[regency];
-  std::uint64_t target_cid = last_decided_.value + 1;
+
+  // The synchronization target is derived from the *reported* last-decided
+  // cids, not this leader's own: a leader that fell behind would otherwise
+  // aim the sync below the group's frontier, discard the write-set evidence
+  // reported for the real open instance, and later re-propose a fresh batch
+  // at a cid some replica already decided — forking the history. The
+  // (f+1)-th highest report is certified by at least one correct replica
+  // and cannot be inflated by the f faulty ones.
+  std::vector<std::uint64_t> reported;
+  reported.reserve(collected.size());
+  for (const auto& [sender, sd] : collected) {
+    reported.push_back(sd.last_decided.value);
+  }
+  std::sort(reported.begin(), reported.end(), std::greater<>());
+  std::uint64_t certified = reported[group_.f];
+  std::uint64_t max_reported = reported.front();
+  std::uint64_t target_cid = certified + 1;
 
   // Among the reported write-sets for the target instance, a value with a
   // write quorum in a *later* regency supersedes earlier ones (only one
@@ -735,6 +767,16 @@ void Replica::run_sync_decision(std::uint64_t regency) {
     broadcast(MsgType::kSync, sync.encode());
     Propose p{sync.cid, regency, id_, sync.batch};
     handle_propose(std::move(p), /*from_sync=*/true);
+    // A behind leader can still pin the certified value for the group; it
+    // catches its own state up in parallel so it can vote and execute.
+    if (last_decided_.value + 1 < target_cid) request_state_now();
+  } else if (max_reported >= target_cid ||
+             last_decided_.value + 1 < target_cid) {
+    // Either some replica claims a decision at or past the target (a value
+    // exists that this leader does not know — never propose fresh over it),
+    // or this leader is behind the certified frontier. Catch up first;
+    // proposals resume once state transfer completes.
+    request_state_now();
   } else {
     maybe_propose();
   }
@@ -744,7 +786,11 @@ void Replica::handle_sync(const Sync& s) {
   if (group_.leader_for(s.regency) != s.leader) return;
   if (s.regency < regency_) return;
   if (s.regency > regency_) {
-    // We missed the STOP quorum; adopt the new regency via the SYNC.
+    // We missed the STOP quorum; adopt the new regency via the SYNC. Same
+    // obligation as install_regency: write-set evidence for the open
+    // instance must survive the wipe, or a later view change could order a
+    // conflicting value for an instance that already decided elsewhere.
+    refresh_retained_writeset();
     regency_ = s.regency;
     ++stats_.view_changes;
     instances_.clear();
@@ -829,6 +875,7 @@ void Replica::maybe_checkpoint() {
   if (opt_.checkpoint_interval == 0) return;
   if (last_decided_.value % opt_.checkpoint_interval != 0) return;
   checkpoint_digest_ = crypto::Sha256::hash(recoverable_.snapshot());
+  checkpoint_cid_ = last_decided_;
   ++stats_.checkpoints;
 }
 

@@ -117,6 +117,20 @@ class Replica {
   const std::optional<crypto::Digest>& last_checkpoint_digest() const {
     return checkpoint_digest_;
   }
+  /// Consensus id the latest checkpoint covers (meaningful only when
+  /// last_checkpoint_digest() is set). Checkpoints taken at the same cid
+  /// must carry the same digest on every correct replica.
+  ConsensusId last_checkpoint_cid() const { return checkpoint_cid_; }
+
+  /// Observation point for cross-replica invariant checking: fires after
+  /// every locally executed decision with the batch digest and the batch's
+  /// deterministic timestamp. Decisions skipped over by state transfer are
+  /// not reported (the replica never executed them itself).
+  using DecisionObserver = std::function<void(
+      ConsensusId cid, const crypto::Digest& batch_digest, SimTime timestamp)>;
+  void set_decision_observer(DecisionObserver observer) {
+    decision_observer_ = std::move(observer);
+  }
 
   /// Detaches from the network (crash). A crashed replica stays silent until
   /// recover() is called.
@@ -256,6 +270,8 @@ class Replica {
   std::set<std::uint32_t> state_current_votes_;
 
   std::optional<crypto::Digest> checkpoint_digest_;
+  ConsensusId checkpoint_cid_{0};
+  DecisionObserver decision_observer_;
   bool crashed_ = false;
   ByzantineMode byzantine_ = ByzantineMode::kNone;
   Rng byz_rng_{0xBAD};

@@ -1,0 +1,304 @@
+#include "chaos/fault_script.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "crypto/keychain.h"
+
+namespace ss::chaos {
+
+namespace {
+
+const char* mode_name(bft::ByzantineMode mode) {
+  switch (mode) {
+    case bft::ByzantineMode::kNone:
+      return "none";
+    case bft::ByzantineMode::kSilent:
+      return "silent";
+    case bft::ByzantineMode::kCorruptReplies:
+      return "corrupt-replies";
+    case bft::ByzantineMode::kCorruptVotes:
+      return "corrupt-votes";
+    case bft::ByzantineMode::kEquivocate:
+      return "equivocate";
+  }
+  return "?";
+}
+
+std::string at_ms(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "t+%lldms",
+                static_cast<long long>(t / millis(1)));
+  return buf;
+}
+
+SimTime pick_time(Rng& rng, SimTime lo, SimTime hi) {
+  if (hi <= lo) return lo;
+  return lo + static_cast<SimTime>(
+                  rng.below(static_cast<std::uint64_t>(hi - lo)));
+}
+
+/// Replicas that may be impaired simultaneously: a fixed subset of size <= f
+/// chosen up front, so every replica-level fault in the script respects the
+/// budget no matter how the windows overlap.
+std::vector<std::uint32_t> pick_impaired_set(Rng& rng,
+                                             const GroupConfig& group) {
+  std::uint32_t k = group.f == 0 ? 0 : 1 + static_cast<std::uint32_t>(
+                                               rng.below(group.f));
+  std::vector<std::uint32_t> all(group.n);
+  for (std::uint32_t i = 0; i < group.n; ++i) all[i] = i;
+  // Partial Fisher-Yates with the script's own rng.
+  for (std::uint32_t i = 0; i < k; ++i) {
+    std::uint32_t j = i + static_cast<std::uint32_t>(rng.below(group.n - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+void add_byzantine_faults(Rng& rng, const ScriptParams& params,
+                          const std::vector<std::uint32_t>& impaired,
+                          FaultScript& script) {
+  for (std::uint32_t replica : impaired) {
+    SimTime start = pick_time(rng, params.horizon / 20, params.horizon / 2);
+    if (rng.chance(0.35)) {
+      // Pause/restart instead of a Byzantine mode.
+      FaultAction crash;
+      crash.at = start;
+      crash.kind = ActionKind::kCrashReplica;
+      crash.replica = replica;
+      script.actions.push_back(crash);
+      FaultAction recover = crash;
+      recover.kind = ActionKind::kRecoverReplica;
+      recover.at = pick_time(rng, start + millis(200), params.horizon);
+      script.actions.push_back(recover);
+      continue;
+    }
+    static constexpr bft::ByzantineMode kModes[] = {
+        bft::ByzantineMode::kSilent, bft::ByzantineMode::kCorruptReplies,
+        bft::ByzantineMode::kCorruptVotes, bft::ByzantineMode::kEquivocate};
+    FaultAction set;
+    set.at = start;
+    set.kind = ActionKind::kSetByzantine;
+    set.replica = replica;
+    set.mode = kModes[rng.below(4)];
+    script.actions.push_back(set);
+    if (rng.chance(0.6)) {
+      // Reimage (clear) before the horizon; otherwise the drain heal does it.
+      FaultAction clear;
+      clear.at = pick_time(rng, start + millis(300), params.horizon);
+      clear.kind = ActionKind::kClearByzantine;
+      clear.replica = replica;
+      script.actions.push_back(clear);
+    }
+  }
+}
+
+void add_partition_faults(Rng& rng, const ScriptParams& params,
+                          const std::vector<std::uint32_t>& impaired,
+                          FaultScript& script) {
+  for (std::uint32_t replica : impaired) {
+    SimTime start = pick_time(rng, params.horizon / 20, params.horizon / 2);
+    FaultAction cut;
+    cut.at = start;
+    cut.kind = ActionKind::kIsolateReplica;
+    cut.replica = replica;
+    script.actions.push_back(cut);
+    if (rng.chance(0.7)) {
+      FaultAction heal = cut;
+      heal.kind = ActionKind::kHealReplica;
+      heal.at = pick_time(rng, start + millis(200), params.horizon);
+      script.actions.push_back(heal);
+    }
+  }
+}
+
+void add_lossy_links(Rng& rng, const ScriptParams& params,
+                     FaultScript& script) {
+  std::uint32_t m = 1 + static_cast<std::uint32_t>(rng.below(3));
+  for (std::uint32_t i = 0; i < m; ++i) {
+    FaultAction fault;
+    fault.at = pick_time(rng, 0, params.horizon / 2);
+    fault.kind = ActionKind::kLinkFault;
+    // Direction: one replica's inbound, outbound, or a specific pair; with
+    // some probability hit the adapters' timeout-vote links instead.
+    std::uint32_t a = static_cast<std::uint32_t>(rng.below(params.group.n));
+    std::uint32_t b = static_cast<std::uint32_t>(rng.below(params.group.n));
+    const char* prefix = rng.chance(0.25) ? "adapter/" : "replica/";
+    switch (rng.below(3)) {
+      case 0:
+        fault.link.from = std::string(prefix) + "*";
+        fault.link.to = prefix + std::to_string(a);
+        break;
+      case 1:
+        fault.link.from = prefix + std::to_string(a);
+        fault.link.to = std::string(prefix) + "*";
+        break;
+      default:
+        fault.link.from = prefix + std::to_string(a);
+        fault.link.to = prefix + std::to_string(b == a ? (b + 1) %
+                                                   params.group.n : b);
+        break;
+    }
+    // Rates low enough that client retransmission + view changes keep the
+    // system live until the heal point.
+    fault.link.policy.drop_prob = 0.05 + 0.3 * rng.uniform();
+    if (rng.chance(0.5)) fault.link.policy.dup_prob = 0.25 * rng.uniform();
+    if (rng.chance(0.5)) {
+      fault.link.policy.extra_delay =
+          static_cast<SimTime>(rng.below(millis(20)));
+    }
+    if (rng.chance(0.5)) {
+      fault.link.policy.jitter = static_cast<SimTime>(rng.below(millis(30)));
+    }
+    script.actions.push_back(fault);
+    if (rng.chance(0.7)) {
+      FaultAction heal = fault;
+      heal.kind = ActionKind::kHealLink;
+      heal.link.heal = true;
+      heal.link.policy = sim::LinkPolicy{};
+      heal.at = pick_time(rng, fault.at + millis(200), params.horizon);
+      script.actions.push_back(heal);
+    }
+  }
+}
+
+void add_rtu_faults(Rng& rng, const ScriptParams& params,
+                    FaultScript& script) {
+  if (!params.has_rtu) return;
+  std::uint32_t m = 1 + static_cast<std::uint32_t>(rng.below(3));
+  for (std::uint32_t i = 0; i < m; ++i) {
+    FaultAction fault;
+    fault.at = pick_time(rng, params.horizon / 10, params.horizon);
+    if (rng.chance(0.6)) {
+      // Swallowed requests are the logical-timeout protocol's reason to
+      // exist; they also eat polls, which is harmless noise.
+      fault.kind = ActionKind::kRtuSwallowRequests;
+      fault.count = 1 + rng.below(5);
+    } else {
+      fault.kind = ActionKind::kRtuFailWrites;
+      fault.count = 1 + rng.below(3);
+    }
+    script.actions.push_back(fault);
+  }
+}
+
+}  // namespace
+
+const char* family_name(ScenarioFamily family) {
+  switch (family) {
+    case ScenarioFamily::kByzantineReplicas:
+      return "byzantine";
+    case ScenarioFamily::kPartitions:
+      return "partitions";
+    case ScenarioFamily::kLossyLinks:
+      return "lossy-links";
+    case ScenarioFamily::kRtuFaults:
+      return "rtu-faults";
+    case ScenarioFamily::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+bool parse_family(const std::string& name, ScenarioFamily& out) {
+  for (ScenarioFamily family : kAllFamilies) {
+    if (name == family_name(family)) {
+      out = family;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FaultAction::describe() const {
+  switch (kind) {
+    case ActionKind::kSetByzantine:
+      return at_ms(at) + " replica " + std::to_string(replica) + " -> " +
+             mode_name(mode);
+    case ActionKind::kClearByzantine:
+      return at_ms(at) + " replica " + std::to_string(replica) + " reimaged";
+    case ActionKind::kCrashReplica:
+      return at_ms(at) + " replica " + std::to_string(replica) + " crashes";
+    case ActionKind::kRecoverReplica:
+      return at_ms(at) + " replica " + std::to_string(replica) + " recovers";
+    case ActionKind::kIsolateReplica:
+      return at_ms(at) + " replica " + std::to_string(replica) + " isolated";
+    case ActionKind::kHealReplica:
+      return at_ms(at) + " replica " + std::to_string(replica) + " healed";
+    case ActionKind::kLinkFault: {
+      char policy[96];
+      std::snprintf(policy, sizeof(policy),
+                    " drop=%.2f dup=%.2f delay=%lldms jitter=%lldms",
+                    link.policy.drop_prob, link.policy.dup_prob,
+                    static_cast<long long>(link.policy.extra_delay / millis(1)),
+                    static_cast<long long>(link.policy.jitter / millis(1)));
+      return at_ms(at) + " link " + link.from + " -> " + link.to + policy;
+    }
+    case ActionKind::kHealLink:
+      return at_ms(at) + " heal link " + link.from + " -> " + link.to;
+    case ActionKind::kRtuSwallowRequests:
+      return at_ms(at) + " rtu swallows " + std::to_string(count) +
+             " requests";
+    case ActionKind::kRtuFailWrites:
+      return at_ms(at) + " rtu fails " + std::to_string(count) + " writes";
+  }
+  return "?";
+}
+
+std::string FaultScript::describe() const {
+  std::string out;
+  for (const FaultAction& action : actions) {
+    if (!out.empty()) out += "; ";
+    out += action.describe();
+  }
+  return out.empty() ? "(no faults)" : out;
+}
+
+FaultScript generate_script(ScenarioFamily family, const ScriptParams& params,
+                            std::uint64_t seed) {
+  // Mix the family into the seed so the same seed gives independent scripts
+  // per family.
+  std::uint64_t mixed = seed * 0x9e3779b97f4a7c15ULL +
+                        static_cast<std::uint64_t>(family) + 1;
+  Rng rng(mixed);
+  FaultScript script;
+  std::vector<std::uint32_t> impaired = pick_impaired_set(rng, params.group);
+
+  switch (family) {
+    case ScenarioFamily::kByzantineReplicas:
+      add_byzantine_faults(rng, params, impaired, script);
+      break;
+    case ScenarioFamily::kPartitions:
+      add_partition_faults(rng, params, impaired, script);
+      break;
+    case ScenarioFamily::kLossyLinks:
+      add_lossy_links(rng, params, script);
+      break;
+    case ScenarioFamily::kRtuFaults:
+      add_rtu_faults(rng, params, script);
+      break;
+    case ScenarioFamily::kMixed: {
+      if (!impaired.empty()) {
+        std::vector<std::uint32_t> one{impaired.front()};
+        if (rng.chance(0.5)) {
+          add_byzantine_faults(rng, params, one, script);
+        } else {
+          add_partition_faults(rng, params, one, script);
+        }
+      }
+      add_lossy_links(rng, params, script);
+      add_rtu_faults(rng, params, script);
+      break;
+    }
+  }
+
+  std::stable_sort(script.actions.begin(), script.actions.end(),
+                   [](const FaultAction& a, const FaultAction& b) {
+                     return a.at < b.at;
+                   });
+  return script;
+}
+
+}  // namespace ss::chaos

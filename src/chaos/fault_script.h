@@ -1,0 +1,84 @@
+// Seeded fault-script generation for the chaos engine.
+//
+// A FaultScript is a timed sequence of fault injections composed from the
+// primitives the rest of the codebase already exposes: ByzantineMode
+// switches on replicas, crash/recover, full isolation (partitions), link
+// policies via sim::FaultSpec (drop/dup/delay + heal), and RTU misbehaviour
+// (swallowed requests, failing writes). Scripts are a pure function of
+// (family, group, seed), so any run — including a minimized counterexample —
+// is replayable from a one-line command.
+//
+// Generated scripts stay inside the system's fault budget: at most f
+// replicas are impaired (Byzantine, crashed, or isolated) at any time, and
+// probabilistic link faults are kept below rates that starve liveness before
+// the heal point. Violating the budget on purpose is the job of the canary
+// sabotages in swarm.h, not of the generator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bft/replica.h"
+#include "common/config.h"
+#include "sim/network.h"
+
+namespace ss::chaos {
+
+enum class ScenarioFamily {
+  kByzantineReplicas,  ///< silent / corrupt / equivocating replicas + reimage
+  kPartitions,         ///< replica isolation and heals (pause/restart too)
+  kLossyLinks,         ///< probabilistic drop/dup/delay on replica links
+  kRtuFaults,          ///< swallowed requests and failing writes in the field
+  kMixed,              ///< everything at once, still within the fault budget
+};
+
+inline constexpr ScenarioFamily kAllFamilies[] = {
+    ScenarioFamily::kByzantineReplicas, ScenarioFamily::kPartitions,
+    ScenarioFamily::kLossyLinks, ScenarioFamily::kRtuFaults,
+    ScenarioFamily::kMixed};
+
+const char* family_name(ScenarioFamily family);
+bool parse_family(const std::string& name, ScenarioFamily& out);
+
+enum class ActionKind {
+  kSetByzantine,      ///< replica, mode
+  kClearByzantine,    ///< replica
+  kCrashReplica,      ///< replica
+  kRecoverReplica,    ///< replica
+  kIsolateReplica,    ///< replica (cuts replica/i and adapter/i endpoints)
+  kHealReplica,       ///< replica
+  kLinkFault,         ///< link (sim::FaultSpec, heal=false)
+  kHealLink,          ///< link (same patterns, heal=true)
+  kRtuSwallowRequests,  ///< count: requests the RTU silently ignores
+  kRtuFailWrites,       ///< count: writes the RTU answers with an error
+};
+
+struct FaultAction {
+  SimTime at = 0;  ///< offset from the script's start time
+  ActionKind kind = ActionKind::kSetByzantine;
+  std::uint32_t replica = 0;
+  bft::ByzantineMode mode = bft::ByzantineMode::kNone;
+  sim::FaultSpec link;
+  std::uint64_t count = 0;
+
+  std::string describe() const;
+};
+
+struct FaultScript {
+  std::vector<FaultAction> actions;
+
+  std::string describe() const;
+};
+
+struct ScriptParams {
+  GroupConfig group;
+  SimTime horizon = seconds(3);  ///< injections happen within [0, horizon)
+  bool has_rtu = true;           ///< whether RTU actions are available
+};
+
+/// Deterministically expands (family, params, seed) into a fault script.
+FaultScript generate_script(ScenarioFamily family, const ScriptParams& params,
+                            std::uint64_t seed);
+
+}  // namespace ss::chaos

@@ -1,0 +1,201 @@
+#include "chaos/invariant_checker.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ss::chaos {
+
+namespace {
+
+std::string hex_prefix(const crypto::Digest& digest) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%02x%02x%02x%02x", digest[0], digest[1],
+                digest[2], digest[3]);
+  return buf;
+}
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(core::ReplicatedDeployment& deployment)
+    : dep_(deployment),
+      impaired_(deployment.n(), false),
+      last_batch_timestamp_(deployment.n(), 0) {}
+
+void InvariantChecker::attach() {
+  for (std::uint32_t i = 0; i < dep_.n(); ++i) {
+    dep_.replica(i).set_decision_observer(
+        [this, i](ConsensusId cid, const crypto::Digest& digest,
+                  SimTime timestamp) {
+          on_decision(i, cid, digest, timestamp);
+        });
+  }
+  dep_.hmi().set_update_callback([this](const scada::ItemUpdate& update) {
+    on_delivery(scada::ScadaMessage{update});
+  });
+  dep_.hmi().set_event_callback([this](const scada::EventUpdate& event) {
+    on_delivery(scada::ScadaMessage{event});
+  });
+}
+
+void InvariantChecker::set_impaired(std::uint32_t replica, bool impaired) {
+  if (replica < impaired_.size()) impaired_[replica] = impaired;
+}
+
+void InvariantChecker::add_violation(const std::string& invariant,
+                                     const std::string& detail) {
+  violations_.push_back(Violation{invariant, detail, dep_.loop().now()});
+}
+
+void InvariantChecker::on_decision(std::uint32_t replica, ConsensusId cid,
+                                   const crypto::Digest& digest,
+                                   SimTime timestamp) {
+  ++decisions_observed_;
+  bool correct = replica < impaired_.size() && !impaired_[replica];
+
+  // Monotone deterministic timestamps (strict: make_batch always advances).
+  SimTime last = last_batch_timestamp_[replica];
+  if (correct && timestamp <= last) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "replica %u executed cid=%" PRIu64
+                  " with timestamp %lld <= previous %lld",
+                  replica, cid.value, static_cast<long long>(timestamp),
+                  static_cast<long long>(last));
+    add_violation("monotone-timestamps", buf);
+  }
+  last_batch_timestamp_[replica] = timestamp;
+
+  if (!correct) return;
+
+  // Agreement: every correct replica executes the same batch at each cid.
+  auto [it, inserted] =
+      decisions_.try_emplace(cid.value, DecisionRecord{digest, timestamp,
+                                                       replica});
+  if (inserted) return;
+  if (it->second.digest != digest || it->second.timestamp != timestamp) {
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "cid=%" PRIu64 ": replica %u executed %s@%lld but replica "
+                  "%u executed %s@%lld",
+                  cid.value, it->second.replica,
+                  hex_prefix(it->second.digest).c_str(),
+                  static_cast<long long>(it->second.timestamp), replica,
+                  hex_prefix(digest).c_str(),
+                  static_cast<long long>(timestamp));
+    add_violation("agreement", buf);
+  }
+}
+
+void InvariantChecker::on_delivery(const scada::ScadaMessage& msg) {
+  scada::MsgContext ctx = scada::context_of(msg);
+  DeliveryKey key{static_cast<std::uint8_t>(scada::kind_of(msg)),
+                  ctx.cid.value, ctx.order, 0, ""};
+  if (const auto* update = std::get_if<scada::ItemUpdate>(&msg)) {
+    std::get<3>(key) = update->item.value;
+  } else if (const auto* event = std::get_if<scada::EventUpdate>(&msg)) {
+    std::get<3>(key) = event->event.item.value;
+    std::get<4>(key) = event->event.code + "#" +
+                       std::to_string(event->event.id.value);
+  } else if (const auto* result = std::get_if<scada::WriteResult>(&msg)) {
+    std::get<3>(key) = result->item.value;
+  }
+
+  crypto::Digest digest = scada::message_digest(msg);
+  auto [it, inserted] = deliveries_.try_emplace(key, digest);
+  if (inserted) return;
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "%s slot cid=%" PRIu64 " order=%u item=%u delivered twice (%s)",
+                scada::scada_msg_kind_name(scada::kind_of(msg)), ctx.cid.value,
+                ctx.order, std::get<3>(key),
+                it->second == digest ? "byte-identical duplicate"
+                                     : "conflicting payloads");
+  add_violation(it->second == digest ? "exactly-once-delivery"
+                                     : "voted-delivery-conflict",
+                buf);
+}
+
+void InvariantChecker::note_write_issued(OpId op) {
+  ++writes_issued_;
+  writes_.try_emplace(op.value);
+}
+
+void InvariantChecker::note_write_completed(OpId op,
+                                            scada::WriteStatus status) {
+  WriteRecord& rec = writes_[op.value];
+  ++rec.completions;
+  rec.last_status = status;
+  if (rec.completions == 1) {
+    ++writes_completed_;
+  } else {
+    add_violation("write-exactly-once",
+                  "op " + std::to_string(op.value) + " completed " +
+                      std::to_string(rec.completions) + " times");
+  }
+}
+
+void InvariantChecker::final_check(bool quiesced, bool expect_liveness) {
+  if (expect_liveness) {
+    for (const auto& [op, rec] : writes_) {
+      if (rec.completions == 0) {
+        add_violation("write-liveness",
+                      "op " + std::to_string(op) +
+                          " never completed (no WriteResult, no synthesized "
+                          "timeout)");
+      }
+    }
+    if (dep_.hmi().pending_writes() > 0) {
+      add_violation("write-liveness",
+                    std::to_string(dep_.hmi().pending_writes()) +
+                        " writes still pending at the HMI");
+    }
+  }
+
+  if (!quiesced) return;
+
+  // Convergence after quiescence, over live & correct replicas only.
+  bool have_reference = false;
+  std::uint64_t reference_cid = 0;
+  std::uint32_t reference_replica = 0;
+  std::map<std::uint64_t, std::pair<crypto::Digest, std::uint32_t>>
+      checkpoint_by_cid;
+  for (std::uint32_t i = 0; i < dep_.n(); ++i) {
+    bft::Replica& replica = dep_.replica(i);
+    if (replica.crashed() || impaired_[i]) continue;
+    std::uint64_t decided = replica.last_decided().value;
+    if (!have_reference) {
+      have_reference = true;
+      reference_cid = decided;
+      reference_replica = i;
+    } else if (decided != reference_cid) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "after quiescence replica %u is at cid=%" PRIu64
+                    " but replica %u is at cid=%" PRIu64,
+                    i, decided, reference_replica, reference_cid);
+      add_violation("convergence", buf);
+    }
+    if (replica.last_checkpoint_digest().has_value()) {
+      std::uint64_t ckpt_cid = replica.last_checkpoint_cid().value;
+      auto [it, inserted] = checkpoint_by_cid.try_emplace(
+          ckpt_cid,
+          std::make_pair(*replica.last_checkpoint_digest(), i));
+      if (!inserted && it->second.first != *replica.last_checkpoint_digest()) {
+        char buf[200];
+        std::snprintf(buf, sizeof(buf),
+                      "checkpoint at cid=%" PRIu64
+                      " differs: replica %u has %s, replica %u has %s",
+                      ckpt_cid, it->second.second,
+                      hex_prefix(it->second.first).c_str(), i,
+                      hex_prefix(*replica.last_checkpoint_digest()).c_str());
+        add_violation("checkpoint-divergence", buf);
+      }
+    }
+  }
+  if (!dep_.masters_converged()) {
+    add_violation("convergence",
+                  "master state digests differ after quiescence");
+  }
+}
+
+}  // namespace ss::chaos

@@ -1,0 +1,104 @@
+// Cross-replica invariant checking over a live ReplicatedDeployment.
+//
+// The checker wires itself into the observation points the deployment
+// exposes — per-replica decision observers, the HMI's update/event/write
+// callbacks — and asserts the paper's safety and liveness properties:
+//
+//   * agreement — no two correct replicas execute different batches at the
+//     same ConsensusId (and the deterministic batch timestamps match);
+//   * monotone timestamps — each correct replica's executed-batch timestamps
+//     are strictly increasing (the deterministic clock never goes back);
+//   * exactly-once HMI delivery — the voted push stream never hands the HMI
+//     two messages for the same (kind, cid, order, item) slot, neither a
+//     byte-identical duplicate nor a conflicting payload;
+//   * write liveness — every WriteValue the HMI issues completes (possibly
+//     with a synthesized timeout result) exactly once while a correct quorum
+//     is alive;
+//   * convergence after quiescence — once faults heal and input stops, all
+//     correct replicas reach the same decision number, identical master
+//     state digests, and identical checkpoint digests per checkpoint cid.
+//
+// "Correct" tracking is fed by the chaos engine: a replica under a scripted
+// Byzantine mode is exempt from the per-replica checks while impaired (its
+// divergence is permitted by the fault model; masking it is the system's
+// job, which the HMI-side invariants still verify).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/replicated_deployment.h"
+
+namespace ss::chaos {
+
+struct Violation {
+  std::string invariant;  ///< short name, e.g. "agreement"
+  std::string detail;
+  SimTime at = 0;
+};
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(core::ReplicatedDeployment& deployment);
+
+  /// Installs decision observers and HMI callbacks. Call once, before
+  /// traffic starts.
+  void attach();
+
+  /// The engine marks replicas impaired/restored as the script executes.
+  void set_impaired(std::uint32_t replica, bool impaired);
+
+  /// The engine reports every write it issues; completion is observed via
+  /// the HMI write callback the engine forwards to note_write_completed.
+  void note_write_issued(OpId op);
+  void note_write_completed(OpId op, scada::WriteStatus status);
+
+  /// End-of-run judgement. `quiesced` asserts the convergence invariants
+  /// (only meaningful after faults healed and input stopped);
+  /// `expect_liveness` asserts every issued write completed (true whenever
+  /// the script stayed within the fault budget and faults were healed with
+  /// enough drain time).
+  void final_check(bool quiesced, bool expect_liveness);
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::uint64_t decisions_observed() const { return decisions_observed_; }
+  std::uint64_t writes_issued() const { return writes_issued_; }
+  std::uint64_t writes_completed() const { return writes_completed_; }
+
+  void add_violation(const std::string& invariant, const std::string& detail);
+
+ private:
+  struct DecisionRecord {
+    crypto::Digest digest{};
+    SimTime timestamp = 0;
+    std::uint32_t replica = 0;
+  };
+  // kind tag, cid, order, item, event code
+  using DeliveryKey =
+      std::tuple<std::uint8_t, std::uint64_t, std::uint32_t, std::uint32_t,
+                 std::string>;
+  struct WriteRecord {
+    std::uint64_t completions = 0;
+    scada::WriteStatus last_status = scada::WriteStatus::kOk;
+  };
+
+  void on_decision(std::uint32_t replica, ConsensusId cid,
+                   const crypto::Digest& digest, SimTime timestamp);
+  void on_delivery(const scada::ScadaMessage& msg);
+
+  core::ReplicatedDeployment& dep_;
+  std::vector<bool> impaired_;
+  std::vector<SimTime> last_batch_timestamp_;
+  std::map<std::uint64_t, DecisionRecord> decisions_;  // by cid (correct only)
+  std::map<DeliveryKey, crypto::Digest> deliveries_;
+  std::map<std::uint64_t, WriteRecord> writes_;  // by op id
+  std::vector<Violation> violations_;
+  std::uint64_t decisions_observed_ = 0;
+  std::uint64_t writes_issued_ = 0;
+  std::uint64_t writes_completed_ = 0;
+};
+
+}  // namespace ss::chaos

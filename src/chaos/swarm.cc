@@ -1,0 +1,339 @@
+#include "chaos/swarm.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "core/scada_link.h"
+#include "crypto/keychain.h"
+#include "rtu/driver.h"
+#include "rtu/rtu.h"
+#include "rtu/sensors.h"
+#include "scada/handlers.h"
+
+namespace ss::chaos {
+
+namespace {
+
+constexpr SimTime kWarmup = millis(300);
+constexpr const char* kRtuEndpoint = "chaos/rtu";
+/// Safety valve against accidental infinite message loops in a faulty run.
+constexpr std::size_t kEventBudget = 20'000'000;
+
+/// One full chaos run over a fresh deployment. Everything is seeded: the
+/// deployment's network fault rng, the script (passed in), and the workload.
+class ChaosRun {
+ public:
+  ChaosRun(const ChaosOptions& options, FaultScript script)
+      : opt_(options),
+        script_(std::move(script)),
+        system_(make_options(options)),
+        rtu_(system_.net(), kRtuEndpoint,
+             rtu::RtuOptions{.sample_period = millis(100),
+                             .seed = options.seed ^ 0x57075707ULL}),
+        driver_(system_.net(), system_.frontend(),
+                rtu::DriverOptions{.poll_period = millis(100)}),
+        checker_(system_) {}
+
+  RunReport run() {
+    build_plant();
+    checker_.attach();
+    system_.loop().set_event_budget(kEventBudget);
+    system_.start();
+    rtu_.start();
+    driver_.start();
+    system_.run_until(system_.loop().now() + kWarmup);
+
+    const SimTime t0 = system_.loop().now();
+    for (const FaultAction& action : script_.actions) {
+      system_.loop().schedule_at(t0 + action.at,
+                                 [this, &action] { apply_action(action); });
+    }
+    system_.loop().schedule_at(t0 + opt_.horizon, [this] { heal_world(); });
+
+    stop_writes_at_ = t0 + opt_.horizon + opt_.drain / 2;
+    schedule_next_write();
+
+    // Drain with traffic flowing (lagging replicas need evidence to catch
+    // up), then cut the telemetry source and let the system quiesce.
+    system_.run_until(t0 + opt_.horizon + opt_.drain);
+    system_.net().set_policy(core::kFrontendEndpoint,
+                             core::kProxyFrontendEndpoint,
+                             sim::LinkPolicy::cut_link());
+    bool runaway = false;
+    try {
+      system_.run_until(t0 + opt_.horizon + opt_.drain + opt_.quiesce);
+    } catch (const std::runtime_error& e) {
+      runaway = true;
+      checker_.add_violation("event-budget", e.what());
+    }
+    if (!runaway) {
+      checker_.final_check(/*quiesced=*/true, /*expect_liveness=*/true);
+    }
+
+    RunReport report;
+    report.script = script_;
+    report.violations = checker_.violations();
+    report.decisions = checker_.decisions_observed();
+    report.writes_issued = checker_.writes_issued();
+    report.writes_completed = checker_.writes_completed();
+    for (std::uint32_t i = 0; i < system_.n(); ++i) {
+      report.view_changes += system_.replica_stats(i).view_changes;
+      report.state_transfers += system_.replica_stats(i).state_transfers;
+    }
+    return report;
+  }
+
+ private:
+  static core::ReplicatedOptions make_options(const ChaosOptions& options) {
+    core::ReplicatedOptions out;
+    out.group = GroupConfig::for_f(options.f);
+    out.costs = sim::CostModel::zero();
+    out.costs.hop_latency = micros(50);
+    out.write_timeout = options.sabotage == Sabotage::kDisableLogicalTimeouts
+                            ? 0
+                            : millis(500);
+    out.checkpoint_interval = 32;
+    // Vary the network's fault rng with the seed so probabilistic link
+    // policies explore different drop patterns per run.
+    std::uint64_t sm = options.seed;
+    out.fault_seed = splitmix64(sm);
+    return out;
+  }
+
+  void build_plant() {
+    tank_ = system_.add_point("chaos/tank");
+    pump_ = system_.add_point("chaos/pump", scada::Variant{1000.0});
+    valve_ = system_.add_point("chaos/valve", scada::Variant{500.0});
+    rtu_.add_sensor(0, std::make_unique<rtu::RampSignal>(10.0, 3.0),
+                    rtu::RegisterScaling{0.1, 0.0});
+    rtu_.add_actuator(1, 1000);
+    rtu_.add_actuator(2, 500);
+    driver_.bind_sensor(kRtuEndpoint, 0, rtu::RegisterScaling{0.1, 0.0},
+                        tank_);
+    driver_.bind_actuator(kRtuEndpoint, 1, rtu::RegisterScaling{1.0, 0.0},
+                          pump_);
+    driver_.bind_actuator(kRtuEndpoint, 2, rtu::RegisterScaling{1.0, 0.0},
+                          valve_);
+    system_.configure_masters([this](scada::ScadaMaster& master) {
+      master.handlers(tank_).emplace<scada::MonitorHandler>(
+          scada::MonitorHandler::Condition::kAbove, 95.0,
+          scada::Severity::kCritical, /*edge_triggered=*/true);
+      master.handlers(pump_).emplace<scada::BlockHandler>(0.0, 3000.0);
+    });
+  }
+
+  void schedule_next_write() {
+    system_.loop().schedule(opt_.write_period, [this] {
+      if (system_.loop().now() >= stop_writes_at_) return;
+      issue_write();
+      schedule_next_write();
+    });
+  }
+
+  void issue_write() {
+    ++write_counter_;
+    ItemId item = (write_counter_ % 2 == 0) ? pump_ : valve_;
+    // Every 7th pump write is out of the Block handler's range: a
+    // deterministic denial exercises the AE path under faults.
+    double value = (item == pump_ && write_counter_ % 7 == 0)
+                       ? 9000.0
+                       : 500.0 + static_cast<double>(
+                                     (write_counter_ * 137) % 2000);
+    OpId op = system_.hmi().write(
+        item, scada::Variant{value},
+        [this](const scada::WriteResult& result) {
+          checker_.note_write_completed(result.ctx.op, result.status);
+        });
+    checker_.note_write_issued(op);
+  }
+
+  void apply_action(const FaultAction& action) {
+    switch (action.kind) {
+      case ActionKind::kSetByzantine:
+        checker_.set_impaired(action.replica, true);
+        system_.set_byzantine(action.replica, action.mode);
+        break;
+      case ActionKind::kClearByzantine:
+        system_.set_byzantine(action.replica, bft::ByzantineMode::kNone);
+        checker_.set_impaired(action.replica, false);
+        break;
+      case ActionKind::kCrashReplica:
+        if (!system_.replica(action.replica).crashed()) {
+          system_.crash_replica(action.replica);
+        }
+        break;
+      case ActionKind::kRecoverReplica:
+        if (system_.replica(action.replica).crashed()) {
+          system_.recover_replica(action.replica);
+        }
+        break;
+      case ActionKind::kIsolateReplica:
+        system_.net().isolate(
+            crypto::replica_principal(ReplicaId{action.replica}));
+        system_.net().isolate(
+            core::adapter_principal(ReplicaId{action.replica}));
+        break;
+      case ActionKind::kHealReplica:
+        system_.net().heal(
+            crypto::replica_principal(ReplicaId{action.replica}));
+        system_.net().heal(
+            core::adapter_principal(ReplicaId{action.replica}));
+        break;
+      case ActionKind::kLinkFault:
+      case ActionKind::kHealLink:
+        system_.net().apply(action.link);
+        break;
+      case ActionKind::kRtuSwallowRequests:
+        rtu_.swallow_next_requests(action.count);
+        break;
+      case ActionKind::kRtuFailWrites:
+        rtu_.fail_next_writes(action.count);
+        break;
+    }
+  }
+
+  /// Ends the adversary's reign: clears Byzantine modes, recovers crashed
+  /// replicas, lifts every link policy and isolation, and stops the RTU
+  /// misbehaving. From here the run must converge.
+  void heal_world() {
+    for (std::uint32_t i = 0; i < system_.n(); ++i) {
+      if (system_.replica(i).byzantine() != bft::ByzantineMode::kNone) {
+        system_.set_byzantine(i, bft::ByzantineMode::kNone);
+      }
+      checker_.set_impaired(i, false);
+      if (system_.replica(i).crashed()) system_.recover_replica(i);
+    }
+    system_.net().clear_all_faults();
+    rtu_.swallow_next_requests(0);
+    rtu_.fail_next_writes(0);
+  }
+
+  ChaosOptions opt_;
+  FaultScript script_;
+  core::ReplicatedDeployment system_;
+  rtu::Rtu rtu_;
+  rtu::RtuDriver driver_;
+  InvariantChecker checker_;
+  ItemId tank_, pump_, valve_;
+  SimTime stop_writes_at_ = 0;
+  std::uint64_t write_counter_ = 0;
+};
+
+FaultScript subset(const FaultScript& script,
+                   const std::vector<std::size_t>& kept) {
+  FaultScript out;
+  out.actions.reserve(kept.size());
+  for (std::size_t index : kept) out.actions.push_back(script.actions[index]);
+  return out;
+}
+
+}  // namespace
+
+std::string RunReport::summary() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "%zu violations, %" PRIu64 " decisions, %" PRIu64 "/%" PRIu64
+                " writes, %" PRIu64 " view changes, %" PRIu64
+                " state transfers",
+                violations.size(), decisions, writes_completed, writes_issued,
+                view_changes, state_transfers);
+  return buf;
+}
+
+RunReport run_script(const ChaosOptions& options, const FaultScript& script) {
+  ChaosRun run(options, script);
+  return run.run();
+}
+
+RunReport run_chaos(const ChaosOptions& options) {
+  ScriptParams params;
+  params.group = GroupConfig::for_f(options.f);
+  params.horizon = options.horizon;
+  params.has_rtu = true;
+  return run_script(options,
+                    generate_script(options.family, params, options.seed));
+}
+
+SweepReport run_sweep(const ChaosOptions& base, std::uint64_t first_seed,
+                      std::uint64_t count) {
+  SweepReport sweep;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ChaosOptions options = base;
+    options.seed = first_seed + i;
+    RunReport report = run_chaos(options);
+    ++sweep.runs;
+    sweep.decisions += report.decisions;
+    sweep.writes_completed += report.writes_completed;
+    if (!report.ok()) {
+      ++sweep.failures;
+      if (sweep.failing.size() < 3) {
+        sweep.failing.emplace_back(options.seed, std::move(report));
+      }
+    }
+  }
+  return sweep;
+}
+
+std::string repro_command(const ChaosOptions& options,
+                          const std::vector<std::size_t>* kept) {
+  std::string cmd = "chaos_replay --family=";
+  cmd += family_name(options.family);
+  cmd += " --f=" + std::to_string(options.f);
+  char seed[32];
+  std::snprintf(seed, sizeof(seed), " --seed=0x%" PRIx64, options.seed);
+  cmd += seed;
+  if (options.sabotage == Sabotage::kDisableLogicalTimeouts) {
+    cmd += " --sabotage=no-timeouts";
+  }
+  if (kept != nullptr) {
+    cmd += " --keep=";
+    for (std::size_t i = 0; i < kept->size(); ++i) {
+      if (i > 0) cmd += ",";
+      cmd += std::to_string((*kept)[i]);
+    }
+  }
+  return cmd;
+}
+
+MinimizeResult minimize(const ChaosOptions& options) {
+  ScriptParams params;
+  params.group = GroupConfig::for_f(options.f);
+  params.horizon = options.horizon;
+  params.has_rtu = true;
+  FaultScript full = generate_script(options.family, params, options.seed);
+
+  std::vector<std::size_t> kept(full.actions.size());
+  for (std::size_t i = 0; i < kept.size(); ++i) kept[i] = i;
+
+  RunReport last = run_script(options, full);
+  // Greedy delta-debugging: repeatedly drop any single action whose removal
+  // keeps the run failing, until no action can be dropped. Scripts are small
+  // (<= ~10 actions), so the O(k^2) replays stay cheap and deterministic.
+  bool shrunk = true;
+  while (shrunk && !kept.empty()) {
+    shrunk = false;
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      std::vector<std::size_t> candidate = kept;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      RunReport report = run_script(options, subset(full, candidate));
+      if (!report.ok()) {
+        kept = std::move(candidate);
+        last = std::move(report);
+        shrunk = true;
+        break;
+      }
+    }
+  }
+
+  MinimizeResult result;
+  result.minimal = subset(full, kept);
+  result.kept = kept;
+  result.report = std::move(last);
+  result.repro = repro_command(options, &kept);
+  return result;
+}
+
+}  // namespace ss::chaos

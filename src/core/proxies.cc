@@ -10,7 +10,8 @@ ComponentProxy::ComponentProxy(sim::Network& net, GroupConfig group,
       opt_(std::move(options)),
       client_(net, group, id, keys, opt_.client),
       voter_(group,
-             [this](const scada::ScadaMessage& msg) { deliver(msg); }),
+             [this](const scada::ScadaMessage& msg) { deliver(msg); },
+             opt_.voter),
       lanes_(net.loop(), opt_.lanes) {
   net_.attach(opt_.endpoint, [this](sim::Message m) {
     on_component_message(std::move(m));

@@ -26,6 +26,7 @@ struct ProxyOptions {
   SimTime per_message_cost = 0;    ///< CPU charged per message each way
   std::uint32_t lanes = 2;
   bft::ClientOptions client;
+  PushVoterOptions voter;
 };
 
 struct ProxyStats {

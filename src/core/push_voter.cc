@@ -2,11 +2,6 @@
 
 namespace ss::core {
 
-namespace {
-constexpr std::size_t kDeliveredWindow = 65536;
-constexpr std::size_t kVoteWindow = 65536;
-}  // namespace
-
 void PushVoter::offer(ReplicaId replica, ByteView payload) {
   ++stats_.offered;
   if (replica.value >= group_.n) return;
@@ -31,7 +26,12 @@ void PushVoter::offer(ReplicaId replica, ByteView payload) {
     ++stats_.duplicate_votes;
     return;
   }
-  if (it->second.size() < group_.reply_quorum()) return;
+  if (it->second.size() < group_.reply_quorum()) {
+    // Bound the open-vote window even when nothing delivers — a Byzantine
+    // replica spraying unique payloads must not grow memory without bound.
+    prune();
+    return;
+  }
 
   votes_.erase(it);
   delivered_.insert(digest);
@@ -42,11 +42,11 @@ void PushVoter::offer(ReplicaId replica, ByteView payload) {
 }
 
 void PushVoter::prune() {
-  while (delivered_order_.size() > kDeliveredWindow) {
+  while (delivered_order_.size() > opt_.delivered_window) {
     delivered_.erase(delivered_order_.front());
     delivered_order_.pop_front();
   }
-  while (vote_order_.size() > kVoteWindow) {
+  while (vote_order_.size() > opt_.vote_window) {
     votes_.erase(vote_order_.front());
     vote_order_.pop_front();
   }

@@ -27,12 +27,21 @@ struct PushVoterStats {
   std::uint64_t stragglers = 0;  ///< votes arriving after delivery
 };
 
+/// Bounded-memory eviction windows. The defaults are generous enough that a
+/// correct deployment never re-delivers; tests shrink them to exercise the
+/// prune paths.
+struct PushVoterOptions {
+  std::size_t delivered_window = 65536;  ///< delivered digests remembered
+  std::size_t vote_window = 65536;       ///< open vote sets retained
+};
+
 class PushVoter {
  public:
   using Deliver = std::function<void(const scada::ScadaMessage& msg)>;
 
-  PushVoter(const GroupConfig& group, Deliver deliver)
-      : group_(group), deliver_(std::move(deliver)) {}
+  PushVoter(const GroupConfig& group, Deliver deliver,
+            PushVoterOptions options = {})
+      : group_(group), deliver_(std::move(deliver)), opt_(options) {}
 
   /// Offers one replica's push. Delivers downstream exactly once per
   /// distinct message, as soon as f+1 replicas agree on it.
@@ -45,6 +54,7 @@ class PushVoter {
 
   GroupConfig group_;
   Deliver deliver_;
+  PushVoterOptions opt_;
   std::map<crypto::Digest, std::set<std::uint32_t>> votes_;
   std::deque<crypto::Digest> vote_order_;
   std::set<crypto::Digest> delivered_;

@@ -80,6 +80,20 @@ class ReplicatedDeployment {
     replicas_.at(i)->set_byzantine(mode);
   }
 
+  /// Voter/adapter stat exposure for invariant checkers and benches.
+  const PushVoterStats& hmi_voter_stats() const {
+    return proxy_hmi_->voter_stats();
+  }
+  const PushVoterStats& frontend_voter_stats() const {
+    return proxy_frontend_->voter_stats();
+  }
+  const AdapterStats& adapter_stats(std::uint32_t i) const {
+    return adapters_.at(i)->stats();
+  }
+  const bft::ReplicaStats& replica_stats(std::uint32_t i) const {
+    return replicas_.at(i)->stats();
+  }
+
   /// True when all non-crashed masters report the same state digest.
   bool masters_converged() const;
 

@@ -8,6 +8,54 @@ LinkPolicy* Network::find_policy(const std::string& from,
   return it == policies_.end() ? nullptr : &it->second;
 }
 
+namespace {
+
+bool pattern_matches(const std::string& pattern, const std::string& name) {
+  if (pattern == "*") return true;
+  if (!pattern.empty() && pattern.back() == '*') {
+    return name.compare(0, pattern.size() - 1, pattern, 0,
+                        pattern.size() - 1) == 0;
+  }
+  return pattern == name;
+}
+
+bool is_pattern(const std::string& s) {
+  return !s.empty() && s.back() == '*';
+}
+
+}  // namespace
+
+std::vector<std::string> Network::endpoints() const {
+  std::vector<std::string> names;
+  names.reserve(endpoints_.size());
+  for (const auto& [name, handler] : endpoints_) names.push_back(name);
+  return names;
+}
+
+void Network::apply(const FaultSpec& spec) {
+  // Exact -> exact addresses the pair directly, so faults can be scripted
+  // onto endpoints that are momentarily detached (a crashed replica).
+  if (!is_pattern(spec.from) && !is_pattern(spec.to)) {
+    if (spec.heal) {
+      clear_policy(spec.from, spec.to);
+    } else {
+      set_policy(spec.from, spec.to, spec.policy);
+    }
+    return;
+  }
+  for (const auto& [from, from_handler] : endpoints_) {
+    if (!pattern_matches(spec.from, from)) continue;
+    for (const auto& [to, to_handler] : endpoints_) {
+      if (from == to || !pattern_matches(spec.to, to)) continue;
+      if (spec.heal) {
+        clear_policy(from, to);
+      } else {
+        set_policy(from, to, spec.policy);
+      }
+    }
+  }
+}
+
 void Network::isolate(const std::string& node) { isolated_[node] = true; }
 
 void Network::heal(const std::string& node) { isolated_.erase(node); }

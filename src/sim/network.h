@@ -14,6 +14,7 @@
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/rng.h"
@@ -44,6 +45,18 @@ struct LinkPolicy {
     p.cut = true;
     return p;
   }
+};
+
+/// A scripted link fault: a LinkPolicy (or a heal) addressed by endpoint
+/// pattern. Patterns are exact names, a trailing-star prefix ("replica/*"),
+/// or "*" for every endpoint; patterned specs expand over the endpoints
+/// attached at apply time. The chaos engine re-scripts faults at runtime by
+/// applying a timed sequence of these.
+struct FaultSpec {
+  std::string from = "*";
+  std::string to = "*";
+  LinkPolicy policy{};
+  bool heal = false;  ///< clear the matching policies instead of setting them
 };
 
 /// Aggregate traffic counters; the fig_steps bench reads these to reproduce
@@ -100,9 +113,23 @@ class Network {
     policies_.erase({from, to});
   }
 
+  /// Applies one scripted fault: sets (or heals) the policy on every
+  /// directed link matching the spec's from/to patterns.
+  void apply(const FaultSpec& spec);
+
+  /// Drops every link policy and lifts every isolation — the chaos engine's
+  /// "heal the world" step before judging convergence.
+  void clear_all_faults() {
+    policies_.clear();
+    isolated_.clear();
+  }
+
   /// Cuts / restores every link touching `node` (both directions).
   void isolate(const std::string& node);
   void heal(const std::string& node);
+
+  /// Names of the currently attached endpoints (pattern-expansion helper).
+  std::vector<std::string> endpoints() const;
 
   EventLoop& loop() { return loop_; }
   const NetworkStats& stats() const { return stats_; }

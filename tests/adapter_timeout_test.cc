@@ -1,0 +1,94 @@
+// The logical-timeout protocol end to end (paper section IV-D): an RTU that
+// silently swallows a write request must not strand the operator's command.
+// The adapters arm logical timeouts when the WriteValue is emitted, exchange
+// TimeoutVotes, order a timeout result through consensus, and the HMI
+// receives a synthesized WriteResult with status kTimeout — observable in
+// every counter along the path.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/replicated_deployment.h"
+#include "rtu/driver.h"
+#include "rtu/rtu.h"
+
+namespace ss::core {
+namespace {
+
+TEST(AdapterTimeoutTest, SwallowedReplySynthesizesTimeoutResult) {
+  ReplicatedOptions options;
+  options.costs = sim::CostModel::zero();
+  options.costs.hop_latency = micros(50);
+  options.write_timeout = millis(500);
+  ReplicatedDeployment system(options);
+
+  ItemId pump = system.add_point("plant/pump", scada::Variant{100.0});
+  rtu::Rtu device(system.net(), "plant/rtu");
+  rtu::RtuDriver driver(system.net(), system.frontend(),
+                        rtu::DriverOptions{.poll_period = millis(100)});
+  device.add_actuator(1, 100);
+  driver.bind_actuator("plant/rtu", 1, rtu::RegisterScaling{1.0, 0.0}, pump);
+
+  system.start();
+  device.start();
+  driver.start();
+  system.run_until(millis(200));
+
+  // A healthy write first: timeouts armed and then cancelled, no votes.
+  std::optional<scada::WriteStatus> first;
+  system.hmi().write(pump, scada::Variant{150.0},
+                     [&first](const scada::WriteResult& result) {
+                       first = result.status;
+                     });
+  system.run_until(millis(700));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, scada::WriteStatus::kOk);
+  std::uint64_t armed_before = 0;
+  for (std::uint32_t i = 0; i < system.n(); ++i) {
+    const AdapterStats& stats = system.adapter_stats(i);
+    EXPECT_GT(stats.timeouts_armed, 0u) << "adapter " << i;
+    EXPECT_EQ(stats.timeouts_armed, stats.timeouts_cancelled)
+        << "adapter " << i;
+    EXPECT_EQ(stats.timeout_injections, 0u) << "adapter " << i;
+    armed_before += stats.timeouts_armed;
+  }
+
+  // Now the RTU swallows the next write request: no Modbus response at all.
+  device.swallow_next_requests(1);
+  std::optional<scada::WriteStatus> second;
+  system.hmi().write(pump, scada::Variant{175.0},
+                     [&second](const scada::WriteResult& result) {
+                       second = result.status;
+                     });
+  system.run_until(seconds(3));
+
+  // The synthesized result reached the HMI and freed the pending slot.
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, scada::WriteStatus::kTimeout);
+  EXPECT_EQ(system.hmi().pending_writes(), 0u);
+  EXPECT_EQ(system.hmi().counters().writes_timeout, 1u);
+  EXPECT_EQ(system.hmi().counters().writes_ok, 1u);
+
+  // Every correct adapter armed the timeout and voted; the ordered timeout
+  // result was injected exactly once per master.
+  std::uint64_t injections = 0;
+  std::uint64_t armed_after = 0;
+  for (std::uint32_t i = 0; i < system.n(); ++i) {
+    const AdapterStats& stats = system.adapter_stats(i);
+    EXPECT_GT(stats.timeout_votes_sent, 0u) << "adapter " << i;
+    EXPECT_GT(stats.timeout_votes_received, 0u) << "adapter " << i;
+    armed_after += stats.timeouts_armed;
+    injections += stats.timeout_injections;
+  }
+  EXPECT_GT(armed_after, armed_before);
+  EXPECT_EQ(injections, system.n());
+
+  // No master is left holding the write open.
+  for (std::uint32_t i = 0; i < system.n(); ++i) {
+    EXPECT_EQ(system.master(i).pending_write_count(), 0u) << "master " << i;
+  }
+  EXPECT_TRUE(system.masters_converged());
+}
+
+}  // namespace
+}  // namespace ss::core

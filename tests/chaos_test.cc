@@ -1,0 +1,163 @@
+// The chaos engine's own test suite: swarm sweeps over every scenario
+// family (zero tolerated violations), the sabotage canary (a deliberately
+// broken configuration must be caught, minimized, and replayable), and
+// determinism of the whole pipeline.
+#include <gtest/gtest.h>
+
+#include "chaos/swarm.h"
+
+namespace ss::chaos {
+namespace {
+
+/// Runs `count` seeds of one family and expects a clean sweep; on failure
+/// prints the one-line repro command for each failing seed.
+void expect_clean_sweep(ScenarioFamily family, std::uint32_t f,
+                        std::uint64_t first_seed, std::uint64_t count) {
+  ChaosOptions base;
+  base.family = family;
+  base.f = f;
+  SweepReport sweep = run_sweep(base, first_seed, count);
+  EXPECT_EQ(sweep.runs, count);
+  EXPECT_GT(sweep.decisions, 0u);
+  EXPECT_GT(sweep.writes_completed, 0u);
+  if (!sweep.ok()) {
+    for (const auto& [seed, report] : sweep.failing) {
+      ChaosOptions failing = base;
+      failing.seed = seed;
+      ADD_FAILURE() << family_name(family) << " f=" << f << " seed=" << seed
+                    << ": " << report.summary() << "\n  first violation: ["
+                    << report.violations.front().invariant << "] "
+                    << report.violations.front().detail << "\n  repro: "
+                    << repro_command(failing);
+    }
+  }
+}
+
+// --- the 500+ seed swarm: 5 families x 88 seeds at f=1, x 16 at f=2 ------
+
+TEST(ChaosSweep, ByzantineReplicasF1) {
+  expect_clean_sweep(ScenarioFamily::kByzantineReplicas, 1, 1, 88);
+}
+
+TEST(ChaosSweep, PartitionsF1) {
+  expect_clean_sweep(ScenarioFamily::kPartitions, 1, 1, 88);
+}
+
+TEST(ChaosSweep, LossyLinksF1) {
+  expect_clean_sweep(ScenarioFamily::kLossyLinks, 1, 1, 88);
+}
+
+TEST(ChaosSweep, RtuFaultsF1) {
+  expect_clean_sweep(ScenarioFamily::kRtuFaults, 1, 1, 88);
+}
+
+TEST(ChaosSweep, MixedF1) {
+  expect_clean_sweep(ScenarioFamily::kMixed, 1, 1, 88);
+}
+
+TEST(ChaosSweep, AllFamiliesF2) {
+  for (ScenarioFamily family : kAllFamilies) {
+    expect_clean_sweep(family, 2, 1, 16);
+  }
+}
+
+// --- fast smoke sweep for CI: 64 seeds spread over the families ----------
+
+TEST(ChaosSmoke, SixtyFourSeeds) {
+  for (ScenarioFamily family : kAllFamilies) {
+    expect_clean_sweep(family, 1, 1000, 12);
+  }
+  expect_clean_sweep(ScenarioFamily::kMixed, 2, 1000, 4);
+}
+
+// --- canary: a sabotaged deployment must fail, minimize, and replay ------
+
+TEST(ChaosCanary, DisabledTimeoutsAreCaughtAndMinimized) {
+  // With the logical-timeout protocol disabled, a silently swallowed RTU
+  // reply must strand its WriteValue forever — the checker has to see it.
+  ChaosOptions options;
+  options.family = ScenarioFamily::kRtuFaults;
+  options.seed = 2;  // a script whose swallow window covers a write
+  options.sabotage = Sabotage::kDisableLogicalTimeouts;
+
+  RunReport broken = run_chaos(options);
+  ASSERT_FALSE(broken.ok()) << "sabotage was not detected: "
+                            << broken.summary();
+  bool saw_liveness = false;
+  for (const Violation& v : broken.violations) {
+    if (v.invariant == "write-liveness") saw_liveness = true;
+  }
+  EXPECT_TRUE(saw_liveness);
+
+  // The same script with the protocol enabled must pass: the synthesized
+  // timeout result masks the fault (paper section IV-D).
+  ChaosOptions healthy = options;
+  healthy.sabotage = Sabotage::kNone;
+  EXPECT_TRUE(run_chaos(healthy).ok());
+
+  // The minimizer must shrink the script to the single swallow action and
+  // hand back a deterministic repro.
+  MinimizeResult min = minimize(options);
+  EXPECT_EQ(min.minimal.actions.size(), 1u);
+  ASSERT_FALSE(min.minimal.actions.empty());
+  EXPECT_EQ(min.minimal.actions.front().kind, ActionKind::kRtuSwallowRequests);
+  EXPECT_FALSE(min.report.ok());
+  EXPECT_NE(min.repro.find("--sabotage=no-timeouts"), std::string::npos);
+  EXPECT_NE(min.repro.find("--keep="), std::string::npos);
+
+  // Replaying the minimal script must reproduce the violation exactly.
+  RunReport replay = run_script(options, min.minimal);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.violations.size(), min.report.violations.size());
+  EXPECT_EQ(replay.violations.front().invariant,
+            min.report.violations.front().invariant);
+}
+
+// --- determinism: the whole engine is a pure function of its options -----
+
+TEST(ChaosDeterminism, SameSeedSameRun) {
+  ChaosOptions options;
+  options.family = ScenarioFamily::kMixed;
+  options.seed = 42;
+
+  RunReport a = run_chaos(options);
+  RunReport b = run_chaos(options);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.writes_issued, b.writes_issued);
+  EXPECT_EQ(a.writes_completed, b.writes_completed);
+  EXPECT_EQ(a.view_changes, b.view_changes);
+  EXPECT_EQ(a.state_transfers, b.state_transfers);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+  EXPECT_EQ(a.script.describe(), b.script.describe());
+}
+
+TEST(ChaosDeterminism, ScriptsVaryBySeedAndFamily) {
+  ScriptParams params;
+  params.group = GroupConfig::for_f(1);
+  FaultScript a = generate_script(ScenarioFamily::kMixed, params, 1);
+  FaultScript b = generate_script(ScenarioFamily::kMixed, params, 2);
+  FaultScript c = generate_script(ScenarioFamily::kPartitions, params, 1);
+  EXPECT_NE(a.describe(), b.describe());
+  EXPECT_NE(a.describe(), c.describe());
+  EXPECT_EQ(a.describe(),
+            generate_script(ScenarioFamily::kMixed, params, 1).describe());
+}
+
+TEST(ChaosDeterminism, EveryFamilyInjectsFaults) {
+  ScriptParams params;
+  params.group = GroupConfig::for_f(1);
+  for (ScenarioFamily family : kAllFamilies) {
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      FaultScript script = generate_script(family, params, seed);
+      EXPECT_FALSE(script.actions.empty())
+          << family_name(family) << " seed " << seed;
+      for (const FaultAction& action : script.actions) {
+        EXPECT_GE(action.at, 0);
+        EXPECT_LT(action.at, params.horizon);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ss::chaos

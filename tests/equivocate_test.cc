@@ -1,0 +1,72 @@
+// An equivocating leader through the full replicated deployment: the
+// Byzantine leader sends conflicting batches to different peers, so no
+// value can gather a WRITE quorum — the correct replicas must vote the
+// leader out, keep every operator write live, and deliver only voted truth
+// to the HMI.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/replicated_deployment.h"
+
+namespace ss::core {
+namespace {
+
+ReplicatedOptions fast_options() {
+  ReplicatedOptions options;
+  options.costs = sim::CostModel::zero();
+  options.costs.hop_latency = micros(50);
+  options.write_timeout = millis(500);
+  return options;
+}
+
+TEST(EquivocateTest, LeaderEquivocationIsVotedOut) {
+  ReplicatedDeployment system(fast_options());
+  ItemId setpoint = system.add_point("plant/setpoint", scada::Variant{100.0});
+  system.start();
+  system.run_until(millis(200));
+
+  // Replica 0 leads regency 0 and equivocates from the start.
+  system.set_byzantine(0, bft::ByzantineMode::kEquivocate);
+
+  std::map<std::uint64_t, scada::WriteStatus> results;
+  for (int i = 0; i < 5; ++i) {
+    OpId op = system.hmi().write(
+        setpoint, scada::Variant{200.0 + i},
+        [&results](const scada::WriteResult& result) {
+          results[result.ctx.op.value] = result.status;
+        });
+    (void)op;
+    system.run_until(system.loop().now() + millis(300));
+  }
+
+  // Give view changes and retries time to settle, then heal the replica.
+  system.run_until(seconds(3));
+  system.set_byzantine(0, bft::ByzantineMode::kNone);
+  system.run_until(seconds(5));
+
+  // The conflicting proposals must have produced at least one view change
+  // on every correct replica.
+  for (std::uint32_t i = 1; i < system.n(); ++i) {
+    EXPECT_GE(system.replica_stats(i).view_changes, 1u)
+        << "replica " << i << " never changed view";
+  }
+
+  // Every write completed despite the equivocating leader.
+  EXPECT_EQ(results.size(), 5u);
+  for (const auto& [op, status] : results) {
+    EXPECT_EQ(status, scada::WriteStatus::kOk) << "op " << op;
+  }
+  EXPECT_EQ(system.hmi().pending_writes(), 0u);
+
+  // The field (frontend) holds the last written value exactly once, and the
+  // correct masters agree byte-for-byte.
+  system.run_until(seconds(6));
+  EXPECT_TRUE(system.masters_converged());
+  const scada::Item* item = system.frontend().item(setpoint);
+  ASSERT_NE(item, nullptr);
+  EXPECT_DOUBLE_EQ(item->value.as_double(), 204.0);
+}
+
+}  // namespace
+}  // namespace ss::core

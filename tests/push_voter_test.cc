@@ -1,0 +1,134 @@
+// PushVoter eviction windows and counter semantics: the f+1 voter must
+// deliver exactly once, count duplicate and late votes, reject malformed
+// payloads, and keep both the delivered-digest memory and the open-vote
+// table bounded by the configured windows.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/push_voter.h"
+
+namespace ss::core {
+namespace {
+
+Bytes update_payload(std::uint32_t item, double value) {
+  scada::ItemUpdate update;
+  update.ctx.op = OpId{item};
+  update.ctx.cid = ConsensusId{item};
+  update.item = ItemId{item};
+  update.value = scada::Variant{value};
+  return scada::encode_message(scada::ScadaMessage{update});
+}
+
+struct Fixture {
+  explicit Fixture(PushVoterOptions options = {})
+      : voter(GroupConfig::for_f(1),
+              [this](const scada::ScadaMessage&) { ++deliveries; }, options) {}
+
+  PushVoter voter;
+  int deliveries = 0;
+};
+
+TEST(PushVoterTest, DeliversOnceAtReplyQuorum) {
+  Fixture fx;
+  Bytes payload = update_payload(1, 10.0);
+  fx.voter.offer(ReplicaId{0}, payload);
+  EXPECT_EQ(fx.deliveries, 0);
+  fx.voter.offer(ReplicaId{1}, payload);
+  EXPECT_EQ(fx.deliveries, 1);
+  // Remaining replicas arrive late: stragglers, no re-delivery.
+  fx.voter.offer(ReplicaId{2}, payload);
+  fx.voter.offer(ReplicaId{3}, payload);
+  EXPECT_EQ(fx.deliveries, 1);
+  EXPECT_EQ(fx.voter.stats().delivered, 1u);
+  EXPECT_EQ(fx.voter.stats().stragglers, 2u);
+  EXPECT_EQ(fx.voter.stats().offered, 4u);
+}
+
+TEST(PushVoterTest, DuplicateVotesAreCountedNotDelivered) {
+  Fixture fx;
+  Bytes payload = update_payload(2, 20.0);
+  fx.voter.offer(ReplicaId{0}, payload);
+  fx.voter.offer(ReplicaId{0}, payload);
+  fx.voter.offer(ReplicaId{0}, payload);
+  EXPECT_EQ(fx.deliveries, 0);
+  EXPECT_EQ(fx.voter.stats().duplicate_votes, 2u);
+}
+
+TEST(PushVoterTest, MalformedAndOutOfRangeAreRejected) {
+  Fixture fx;
+  Bytes garbage{0xde, 0xad, 0xbe, 0xef};
+  fx.voter.offer(ReplicaId{0}, garbage);
+  EXPECT_EQ(fx.voter.stats().malformed, 1u);
+
+  // An out-of-range replica id must not contribute a vote.
+  Bytes payload = update_payload(3, 30.0);
+  fx.voter.offer(ReplicaId{9}, payload);
+  fx.voter.offer(ReplicaId{0}, payload);
+  EXPECT_EQ(fx.deliveries, 0);
+  fx.voter.offer(ReplicaId{1}, payload);
+  EXPECT_EQ(fx.deliveries, 1);
+  EXPECT_EQ(fx.voter.stats().offered, 4u);
+}
+
+TEST(PushVoterTest, DeliveredWindowEvictionForgetsOldDigests) {
+  // Window of 1: delivering a second message evicts the first digest, so a
+  // full quorum re-offering the first message re-delivers it. This is the
+  // documented trade-off of bounded memory — the window must be sized above
+  // the replicas' maximum skew, which tests deliberately violate here.
+  Fixture fx(PushVoterOptions{.delivered_window = 1, .vote_window = 64});
+  Bytes a = update_payload(10, 1.0);
+  Bytes b = update_payload(11, 2.0);
+
+  fx.voter.offer(ReplicaId{0}, a);
+  fx.voter.offer(ReplicaId{1}, a);
+  EXPECT_EQ(fx.deliveries, 1);
+  // A late vote while the digest is still remembered: straggler.
+  fx.voter.offer(ReplicaId{2}, a);
+  EXPECT_EQ(fx.voter.stats().stragglers, 1u);
+
+  fx.voter.offer(ReplicaId{0}, b);
+  fx.voter.offer(ReplicaId{1}, b);
+  EXPECT_EQ(fx.deliveries, 2);
+
+  // Digest of `a` has been evicted: a fresh quorum re-delivers it.
+  fx.voter.offer(ReplicaId{0}, a);
+  fx.voter.offer(ReplicaId{1}, a);
+  EXPECT_EQ(fx.deliveries, 3);
+  EXPECT_EQ(fx.voter.stats().delivered, 3u);
+}
+
+TEST(PushVoterTest, VoteWindowEvictionDropsOldestOpenVotes) {
+  // Window of 1 open vote set: a second distinct sub-quorum message evicts
+  // the first one's votes, so completing the first quorum later needs both
+  // votes again.
+  Fixture fx(PushVoterOptions{.delivered_window = 64, .vote_window = 1});
+  Bytes a = update_payload(20, 1.0);
+  Bytes b = update_payload(21, 2.0);
+
+  fx.voter.offer(ReplicaId{0}, a);  // open votes: {a: {0}}
+  fx.voter.offer(ReplicaId{0}, b);  // evicts a's votes
+  fx.voter.offer(ReplicaId{1}, a);  // a restarts with one vote — no quorum
+  EXPECT_EQ(fx.deliveries, 0);
+  fx.voter.offer(ReplicaId{0}, a);  // second fresh vote completes quorum
+  EXPECT_EQ(fx.deliveries, 1);
+}
+
+TEST(PushVoterTest, ByzantineSprayStaysBounded) {
+  // A Byzantine replica spraying unique payloads must not grow the open
+  // vote table beyond the window, and none of its lone votes may deliver.
+  Fixture fx(PushVoterOptions{.delivered_window = 8, .vote_window = 8});
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    fx.voter.offer(ReplicaId{3}, update_payload(100 + i, 1.0));
+  }
+  EXPECT_EQ(fx.deliveries, 0);
+  EXPECT_EQ(fx.voter.stats().offered, 1000u);
+  // Honest traffic still flows afterwards.
+  Bytes payload = update_payload(50, 5.0);
+  fx.voter.offer(ReplicaId{0}, payload);
+  fx.voter.offer(ReplicaId{1}, payload);
+  EXPECT_EQ(fx.deliveries, 1);
+}
+
+}  // namespace
+}  // namespace ss::core
