@@ -1,0 +1,422 @@
+// Multi-process SMaRt-SCADA deployment over real UDP sockets.
+//
+// Launches one OS process per role — n = 3f+1 replicas (each a ProxyMaster:
+// BFT replica + Adapter + deterministic SCADA Master), a Frontend (with its
+// ProxyFrontend and Modbus field driver), an HMI (with its ProxyHMI), and a
+// simulated RTU — all wired through net::SocketTransport and a shared
+// name -> host:port config file. The exact component classes that run on
+// the deterministic simulator run here unchanged; only the Transport
+// backend differs.
+//
+// Usage:
+//   deploy local [--f N] [--base-port P]   orchestrate everything on
+//                                          localhost; exits 0 when the HMI
+//                                          completes both paper use cases
+//   deploy config --f N --base-port P      print the generated config file
+//   deploy replica --id I --f N --config FILE
+//   deploy frontend --f N --config FILE
+//   deploy hmi --f N --config FILE
+//   deploy rtu --config FILE
+//
+// The HMI process drives the paper's two §IV-E use cases end-to-end and is
+// the deployment's exit status: an Item update (RTU sensor -> Frontend ->
+// Byzantine agreement -> voted push -> HMI) and a Write value (HMI ->
+// agreement -> Frontend -> RTU -> WriteResult back through agreement).
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bft/client.h"
+#include "bft/replica.h"
+#include "common/logging.h"
+#include "core/adapter.h"
+#include "core/nodes.h"
+#include "core/proxies.h"
+#include "core/replicated_deployment.h"
+#include "core/scada_link.h"
+#include "crypto/keychain.h"
+#include "net/resolver.h"
+#include "net/socket_transport.h"
+#include "rtu/driver.h"
+#include "rtu/rtu.h"
+#include "rtu/sensors.h"
+#include "scada/frontend.h"
+#include "scada/hmi.h"
+#include "scada/master.h"
+
+using namespace ss;
+
+namespace {
+
+// The replicated data points, registered in the same order in every process
+// (ids are dense by registration order, so they agree system-wide).
+constexpr ItemId kTemperature{1};
+constexpr ItemId kSetpoint{2};
+const char* kTemperatureName = "plant/reactor/temperature";
+const char* kSetpointName = "plant/reactor/setpoint";
+const char* kRtuEndpoint = "rtu/0";
+const char* kGroupSecret = "smart-scada-secret";
+
+constexpr std::uint16_t kTemperatureReg = 5;
+constexpr std::uint16_t kSetpointReg = 7;
+
+volatile sig_atomic_t g_stop = 0;
+void handle_stop(int) { g_stop = 1; }
+
+void install_stop_handler() {
+  struct sigaction sa{};
+  sa.sa_handler = handle_stop;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+/// Every endpoint name a deployment of n replicas uses, mapped to
+/// consecutive localhost ports.
+net::Resolver make_resolver(std::uint32_t n, const std::string& host,
+                            std::uint16_t base) {
+  net::Resolver r;
+  std::uint16_t port = base;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    r.add(crypto::replica_principal(ReplicaId{i}),
+          net::SocketAddress{host, port++});
+    r.add("adapter/" + std::to_string(i), net::SocketAddress{host, port++});
+    r.add(crypto::client_principal(ClientId{core::kAdapterClientBase + i}),
+          net::SocketAddress{host, port++});
+  }
+  for (const char* name :
+       {core::kHmiEndpoint, core::kFrontendEndpoint, core::kProxyHmiEndpoint,
+        core::kProxyFrontendEndpoint, "frontend/driver", kRtuEndpoint}) {
+    r.add(name, net::SocketAddress{host, port++});
+  }
+  r.add(crypto::client_principal(ClientId{core::kProxyHmiClient}),
+        net::SocketAddress{host, port++});
+  r.add(crypto::client_principal(ClientId{core::kProxyFrontendClient}),
+        net::SocketAddress{host, port++});
+  return r;
+}
+
+net::SocketTransport make_transport(const std::string& config) {
+  return net::SocketTransport(net::Resolver::from_file(config));
+}
+
+void serve(net::SocketTransport& transport) {
+  transport.set_interrupt_check([] { return g_stop != 0; });
+  transport.run();
+}
+
+/// With SS_DEPLOY_STATS set, prints transport counters every 2 s (debug aid
+/// for multi-process runs, where no single process sees the whole picture).
+void arm_stats_heartbeat(net::SocketTransport& transport, const char* tag,
+                         const std::function<std::string()>& extra = {}) {
+  if (std::getenv("SS_DEPLOY_STATS") == nullptr) return;
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [&transport, tag, extra, tick] {
+    const net::SocketStats& s = transport.stats();
+    std::fprintf(stderr,
+                 "[%s] sent=%llu recv=%llu delivered=%llu decode_err=%llu "
+                 "unresolved=%llu misdirected=%llu send_err=%llu%s\n",
+                 tag, (unsigned long long)s.messages_sent,
+                 (unsigned long long)s.datagrams_received,
+                 (unsigned long long)s.messages_delivered,
+                 (unsigned long long)s.decode_errors,
+                 (unsigned long long)s.unresolved_drops,
+                 (unsigned long long)s.misdirected,
+                 (unsigned long long)s.send_errors,
+                 extra ? (" " + extra()).c_str() : "");
+    transport.schedule(seconds(2), *tick);
+  };
+  transport.schedule(seconds(2), *tick);
+}
+
+// ---------------------------------------------------------------------------
+// Roles
+
+int run_replica(const std::string& config, GroupConfig group,
+                std::uint32_t id) {
+  install_stop_handler();
+  net::SocketTransport transport = make_transport(config);
+  crypto::Keychain keys(kGroupSecret);
+
+  scada::MasterOptions master_options;
+  master_options.deterministic = true;  // timestamps come from agreement
+  scada::ScadaMaster master(std::move(master_options));
+  master.add_item(kTemperatureName);
+  master.add_item(kSetpointName);
+
+  core::AdapterOptions adapter_options;
+  adapter_options.write_timeout = millis(800);
+  core::Adapter adapter(transport, group, ReplicaId{id}, keys, master,
+                        adapter_options);
+  adapter.register_client(core::kHmiEndpoint,
+                          ClientId{core::kProxyHmiClient});
+  adapter.register_client(core::kFrontendEndpoint,
+                          ClientId{core::kProxyFrontendClient});
+
+  bft::ReplicaOptions replica_options;  // zero CPU costs: real CPUs are real
+  bft::Replica replica(transport, group, ReplicaId{id}, keys, adapter,
+                       adapter, replica_options);
+  adapter.attach_replica(&replica);
+
+  bft::ClientProxy timeout_client(
+      transport, group, ClientId{core::kAdapterClientBase + id}, keys);
+  adapter.attach_timeout_client(&timeout_client);
+
+  std::fprintf(stderr, "[replica/%u] up\n", id);
+  arm_stats_heartbeat(transport, ("replica/" + std::to_string(id)).c_str(),
+                      [&] {
+                        return "decided=" +
+                               std::to_string(replica.stats().batches_decided);
+                      });
+  serve(transport);
+  return 0;
+}
+
+int run_frontend(const std::string& config, GroupConfig group) {
+  install_stop_handler();
+  net::SocketTransport transport = make_transport(config);
+  crypto::Keychain keys(kGroupSecret);
+
+  scada::Frontend frontend(scada::FrontendOptions{.instance_id = 1});
+  frontend.add_item(kTemperatureName);
+  frontend.add_item(kSetpointName, scada::Variant{20.0});
+
+  core::ProxyOptions proxy_options;
+  proxy_options.endpoint = core::kProxyFrontendEndpoint;
+  proxy_options.component_endpoint = core::kFrontendEndpoint;
+  core::ComponentProxy proxy(transport, group,
+                             ClientId{core::kProxyFrontendClient}, keys,
+                             proxy_options);
+
+  core::FrontendNode node(transport, keys, frontend,
+                          core::NodeOptions{
+                              .endpoint = core::kFrontendEndpoint,
+                              .peer = core::kProxyFrontendEndpoint,
+                          });
+
+  rtu::RtuDriver driver(transport, frontend,
+                        rtu::DriverOptions{.poll_period = millis(100)});
+  driver.bind_sensor(kRtuEndpoint, kTemperatureReg,
+                     rtu::RegisterScaling{0.1, 0.0}, kTemperature);
+  driver.bind_actuator(kRtuEndpoint, kSetpointReg,
+                       rtu::RegisterScaling{0.1, 0.0}, kSetpoint);
+  driver.start();
+
+  std::fprintf(stderr, "[frontend] up\n");
+  arm_stats_heartbeat(transport, "frontend", [&] {
+    return "polls=" + std::to_string(driver.counters().polls_sent) +
+           " responses=" + std::to_string(driver.counters().poll_responses) +
+           " changes=" + std::to_string(driver.counters().changes_reported);
+  });
+  serve(transport);
+  return 0;
+}
+
+int run_rtu(const std::string& config) {
+  install_stop_handler();
+  net::SocketTransport transport = make_transport(config);
+
+  rtu::Rtu rtu(transport, kRtuEndpoint,
+               rtu::RtuOptions{.sample_period = millis(100)});
+  rtu.add_sensor(kTemperatureReg,
+                 std::make_unique<rtu::ConstantSignal>(95.5),
+                 rtu::RegisterScaling{0.1, 0.0});
+  rtu.add_actuator(kSetpointReg,
+                   rtu::RegisterScaling{0.1, 0.0}.to_raw(20.0));
+  rtu.start();
+
+  std::fprintf(stderr, "[rtu/0] up\n");
+  serve(transport);
+  return 0;
+}
+
+int run_hmi(const std::string& config, GroupConfig group) {
+  install_stop_handler();
+  net::SocketTransport transport = make_transport(config);
+  crypto::Keychain keys(kGroupSecret);
+
+  scada::Hmi hmi(scada::HmiOptions{.subscriber_name = core::kHmiEndpoint});
+
+  core::ProxyOptions proxy_options;
+  proxy_options.endpoint = core::kProxyHmiEndpoint;
+  proxy_options.component_endpoint = core::kHmiEndpoint;
+  core::ComponentProxy proxy(transport, group, ClientId{core::kProxyHmiClient},
+                             keys, proxy_options);
+
+  core::HmiNode node(transport, keys, hmi,
+                     core::NodeOptions{
+                         .endpoint = core::kHmiEndpoint,
+                         .peer = core::kProxyHmiEndpoint,
+                     });
+  transport.set_interrupt_check([] { return g_stop != 0; });
+
+  // Use case 1 — Item update: subscribe, then wait for the RTU's
+  // temperature to arrive through Byzantine agreement and the f+1 voter.
+  hmi.subscribe_all();
+  bool updated = transport.run_until(
+      [&] {
+        const scada::Item* item = hmi.item(kTemperature);
+        return item != nullptr && item->quality == scada::Quality::kGood;
+      },
+      seconds(30));
+  if (!updated) {
+    std::fprintf(stderr, "[hmi] FAIL: no item update within 30s\n");
+    return 1;
+  }
+  std::printf("[hmi] item update: temperature = %s\n",
+              hmi.item(kTemperature)->value.debug_string().c_str());
+
+  // Use case 2 — Write value: operator write ordered through agreement,
+  // executed on the RTU, result voted back.
+  bool done = false;
+  bool write_ok = false;
+  hmi.write(kSetpoint, scada::Variant{42.0},
+            [&](const scada::WriteResult& result) {
+              done = true;
+              write_ok = result.status == scada::WriteStatus::kOk;
+            });
+  transport.run_until([&] { return done; }, seconds(30));
+  if (!done || !write_ok) {
+    std::fprintf(stderr, "[hmi] FAIL: write %s\n",
+                 done ? "rejected" : "timed out after 30s");
+    return 1;
+  }
+  std::printf("[hmi] write value: setpoint = 42 committed\n");
+  std::printf("[hmi] both use cases completed over UDP\n");
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Orchestrator
+
+pid_t spawn(const char* self, const std::vector<std::string>& args) {
+  pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(self));
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  ::execv("/proc/self/exe", argv.data());
+  std::perror("execv");
+  std::_Exit(127);
+}
+
+int run_local(const char* self, std::uint32_t f, std::uint16_t base_port) {
+  const GroupConfig group = GroupConfig::for_f(f);
+  if (base_port == 0) {
+    // Derived from the pid so concurrent CI jobs on one host don't collide.
+    base_port = static_cast<std::uint16_t>(40000 + (::getpid() % 8000) * 2);
+  }
+
+  net::Resolver resolver = make_resolver(group.n, "127.0.0.1", base_port);
+  std::string config =
+      "/tmp/smart-scada-deploy-" + std::to_string(::getpid()) + ".conf";
+  {
+    std::ofstream out(config);
+    out << resolver.to_text();
+  }
+  std::printf("deploy: f=%u n=%u base_port=%u config=%s\n", f, group.n,
+              base_port, config.c_str());
+
+  const std::string fs = std::to_string(f);
+  std::vector<pid_t> background;
+  background.push_back(spawn(self, {"rtu", "--config", config}));
+  for (std::uint32_t i = 0; i < group.n; ++i) {
+    background.push_back(spawn(self, {"replica", "--id", std::to_string(i),
+                                      "--f", fs, "--config", config}));
+  }
+  background.push_back(spawn(self, {"frontend", "--f", fs, "--config", config}));
+
+  // Give servers a beat to bind before the HMI starts asking questions
+  // (requests are retransmitted anyway; this just avoids burning retries).
+  ::usleep(300 * 1000);
+  pid_t hmi = spawn(self, {"hmi", "--f", fs, "--config", config});
+
+  int status = 0;
+  ::waitpid(hmi, &status, 0);
+  for (pid_t pid : background) ::kill(pid, SIGTERM);
+  for (pid_t pid : background) ::waitpid(pid, nullptr, 0);
+  ::unlink(config.c_str());
+
+  int code = WIFEXITED(status) ? WEXITSTATUS(status) : 1;
+  std::printf("deploy: %s\n", code == 0 ? "SUCCESS" : "FAILURE");
+  return code;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: deploy local [--f N] [--base-port P]\n"
+      "       deploy config [--f N] [--base-port P]\n"
+      "       deploy replica --id I [--f N] --config FILE\n"
+      "       deploy (frontend|hmi) [--f N] --config FILE\n"
+      "       deploy rtu --config FILE\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string role = argv[1];
+
+  if (const char* level = std::getenv("SS_LOG")) {
+    if (std::strcmp(level, "trace") == 0) {
+      Logger::threshold() = LogLevel::kTrace;
+    } else if (std::strcmp(level, "debug") == 0) {
+      Logger::threshold() = LogLevel::kDebug;
+    } else if (std::strcmp(level, "info") == 0) {
+      Logger::threshold() = LogLevel::kInfo;
+    }
+  }
+
+  std::uint32_t f = 1;
+  std::uint32_t id = 0;
+  std::uint16_t base_port = 0;
+  std::string config;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const char* value = argv[i + 1];
+    if (flag == "--f") {
+      f = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--id") {
+      id = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--base-port") {
+      base_port =
+          static_cast<std::uint16_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--config") {
+      config = value;
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    if (role == "local") return run_local(argv[0], f, base_port);
+    if (role == "config") {
+      std::fputs(make_resolver(GroupConfig::for_f(f).n, "127.0.0.1",
+                               base_port ? base_port : 47000)
+                     .to_text()
+                     .c_str(),
+                 stdout);
+      return 0;
+    }
+    if (config.empty()) return usage();
+    const GroupConfig group = GroupConfig::for_f(f);
+    if (role == "replica") return run_replica(config, group, id);
+    if (role == "frontend") return run_frontend(config, group);
+    if (role == "hmi") return run_hmi(config, group);
+    if (role == "rtu") return run_rtu(config);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "deploy %s: %s\n", role.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -18,7 +18,7 @@ Bytes mac_material(MsgType type, const std::string& sender,
 
 }  // namespace
 
-ClientProxy::ClientProxy(sim::Network& net, GroupConfig group, ClientId id,
+ClientProxy::ClientProxy(net::Transport& net, GroupConfig group, ClientId id,
                          const crypto::Keychain& keys, ClientOptions options)
     : net_(net),
       group_(group),
@@ -26,7 +26,7 @@ ClientProxy::ClientProxy(sim::Network& net, GroupConfig group, ClientId id,
       endpoint_(crypto::client_principal(id)),
       keys_(keys),
       opt_(options) {
-  net_.attach(endpoint_, [this](sim::Message m) { on_message(std::move(m)); });
+  net_.attach(endpoint_, [this](net::Message m) { on_message(std::move(m)); });
 }
 
 ClientProxy::~ClientProxy() { net_.detach(endpoint_); }
@@ -86,13 +86,13 @@ void ClientProxy::send_to_all(const Bytes& body) {
 void ClientProxy::arm_retransmit(RequestId seq) {
   auto it = inflight_.find(seq.value);
   if (it == inflight_.end()) return;
-  it->second.timer = net_.loop().schedule(opt_.reply_timeout, [this, seq] {
+  it->second.timer = net_.schedule(opt_.reply_timeout, [this, seq] {
     auto fit = inflight_.find(seq.value);
     if (fit == inflight_.end()) return;
     InFlight& flight = fit->second;
     if (flight.retries >= opt_.max_retries) {
       ++stats_.failed;
-      SS_LOG(LogLevel::kWarn, net_.loop().now(), endpoint_.c_str(),
+      SS_LOG(LogLevel::kWarn, net_.now(), endpoint_.c_str(),
              "request %lu failed after %u retries",
              static_cast<unsigned long>(seq.value), flight.retries);
       FailureCallback handler = failure_handler_;
@@ -107,7 +107,7 @@ void ClientProxy::arm_retransmit(RequestId seq) {
   });
 }
 
-void ClientProxy::on_message(sim::Message msg) {
+void ClientProxy::on_message(net::Message msg) {
   Envelope env;
   try {
     env = Envelope::decode(msg.payload);

@@ -19,8 +19,7 @@
 #include "bft/messages.h"
 #include "common/config.h"
 #include "crypto/keychain.h"
-#include "sim/event_loop.h"
-#include "sim/network.h"
+#include "net/transport.h"
 
 namespace ss::bft {
 
@@ -48,7 +47,7 @@ class ClientProxy {
   /// Raw push from one replica (unvoted).
   using PushHandler = std::function<void(ReplicaId replica, Bytes payload)>;
 
-  ClientProxy(sim::Network& net, GroupConfig group, ClientId id,
+  ClientProxy(net::Transport& net, GroupConfig group, ClientId id,
               const crypto::Keychain& keys, ClientOptions options = {});
   ~ClientProxy();
 
@@ -80,16 +79,16 @@ class ClientProxy {
     std::map<ReplicaId, crypto::Digest> votes;
     std::map<ReplicaId, Bytes> payloads;
     std::uint32_t retries = 0;
-    sim::TimerHandle timer;
+    net::Timer timer;
   };
 
   RequestId invoke(RequestMode mode, Bytes payload, ReplyCallback on_reply);
   void send_to_all(const Bytes& body);
-  void on_message(sim::Message msg);
+  void on_message(net::Message msg);
   void handle_reply(ClientReply reply);
   void arm_retransmit(RequestId seq);
 
-  sim::Network& net_;
+  net::Transport& net_;
   GroupConfig group_;
   ClientId id_;
   std::string endpoint_;

@@ -20,7 +20,7 @@ Bytes mac_material(MsgType type, const std::string& sender,
 
 }  // namespace
 
-Replica::Replica(sim::Network& net, GroupConfig group, ReplicaId id,
+Replica::Replica(net::Transport& net, GroupConfig group, ReplicaId id,
                  const crypto::Keychain& keys, Executable& app,
                  Recoverable& state, ReplicaOptions options)
     : net_(net),
@@ -31,10 +31,10 @@ Replica::Replica(sim::Network& net, GroupConfig group, ReplicaId id,
       app_(app),
       recoverable_(state),
       opt_(options),
-      lanes_(net.loop(), options.lanes),
+      lanes_(net, options.lanes),
       byz_rng_(0xBAD0000 + id.value) {
   opt_.max_batch = std::max<std::uint32_t>(opt_.max_batch, 1);
-  net_.attach(endpoint_, [this](sim::Message m) { on_message(std::move(m)); });
+  net_.attach(endpoint_, [this](net::Message m) { on_message(std::move(m)); });
 }
 
 Replica::~Replica() { net_.detach(endpoint_); }
@@ -42,7 +42,7 @@ Replica::~Replica() { net_.detach(endpoint_); }
 // --------------------------------------------------------------------------
 // networking
 
-void Replica::on_message(sim::Message msg) {
+void Replica::on_message(net::Message msg) {
   if (crashed_) return;
   lanes_.submit(opt_.per_message_cost,
                 [this, payload = std::move(msg.payload)]() {
@@ -263,7 +263,7 @@ void Replica::arm_suspect_timer(ClientId client, RequestId seq) {
   // Phase 1 (request_timeout/2): the leader may never have received the
   // request — forward it before blaming anyone (PBFT-style).
   if (opt_.forward_to_leader) {
-    net_.loop().schedule(opt_.request_timeout / 2, [this, client, seq,
+    net_.schedule(opt_.request_timeout / 2, [this, client, seq,
                                                     still_pending] {
       if (!still_pending() || is_leader()) return;
       auto cit = pending_index_.find(client.value);
@@ -276,10 +276,10 @@ void Replica::arm_suspect_timer(ClientId client, RequestId seq) {
 
   // Phase 2 (request_timeout): the leader had its chance; vote it out.
   suspect_timers_[key] =
-      net_.loop().schedule(opt_.request_timeout, [this, client, seq,
+      net_.schedule(opt_.request_timeout, [this, client, seq,
                                                   still_pending] {
         if (!still_pending()) return;
-        SS_LOG(LogLevel::kInfo, net_.loop().now(), endpoint_.c_str(),
+        SS_LOG(LogLevel::kInfo, net_.now(), endpoint_.c_str(),
                "request (%u,%lu) not ordered in time; suspecting leader %u",
                client.value, static_cast<unsigned long>(seq.value),
                group_.leader_for(regency_).value);
@@ -292,7 +292,7 @@ void Replica::arm_suspect_timer(ClientId client, RequestId seq) {
 
 Batch Replica::make_batch() {
   Batch batch;
-  batch.timestamp = std::max(last_timestamp_ + 1, net_.loop().now());
+  batch.timestamp = std::max(last_timestamp_ + 1, net_.now());
   for (const ClientRequest& req : pending_) {
     if (batch.requests.size() >= opt_.max_batch) break;
     batch.requests.push_back(req);
@@ -370,7 +370,7 @@ void Replica::handle_propose(Propose p, bool from_sync) {
     if (inst.digest != digest) {
       // Equivocation: the leader sent conflicting proposals for one
       // instance. That is proof of a Byzantine leader.
-      SS_LOG(LogLevel::kWarn, net_.loop().now(), endpoint_.c_str(),
+      SS_LOG(LogLevel::kWarn, net_.now(), endpoint_.c_str(),
              "conflicting proposals for cid=%lu; suspecting leader",
              static_cast<unsigned long>(p.cid.value));
       suspect_leader();
@@ -422,7 +422,7 @@ void Replica::try_decide() {
     if (!inst.write_sent) {
       Batch batch;
       if (!validate_proposal(*inst.proposal, batch)) {
-        SS_LOG(LogLevel::kWarn, net_.loop().now(), endpoint_.c_str(),
+        SS_LOG(LogLevel::kWarn, net_.now(), endpoint_.c_str(),
                "invalid proposal for cid=%lu; suspecting leader",
                static_cast<unsigned long>(next));
         instances_.erase(it);
@@ -550,7 +550,7 @@ void Replica::note_regency_evidence(ReplicaId sender, std::uint64_t regency) {
   std::uint64_t adopt = observed[group_.f];
   if (adopt <= regency_) return;
 
-  SS_LOG(LogLevel::kInfo, net_.loop().now(), endpoint_.c_str(),
+  SS_LOG(LogLevel::kInfo, net_.now(), endpoint_.c_str(),
          "adopting regency %lu from peer evidence (was %lu)",
          static_cast<unsigned long>(adopt),
          static_cast<unsigned long>(regency_));
@@ -646,7 +646,7 @@ void Replica::install_regency(std::uint64_t regency) {
   }
 
   ReplicaId leader = group_.leader_for(regency_);
-  SS_LOG(LogLevel::kInfo, net_.loop().now(), endpoint_.c_str(),
+  SS_LOG(LogLevel::kInfo, net_.now(), endpoint_.c_str(),
          "installed regency %lu (leader %u)",
          static_cast<unsigned long>(regency), leader.value);
 
@@ -655,9 +655,9 @@ void Replica::install_regency(std::uint64_t regency) {
     handle_stop_data(sd);  // record own evidence
     // If the STOP_DATA quorum never arrives (lossy links), step aside
     // rather than wedging the group under a silent leader.
-    net_.loop().schedule(opt_.request_timeout, [this, regency] {
+    net_.schedule(opt_.request_timeout, [this, regency] {
       if (crashed_ || regency_ != regency || sync_done_for_regency_) return;
-      SS_LOG(LogLevel::kInfo, net_.loop().now(), endpoint_.c_str(),
+      SS_LOG(LogLevel::kInfo, net_.now(), endpoint_.c_str(),
              "sync phase for regency %lu stalled; stepping aside",
              static_cast<unsigned long>(regency));
       send_stop(regency + 1);
@@ -886,7 +886,7 @@ void Replica::request_state_now() {
   state_current_votes_.clear();
   StateRequest req{id_, last_decided_};
   broadcast(MsgType::kStateRequest, req.encode());
-  net_.loop().schedule(millis(500), [this] {
+  net_.schedule(millis(500), [this] {
     if (crashed_ || !transferring_) return;
     transferring_ = false;
     request_state_now();  // retry
@@ -912,7 +912,7 @@ void Replica::note_progress_evidence(ConsensusId cid) {
   if (stall_check_armed_) return;
   stall_check_armed_ = true;
   std::uint64_t target = cid.value;
-  net_.loop().schedule(opt_.request_timeout, [this, target] {
+  net_.schedule(opt_.request_timeout, [this, target] {
     stall_check_armed_ = false;
     if (crashed_) return;
     if (last_decided_.value + 1 < target) {
@@ -988,7 +988,7 @@ void Replica::handle_state_reply(const StateReply& rep) {
     transferring_ = false;
     state_replies_.clear();
     ++stats_.state_transfers;
-    SS_LOG(LogLevel::kInfo, net_.loop().now(), endpoint_.c_str(),
+    SS_LOG(LogLevel::kInfo, net_.now(), endpoint_.c_str(),
            "state transfer complete at cid=%lu",
            static_cast<unsigned long>(last_decided_.value));
     // Drop pending requests that the snapshot already covers.
@@ -1023,7 +1023,7 @@ void Replica::crash() {
 
 void Replica::recover() {
   crashed_ = false;
-  net_.attach(endpoint_, [this](sim::Message m) { on_message(std::move(m)); });
+  net_.attach(endpoint_, [this](net::Message m) { on_message(std::move(m)); });
   transferring_ = true;
   state_replies_.clear();
   StateRequest req{id_, last_decided_};

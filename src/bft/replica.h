@@ -30,10 +30,10 @@
 #include "bft/executable.h"
 #include "bft/messages.h"
 #include "common/config.h"
+#include "common/rng.h"
 #include "crypto/keychain.h"
-#include "sim/event_loop.h"
-#include "sim/network.h"
-#include "sim/service_lane.h"
+#include "net/lanes.h"
+#include "net/transport.h"
 
 namespace ss::bft {
 
@@ -85,7 +85,7 @@ struct ReplicaStats {
 
 class Replica {
  public:
-  Replica(sim::Network& net, GroupConfig group, ReplicaId id,
+  Replica(net::Transport& net, GroupConfig group, ReplicaId id,
           const crypto::Keychain& keys, Executable& app, Recoverable& state,
           ReplicaOptions options = {});
   ~Replica();
@@ -156,7 +156,7 @@ class Replica {
   using PendingKey = std::pair<std::uint64_t, std::uint64_t>;  // client, seq
 
   // --- networking ---------------------------------------------------------
-  void on_message(sim::Message msg);
+  void on_message(net::Message msg);
   void dispatch(Envelope env);
   void send_envelope(const std::string& to, MsgType type, Bytes body);
   void broadcast(MsgType type, const Bytes& body);
@@ -203,7 +203,7 @@ class Replica {
   void handle_state_request(const StateRequest& req);
   void handle_state_reply(const StateReply& rep);
 
-  sim::Network& net_;
+  net::Transport& net_;
   GroupConfig group_;
   ReplicaId id_;
   std::string endpoint_;
@@ -211,7 +211,7 @@ class Replica {
   Executable& app_;
   Recoverable& recoverable_;
   ReplicaOptions opt_;
-  sim::ServiceLanes lanes_;
+  net::Lanes lanes_;
 
   std::uint64_t regency_ = 0;
   ConsensusId last_decided_{0};
@@ -253,7 +253,7 @@ class Replica {
   /// demonstrably run it; otherwise it stays deaf forever.
   std::map<std::uint32_t, std::uint64_t> regency_evidence_;
 
-  std::map<PendingKey, sim::TimerHandle> suspect_timers_;
+  std::map<PendingKey, net::Timer> suspect_timers_;
   std::uint64_t highest_stop_sent_ = 0;
   /// Highest regency each peer has STOPped for. A STOP for regency r also
   /// supports every regency below r (PBFT-style aggregation), otherwise

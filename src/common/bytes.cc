@@ -42,6 +42,21 @@ std::string string_of(ByteView data) {
   return std::string(data.begin(), data.end());
 }
 
+std::uint16_t crc16(ByteView data) {
+  std::uint16_t crc = 0xFFFF;
+  for (std::uint8_t byte : data) {
+    crc ^= byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      if (crc & 1) {
+        crc = static_cast<std::uint16_t>((crc >> 1) ^ 0xA001);
+      } else {
+        crc = static_cast<std::uint16_t>(crc >> 1);
+      }
+    }
+  }
+  return crc;
+}
+
 bool constant_time_equal(ByteView a, ByteView b) {
   if (a.size() != b.size()) return false;
   std::uint8_t acc = 0;

@@ -27,4 +27,10 @@ std::string string_of(ByteView data);
 /// Constant-time equality, as needed when comparing MACs.
 bool constant_time_equal(ByteView a, ByteView b);
 
+/// CRC-16/MODBUS (polynomial 0xA001 reflected, init 0xFFFF). Guards the
+/// unauthenticated field-protocol frames (Modbus, IEC-104) against wire
+/// corruption — these links carry no HMAC, so without a frame check a
+/// flipped register bit would be silently accepted as a valid value.
+std::uint16_t crc16(ByteView data);
+
 }  // namespace ss

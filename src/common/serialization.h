@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -148,9 +149,27 @@ class Reader {
     return b;
   }
 
+  /// Decoded varint checked against the id's representation width, so a
+  /// Byzantine sender cannot smuggle 2^40 through a uint32 id and have it
+  /// silently truncate into a colliding small value.
   template <typename IdType>
   IdType id() {
-    return IdType{static_cast<decltype(IdType{}.value)>(varint())};
+    using Rep = decltype(IdType{}.value);
+    std::uint64_t v = varint();
+    if (v > std::numeric_limits<Rep>::max()) {
+      throw DecodeError("id out of range");
+    }
+    return IdType{static_cast<Rep>(v)};
+  }
+
+  /// varint checked to fit 32 bits (for counts and wire fields narrower
+  /// than the varint's natural 64-bit range).
+  std::uint32_t varint32() {
+    std::uint64_t v = varint();
+    if (v > std::numeric_limits<std::uint32_t>::max()) {
+      throw DecodeError("varint32 out of range");
+    }
+    return static_cast<std::uint32_t>(v);
   }
 
   template <typename E>
@@ -172,7 +191,10 @@ class Reader {
 
  private:
   void need(std::size_t n) const {
-    if (pos_ + n > data_.size()) throw DecodeError("truncated buffer");
+    // Written as a subtraction so a huge `n` (e.g. a hostile varint length
+    // prefix near SIZE_MAX) cannot overflow `pos_ + n` and wrap past the
+    // bounds check. `pos_ <= data_.size()` is an invariant.
+    if (n > data_.size() - pos_) throw DecodeError("truncated buffer");
   }
 
   std::uint64_t length_prefix() {

@@ -42,7 +42,7 @@ std::string adapter_principal(ReplicaId id) {
   return "adapter/" + std::to_string(id.value);
 }
 
-Adapter::Adapter(sim::Network& net, GroupConfig group, ReplicaId id,
+Adapter::Adapter(net::Transport& net, GroupConfig group, ReplicaId id,
                  const crypto::Keychain& keys, scada::ScadaMaster& master,
                  AdapterOptions options)
     : net_(net),
@@ -53,12 +53,12 @@ Adapter::Adapter(sim::Network& net, GroupConfig group, ReplicaId id,
       master_(master),
       opt_(options) {
   net_.attach(endpoint_,
-              [this](sim::Message m) { on_adapter_message(std::move(m)); });
+              [this](net::Message m) { on_adapter_message(std::move(m)); });
 
   if (opt_.executor_lanes > 1) {
     executor_.reserve(opt_.executor_lanes);
     for (std::uint32_t i = 0; i < opt_.executor_lanes; ++i) {
-      executor_.push_back(std::make_unique<sim::ServiceLanes>(net.loop(), 1));
+      executor_.push_back(std::make_unique<net::Lanes>(net, 1));
     }
   }
 
@@ -300,7 +300,7 @@ void Adapter::arm_write_timeout(OpId op) {
   cancel_write_timeout(op);
   ++stats_.timeouts_armed;
   write_timers_[op.value] =
-      net_.loop().schedule(opt_.write_timeout, [this, op] {
+      net_.schedule(opt_.write_timeout, [this, op] {
         on_write_timeout(op);
       });
 }
@@ -318,7 +318,7 @@ void Adapter::cancel_write_timeout(OpId op) {
 void Adapter::on_write_timeout(OpId op) {
   write_timers_.erase(op.value);
   if (!master_.has_pending_write(op)) return;
-  SS_LOG(LogLevel::kInfo, net_.loop().now(), endpoint_.c_str(),
+  SS_LOG(LogLevel::kInfo, net_.now(), endpoint_.c_str(),
          "write op %lu timed out; voting", static_cast<unsigned long>(op.value));
   broadcast_vote(op);
   record_vote(TimeoutVote{op, id_});
@@ -341,7 +341,7 @@ void Adapter::broadcast_vote(OpId op) {
   }
 }
 
-void Adapter::on_adapter_message(sim::Message msg) {
+void Adapter::on_adapter_message(net::Message msg) {
   try {
     Reader r(msg.payload);
     std::string sender = r.str();
@@ -372,7 +372,7 @@ void Adapter::record_vote(const TimeoutVote& vote) {
   injected_.insert(vote.op.value);
   if (injected_.size() > 65536) injected_.erase(injected_.begin());
   if (timeout_client_ != nullptr) {
-    SS_LOG(LogLevel::kInfo, net_.loop().now(), endpoint_.c_str(),
+    SS_LOG(LogLevel::kInfo, net_.now(), endpoint_.c_str(),
            "majority timeout for op %lu; ordering synthetic WriteResult",
            static_cast<unsigned long>(vote.op.value));
     timeout_client_->invoke_ordered(

@@ -28,7 +28,7 @@
 #include "core/requests.h"
 #include "scada/master.h"
 #include "sim/cost_model.h"
-#include "sim/network.h"
+#include "net/transport.h"
 
 namespace ss::core {
 
@@ -59,7 +59,7 @@ std::string adapter_principal(ReplicaId id);
 
 class Adapter final : public bft::Executable, public bft::Recoverable {
  public:
-  Adapter(sim::Network& net, GroupConfig group, ReplicaId id,
+  Adapter(net::Transport& net, GroupConfig group, ReplicaId id,
           const crypto::Keychain& keys, scada::ScadaMaster& master,
           AdapterOptions options = {});
   ~Adapter() override;
@@ -94,7 +94,7 @@ class Adapter final : public bft::Executable, public bft::Recoverable {
   void arm_write_timeout(OpId op);
   void cancel_write_timeout(OpId op);
   void on_write_timeout(OpId op);
-  void on_adapter_message(sim::Message msg);
+  void on_adapter_message(net::Message msg);
   void record_vote(const TimeoutVote& vote);
   void broadcast_vote(OpId op);
   SimTime master_cost(const scada::MasterCounters& before,
@@ -103,7 +103,7 @@ class Adapter final : public bft::Executable, public bft::Recoverable {
   void flush_emissions(std::vector<Emission> emissions);
   void charge_execution(const scada::ScadaMessage& msg, SimTime cost);
 
-  sim::Network& net_;
+  net::Transport& net_;
   GroupConfig group_;
   ReplicaId id_;
   std::string endpoint_;
@@ -117,11 +117,11 @@ class Adapter final : public bft::Executable, public bft::Recoverable {
   std::map<std::uint64_t, std::string> sources_;  // client id -> source name
 
   /// Conflict-partitioned executor lanes (empty when executor_lanes <= 1).
-  std::vector<std::unique_ptr<sim::ServiceLanes>> executor_;
+  std::vector<std::unique_ptr<net::Lanes>> executor_;
   /// Master output buffered during the current execute_ordered call.
   std::vector<Emission> emissions_;
 
-  std::map<std::uint64_t, sim::TimerHandle> write_timers_;  // by op id
+  std::map<std::uint64_t, net::Timer> write_timers_;  // by op id
   std::map<std::uint64_t, std::set<std::uint32_t>> timeout_votes_;
   std::set<std::uint64_t> injected_;  // ops we already ordered a timeout for
 

@@ -2,17 +2,17 @@
 
 namespace ss::core {
 
-HmiNode::HmiNode(sim::Network& net, const crypto::Keychain& keys,
+HmiNode::HmiNode(net::Transport& net, const crypto::Keychain& keys,
                  scada::Hmi& hmi, NodeOptions options)
     : net_(net),
       keys_(keys),
       hmi_(hmi),
       opt_(std::move(options)),
-      lanes_(net.loop(), opt_.lanes) {
+      lanes_(net, opt_.lanes) {
   hmi_.set_master_sink([this](const scada::ScadaMessage& msg) {
     send_scada(net_, keys_, opt_.endpoint, opt_.peer, msg);
   });
-  net_.attach(opt_.endpoint, [this](sim::Message m) {
+  net_.attach(opt_.endpoint, [this](net::Message m) {
     std::string sender;
     auto decoded = receive_scada(keys_, opt_.endpoint, m, &sender);
     if (!decoded.has_value() || sender != opt_.peer) return;
@@ -23,17 +23,17 @@ HmiNode::HmiNode(sim::Network& net, const crypto::Keychain& keys,
 
 HmiNode::~HmiNode() { net_.detach(opt_.endpoint); }
 
-FrontendNode::FrontendNode(sim::Network& net, const crypto::Keychain& keys,
+FrontendNode::FrontendNode(net::Transport& net, const crypto::Keychain& keys,
                            scada::Frontend& frontend, NodeOptions options)
     : net_(net),
       keys_(keys),
       frontend_(frontend),
       opt_(std::move(options)),
-      lanes_(net.loop(), opt_.lanes) {
+      lanes_(net, opt_.lanes) {
   frontend_.set_master_sink([this](const scada::ScadaMessage& msg) {
     send_scada(net_, keys_, opt_.endpoint, opt_.peer, msg);
   });
-  net_.attach(opt_.endpoint, [this](sim::Message m) {
+  net_.attach(opt_.endpoint, [this](net::Message m) {
     std::string sender;
     auto decoded = receive_scada(keys_, opt_.endpoint, m, &sender);
     if (!decoded.has_value() || sender != opt_.peer) return;
@@ -45,7 +45,7 @@ FrontendNode::FrontendNode(sim::Network& net, const crypto::Keychain& keys,
 
 FrontendNode::~FrontendNode() { net_.detach(opt_.endpoint); }
 
-MasterNode::MasterNode(sim::Network& net, const crypto::Keychain& keys,
+MasterNode::MasterNode(net::Transport& net, const crypto::Keychain& keys,
                        scada::ScadaMaster& master, const sim::CostModel& costs,
                        std::string endpoint, std::uint32_t lanes)
     : net_(net),
@@ -53,7 +53,7 @@ MasterNode::MasterNode(sim::Network& net, const crypto::Keychain& keys,
       master_(master),
       costs_(costs),
       endpoint_(std::move(endpoint)),
-      lanes_(net.loop(), lanes) {
+      lanes_(net, lanes) {
   master_.set_da_sink(
       [this](const std::string& subscriber, const scada::ScadaMessage& msg) {
         send_scada(net_, keys_, endpoint_, subscriber, msg);
@@ -67,12 +67,12 @@ MasterNode::MasterNode(sim::Network& net, const crypto::Keychain& keys,
         send_scada(net_, keys_, endpoint_, frontend, msg);
       });
   net_.attach(endpoint_,
-              [this](sim::Message m) { on_message(std::move(m)); });
+              [this](net::Message m) { on_message(std::move(m)); });
 }
 
 MasterNode::~MasterNode() { net_.detach(endpoint_); }
 
-void MasterNode::on_message(sim::Message msg) {
+void MasterNode::on_message(net::Message msg) {
   std::string sender;
   auto decoded = receive_scada(keys_, endpoint_, msg, &sender);
   if (!decoded.has_value()) return;

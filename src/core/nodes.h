@@ -15,7 +15,7 @@
 #include "scada/hmi.h"
 #include "scada/master.h"
 #include "sim/cost_model.h"
-#include "sim/service_lane.h"
+#include "net/lanes.h"
 
 namespace ss::core {
 
@@ -29,7 +29,7 @@ struct NodeOptions {
 /// HMI behind an endpoint.
 class HmiNode {
  public:
-  HmiNode(sim::Network& net, const crypto::Keychain& keys, scada::Hmi& hmi,
+  HmiNode(net::Transport& net, const crypto::Keychain& keys, scada::Hmi& hmi,
           NodeOptions options);
   ~HmiNode();
 
@@ -37,17 +37,17 @@ class HmiNode {
   HmiNode& operator=(const HmiNode&) = delete;
 
  private:
-  sim::Network& net_;
+  net::Transport& net_;
   const crypto::Keychain& keys_;
   scada::Hmi& hmi_;
   NodeOptions opt_;
-  sim::ServiceLanes lanes_;
+  net::Lanes lanes_;
 };
 
 /// Frontend behind an endpoint.
 class FrontendNode {
  public:
-  FrontendNode(sim::Network& net, const crypto::Keychain& keys,
+  FrontendNode(net::Transport& net, const crypto::Keychain& keys,
                scada::Frontend& frontend, NodeOptions options);
   ~FrontendNode();
 
@@ -55,18 +55,18 @@ class FrontendNode {
   FrontendNode& operator=(const FrontendNode&) = delete;
 
  private:
-  sim::Network& net_;
+  net::Transport& net_;
   const crypto::Keychain& keys_;
   scada::Frontend& frontend_;
   NodeOptions opt_;
-  sim::ServiceLanes lanes_;
+  net::Lanes lanes_;
 };
 
 /// The baseline (non-replicated) SCADA Master behind an endpoint: multiple
 /// entry points, multi-lane CPU, local clock — stock NeoSCADA.
 class MasterNode {
  public:
-  MasterNode(sim::Network& net, const crypto::Keychain& keys,
+  MasterNode(net::Transport& net, const crypto::Keychain& keys,
              scada::ScadaMaster& master, const sim::CostModel& costs,
              std::string endpoint, std::uint32_t lanes);
   ~MasterNode();
@@ -75,14 +75,14 @@ class MasterNode {
   MasterNode& operator=(const MasterNode&) = delete;
 
  private:
-  void on_message(sim::Message msg);
+  void on_message(net::Message msg);
 
-  sim::Network& net_;
+  net::Transport& net_;
   const crypto::Keychain& keys_;
   scada::ScadaMaster& master_;
   sim::CostModel costs_;
   std::string endpoint_;
-  sim::ServiceLanes lanes_;
+  net::Lanes lanes_;
 };
 
 }  // namespace ss::core

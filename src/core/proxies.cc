@@ -2,7 +2,7 @@
 
 namespace ss::core {
 
-ComponentProxy::ComponentProxy(sim::Network& net, GroupConfig group,
+ComponentProxy::ComponentProxy(net::Transport& net, GroupConfig group,
                                ClientId id, const crypto::Keychain& keys,
                                ProxyOptions options)
     : net_(net),
@@ -12,8 +12,8 @@ ComponentProxy::ComponentProxy(sim::Network& net, GroupConfig group,
       voter_(group,
              [this](const scada::ScadaMessage& msg) { deliver(msg); },
              opt_.voter),
-      lanes_(net.loop(), opt_.lanes) {
-  net_.attach(opt_.endpoint, [this](sim::Message m) {
+      lanes_(net, opt_.lanes) {
+  net_.attach(opt_.endpoint, [this](net::Message m) {
     on_component_message(std::move(m));
   });
   client_.set_push_handler([this](ReplicaId replica, Bytes payload) {
@@ -26,7 +26,7 @@ ComponentProxy::ComponentProxy(sim::Network& net, GroupConfig group,
 
 ComponentProxy::~ComponentProxy() { net_.detach(opt_.endpoint); }
 
-void ComponentProxy::on_component_message(sim::Message msg) {
+void ComponentProxy::on_component_message(net::Message msg) {
   std::string sender;
   auto decoded = receive_scada(keys_, opt_.endpoint, msg, &sender);
   if (!decoded.has_value() || sender != opt_.component_endpoint) {

@@ -16,7 +16,7 @@
 #include "core/push_voter.h"
 #include "core/requests.h"
 #include "core/scada_link.h"
-#include "sim/service_lane.h"
+#include "net/lanes.h"
 
 namespace ss::core {
 
@@ -37,7 +37,7 @@ struct ProxyStats {
 
 class ComponentProxy {
  public:
-  ComponentProxy(sim::Network& net, GroupConfig group, ClientId id,
+  ComponentProxy(net::Transport& net, GroupConfig group, ClientId id,
                  const crypto::Keychain& keys, ProxyOptions options);
   ~ComponentProxy();
 
@@ -51,15 +51,15 @@ class ComponentProxy {
   const bft::ClientStats& client_stats() const { return client_.stats(); }
 
  private:
-  void on_component_message(sim::Message msg);
+  void on_component_message(net::Message msg);
   void deliver(const scada::ScadaMessage& msg);
 
-  sim::Network& net_;
+  net::Transport& net_;
   const crypto::Keychain& keys_;
   ProxyOptions opt_;
   bft::ClientProxy client_;
   PushVoter voter_;
-  sim::ServiceLanes lanes_;
+  net::Lanes lanes_;
   ProxyStats stats_;
 };
 

@@ -15,7 +15,7 @@ Bytes frame_material(const std::string& from, const std::string& to,
 
 }  // namespace
 
-void send_scada(sim::Network& net, const crypto::Keychain& keys,
+void send_scada(net::Transport& net, const crypto::Keychain& keys,
                 const std::string& from, const std::string& to,
                 const scada::ScadaMessage& msg) {
   Bytes body = scada::encode_message(msg);
@@ -29,7 +29,7 @@ void send_scada(sim::Network& net, const crypto::Keychain& keys,
 
 std::optional<scada::ScadaMessage> receive_scada(const crypto::Keychain& keys,
                                                  const std::string& self,
-                                                 const sim::Message& msg,
+                                                 const net::Message& msg,
                                                  std::string* sender_out) {
   try {
     Reader r(msg.payload);

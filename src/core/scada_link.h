@@ -11,7 +11,7 @@
 
 #include "crypto/keychain.h"
 #include "scada/messages.h"
-#include "sim/network.h"
+#include "net/transport.h"
 
 namespace ss::core {
 
@@ -23,7 +23,7 @@ inline constexpr const char* kProxyFrontendEndpoint = "proxy/frontend";
 inline constexpr const char* kMasterEndpoint = "master";
 
 /// Encodes msg into an authenticated frame and sends it from -> to.
-void send_scada(sim::Network& net, const crypto::Keychain& keys,
+void send_scada(net::Transport& net, const crypto::Keychain& keys,
                 const std::string& from, const std::string& to,
                 const scada::ScadaMessage& msg);
 
@@ -32,7 +32,7 @@ void send_scada(sim::Network& net, const crypto::Keychain& keys,
 /// authenticated sender name.
 std::optional<scada::ScadaMessage> receive_scada(const crypto::Keychain& keys,
                                                  const std::string& self,
-                                                 const sim::Message& msg,
+                                                 const net::Message& msg,
                                                  std::string* sender_out);
 
 }  // namespace ss::core

@@ -1,0 +1,61 @@
+// Transport-backed CPU service-time modelling.
+//
+// Same model as sim::ServiceLanes (a bank of k identical service lanes; see
+// that header for the paper rationale) but expressed against the Transport
+// seam, so components that charge virtual CPU cost work on any backend.
+// On the simulated backend the arithmetic and the scheduled event times are
+// identical to sim::ServiceLanes, keeping runs byte-identical. On the
+// socket backend costs are usually zero (real CPUs charge themselves); a
+// non-zero cost degrades gracefully into a real delay.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "net/transport.h"
+
+namespace ss::net {
+
+class Lanes {
+ public:
+  Lanes(Transport& transport, std::uint32_t lanes)
+      : transport_(transport),
+        free_at_(std::max<std::uint32_t>(lanes, 1), 0) {}
+
+  std::uint32_t lanes() const {
+    return static_cast<std::uint32_t>(free_at_.size());
+  }
+
+  /// Schedules `done` to run when a lane has spent `cost` ns on this work
+  /// item. Queueing delay is implicit: if every lane is busy the work waits
+  /// for the earliest completion.
+  void submit(SimTime cost, std::function<void()> done) {
+    auto it = std::min_element(free_at_.begin(), free_at_.end());
+    SimTime now = transport_.now();
+    SimTime start = std::max(*it, now);
+    SimTime finish = start + cost;
+    *it = finish;
+    busy_ns_ += cost;
+    ++jobs_;
+    transport_.schedule(finish - now, std::move(done));
+  }
+
+  /// Time at which the next submitted job could start (for backlog probes).
+  SimTime earliest_free() const {
+    return *std::min_element(free_at_.begin(), free_at_.end());
+  }
+
+  SimTime busy_ns() const { return busy_ns_; }
+  std::uint64_t jobs() const { return jobs_; }
+
+ private:
+  Transport& transport_;
+  std::vector<SimTime> free_at_;
+  SimTime busy_ns_ = 0;
+  std::uint64_t jobs_ = 0;
+};
+
+}  // namespace ss::net

@@ -1,0 +1,436 @@
+#include "net/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/serialization.h"
+
+namespace ss::net {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53535450;  // "SSTP"
+constexpr std::uint8_t kVersion = 1;
+
+SimTime monotonic_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<SimTime>(ts.tv_sec) * kNanosPerSec + ts.tv_nsec;
+}
+
+bool to_sockaddr(const SocketAddress& address, sockaddr_in* out) {
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(address.port);
+  const char* host =
+      address.host == "localhost" ? "127.0.0.1" : address.host.c_str();
+  return inet_pton(AF_INET, host, &out->sin_addr) == 1;
+}
+
+}  // namespace
+
+struct SocketTransport::TimerState {
+  bool cancelled = false;
+  std::function<void()> action;
+};
+
+namespace {
+
+class SocketTimerImpl final : public Timer::Impl {
+ public:
+  explicit SocketTimerImpl(std::shared_ptr<SocketTransport::TimerState> state)
+      : state_(std::move(state)) {}
+  void cancel() override {
+    state_->cancelled = true;
+    state_->action = nullptr;  // release captures eagerly
+  }
+  bool active() const override { return !state_->cancelled; }
+
+ private:
+  std::shared_ptr<SocketTransport::TimerState> state_;
+};
+
+}  // namespace
+
+SocketTransport::SocketTransport(Resolver resolver, SocketOptions options)
+    : resolver_(std::move(resolver)), opt_(options) {
+  epoch_ = monotonic_ns();
+  rx_buffer_.resize(65536);
+}
+
+SocketTransport::~SocketTransport() {
+  for (auto& [name, ep] : endpoints_) {
+    if (ep.fd >= 0) ::close(ep.fd);
+  }
+  if (anon_fd_ >= 0) ::close(anon_fd_);
+}
+
+SimTime SocketTransport::now() const { return monotonic_ns() - epoch_; }
+
+int SocketTransport::open_socket(const std::string& name) {
+  const SocketAddress* address = resolver_.lookup(name);
+  if (address == nullptr) {
+    throw std::runtime_error("socket transport: endpoint not in resolver: " +
+                             name);
+  }
+  sockaddr_in sa{};
+  if (!to_sockaddr(*address, &sa)) {
+    throw std::runtime_error("socket transport: bad host for " + name + ": " +
+                             address->host);
+  }
+  int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw std::runtime_error("socket transport: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &opt_.rcvbuf_bytes,
+               sizeof(opt_.rcvbuf_bytes));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &opt_.sndbuf_bytes,
+               sizeof(opt_.sndbuf_bytes));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    int err = errno;
+    ::close(fd);
+    throw std::runtime_error("socket transport: bind " + name + " to " +
+                             address->host + ":" +
+                             std::to_string(address->port) + " failed: " +
+                             std::strerror(err));
+  }
+  return fd;
+}
+
+void SocketTransport::attach(const std::string& name, Handler handler) {
+  auto it = endpoints_.find(name);
+  if (it != endpoints_.end()) {
+    it->second.handler = std::move(handler);  // replace, keep the socket
+    return;
+  }
+  EndpointState ep;
+  ep.fd = open_socket(name);
+  ep.handler = std::move(handler);
+  endpoints_.emplace(name, std::move(ep));
+}
+
+void SocketTransport::detach(const std::string& name) {
+  auto it = endpoints_.find(name);
+  if (it == endpoints_.end()) return;
+  if (it->second.fd >= 0) ::close(it->second.fd);
+  endpoints_.erase(it);
+}
+
+bool SocketTransport::attached(const std::string& name) const {
+  return endpoints_.count(name) > 0;
+}
+
+void SocketTransport::enqueue_fragments(const std::string& from,
+                                        const std::string& to,
+                                        const Bytes& payload, int fd,
+                                        const SocketAddress& dest) {
+  std::uint64_t msg_id = next_msg_id_++;
+  std::size_t total = payload.size();
+  std::size_t nfrags =
+      total == 0 ? 1 : (total + opt_.max_fragment - 1) / opt_.max_fragment;
+  for (std::size_t i = 0; i < nfrags; ++i) {
+    std::size_t off = i * opt_.max_fragment;
+    std::size_t len = std::min(opt_.max_fragment, total - off);
+    Writer w(len + from.size() + to.size() + 32);
+    w.u32(kMagic);
+    w.u8(kVersion);
+    w.u64(msg_id);
+    w.u16(static_cast<std::uint16_t>(i));
+    w.u16(static_cast<std::uint16_t>(nfrags));
+    w.str(from);
+    w.str(to);
+    w.blob(ByteView(payload.data() + off, len));
+    stats_.bytes_sent += w.size();
+    outbox_.push_back(OutDatagram{fd, dest, std::move(w).take()});
+  }
+  ++stats_.messages_sent;
+}
+
+void SocketTransport::send(const std::string& from, const std::string& to,
+                           Bytes payload) {
+  const SocketAddress* dest = resolver_.lookup(to);
+  if (dest == nullptr) {
+    ++stats_.unresolved_drops;
+    return;
+  }
+  if (payload.size() > opt_.max_message ||
+      (payload.size() + opt_.max_fragment - 1) / opt_.max_fragment > 65535) {
+    ++stats_.oversized_drops;
+    return;
+  }
+  int fd = -1;
+  auto it = endpoints_.find(from);
+  if (it != endpoints_.end()) {
+    fd = it->second.fd;
+  } else {
+    // Unattached sender (the simulated network allows this too): use a
+    // shared unbound socket; the receiver trusts the frame's `from` only as
+    // far as the HMAC above the transport lets it.
+    if (anon_fd_ < 0) {
+      anon_fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+      if (anon_fd_ < 0) {
+        ++stats_.send_errors;
+        return;
+      }
+    }
+    fd = anon_fd_;
+  }
+  enqueue_fragments(from, to, payload, fd, *dest);
+  if (!opt_.batch || outbox_.size() >= opt_.max_batch) flush_outbox();
+}
+
+void SocketTransport::flush_outbox() {
+  std::size_t i = 0;
+  while (i < outbox_.size()) {
+    // One sendmmsg batch per run of datagrams sharing a source socket.
+    std::size_t j = i + 1;
+    while (j < outbox_.size() && outbox_[j].fd == outbox_[i].fd &&
+           j - i < opt_.max_batch) {
+      ++j;
+    }
+    std::size_t n = j - i;
+    std::vector<mmsghdr> hdrs(n);
+    std::vector<iovec> iovs(n);
+    std::vector<sockaddr_in> addrs(n);
+    bool addr_ok = true;
+    for (std::size_t k = 0; k < n; ++k) {
+      OutDatagram& d = outbox_[i + k];
+      if (!to_sockaddr(d.dest, &addrs[k])) {
+        addr_ok = false;
+        break;
+      }
+      iovs[k].iov_base = d.bytes.data();
+      iovs[k].iov_len = d.bytes.size();
+      std::memset(&hdrs[k], 0, sizeof(hdrs[k]));
+      hdrs[k].msg_hdr.msg_name = &addrs[k];
+      hdrs[k].msg_hdr.msg_namelen = sizeof(addrs[k]);
+      hdrs[k].msg_hdr.msg_iov = &iovs[k];
+      hdrs[k].msg_hdr.msg_iovlen = 1;
+    }
+    std::size_t sent = 0;
+    if (addr_ok) {
+      int rc = ::sendmmsg(outbox_[i].fd, hdrs.data(),
+                          static_cast<unsigned int>(n), 0);
+      if (rc > 0) sent = static_cast<std::size_t>(rc);
+    }
+    // Whatever sendmmsg did not take, try individually; UDP semantics let
+    // us drop on persistent failure (upper layers retransmit).
+    for (std::size_t k = sent; k < n; ++k) {
+      OutDatagram& d = outbox_[i + k];
+      sockaddr_in sa{};
+      if (!to_sockaddr(d.dest, &sa)) {
+        ++stats_.send_errors;
+        continue;
+      }
+      ssize_t rc = ::sendto(d.fd, d.bytes.data(), d.bytes.size(), 0,
+                            reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+      if (rc < 0) ++stats_.send_errors;
+    }
+    stats_.datagrams_sent += n;
+    i = j;
+  }
+  outbox_.clear();
+}
+
+void SocketTransport::handle_datagram(ByteView datagram) {
+  std::string from;
+  std::string to;
+  std::uint64_t msg_id = 0;
+  std::uint16_t frag_index = 0;
+  std::uint16_t frag_count = 0;
+  Bytes fragment;
+  try {
+    Reader r(datagram);
+    if (r.u32() != kMagic) throw DecodeError("bad magic");
+    if (r.u8() != kVersion) throw DecodeError("bad version");
+    msg_id = r.u64();
+    frag_index = r.u16();
+    frag_count = r.u16();
+    from = r.str();
+    to = r.str();
+    fragment = r.blob();
+    r.expect_done();
+    if (frag_count == 0 || frag_index >= frag_count) {
+      throw DecodeError("bad fragment header");
+    }
+  } catch (const DecodeError&) {
+    ++stats_.decode_errors;
+    return;
+  }
+
+  auto ep = endpoints_.find(to);
+  if (ep == endpoints_.end()) {
+    ++stats_.misdirected;
+    return;
+  }
+
+  Bytes payload;
+  if (frag_count == 1) {
+    payload = std::move(fragment);
+  } else {
+    auto key = std::make_tuple(from, msg_id, to);
+    Reassembly& rs = reassembly_[key];
+    if (rs.fragments.empty()) {
+      rs.first_seen = now();
+      rs.fragments.resize(frag_count);
+    }
+    if (rs.fragments.size() != frag_count ||
+        !rs.fragments[frag_index].empty()) {
+      // Conflicting header or duplicate fragment: keep the first view.
+      if (rs.fragments.size() != frag_count) {
+        ++stats_.decode_errors;
+        reassembly_.erase(key);
+      }
+      return;
+    }
+    rs.bytes += fragment.size();
+    if (rs.bytes > opt_.max_message) {
+      ++stats_.oversized_drops;
+      reassembly_.erase(key);
+      return;
+    }
+    rs.fragments[frag_index] = std::move(fragment);
+    if (++rs.received < frag_count) return;
+    payload.reserve(rs.bytes);
+    for (Bytes& piece : rs.fragments) {
+      payload.insert(payload.end(), piece.begin(), piece.end());
+    }
+    reassembly_.erase(key);
+  }
+
+  ++stats_.messages_delivered;
+  // Copy the handler: it may detach (and so destroy) its own entry.
+  Handler handler = ep->second.handler;
+  if (handler) handler(Message{std::move(from), std::move(to), std::move(payload)});
+}
+
+void SocketTransport::read_socket(const std::string& name, int fd) {
+  for (;;) {
+    auto it = endpoints_.find(name);
+    if (it == endpoints_.end() || it->second.fd != fd) return;  // detached
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    ssize_t n = ::recvfrom(fd, rx_buffer_.data(), rx_buffer_.size(), 0,
+                           reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      // ECONNREFUSED et al. from queued ICMP errors: ignore, keep reading.
+      continue;
+    }
+    ++stats_.datagrams_received;
+    stats_.bytes_received += static_cast<std::uint64_t>(n);
+    handle_datagram(ByteView(rx_buffer_.data(), static_cast<std::size_t>(n)));
+  }
+}
+
+Timer SocketTransport::schedule(SimTime delay, std::function<void()> action) {
+  if (delay < 0) delay = 0;
+  auto state = std::make_shared<TimerState>();
+  state->action = std::move(action);
+  timers_.push(PendingTimer{now() + delay, next_timer_seq_++, state});
+  return Timer(std::make_shared<SocketTimerImpl>(std::move(state)));
+}
+
+void SocketTransport::fire_due_timers() {
+  SimTime t = now();
+  while (!timers_.empty() && timers_.top().when <= t) {
+    PendingTimer timer = timers_.top();
+    timers_.pop();
+    if (timer.state->cancelled || !timer.state->action) continue;
+    ++stats_.timers_fired;
+    std::function<void()> action = std::move(timer.state->action);
+    action();
+  }
+}
+
+void SocketTransport::expire_reassemblies() {
+  SimTime t = now();
+  if (t - last_gc_ < opt_.reassembly_timeout / 2) return;
+  last_gc_ = t;
+  for (auto it = reassembly_.begin(); it != reassembly_.end();) {
+    if (t - it->second.first_seen > opt_.reassembly_timeout) {
+      ++stats_.reassembly_expired;
+      it = reassembly_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t SocketTransport::poll_once(SimTime max_wait) {
+  std::uint64_t delivered_before =
+      stats_.messages_delivered + stats_.timers_fired;
+  flush_outbox();
+
+  SimTime wait = max_wait < 0 ? 0 : max_wait;
+  if (!timers_.empty()) {
+    SimTime until_timer = timers_.top().when - now();
+    if (until_timer < wait) wait = until_timer;
+  }
+  if (wait < 0) wait = 0;
+  int timeout_ms = static_cast<int>((wait + kNanosPerMilli - 1) / kNanosPerMilli);
+
+  std::vector<std::pair<std::string, int>> snapshot;
+  snapshot.reserve(endpoints_.size());
+  for (const auto& [name, ep] : endpoints_) snapshot.emplace_back(name, ep.fd);
+  std::vector<pollfd> fds;
+  fds.reserve(snapshot.size());
+  for (const auto& [name, fd] : snapshot) {
+    fds.push_back(pollfd{fd, POLLIN, 0});
+  }
+
+  int ready = 0;
+  if (!fds.empty()) {
+    ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  } else if (timeout_ms > 0) {
+    ::poll(nullptr, 0, timeout_ms);
+  }
+  if (ready > 0) {
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents & (POLLIN | POLLERR)) {
+        read_socket(snapshot[i].first, snapshot[i].second);
+      }
+    }
+  }
+
+  fire_due_timers();
+  flush_outbox();
+  expire_reassemblies();
+  return static_cast<std::size_t>(stats_.messages_delivered +
+                                  stats_.timers_fired - delivered_before);
+}
+
+void SocketTransport::run() {
+  stopped_ = false;
+  while (!stopped_) {
+    if (interrupt_check_ && interrupt_check_()) break;
+    poll_once(millis(50));
+  }
+}
+
+bool SocketTransport::run_until(const std::function<bool()>& done,
+                                SimTime timeout) {
+  SimTime deadline = now() + timeout;
+  while (!done()) {
+    if (stopped_) return done();
+    if (interrupt_check_ && interrupt_check_()) return done();
+    SimTime remaining = deadline - now();
+    if (remaining <= 0) return done();
+    poll_once(std::min<SimTime>(remaining, millis(20)));
+  }
+  return true;
+}
+
+}  // namespace ss::net

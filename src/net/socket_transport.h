@@ -1,0 +1,182 @@
+// Real-socket Transport backend: UDP datagrams on a poll(2)-driven loop.
+//
+// Each attached endpoint binds one non-blocking UDP socket at the address
+// the Resolver maps its name to. Messages are framed with the repo's
+// Writer/Reader wire format (magic, version, message id, fragment index /
+// count, from, to, payload fragment); payloads larger than one datagram are
+// fragmented and reassembled, so state-transfer snapshots cross real wires
+// too. Outgoing datagrams are batched per poll iteration and flushed with
+// sendmmsg(2) (falling back to sendto(2)); timers live in a min-heap that
+// drives the poll timeout. Single-threaded by design, like the simulated
+// loop: handlers and timer actions run on the polling thread and never
+// re-entrantly inside send().
+//
+// Delivery is UDP: unreliable and unordered. That is exactly the fault
+// model the BFT stack already tolerates (clients retransmit, replicas
+// dedupe), and the HMAC layer above the transport rejects anything a real
+// wire corrupts or forges.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "net/resolver.h"
+#include "net/transport.h"
+
+namespace ss::net {
+
+struct SocketOptions {
+  /// Max payload bytes per datagram fragment (header rides on top; the
+  /// default keeps the full datagram under the 65507-byte UDP limit).
+  std::size_t max_fragment = 60000;
+  /// Reassembled-message cap; larger sends are dropped (and counted).
+  std::size_t max_message = 64u << 20;
+  /// Partial reassemblies older than this are discarded.
+  SimTime reassembly_timeout = seconds(10);
+  /// Collect outgoing datagrams and flush once per loop iteration with
+  /// sendmmsg (false = every send() flushes immediately).
+  bool batch = true;
+  /// Flush early once this many datagrams are queued.
+  std::size_t max_batch = 128;
+  int rcvbuf_bytes = 1 << 22;
+  int sndbuf_bytes = 1 << 22;
+};
+
+struct SocketStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t decode_errors = 0;    ///< malformed/truncated frames dropped
+  std::uint64_t unresolved_drops = 0; ///< destination name not in resolver
+  std::uint64_t oversized_drops = 0;
+  std::uint64_t misdirected = 0;      ///< frame for a name not attached here
+  std::uint64_t send_errors = 0;
+  std::uint64_t reassembly_expired = 0;
+  std::uint64_t timers_fired = 0;
+};
+
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(Resolver resolver, SocketOptions options = {});
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  // --- Transport ----------------------------------------------------------
+  /// Binds a UDP socket at the resolver's address for `name`; throws
+  /// std::runtime_error if the name is unknown or the bind fails.
+  void attach(const std::string& name, Handler handler) override;
+  void detach(const std::string& name) override;
+  bool attached(const std::string& name) const override;
+  void send(const std::string& from, const std::string& to,
+            Bytes payload) override;
+  Timer schedule(SimTime delay, std::function<void()> action) override;
+  /// Monotonic wall-clock nanoseconds since transport construction.
+  SimTime now() const override;
+
+  // --- loop ---------------------------------------------------------------
+  /// One poll iteration: flush sends, wait (at most `max_wait` ns) for
+  /// readable sockets or the next timer, deliver, fire due timers, flush.
+  /// Returns the number of messages delivered plus timers fired.
+  std::size_t poll_once(SimTime max_wait);
+
+  /// Runs until stop() is called (from a handler/timer or signal-checked
+  /// predicate installed via set_interrupt_check).
+  void run();
+
+  /// Polls until `done()` returns true or `timeout` ns elapse. Returns the
+  /// predicate's final value.
+  bool run_until(const std::function<bool()>& done, SimTime timeout);
+
+  void stop() { stopped_ = true; }
+
+  /// Optional hook polled every iteration (e.g. a signal flag); returning
+  /// true stops the loop.
+  void set_interrupt_check(std::function<bool()> check) {
+    interrupt_check_ = std::move(check);
+  }
+
+  const SocketStats& stats() const { return stats_; }
+  const Resolver& resolver() const { return resolver_; }
+
+  struct TimerState;  // implementation detail, public for the Timer adapter
+
+ private:
+  struct EndpointState {
+    int fd = -1;
+    Handler handler;
+  };
+  struct PendingTimer {
+    SimTime when;
+    std::uint64_t seq;
+    std::shared_ptr<TimerState> state;
+  };
+  struct TimerLater {
+    bool operator()(const PendingTimer& a, const PendingTimer& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  struct OutDatagram {
+    int fd;
+    SocketAddress dest;
+    Bytes bytes;
+  };
+  struct Reassembly {
+    SimTime first_seen = 0;
+    std::size_t received = 0;
+    std::size_t bytes = 0;
+    std::vector<Bytes> fragments;
+  };
+
+  int open_socket(const std::string& name);
+  void enqueue_fragments(const std::string& from, const std::string& to,
+                         const Bytes& payload, int fd,
+                         const SocketAddress& dest);
+  void flush_outbox();
+  void read_socket(const std::string& name, int fd);
+  void handle_datagram(ByteView datagram);
+  void fire_due_timers();
+  void expire_reassemblies();
+
+  Resolver resolver_;
+  SocketOptions opt_;
+  SimTime epoch_ = 0;
+  bool stopped_ = false;
+  std::function<bool()> interrupt_check_;
+
+  std::map<std::string, EndpointState> endpoints_;
+  /// Unbound scratch socket for sends from names that are not attached
+  /// locally (mirrors the simulated network, which lets anyone send).
+  int anon_fd_ = -1;
+
+  std::uint64_t next_msg_id_ = 1;
+  std::vector<OutDatagram> outbox_;
+
+  std::uint64_t next_timer_seq_ = 0;
+  std::priority_queue<PendingTimer, std::vector<PendingTimer>, TimerLater>
+      timers_;
+
+  /// (sender name, message id, receiver name) -> partial message.
+  std::map<std::tuple<std::string, std::uint64_t, std::string>, Reassembly>
+      reassembly_;
+  SimTime last_gc_ = 0;
+
+  Bytes rx_buffer_;
+  SocketStats stats_;
+};
+
+}  // namespace ss::net

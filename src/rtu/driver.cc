@@ -2,11 +2,11 @@
 
 namespace ss::rtu {
 
-RtuDriver::RtuDriver(sim::Network& net, scada::Frontend& frontend,
+RtuDriver::RtuDriver(net::Transport& net, scada::Frontend& frontend,
                      DriverOptions options)
     : net_(net), frontend_(frontend), opt_(std::move(options)) {
   net_.attach(opt_.endpoint,
-              [this](sim::Message m) { on_message(std::move(m)); });
+              [this](net::Message m) { on_message(std::move(m)); });
 }
 
 RtuDriver::~RtuDriver() { net_.detach(opt_.endpoint); }
@@ -48,7 +48,7 @@ void RtuDriver::poll_tick() {
     ++counters_.polls_sent;
     net_.send(opt_.endpoint, binding.rtu, req.encode());
   }
-  net_.loop().schedule(opt_.poll_period, [this] { poll_tick(); });
+  net_.schedule(opt_.poll_period, [this] { poll_tick(); });
 }
 
 void RtuDriver::field_write(ItemId item, const scada::Variant& value,
@@ -71,7 +71,7 @@ void RtuDriver::field_write(ItemId item, const scada::Variant& value,
   if (opt_.write_timeout > 0) {
     std::uint16_t transaction = req.transaction;
     pending.timeout =
-        net_.loop().schedule(opt_.write_timeout, [this, transaction] {
+        net_.schedule(opt_.write_timeout, [this, transaction] {
           auto pit = pending_.find(transaction);
           if (pit == pending_.end()) return;
           auto callback = std::move(pit->second.done);
@@ -85,7 +85,7 @@ void RtuDriver::field_write(ItemId item, const scada::Variant& value,
   net_.send(opt_.endpoint, binding.rtu, req.encode());
 }
 
-void RtuDriver::on_message(sim::Message msg) {
+void RtuDriver::on_message(net::Message msg) {
   ModbusResponse rsp;
   try {
     rsp = ModbusResponse::decode(msg.payload);
@@ -122,7 +122,7 @@ void RtuDriver::on_message(sim::Message msg) {
   ++counters_.changes_reported;
   frontend_.field_update(binding.item,
                          scada::Variant{binding.scaling.to_engineering(raw)},
-                         scada::Quality::kGood, net_.loop().now());
+                         scada::Quality::kGood, net_.now());
 }
 
 }  // namespace ss::rtu

@@ -17,7 +17,7 @@
 #include "rtu/modbus.h"
 #include "rtu/rtu.h"
 #include "scada/frontend.h"
-#include "sim/network.h"
+#include "net/transport.h"
 
 namespace ss::rtu {
 
@@ -41,7 +41,7 @@ struct DriverCounters {
 
 class RtuDriver {
  public:
-  RtuDriver(sim::Network& net, scada::Frontend& frontend,
+  RtuDriver(net::Transport& net, scada::Frontend& frontend,
             DriverOptions options = {});
   ~RtuDriver();
 
@@ -78,15 +78,15 @@ class RtuDriver {
     bool is_write = false;
     std::size_t sensor_index = 0;  ///< for reads
     std::function<void(bool, std::string)> done;  ///< for writes
-    sim::TimerHandle timeout;
+    net::Timer timeout;
   };
 
-  void on_message(sim::Message msg);
+  void on_message(net::Message msg);
   void poll_tick();
   void field_write(ItemId item, const scada::Variant& value,
                    std::function<void(bool, std::string)> done);
 
-  sim::Network& net_;
+  net::Transport& net_;
   scada::Frontend& frontend_;
   DriverOptions opt_;
   std::vector<SensorBinding> sensors_;

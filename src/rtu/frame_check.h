@@ -1,0 +1,32 @@
+// CRC-16 frame sealing for the unauthenticated field protocols.
+//
+// The SCADA-internal channels (proxy<->replica, node<->node) carry an HMAC,
+// so wire corruption is caught by the keychain layer. The field links to
+// RTUs (Modbus, IEC-104) have no MAC — real devices don't share keys — so,
+// like real Modbus RTU, every frame carries a CRC-16/MODBUS trailer. A
+// corrupted frame then raises DecodeError at the receiver instead of being
+// silently accepted as a plausible register value.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/serialization.h"
+
+namespace ss::rtu {
+
+/// Appends the CRC-16 of everything written so far and returns the frame.
+inline Bytes seal_frame(Writer&& w) {
+  w.u16(crc16(w.bytes()));
+  return std::move(w).take();
+}
+
+/// Verifies and strips the CRC-16 trailer; throws DecodeError on mismatch.
+inline ByteView check_frame(ByteView data) {
+  if (data.size() < 2) throw DecodeError("frame too short for crc");
+  ByteView body = data.subspan(0, data.size() - 2);
+  std::uint16_t got = static_cast<std::uint16_t>(
+      data[data.size() - 2] | (data[data.size() - 1] << 8));
+  if (crc16(body) != got) throw DecodeError("bad frame crc");
+  return body;
+}
+
+}  // namespace ss::rtu

@@ -1,5 +1,7 @@
 #include "rtu/iec104.h"
 
+#include "rtu/frame_check.h"
+
 namespace ss::rtu {
 
 namespace {
@@ -23,11 +25,11 @@ Bytes Iec104Asdu::encode() const {
   w.u32(ioa);
   w.f64(value);
   w.boolean(quality_good);
-  return std::move(w).take();
+  return seal_frame(std::move(w));
 }
 
 Iec104Asdu Iec104Asdu::decode(ByteView data) {
-  Reader r(data);
+  Reader r(check_frame(data));
   Iec104Asdu asdu;
   std::uint8_t type = r.u8();
   if (!valid_type(type)) throw DecodeError("bad iec104 type id");

@@ -4,13 +4,13 @@
 
 namespace ss::rtu {
 
-Iec104Device::Iec104Device(sim::Network& net, std::string endpoint,
+Iec104Device::Iec104Device(net::Transport& net, std::string endpoint,
                            Iec104DeviceOptions options)
     : net_(net),
       endpoint_(std::move(endpoint)),
       opt_(options),
       rng_(options.seed) {
-  net_.attach(endpoint_, [this](sim::Message m) { on_message(std::move(m)); });
+  net_.attach(endpoint_, [this](net::Message m) { on_message(std::move(m)); });
 }
 
 Iec104Device::~Iec104Device() { net_.detach(endpoint_); }
@@ -46,7 +46,7 @@ void Iec104Device::send_asdu(const Iec104Asdu& asdu) {
 }
 
 void Iec104Device::scan_tick() {
-  SimTime now = net_.loop().now();
+  SimTime now = net_.now();
   for (auto& [ioa, point] : measurements_) {
     double value = point.signal->sample(now, rng_);
     if (point.last_reported.has_value() &&
@@ -63,10 +63,10 @@ void Iec104Device::scan_tick() {
     ++spontaneous_sent_;
     send_asdu(asdu);
   }
-  net_.loop().schedule(opt_.scan_period, [this] { scan_tick(); });
+  net_.schedule(opt_.scan_period, [this] { scan_tick(); });
 }
 
-void Iec104Device::on_message(sim::Message msg) {
+void Iec104Device::on_message(net::Message msg) {
   if (swallow_ > 0) {
     --swallow_;
     return;
@@ -86,7 +86,7 @@ void Iec104Device::on_message(sim::Message msg) {
       Iec104Asdu con = asdu;
       con.cause = Iec104Cot::kActivationCon;
       send_asdu(con);
-      SimTime now = net_.loop().now();
+      SimTime now = net_.now();
       for (auto& [ioa, point] : measurements_) {
         double value = point.signal->sample(now, rng_);
         point.last_reported = value;

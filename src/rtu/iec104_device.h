@@ -16,8 +16,7 @@
 #include "common/rng.h"
 #include "rtu/iec104.h"
 #include "rtu/sensors.h"
-#include "sim/event_loop.h"
-#include "sim/network.h"
+#include "net/transport.h"
 
 namespace ss::rtu {
 
@@ -30,7 +29,7 @@ struct Iec104DeviceOptions {
 
 class Iec104Device {
  public:
-  Iec104Device(sim::Network& net, std::string endpoint,
+  Iec104Device(net::Transport& net, std::string endpoint,
                Iec104DeviceOptions options = {});
   ~Iec104Device();
 
@@ -65,11 +64,11 @@ class Iec104Device {
     std::optional<double> last_reported;
   };
 
-  void on_message(sim::Message msg);
+  void on_message(net::Message msg);
   void scan_tick();
   void send_asdu(const Iec104Asdu& asdu);
 
-  sim::Network& net_;
+  net::Transport& net_;
   std::string endpoint_;
   Iec104DeviceOptions opt_;
   Rng rng_;

@@ -4,11 +4,11 @@
 
 namespace ss::rtu {
 
-Iec104Driver::Iec104Driver(sim::Network& net, scada::Frontend& frontend,
+Iec104Driver::Iec104Driver(net::Transport& net, scada::Frontend& frontend,
                            Iec104DriverOptions options)
     : net_(net), frontend_(frontend), opt_(std::move(options)) {
   net_.attach(opt_.endpoint,
-              [this](sim::Message m) { on_message(std::move(m)); });
+              [this](net::Message m) { on_message(std::move(m)); });
 }
 
 Iec104Driver::~Iec104Driver() { net_.detach(opt_.endpoint); }
@@ -65,7 +65,7 @@ void Iec104Driver::field_write(ItemId item, const scada::Variant& value,
   PendingCommand pending;
   pending.done = std::move(done);
   if (opt_.command_timeout > 0) {
-    pending.timeout = net_.loop().schedule(opt_.command_timeout, [this, key] {
+    pending.timeout = net_.schedule(opt_.command_timeout, [this, key] {
       auto pit = pending_.find(key);
       if (pit == pending_.end()) return;
       auto callback = std::move(pit->second.done);
@@ -79,7 +79,7 @@ void Iec104Driver::field_write(ItemId item, const scada::Variant& value,
   net_.send(opt_.endpoint, key.device, command.encode());
 }
 
-void Iec104Driver::on_message(sim::Message msg) {
+void Iec104Driver::on_message(net::Message msg) {
   Iec104Asdu asdu;
   try {
     asdu = Iec104Asdu::decode(msg.payload);
@@ -101,7 +101,7 @@ void Iec104Driver::on_message(sim::Message msg) {
       frontend_.field_update(it->second, scada::Variant{asdu.value},
                              asdu.quality_good ? scada::Quality::kGood
                                                : scada::Quality::kBad,
-                             net_.loop().now());
+                             net_.now());
       return;
     }
     case Iec104Type::kSetpointFloat: {

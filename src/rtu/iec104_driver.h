@@ -11,7 +11,7 @@
 
 #include "rtu/iec104.h"
 #include "scada/frontend.h"
-#include "sim/network.h"
+#include "net/transport.h"
 
 namespace ss::rtu {
 
@@ -32,7 +32,7 @@ struct Iec104DriverCounters {
 
 class Iec104Driver {
  public:
-  Iec104Driver(sim::Network& net, scada::Frontend& frontend,
+  Iec104Driver(net::Transport& net, scada::Frontend& frontend,
                Iec104DriverOptions options = {});
   ~Iec104Driver();
 
@@ -62,14 +62,14 @@ class Iec104Driver {
   };
   struct PendingCommand {
     std::function<void(bool, std::string)> done;
-    sim::TimerHandle timeout;
+    net::Timer timeout;
   };
 
-  void on_message(sim::Message msg);
+  void on_message(net::Message msg);
   void field_write(ItemId item, const scada::Variant& value,
                    std::function<void(bool, std::string)> done);
 
-  sim::Network& net_;
+  net::Transport& net_;
   scada::Frontend& frontend_;
   Iec104DriverOptions opt_;
   std::map<PointKey, ItemId> measurements_;

@@ -1,5 +1,7 @@
 #include "rtu/modbus.h"
 
+#include "rtu/frame_check.h"
+
 namespace ss::rtu {
 
 Bytes ModbusRequest::encode() const {
@@ -11,11 +13,11 @@ Bytes ModbusRequest::encode() const {
   w.u16(count);
   w.varint(values.size());
   for (std::uint16_t v : values) w.u16(v);
-  return std::move(w).take();
+  return seal_frame(std::move(w));
 }
 
 ModbusRequest ModbusRequest::decode(ByteView data) {
-  Reader r(data);
+  Reader r(check_frame(data));
   ModbusRequest req;
   req.transaction = r.u16();
   req.unit = r.u8();
@@ -44,11 +46,11 @@ Bytes ModbusResponse::encode() const {
   w.u16(count);
   w.varint(values.size());
   for (std::uint16_t v : values) w.u16(v);
-  return std::move(w).take();
+  return seal_frame(std::move(w));
 }
 
 ModbusResponse ModbusResponse::decode(ByteView data) {
-  Reader r(data);
+  Reader r(check_frame(data));
   ModbusResponse rsp;
   rsp.transaction = r.u16();
   rsp.unit = r.u8();

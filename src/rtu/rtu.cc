@@ -2,12 +2,12 @@
 
 namespace ss::rtu {
 
-Rtu::Rtu(sim::Network& net, std::string endpoint, RtuOptions options)
+Rtu::Rtu(net::Transport& net, std::string endpoint, RtuOptions options)
     : net_(net),
       endpoint_(std::move(endpoint)),
       opt_(options),
       rng_(options.seed) {
-  net_.attach(endpoint_, [this](sim::Message m) { on_message(std::move(m)); });
+  net_.attach(endpoint_, [this](net::Message m) { on_message(std::move(m)); });
 }
 
 Rtu::~Rtu() { net_.detach(endpoint_); }
@@ -35,15 +35,15 @@ void Rtu::start() {
 }
 
 void Rtu::sample_tick() {
-  SimTime now = net_.loop().now();
+  SimTime now = net_.now();
   for (auto& [reg, sensor] : sensors_) {
     double value = sensor.signal->sample(now, rng_);
     registers_[reg] = sensor.scaling.to_raw(value);
   }
-  net_.loop().schedule(opt_.sample_period, [this] { sample_tick(); });
+  net_.schedule(opt_.sample_period, [this] { sample_tick(); });
 }
 
-void Rtu::on_message(sim::Message msg) {
+void Rtu::on_message(net::Message msg) {
   if (swallow_ > 0) {
     --swallow_;
     return;
@@ -55,7 +55,7 @@ void Rtu::on_message(sim::Message msg) {
     return;
   }
   ModbusResponse rsp = process(req);
-  net_.loop().schedule(opt_.respond_delay,
+  net_.schedule(opt_.respond_delay,
                        [this, from = msg.from, rsp = std::move(rsp)] {
                          net_.send(endpoint_, from, rsp.encode());
                        });

@@ -15,8 +15,7 @@
 #include "common/rng.h"
 #include "rtu/modbus.h"
 #include "rtu/sensors.h"
-#include "sim/event_loop.h"
-#include "sim/network.h"
+#include "net/transport.h"
 
 namespace ss::rtu {
 
@@ -43,7 +42,7 @@ struct RegisterScaling {
 
 class Rtu {
  public:
-  Rtu(sim::Network& net, std::string endpoint, RtuOptions options = {});
+  Rtu(net::Transport& net, std::string endpoint, RtuOptions options = {});
   ~Rtu();
 
   Rtu(const Rtu&) = delete;
@@ -77,11 +76,11 @@ class Rtu {
     RegisterScaling scaling;
   };
 
-  void on_message(sim::Message msg);
+  void on_message(net::Message msg);
   ModbusResponse process(const ModbusRequest& req);
   void sample_tick();
 
-  sim::Network& net_;
+  net::Transport& net_;
   std::string endpoint_;
   RtuOptions opt_;
   Rng rng_;

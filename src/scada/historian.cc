@@ -79,7 +79,7 @@ void Historian::decode(Reader& r) {
   series_.clear();
   std::uint64_t n_items = r.varint();
   for (std::uint64_t i = 0; i < n_items; ++i) {
-    std::uint32_t item = static_cast<std::uint32_t>(r.varint());
+    std::uint32_t item = r.varint32();
     std::uint64_t n_samples = r.varint();
     auto& samples = series_[item];
     for (std::uint64_t j = 0; j < n_samples; ++j) {

@@ -43,6 +43,10 @@ struct Item {
   Variant value;
   Quality quality = Quality::kUncertain;
   SimTime timestamp = 0;  ///< time of last value change
+  /// Whether any ItemUpdate has ever been applied. A subscriber that joins
+  /// late receives an initial snapshot of live items only — never the
+  /// meaningless configured default.
+  bool live = false;
 
   void encode(Writer& w) const {
     w.id(id);
@@ -50,6 +54,7 @@ struct Item {
     value.encode(w);
     w.enumeration(quality);
     w.i64(timestamp);
+    w.boolean(live);
   }
 
   static Item decode(Reader& r) {
@@ -60,6 +65,7 @@ struct Item {
     item.quality =
         r.enumeration<Quality>(static_cast<std::uint64_t>(Quality::kMax));
     item.timestamp = r.i64();
+    item.live = r.boolean();
     return item;
   }
 };

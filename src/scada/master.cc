@@ -51,7 +51,7 @@ void ScadaMaster::handle(const ScadaMessage& msg, const MsgContext& ctx,
                          const std::string& source) {
   switch (kind_of(msg)) {
     case ScadaMsgKind::kSubscribe:
-      process_subscribe(std::get<Subscribe>(msg));
+      process_subscribe(std::get<Subscribe>(msg), ctx);
       break;
     case ScadaMsgKind::kUnsubscribe:
       process_unsubscribe(std::get<Unsubscribe>(msg));
@@ -70,13 +70,33 @@ void ScadaMaster::handle(const ScadaMessage& msg, const MsgContext& ctx,
   }
 }
 
-void ScadaMaster::process_subscribe(const Subscribe& msg) {
+void ScadaMaster::process_subscribe(const Subscribe& msg,
+                                    const MsgContext& ctx) {
   auto& table = msg.channel == Channel::kDa ? da_subs_ : ae_subs_;
   auto& wildcard = msg.channel == Channel::kDa ? da_wildcard_ : ae_wildcard_;
   if (msg.item.value == 0) {
     wildcard.insert(msg.subscriber);
   } else {
     table[msg.item.value].insert(msg.subscriber);
+  }
+
+  // Initial snapshot: a late subscriber immediately receives the current
+  // value of every matching live item — otherwise a stable process value
+  // that changed before the subscription would never reach it. The snapshot
+  // is pure replicated state, so every replica emits byte-identical pushes
+  // and the subscriber's voter can match them.
+  if (msg.channel != Channel::kDa || !da_sink_) return;
+  for (const auto& [id, item] : items_) {
+    if (!item.live) continue;
+    if (msg.item.value != 0 && msg.item.value != id) continue;
+    ItemUpdate out;
+    out.ctx = ctx;
+    out.ctx.timestamp = item.timestamp;
+    out.item = item.id;
+    out.value = item.value;
+    out.quality = item.quality;
+    ++counters_.updates_forwarded;
+    da_sink_(msg.subscriber, ScadaMessage{std::move(out)});
   }
 }
 
@@ -152,6 +172,7 @@ void ScadaMaster::process_item_update(const ItemUpdate& msg,
   it->second.value = value;
   it->second.quality = msg.quality;
   it->second.timestamp = now;
+  it->second.live = true;
   historian_.record(msg.item, now, value, msg.quality);
 
   ItemUpdate out = msg;
@@ -306,8 +327,8 @@ void ScadaMaster::restore(ByteView data) {
   std::uint64_t n_chains = r.varint();
   if (n_chains != chains_.size()) throw DecodeError("chain config mismatch");
   for (std::uint64_t i = 0; i < n_chains; ++i) {
-    std::uint64_t id = r.varint();
-    auto it = chains_.find(static_cast<std::uint32_t>(id));
+    std::uint32_t id = r.varint32();
+    auto it = chains_.find(id);
     if (it == chains_.end()) throw DecodeError("chain config mismatch");
     it->second.decode_state(r);
   }
@@ -320,7 +341,7 @@ void ScadaMaster::restore(ByteView data) {
     table.clear();
     std::uint64_t n_table = r.varint();
     for (std::uint64_t i = 0; i < n_table; ++i) {
-      std::uint32_t item = static_cast<std::uint32_t>(r.varint());
+      std::uint32_t item = r.varint32();
       std::uint64_t n_subs = r.varint();
       auto& subs = table[item];
       for (std::uint64_t j = 0; j < n_subs; ++j) subs.insert(r.str());

@@ -121,7 +121,7 @@ class ScadaMaster {
   };
 
   SimTime effective_time(const MsgContext& ctx) const;
-  void process_subscribe(const Subscribe& msg);
+  void process_subscribe(const Subscribe& msg, const MsgContext& ctx);
   void process_unsubscribe(const Unsubscribe& msg);
   void process_item_update(const ItemUpdate& msg, const MsgContext& ctx);
   void process_write_value(const WriteValue& msg, const MsgContext& ctx,

@@ -39,7 +39,7 @@ struct MsgContext {
     MsgContext c;
     c.op = r.id<OpId>();
     c.cid = r.id<ConsensusId>();
-    c.order = static_cast<std::uint32_t>(r.varint());
+    c.order = r.varint32();
     c.timestamp = r.i64();
     return c;
   }

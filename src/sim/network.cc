@@ -60,6 +60,26 @@ void Network::isolate(const std::string& node) { isolated_[node] = true; }
 
 void Network::heal(const std::string& node) { isolated_.erase(node); }
 
+namespace {
+
+/// Adapts sim::TimerHandle to the transport seam's Timer handle.
+class SimTimerImpl final : public net::Timer::Impl {
+ public:
+  explicit SimTimerImpl(TimerHandle handle) : handle_(std::move(handle)) {}
+  void cancel() override { handle_.cancel(); }
+  bool active() const override { return handle_.active(); }
+
+ private:
+  TimerHandle handle_;
+};
+
+}  // namespace
+
+net::Timer Network::schedule(SimTime delay, std::function<void()> action) {
+  return net::Timer(
+      std::make_shared<SimTimerImpl>(loop_.schedule(delay, std::move(action))));
+}
+
 void Network::deliver_after(SimTime delay, Message msg) {
   loop_.schedule(delay, [this, msg = std::move(msg)]() mutable {
     auto it = endpoints_.find(msg.to);
@@ -98,7 +118,23 @@ void Network::send(const std::string& from, const std::string& to,
     }
     if (p->corrupt_prob > 0 && !payload.empty() &&
         rng_.chance(p->corrupt_prob)) {
-      payload[rng_.below(payload.size())] ^= 0xff;
+      switch (p->corrupt_mode) {
+        case CorruptMode::kFlip:
+          payload[rng_.below(payload.size())] ^= 0xff;
+          break;
+        case CorruptMode::kTruncate:
+          // Keep a strict prefix (possibly empty); a truncated frame must
+          // fail the receiver's length/MAC checks, never parse as valid.
+          payload.resize(rng_.below(payload.size()));
+          break;
+        case CorruptMode::kExtend: {
+          std::size_t extra = 1 + rng_.below(16);
+          for (std::size_t i = 0; i < extra; ++i) {
+            payload.push_back(static_cast<std::uint8_t>(rng_.below(256)));
+          }
+          break;
+        }
+      }
       ++stats_.corrupted;
     }
     delay += p->extra_delay;

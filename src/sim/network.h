@@ -5,6 +5,10 @@
 // cost, then schedules delivery on the EventLoop. Per-directed-link policies
 // inject the faults the Byzantine model allows an adversary on the network:
 // drops, duplication, corruption, extra delay, and partitions.
+//
+// Network is the simulated backend of the net::Transport seam: components
+// hold a net::Transport& and work identically over this network (virtual
+// time, deterministic) and over net::SocketTransport (real UDP).
 #pragma once
 
 #include <cstdint>
@@ -19,22 +23,29 @@
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "net/transport.h"
 #include "sim/event_loop.h"
 
 namespace ss::sim {
 
-/// One delivered network message.
-struct Message {
-  std::string from;
-  std::string to;
-  Bytes payload;
+/// One delivered network message (shared with the transport seam).
+using Message = net::Message;
+
+/// How corruption mangles a payload. Every mode produces bytes that the
+/// receiver's HMAC/decode layer must reject — corruption is never allowed
+/// to pass as a valid message.
+enum class CorruptMode : std::uint8_t {
+  kFlip = 0,      ///< xor one random byte with 0xff
+  kTruncate = 1,  ///< drop a random non-zero tail (models a cut frame)
+  kExtend = 2,    ///< append 1-16 random junk bytes (models a padded frame)
 };
 
 /// Fault-injection policy for one directed link (or the global default).
 struct LinkPolicy {
   double drop_prob = 0.0;       ///< i.i.d. drop probability
   double dup_prob = 0.0;        ///< i.i.d. duplication probability
-  double corrupt_prob = 0.0;    ///< i.i.d. single-byte-flip probability
+  double corrupt_prob = 0.0;    ///< i.i.d. corruption probability
+  CorruptMode corrupt_mode = CorruptMode::kFlip;
   SimTime extra_delay = 0;      ///< fixed additional latency
   SimTime jitter = 0;           ///< uniform random additional latency [0, jitter]
   bool cut = false;             ///< hard partition: nothing gets through
@@ -70,9 +81,9 @@ struct NetworkStats {
   std::uint64_t bytes = 0;
 };
 
-class Network {
+class Network final : public net::Transport {
  public:
-  using Handler = std::function<void(Message)>;
+  using Handler = net::Transport::Handler;
 
   /// `hop_latency`: one-way latency per message; `ns_per_byte`: wire cost.
   Network(EventLoop& loop, SimTime hop_latency, SimTime ns_per_byte,
@@ -86,22 +97,29 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   /// Registers (or replaces) the receive handler for `name`.
-  void attach(const std::string& name, Handler handler) {
+  void attach(const std::string& name, Handler handler) override {
     endpoints_[name] = std::move(handler);
   }
 
   /// Removes an endpoint; in-flight messages to it are silently dropped
   /// (models a crashed node).
-  void detach(const std::string& name) { endpoints_.erase(name); }
+  void detach(const std::string& name) override { endpoints_.erase(name); }
 
-  bool attached(const std::string& name) const {
+  bool attached(const std::string& name) const override {
     return endpoints_.count(name) > 0;
   }
 
   /// Sends payload from -> to, applying the link policy. Delivery is
   /// asynchronous even with zero latency (scheduled on the loop), so a
   /// handler never runs re-entrantly inside send().
-  void send(const std::string& from, const std::string& to, Bytes payload);
+  void send(const std::string& from, const std::string& to,
+            Bytes payload) override;
+
+  /// Forwards to the EventLoop: same event times, same tie-break order, so
+  /// scheduling through the Transport seam keeps runs byte-identical.
+  net::Timer schedule(SimTime delay, std::function<void()> action) override;
+
+  SimTime now() const override { return loop_.now(); }
 
   /// Sets the fault policy for the directed link from -> to.
   void set_policy(const std::string& from, const std::string& to,

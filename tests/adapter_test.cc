@@ -6,6 +6,8 @@
 #include "bft/replica.h"
 #include "core/adapter.h"
 #include "core/requests.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
 
 namespace ss::core {
 namespace {

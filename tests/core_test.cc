@@ -7,6 +7,8 @@
 #include "core/push_voter.h"
 #include "core/replicated_deployment.h"
 #include "core/scada_link.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
 
 namespace ss::core {
 namespace {

@@ -8,6 +8,8 @@
 #include "rtu/iec104_device.h"
 #include "rtu/iec104_driver.h"
 #include "rtu/sensors.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
 
 namespace ss::rtu {
 namespace {

@@ -1,0 +1,475 @@
+// Conformance tests for the net::Transport seam.
+//
+// The same contract tests run against both backends — the deterministic
+// simulated network (virtual time) and the UDP SocketTransport on localhost
+// (real time) — so a component written against the seam behaves identically
+// whichever backend a deployment picks. Plus: resolver parsing, wire-format
+// hardening (truncation / byte-flip / hostile length prefixes), and a
+// regression pinning that injected corruption is always *rejected*
+// end-to-end (HMAC on SCADA links, CRC on field links), never silently
+// accepted as data.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bft/messages.h"
+#include "common/rng.h"
+#include "common/serialization.h"
+#include "core/scada_link.h"
+#include "net/lanes.h"
+#include "net/resolver.h"
+#include "net/socket_transport.h"
+#include "net/transport.h"
+#include "rtu/driver.h"
+#include "rtu/frame_check.h"
+#include "rtu/modbus.h"
+#include "rtu/rtu.h"
+#include "rtu/sensors.h"
+#include "scada/frontend.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+
+namespace ss {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Backend harness
+
+/// Wraps one Transport backend with a way to drive its loop, so the
+/// conformance tests below are written once against this interface.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual net::Transport& transport() = 0;
+  /// Drives the backend until pred() or `timeout` of backend time passes.
+  virtual bool run_until(const std::function<bool()>& pred, SimTime timeout) = 0;
+  /// Drives the backend for `duration` regardless of activity.
+  void settle(SimTime duration) {
+    run_until([] { return false; }, duration);
+  }
+};
+
+class SimBackend final : public Backend {
+ public:
+  net::Transport& transport() override { return net_; }
+
+  bool run_until(const std::function<bool()>& pred, SimTime timeout) override {
+    SimTime deadline = loop_.now() + timeout;
+    while (!pred() && !loop_.empty() && loop_.now() < deadline) {
+      loop_.run_steps(1);
+    }
+    return pred();
+  }
+
+ private:
+  sim::EventLoop loop_;
+  sim::Network net_{loop_, micros(100), 0};
+};
+
+/// Ports for the socket backend: derived from the pid so parallel ctest
+/// invocations on one machine don't collide, bumped per endpoint.
+std::uint16_t next_port() {
+  static std::uint16_t port =
+      static_cast<std::uint16_t>(30000 + (::getpid() % 20000));
+  return ++port;
+}
+
+class SocketBackend final : public Backend {
+ public:
+  SocketBackend() {
+    net::Resolver resolver;
+    for (const char* name :
+         {"alice", "bob", "carol", "tester", "lonely"}) {
+      resolver.add(name, net::SocketAddress{"127.0.0.1", next_port()});
+    }
+    transport_ = std::make_unique<net::SocketTransport>(std::move(resolver));
+  }
+
+  net::Transport& transport() override { return *transport_; }
+
+  bool run_until(const std::function<bool()>& pred, SimTime timeout) override {
+    return transport_->run_until(pred, timeout);
+  }
+
+ private:
+  std::unique_ptr<net::SocketTransport> transport_;
+};
+
+std::unique_ptr<Backend> make_backend(const std::string& kind) {
+  if (kind == "sim") return std::make_unique<SimBackend>();
+  return std::make_unique<SocketBackend>();
+}
+
+class TransportConformance : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, TransportConformance,
+                         ::testing::Values("sim", "socket"),
+                         [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------------
+// Conformance: delivery
+
+TEST_P(TransportConformance, DeliversPayloadWithSenderAndReceiverNames) {
+  auto backend = make_backend(GetParam());
+  net::Transport& t = backend->transport();
+
+  std::vector<net::Message> got;
+  t.attach("alice", [](net::Message) {});
+  t.attach("bob", [&](net::Message m) { got.push_back(std::move(m)); });
+
+  t.send("alice", "bob", Bytes{1, 2, 3});
+  ASSERT_TRUE(backend->run_until([&] { return !got.empty(); }, seconds(5)));
+  EXPECT_EQ(got[0].from, "alice");
+  EXPECT_EQ(got[0].to, "bob");
+  EXPECT_EQ(got[0].payload, (Bytes{1, 2, 3}));
+}
+
+TEST_P(TransportConformance, DeliveryIsNeverReentrantInsideSend) {
+  auto backend = make_backend(GetParam());
+  net::Transport& t = backend->transport();
+
+  bool delivered = false;
+  t.attach("alice", [](net::Message) {});
+  t.attach("bob", [&](net::Message) { delivered = true; });
+
+  t.send("alice", "bob", Bytes{42});
+  // The contract: even a loopback/zero-latency send is delivered on a later
+  // loop iteration, never inside send() itself.
+  EXPECT_FALSE(delivered);
+  EXPECT_TRUE(backend->run_until([&] { return delivered; }, seconds(5)));
+}
+
+TEST_P(TransportConformance, SendToUnknownNameIsSilentlyDropped) {
+  auto backend = make_backend(GetParam());
+  net::Transport& t = backend->transport();
+  t.attach("alice", [](net::Message) {});
+  t.send("alice", "nobody-home", Bytes{9});  // must not throw or crash
+  backend->settle(millis(50));
+}
+
+TEST_P(TransportConformance, AttachedTracksAttachAndDetach) {
+  auto backend = make_backend(GetParam());
+  net::Transport& t = backend->transport();
+  EXPECT_FALSE(t.attached("carol"));
+  t.attach("carol", [](net::Message) {});
+  EXPECT_TRUE(t.attached("carol"));
+  t.detach("carol");
+  EXPECT_FALSE(t.attached("carol"));
+}
+
+TEST_P(TransportConformance, LargePayloadSurvivesRoundTrip) {
+  auto backend = make_backend(GetParam());
+  net::Transport& t = backend->transport();
+
+  // Large enough to span several UDP fragments on the socket backend
+  // (models a state-transfer snapshot).
+  Bytes big(300'000);
+  Rng rng(7);
+  for (auto& b : big) b = static_cast<std::uint8_t>(rng.below(256));
+
+  std::vector<net::Message> got;
+  t.attach("alice", [](net::Message) {});
+  t.attach("bob", [&](net::Message m) { got.push_back(std::move(m)); });
+  t.send("alice", "bob", big);
+  ASSERT_TRUE(backend->run_until([&] { return !got.empty(); }, seconds(5)));
+  EXPECT_EQ(got[0].payload, big);
+}
+
+TEST_P(TransportConformance, PeerRestartResumesDelivery) {
+  auto backend = make_backend(GetParam());
+  net::Transport& t = backend->transport();
+
+  std::size_t received = 0;
+  auto handler = [&](net::Message) { ++received; };
+  t.attach("alice", [](net::Message) {});
+  t.attach("bob", handler);
+
+  t.send("alice", "bob", Bytes{1});
+  ASSERT_TRUE(backend->run_until([&] { return received == 1; }, seconds(5)));
+
+  // Crash bob: messages sent while down are lost, not queued.
+  t.detach("bob");
+  t.send("alice", "bob", Bytes{2});
+  backend->settle(millis(100));
+  EXPECT_EQ(received, 1u);
+
+  // Restart and verify fresh messages flow again.
+  t.attach("bob", handler);
+  t.send("alice", "bob", Bytes{3});
+  EXPECT_TRUE(backend->run_until([&] { return received == 2; }, seconds(5)));
+}
+
+// ---------------------------------------------------------------------------
+// Conformance: timers
+
+TEST_P(TransportConformance, TimersFireInDelayOrderAndHonourCancel) {
+  auto backend = make_backend(GetParam());
+  net::Transport& t = backend->transport();
+
+  std::vector<int> fired;
+  net::Timer slow = t.schedule(millis(60), [&] { fired.push_back(1); });
+  net::Timer fast = t.schedule(millis(10), [&] { fired.push_back(2); });
+  net::Timer doomed = t.schedule(millis(30), [&] { fired.push_back(3); });
+
+  EXPECT_TRUE(slow.active());
+  doomed.cancel();
+  EXPECT_FALSE(doomed.active());
+
+  ASSERT_TRUE(backend->run_until([&] { return fired.size() == 2; }, seconds(5)));
+  backend->settle(millis(50));
+  EXPECT_EQ(fired, (std::vector<int>{2, 1}));
+  // active() reports "not cancelled"; firing does not clear it (both
+  // backends share sim::TimerHandle's semantics).
+  EXPECT_TRUE(fast.active());
+  EXPECT_FALSE(doomed.active());
+}
+
+TEST_P(TransportConformance, NowAdvancesAcrossTimers) {
+  auto backend = make_backend(GetParam());
+  net::Transport& t = backend->transport();
+  SimTime before = t.now();
+  bool done = false;
+  t.schedule(millis(20), [&] { done = true; });
+  ASSERT_TRUE(backend->run_until([&] { return done; }, seconds(5)));
+  EXPECT_GE(t.now() - before, millis(20));
+}
+
+TEST_P(TransportConformance, LanesRunSubmittedWorkInOrder) {
+  auto backend = make_backend(GetParam());
+  net::Lanes lanes(backend->transport(), 1);
+
+  std::vector<int> order;
+  lanes.submit(millis(5), [&] { order.push_back(1); });
+  lanes.submit(millis(5), [&] { order.push_back(2); });
+  ASSERT_TRUE(backend->run_until([&] { return order.size() == 2; }, seconds(5)));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(lanes.jobs(), 2u);
+  EXPECT_EQ(lanes.busy_ns(), millis(10));
+}
+
+// ---------------------------------------------------------------------------
+// Resolver
+
+TEST(Resolver, ParsesNamesCommentsAndBlankLines) {
+  net::Resolver r = net::Resolver::parse(
+      "# deployment map\n"
+      "replica/0 127.0.0.1:5000\n"
+      "\n"
+      "proxy/hmi localhost:5100   # trailing comment\n");
+  ASSERT_EQ(r.size(), 2u);
+  ASSERT_NE(r.lookup("replica/0"), nullptr);
+  EXPECT_EQ(r.lookup("replica/0")->port, 5000);
+  EXPECT_EQ(r.lookup("proxy/hmi")->host, "localhost");
+  EXPECT_EQ(r.lookup("missing"), nullptr);
+}
+
+TEST(Resolver, RoundTripsThroughText) {
+  net::Resolver r;
+  r.add("a", net::SocketAddress{"10.0.0.1", 1234});
+  r.add("b", net::SocketAddress{"127.0.0.1", 4321});
+  net::Resolver again = net::Resolver::parse(r.to_text());
+  EXPECT_EQ(again.size(), 2u);
+  EXPECT_EQ(*again.lookup("a"), (net::SocketAddress{"10.0.0.1", 1234}));
+}
+
+TEST(Resolver, RejectsMalformedLines) {
+  EXPECT_THROW(net::Resolver::parse("no-address\n"), std::runtime_error);
+  EXPECT_THROW(net::Resolver::parse("name host:99999\n"), std::runtime_error);
+  EXPECT_THROW(net::Resolver::parse("name host:0\n"), std::runtime_error);
+  EXPECT_THROW(net::Resolver::parse("name host:\n"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Wire-format hardening
+
+bft::ClientRequest sample_request() {
+  bft::ClientRequest req;
+  req.client = ClientId{7};
+  req.sequence = RequestId{31};
+  req.payload = bytes_of("write value item=9 v=1.5");
+  return req;
+}
+
+TEST(Hardening, EveryTruncationOfAValidMessageThrowsDecodeError) {
+  Bytes full = sample_request().encode();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    ByteView prefix(full.data(), len);
+    // Any strict prefix must raise DecodeError — never crash, hang, or
+    // return a half-parsed message (expect_done catches short reads that
+    // happen to align on field boundaries... and those that parse fully
+    // are impossible because the trailing field is length-prefixed).
+    EXPECT_THROW(bft::ClientRequest::decode(prefix), DecodeError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(Hardening, RandomByteFlipsNeverCrashTheDecoder) {
+  Bytes full = sample_request().encode();
+  Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes mutated = full;
+    std::size_t flips = 1 + rng.below(3);
+    for (std::size_t i = 0; i < flips; ++i) {
+      mutated[rng.below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    try {
+      bft::ClientRequest::decode(mutated);  // may succeed or...
+    } catch (const DecodeError&) {          // ...fail cleanly; nothing else
+    }
+  }
+}
+
+TEST(Hardening, HostileLengthPrefixIsRejectedNotOverflowed) {
+  // varint length prefix of ~2^63: `pos_ + n` used to wrap around the
+  // bounds check and read out of bounds. Must throw instead.
+  Bytes hostile = {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f};
+  Reader r(hostile);
+  EXPECT_THROW(r.blob(), DecodeError);
+
+  Bytes hostile_str = {0xfe, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f};
+  Reader r2(hostile_str);
+  EXPECT_THROW(r2.str(), DecodeError);
+}
+
+TEST(Hardening, OversizedIdVarintIsRejectedNotTruncated) {
+  Writer w;
+  w.varint(std::uint64_t{1} << 40);  // does not fit ItemId's uint32 rep
+  Bytes data = std::move(w).take();
+  Reader r(data);
+  EXPECT_THROW(r.id<ItemId>(), DecodeError);
+
+  Writer w2;
+  w2.varint((std::uint64_t{1} << 32) + 5);
+  Bytes data2 = std::move(w2).take();
+  Reader r2(data2);
+  EXPECT_THROW(r2.varint32(), DecodeError);
+}
+
+TEST(Hardening, ModbusCrcCatchesEverySingleByteCorruption) {
+  rtu::ModbusRequest req;
+  req.transaction = 9;
+  req.function = rtu::FunctionCode::kWriteSingleRegister;
+  req.address = 44;
+  req.values = {1234};
+  Bytes frame = req.encode();
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    Bytes mutated = frame;
+    mutated[i] ^= 0xff;
+    EXPECT_THROW(rtu::ModbusRequest::decode(mutated), DecodeError)
+        << "flip at byte " << i << " was silently accepted";
+  }
+  // The pristine frame still parses.
+  EXPECT_EQ(rtu::ModbusRequest::decode(frame).values, req.values);
+}
+
+TEST(Hardening, ModbusCrcCatchesTruncationAndExtension) {
+  rtu::ModbusRequest req;
+  req.values = {77};
+  Bytes frame = req.encode();
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    EXPECT_THROW(
+        rtu::ModbusRequest::decode(ByteView(frame.data(), len)), DecodeError);
+  }
+  Bytes extended = frame;
+  extended.push_back(0xab);
+  EXPECT_THROW(rtu::ModbusRequest::decode(extended), DecodeError);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption-injection regression: corrupted payloads must be rejected
+// end-to-end, never silently accepted.
+
+class CorruptionRejection : public ::testing::TestWithParam<sim::CorruptMode> {
+};
+
+INSTANTIATE_TEST_SUITE_P(Modes, CorruptionRejection,
+                         ::testing::Values(sim::CorruptMode::kFlip,
+                                           sim::CorruptMode::kTruncate,
+                                           sim::CorruptMode::kExtend),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case sim::CorruptMode::kFlip: return "Flip";
+                             case sim::CorruptMode::kTruncate: return "Truncate";
+                             default: return "Extend";
+                           }
+                         });
+
+TEST_P(CorruptionRejection, CorruptedFieldWritesAreNeverApplied) {
+  sim::EventLoop loop;
+  sim::Network net(loop, micros(100), 0);
+  rtu::Rtu rtu(net, "rtu/1");
+  scada::Frontend frontend;
+  rtu::RtuDriver driver(net, frontend,
+                        rtu::DriverOptions{.poll_period = millis(20),
+                                           .write_timeout = millis(200)});
+
+  sim::LinkPolicy corrupt;
+  corrupt.corrupt_prob = 1.0;
+  corrupt.corrupt_mode = GetParam();
+  net.set_policy("frontend/driver", "rtu/1", corrupt);
+
+  rtu.add_actuator(7, 0);
+  ItemId item = frontend.add_item("valve/a");
+  driver.bind_actuator("rtu/1", 7, rtu::RegisterScaling{1.0, 0.0}, item);
+  driver.start();
+
+  std::vector<scada::ScadaMessage> to_master;
+  frontend.set_master_sink(
+      [&](const scada::ScadaMessage& m) { to_master.push_back(m); });
+
+  scada::WriteValue write;
+  write.ctx.op = OpId{1};
+  write.item = item;
+  write.value = scada::Variant{55.0};
+  frontend.handle(scada::ScadaMessage{write});
+  loop.run_until(millis(500));
+
+  // Every write request was mangled on the wire: the RTU must reject the
+  // frame (CRC), apply nothing, and the driver must time the write out.
+  EXPECT_GT(net.stats().corrupted, 0u);
+  EXPECT_EQ(rtu.writes_applied(), 0u);
+  EXPECT_EQ(rtu.register_value(7), 0u);
+  ASSERT_EQ(to_master.size(), 1u);
+  EXPECT_EQ(std::get<scada::WriteResult>(to_master[0]).status,
+            scada::WriteStatus::kFailed);
+}
+
+TEST_P(CorruptionRejection, CorruptedScadaFramesFailHmacVerification) {
+  sim::EventLoop loop;
+  sim::Network net(loop, micros(100), 0);
+  crypto::Keychain keys("net-test-secret");
+
+  sim::LinkPolicy corrupt;
+  corrupt.corrupt_prob = 1.0;
+  corrupt.corrupt_mode = GetParam();
+  net.set_policy(core::kHmiEndpoint, core::kProxyHmiEndpoint, corrupt);
+
+  std::size_t delivered = 0;
+  std::size_t accepted = 0;
+  net.attach(core::kProxyHmiEndpoint, [&](net::Message m) {
+    ++delivered;
+    std::string sender;
+    if (core::receive_scada(keys, core::kProxyHmiEndpoint, m, &sender)) {
+      ++accepted;
+    }
+  });
+
+  scada::Subscribe sub;
+  sub.subscriber = core::kHmiEndpoint;
+  for (int i = 0; i < 20; ++i) {
+    core::send_scada(net, keys, core::kHmiEndpoint, core::kProxyHmiEndpoint,
+                     scada::ScadaMessage{sub});
+  }
+  loop.run();
+
+  EXPECT_EQ(net.stats().corrupted, 20u);
+  EXPECT_GT(delivered, 0u);
+  EXPECT_EQ(accepted, 0u) << "a corrupted frame passed HMAC verification";
+}
+
+}  // namespace
+}  // namespace ss

@@ -464,6 +464,39 @@ TEST(Master, ItemUpdateFansOutToSubscribers) {
   EXPECT_EQ(mirror->timestamp, millis(5));
 }
 
+TEST(Master, LateSubscriberReceivesSnapshotOfLiveItems) {
+  MasterHarness h;
+  // The harness's own subscribe preceded any update: no snapshot was pushed.
+  EXPECT_TRUE(h.hmi_out.empty());
+
+  ItemUpdate update;
+  update.item = h.item;
+  update.value = Variant{95.5};
+  h.master.handle(ScadaMessage{update}, h.ctx(1, millis(5)), "frontend");
+  h.hmi_out.clear();
+
+  // A subscriber joining after the update gets the current value at once —
+  // a stable process value must not stay invisible until it next changes.
+  h.master.handle(ScadaMessage{Subscribe{Channel::kDa, ItemId{0}, "panel"}},
+                  h.ctx(2, millis(9)), "panel");
+  ASSERT_EQ(h.hmi_out.size(), 1u);
+  EXPECT_EQ(h.hmi_out[0].first, "panel");
+  const auto& out = std::get<ItemUpdate>(h.hmi_out[0].second);
+  EXPECT_EQ(out.item.value, h.item.value);
+  EXPECT_DOUBLE_EQ(out.value.as_double(), 95.5);
+  EXPECT_EQ(out.quality, Quality::kGood);
+  EXPECT_EQ(out.ctx.timestamp, millis(5));  // the value's timestamp, not now
+
+  // Items that never saw an update are not in the snapshot.
+  h.hmi_out.clear();
+  h.master.add_item("tank/untouched");
+  h.master.handle(ScadaMessage{Subscribe{Channel::kDa, ItemId{0}, "audit"}},
+                  h.ctx(3, millis(12)), "audit");
+  ASSERT_EQ(h.hmi_out.size(), 1u);  // only the live item, not the new one
+  EXPECT_EQ(std::get<ItemUpdate>(h.hmi_out[0].second).item.value,
+            h.item.value);
+}
+
 TEST(Master, UpdateForUnknownItemIgnored) {
   MasterHarness h;
   ItemUpdate update;
