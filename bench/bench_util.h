@@ -10,8 +10,49 @@
 
 #include "core/baseline_deployment.h"
 #include "core/replicated_deployment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ss::bench {
+
+/// Per-stage latency summary pulled from the Tracer's "stage/<name>"
+/// histograms, in microseconds.
+struct StageSummary {
+  std::string stage;
+  double p50_us = 0;
+  double p99_us = 0;
+  std::uint64_t samples = 0;
+};
+
+/// Clears the metrics registry and tracer so the stage histograms reflect
+/// exactly one bench configuration. Call before each measured run.
+inline void reset_observability() {
+  obs::Registry::instance().reset();
+  obs::Tracer::instance().reset();
+}
+
+/// Snapshot of every populated stage histogram. The Tracer feeds these as
+/// spans complete, so after a run this is the per-stage latency breakdown
+/// of everything that op ids flowed through.
+inline std::vector<StageSummary> stage_breakdown() {
+  std::vector<StageSummary> out;
+  obs::Registry::instance().for_each_histogram(
+      [&](const std::string& name, const obs::Histogram& h) {
+        if (name.rfind("stage/", 0) != 0 || h.count() == 0) return;
+        out.push_back(StageSummary{
+            name.substr(6), static_cast<double>(h.percentile(50)) / 1000.0,
+            static_cast<double>(h.percentile(99)) / 1000.0, h.count()});
+      });
+  return out;
+}
+
+inline void print_stage_breakdown(const std::vector<StageSummary>& stages) {
+  for (const StageSummary& s : stages) {
+    std::printf("  stage %-10s p50 %9.1f us  p99 %9.1f us  (%llu spans)\n",
+                s.stage.c_str(), s.p50_us, s.p99_us,
+                static_cast<unsigned long long>(s.samples));
+  }
+}
 
 /// Open-loop workload: calls `tick` at `rate_per_sec` for `duration`,
 /// starting at the loop's current time.
@@ -64,11 +105,13 @@ class JsonReport {
   explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
 
   /// Adds one record. `latencies_us` may be empty: the record then carries
-  /// only the rate and omits the percentile fields.
+  /// only the rate and omits the percentile fields. `stages` attaches the
+  /// per-stage latency breakdown (see stage_breakdown()).
   void add(const std::string& name, double ops_per_sec,
-           std::vector<double> latencies_us = {}) {
-    records_.push_back(
-        Record{name, ops_per_sec, std::move(latencies_us)});
+           std::vector<double> latencies_us = {},
+           std::vector<StageSummary> stages = {}) {
+    records_.push_back(Record{name, ops_per_sec, std::move(latencies_us),
+                              std::move(stages)});
   }
 
   /// Writes BENCH_<bench>.json and prints the path to stdout.
@@ -91,6 +134,18 @@ class JsonReport {
                      percentile(r.latencies_us, 50.0),
                      percentile(r.latencies_us, 99.0), r.latencies_us.size());
       }
+      if (!r.stages.empty()) {
+        std::fprintf(out, ", \"stages\": [");
+        for (std::size_t j = 0; j < r.stages.size(); ++j) {
+          const StageSummary& s = r.stages[j];
+          std::fprintf(out,
+                       "%s{\"stage\": \"%s\", \"p50_us\": %.2f, "
+                       "\"p99_us\": %.2f, \"samples\": %llu}",
+                       j == 0 ? "" : ", ", s.stage.c_str(), s.p50_us,
+                       s.p99_us, static_cast<unsigned long long>(s.samples));
+        }
+        std::fprintf(out, "]");
+      }
       std::fprintf(out, "}");
     }
     std::fprintf(out, "\n  ]\n}\n");
@@ -103,6 +158,7 @@ class JsonReport {
     std::string name;
     double ops_per_sec;
     std::vector<double> latencies_us;
+    std::vector<StageSummary> stages;
   };
 
   std::string bench_;

@@ -111,8 +111,12 @@ int main() {
   sim::CostModel costs = sim::CostModel::paper_testbed();
   print_header("Figure 8(a)", "Update value use case, 1000 ItemUpdate/s");
 
+  reset_observability();
   Result neo = run_baseline(costs);
+  std::vector<StageSummary> neo_stages = stage_breakdown();
+  reset_observability();
   Result smart = run_replicated(costs);
+  std::vector<StageSummary> smart_stages = stage_breakdown();
   print_row("NeoSCADA", neo.ops_per_sec, "ops/s   (paper: ~1000)");
   print_row("SMaRt-SCADA", smart.ops_per_sec, "ops/s   (paper: ~940)");
   std::printf("%-34s %10.1f %%       (paper: ~6%%)\n", "overhead",
@@ -122,6 +126,9 @@ int main() {
   std::printf("%-34s p50 %.0f us  p99 %.0f us\n", "SMaRt-SCADA latency",
               percentile(smart.latencies_us, 50),
               percentile(smart.latencies_us, 99));
+  print_note("SMaRt-SCADA per-stage breakdown (trace spans):");
+  print_stage_breakdown(smart_stages);
+  reset_observability();
 
   // Sensitivity: the shape must survive +/-50% CPU-cost perturbation.
   print_note("sensitivity (CPU costs scaled):");
@@ -134,8 +141,10 @@ int main() {
   }
 
   JsonReport json("fig8a_update");
-  json.add("neoscada", neo.ops_per_sec, std::move(neo.latencies_us));
-  json.add("smart_scada", smart.ops_per_sec, std::move(smart.latencies_us));
+  json.add("neoscada", neo.ops_per_sec, std::move(neo.latencies_us),
+           std::move(neo_stages));
+  json.add("smart_scada", smart.ops_per_sec, std::move(smart.latencies_us),
+           std::move(smart_stages));
   json.write();
   return 0;
 }

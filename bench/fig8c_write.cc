@@ -126,8 +126,12 @@ int main(int argc, char** argv) {
   }
 
   print_header("Figure 8(c)", "Write value use case, synchronous writes");
+  reset_observability();
   Result neo = run_baseline(costs);
+  std::vector<StageSummary> neo_stages = stage_breakdown();
+  reset_observability();
   Result smart = run_replicated(costs);
+  std::vector<StageSummary> smart_stages = stage_breakdown();
   print_row("NeoSCADA", neo.ops_per_sec, "writes/s  (paper: ~450)");
   print_row("SMaRt-SCADA", smart.ops_per_sec, "writes/s  (paper: ~100)");
   std::printf("%-34s %10.1f %%       (paper: ~78%%)\n", "overhead",
@@ -137,6 +141,9 @@ int main(int argc, char** argv) {
   std::printf("%-34s p50 %.0f us  p99 %.0f us\n", "SMaRt-SCADA write latency",
               percentile(smart.latencies_us, 50),
               percentile(smart.latencies_us, 99));
+  print_note("SMaRt-SCADA per-stage breakdown (trace spans):");
+  print_stage_breakdown(smart_stages);
+  reset_observability();
 
   print_note("sensitivity (CPU costs scaled):");
   for (double scale : {0.5, 1.5}) {
@@ -148,8 +155,10 @@ int main(int argc, char** argv) {
   }
 
   JsonReport json("fig8c_write");
-  json.add("neoscada", neo.ops_per_sec, std::move(neo.latencies_us));
-  json.add("smart_scada", smart.ops_per_sec, std::move(smart.latencies_us));
+  json.add("neoscada", neo.ops_per_sec, std::move(neo.latencies_us),
+           std::move(neo_stages));
+  json.add("smart_scada", smart.ops_per_sec, std::move(smart.latencies_us),
+           std::move(smart_stages));
   json.write();
 
   run_drops(costs);

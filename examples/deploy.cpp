@@ -22,14 +22,18 @@
 // the deployment's exit status: an Item update (RTU sensor -> Frontend ->
 // Byzantine agreement -> voted push -> HMI) and a Write value (HMI ->
 // agreement -> Frontend -> RTU -> WriteResult back through agreement).
+#include <dirent.h>
 #include <signal.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -45,6 +49,8 @@
 #include "crypto/keychain.h"
 #include "net/resolver.h"
 #include "net/socket_transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rtu/driver.h"
 #include "rtu/rtu.h"
 #include "rtu/sensors.h"
@@ -69,13 +75,97 @@ constexpr std::uint16_t kTemperatureReg = 5;
 constexpr std::uint16_t kSetpointReg = 7;
 
 volatile sig_atomic_t g_stop = 0;
+volatile sig_atomic_t g_snapshot = 0;
 void handle_stop(int) { g_stop = 1; }
+void handle_snapshot(int) { g_snapshot = 1; }
 
 void install_stop_handler() {
   struct sigaction sa{};
   sa.sa_handler = handle_stop;
   sigaction(SIGTERM, &sa, nullptr);
   sigaction(SIGINT, &sa, nullptr);
+  sa.sa_handler = handle_snapshot;
+  sigaction(SIGUSR1, &sa, nullptr);
+}
+
+void crash_dump(int sig) {
+  // Not async-signal-safe, but the process is going down anyway: a
+  // best-effort dump of the flight recorder is worth far more than a silent
+  // core. Default disposition is restored before re-raising so the exit
+  // status still reflects the crash.
+  obs::FlightRecorder::instance().dump(stderr);
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void install_crash_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = crash_dump;
+  sigaction(SIGSEGV, &sa, nullptr);
+  sigaction(SIGABRT, &sa, nullptr);
+  sigaction(SIGBUS, &sa, nullptr);
+}
+
+/// With SS_TRACE_DIR set (run_local sets it for every child), writes this
+/// process's completed spans to <dir>/trace-<tag>.jsonl on the way out; the
+/// orchestrator merges the per-process files into one op timeline.
+void dump_traces(const std::string& tag) {
+  const char* dir = std::getenv("SS_TRACE_DIR");
+  if (dir == nullptr) return;
+  std::string file = tag;
+  std::replace(file.begin(), file.end(), '/', '-');
+  std::string path = std::string(dir) + "/trace-" + file + ".jsonl";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return;
+  obs::Tracer::instance().dump_jsonl(out);
+  std::fclose(out);
+}
+
+/// Scope guard: dumps traces and detaches the tracer clock on every exit
+/// path of a role (normal return, HMI failure return, exception unwind).
+struct ObsTeardown {
+  std::string tag;
+  ~ObsTeardown() {
+    dump_traces(tag);
+    obs::Tracer::instance().set_clock(nullptr);
+  }
+};
+
+/// Per-role observability: tracer clock on the transport, log capture into
+/// the flight recorder, crash dump handlers, a SIGUSR1-triggered metrics
+/// snapshot, and (with SS_METRICS_PERIOD=N) a periodic JSON metrics dump.
+void setup_observability(net::SocketTransport& transport,
+                         const std::string& tag) {
+  obs::Tracer::instance().set_clock([&transport] { return transport.now(); });
+  obs::FlightRecorder::instance().capture_logs();
+  install_crash_handlers();
+
+  auto poll = std::make_shared<std::function<void()>>();
+  *poll = [&transport, tag, poll] {
+    if (g_snapshot) {
+      g_snapshot = 0;
+      std::fprintf(stderr, "[%s] metrics snapshot: ", tag.c_str());
+      obs::Registry::instance().dump_json(stderr);
+      std::fputc('\n', stderr);
+      obs::FlightRecorder::instance().dump(stderr);
+    }
+    transport.schedule(millis(250), *poll);
+  };
+  transport.schedule(millis(250), *poll);
+
+  if (const char* period = std::getenv("SS_METRICS_PERIOD")) {
+    SimTime every = seconds(std::strtol(period, nullptr, 10));
+    if (every > 0) {
+      auto tick = std::make_shared<std::function<void()>>();
+      *tick = [&transport, tag, every, tick] {
+        std::fprintf(stderr, "[%s] metrics: ", tag.c_str());
+        obs::Registry::instance().dump_json(stderr);
+        std::fputc('\n', stderr);
+        transport.schedule(every, *tick);
+      };
+      transport.schedule(every, *tick);
+    }
+  }
 }
 
 /// Every endpoint name a deployment of n replicas uses, mapped to
@@ -169,6 +259,9 @@ int run_replica(const std::string& config, GroupConfig group,
       transport, group, ClientId{core::kAdapterClientBase + id}, keys);
   adapter.attach_timeout_client(&timeout_client);
 
+  const std::string tag = "replica/" + std::to_string(id);
+  setup_observability(transport, tag);
+  ObsTeardown teardown{tag};
   std::fprintf(stderr, "[replica/%u] up\n", id);
   arm_stats_heartbeat(transport, ("replica/" + std::to_string(id)).c_str(),
                       [&] {
@@ -209,6 +302,8 @@ int run_frontend(const std::string& config, GroupConfig group) {
                        rtu::RegisterScaling{0.1, 0.0}, kSetpoint);
   driver.start();
 
+  setup_observability(transport, "frontend");
+  ObsTeardown teardown{"frontend"};
   std::fprintf(stderr, "[frontend] up\n");
   arm_stats_heartbeat(transport, "frontend", [&] {
     return "polls=" + std::to_string(driver.counters().polls_sent) +
@@ -232,6 +327,8 @@ int run_rtu(const std::string& config) {
                    rtu::RegisterScaling{0.1, 0.0}.to_raw(20.0));
   rtu.start();
 
+  setup_observability(transport, kRtuEndpoint);
+  ObsTeardown teardown{kRtuEndpoint};
   std::fprintf(stderr, "[rtu/0] up\n");
   serve(transport);
   return 0;
@@ -256,6 +353,8 @@ int run_hmi(const std::string& config, GroupConfig group) {
                          .peer = core::kProxyHmiEndpoint,
                      });
   transport.set_interrupt_check([] { return g_stop != 0; });
+  setup_observability(transport, "hmi");
+  ObsTeardown teardown{"hmi"};
 
   // Use case 1 — Item update: subscribe, then wait for the RTU's
   // temperature to arrive through Byzantine agreement and the f+1 voter.
@@ -294,6 +393,103 @@ int run_hmi(const std::string& config, GroupConfig group) {
 }
 
 // ---------------------------------------------------------------------------
+// Trace aggregation (orchestrator side)
+
+struct TraceSpan {
+  std::uint64_t op = 0;
+  std::string stage;
+  std::string component;
+  long long dur_ns = 0;
+};
+
+bool extract_str(const std::string& line, const char* key, std::string& out) {
+  std::string needle = std::string("\"") + key + "\":\"";
+  std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  std::size_t close = line.find('"', pos);
+  if (close == std::string::npos) return false;
+  out = line.substr(pos, close - pos);
+  return true;
+}
+
+bool extract_num(const std::string& line, const char* key, long long& out) {
+  std::string needle = std::string("\"") + key + "\":";
+  std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  out = std::strtoll(line.c_str() + pos + needle.size(), nullptr, 10);
+  return true;
+}
+
+std::vector<TraceSpan> load_trace_dir(const std::string& dir) {
+  std::vector<TraceSpan> spans;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return spans;
+  while (dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.rfind("trace-", 0) != 0) continue;
+    std::ifstream in(dir + "/" + name);
+    std::string line;
+    while (std::getline(in, line)) {
+      TraceSpan s;
+      long long op = 0;
+      if (!extract_num(line, "op", op)) continue;
+      if (!extract_str(line, "stage", s.stage)) continue;
+      s.op = static_cast<std::uint64_t>(op);
+      extract_str(line, "component", s.component);
+      extract_num(line, "dur_ns", s.dur_ns);
+      spans.push_back(std::move(s));
+    }
+  }
+  ::closedir(d);
+  return spans;
+}
+
+/// Prints the cross-process timeline of one operator write: the HMI-minted
+/// op (instance id 2, the high OpId bits) that traversed the most distinct
+/// stages. Per-process clocks are unrelated, so spans are listed in the
+/// canonical stage order with per-stage durations rather than merged onto
+/// one time axis.
+void print_write_timeline(const std::vector<TraceSpan>& spans) {
+  static const char* kStageOrder[] = {"hmi",     "agreement", "master",
+                                      "adapter", "rtu",       "frontend",
+                                      "voter"};
+  std::map<std::uint64_t, std::vector<const TraceSpan*>> by_op;
+  for (const TraceSpan& s : spans) {
+    if ((s.op >> 40) == 2) by_op[s.op].push_back(&s);
+  }
+  const std::vector<const TraceSpan*>* best = nullptr;
+  std::uint64_t best_op = 0;
+  std::size_t best_stages = 0;
+  for (const auto& [op, list] : by_op) {
+    std::vector<std::string> stages;
+    for (const TraceSpan* s : list) stages.push_back(s->stage);
+    std::sort(stages.begin(), stages.end());
+    stages.erase(std::unique(stages.begin(), stages.end()), stages.end());
+    if (stages.size() > best_stages) {
+      best_stages = stages.size();
+      best = &list;
+      best_op = op;
+    }
+  }
+  if (best == nullptr) {
+    std::printf("deploy: no HMI-minted op traces found\n");
+    return;
+  }
+  std::printf("deploy: write op %llu timeline (%zu spans, %zu stages):\n",
+              static_cast<unsigned long long>(best_op), best->size(),
+              best_stages);
+  for (const char* stage : kStageOrder) {
+    for (const TraceSpan* s : *best) {
+      if (s->stage != stage) continue;
+      std::printf("  %-9s %-18s %9.3f ms\n", stage,
+                  s->component.empty() ? "-" : s->component.c_str(),
+                  static_cast<double>(s->dur_ns) / 1e6);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Orchestrator
 
 pid_t spawn(const char* self, const std::vector<std::string>& args) {
@@ -322,6 +518,18 @@ int run_local(const char* self, std::uint32_t f, std::uint16_t base_port) {
     std::ofstream out(config);
     out << resolver.to_text();
   }
+
+  // Each child dumps its spans into this directory at exit; we merge them
+  // into one op timeline after the run. An SS_TRACE_DIR inherited from the
+  // caller wins (and is left in place for inspection).
+  bool own_trace_dir = std::getenv("SS_TRACE_DIR") == nullptr;
+  if (own_trace_dir) {
+    std::string dir =
+        "/tmp/smart-scada-trace-" + std::to_string(::getpid());
+    ::mkdir(dir.c_str(), 0755);
+    ::setenv("SS_TRACE_DIR", dir.c_str(), 0);
+  }
+  const std::string trace_dir = std::getenv("SS_TRACE_DIR");
   std::printf("deploy: f=%u n=%u base_port=%u config=%s\n", f, group.n,
               base_port, config.c_str());
 
@@ -344,6 +552,23 @@ int run_local(const char* self, std::uint32_t f, std::uint16_t base_port) {
   for (pid_t pid : background) ::kill(pid, SIGTERM);
   for (pid_t pid : background) ::waitpid(pid, nullptr, 0);
   ::unlink(config.c_str());
+
+  print_write_timeline(load_trace_dir(trace_dir));
+  if (own_trace_dir) {
+    DIR* d = ::opendir(trace_dir.c_str());
+    if (d != nullptr) {
+      while (dirent* entry = ::readdir(d)) {
+        std::string name = entry->d_name;
+        if (name.rfind("trace-", 0) == 0) {
+          ::unlink((trace_dir + "/" + name).c_str());
+        }
+      }
+      ::closedir(d);
+    }
+    ::rmdir(trace_dir.c_str());
+  } else {
+    std::printf("deploy: per-process traces kept in %s\n", trace_dir.c_str());
+  }
 
   int code = WIFEXITED(status) ? WEXITSTATUS(status) : 1;
   std::printf("deploy: %s\n", code == 0 ? "SUCCESS" : "FAILURE");

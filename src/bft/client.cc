@@ -135,7 +135,9 @@ void ClientProxy::on_message(net::Message msg) {
         if (env.sender != crypto::replica_principal(push.replica)) return;
         if (push.client != id_) return;
         ++stats_.pushes_received;
-        if (push_handler_) push_handler_(push.replica, std::move(push.payload));
+        if (push_handler_) {
+          push_handler_(push.replica, push.seq, std::move(push.payload));
+        }
         break;
       }
       default:

@@ -44,8 +44,10 @@ class ClientProxy {
   using ReplyCallback = std::function<void(Bytes payload)>;
   /// Called when a request exhausts its retries.
   using FailureCallback = std::function<void(RequestId request)>;
-  /// Raw push from one replica (unvoted).
-  using PushHandler = std::function<void(ReplicaId replica, Bytes payload)>;
+  /// Raw push from one replica (unvoted). `seq` is the replica's monotonic
+  /// push sequence from the MAC-covered ServerPush body (0 = unsequenced).
+  using PushHandler =
+      std::function<void(ReplicaId replica, std::uint64_t seq, Bytes payload)>;
 
   ClientProxy(net::Transport& net, GroupConfig group, ClientId id,
               const crypto::Keychain& keys, ClientOptions options = {});

@@ -124,9 +124,10 @@ ClientReply ClientReply::decode(ByteView data) {
 }
 
 Bytes ServerPush::encode() const {
-  Writer w(payload.size() + 12);
+  Writer w(payload.size() + 24);
   w.id(replica);
   w.id(client);
+  w.varint(seq);
   w.blob(payload);
   return std::move(w).take();
 }
@@ -136,6 +137,7 @@ ServerPush ServerPush::decode(ByteView data) {
   ServerPush m;
   m.replica = r.id<ReplicaId>();
   m.client = r.id<ClientId>();
+  m.seq = r.varint();
   m.payload = r.blob();
   r.expect_done();
   return m;

@@ -82,6 +82,10 @@ struct ClientReply {
 struct ServerPush {
   ReplicaId replica;
   ClientId client;
+  /// Per-replica monotonic push sequence, starting at 1. Rides inside the
+  /// MAC-covered body so the client-side voter can reject replayed
+  /// captures (0 = unsequenced, legacy/test path).
+  std::uint64_t seq = 0;
   Bytes payload;
 
   Bytes encode() const;

@@ -523,6 +523,12 @@ void Replica::push_to_client(ClientId client, Bytes payload) {
   ServerPush push;
   push.replica = id_;
   push.client = client;
+  // Monotonic per-replica sequence (shared across clients; gaps are fine).
+  // The client-side PushVoter uses it to reject replayed captures. Note
+  // the counter is per-process: a restarted replica starts over and its
+  // early pushes read as replays downstream until it passes its old
+  // frontier — harmless, since delivery only needs f+1 of the others.
+  push.seq = next_push_seq_++;
   push.payload = std::move(payload);
   ++stats_.pushes_sent;
   send_envelope(crypto::client_principal(client), MsgType::kServerPush,

@@ -272,6 +272,7 @@ class Replica {
   std::optional<crypto::Digest> checkpoint_digest_;
   ConsensusId checkpoint_cid_{0};
   DecisionObserver decision_observer_;
+  std::uint64_t next_push_seq_ = 1;  // anti-replay seq for ServerPush
   bool crashed_ = false;
   ByzantineMode byzantine_ = ByzantineMode::kNone;
   Rng byz_rng_{0xBAD};

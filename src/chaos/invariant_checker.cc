@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/trace.h"
+
 namespace ss::chaos {
 
 namespace {
@@ -44,6 +46,15 @@ void InvariantChecker::set_impaired(std::uint32_t replica, bool impaired) {
 void InvariantChecker::add_violation(const std::string& invariant,
                                      const std::string& detail) {
   violations_.push_back(Violation{invariant, detail, dep_.loop().now()});
+  // First violation per checker: dump the flight recorder — the last few
+  // thousand spans/log lines before the invariant broke. Only once, so a
+  // cascading failure in a chaos sweep doesn't flood stderr.
+  if (violations_.size() == 1) {
+    std::fprintf(stderr,
+                 "invariant violation [%s] at %" PRId64 "ns: %s\n",
+                 invariant.c_str(), dep_.loop().now(), detail.c_str());
+    obs::FlightRecorder::instance().dump(stderr);
+  }
 }
 
 void InvariantChecker::on_decision(std::uint32_t replica, ConsensusId cid,

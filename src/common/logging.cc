@@ -28,16 +28,36 @@ const char* Logger::level_name(LogLevel level) {
   return "?";
 }
 
+namespace {
+Logger::Capture& capture_slot() {
+  static Logger::Capture capture;
+  return capture;
+}
+}  // namespace
+
+void Logger::set_capture(Capture capture) {
+  capture_slot() = std::move(capture);
+}
+
+bool Logger::capture_installed() {
+  return static_cast<bool>(capture_slot());
+}
+
 void Logger::log(LogLevel level, SimTime now, const char* component,
                  const char* fmt, ...) {
-  std::fprintf(stderr, "[%9.3fms] %-5s %-16s ",
-               static_cast<double>(now) / kNanosPerMilli, level_name(level),
-               component);
+  char message[512];
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  std::vsnprintf(message, sizeof(message), fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (const Capture& capture = capture_slot()) {
+    capture(level, now, component, message);
+  }
+  if (level >= threshold()) {
+    std::fprintf(stderr, "[%9.3fms] %-5s %-16s %s\n",
+                 static_cast<double>(now) / kNanosPerMilli, level_name(level),
+                 component, message);
+  }
 }
 
 }  // namespace ss

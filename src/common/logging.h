@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdarg>
+#include <functional>
 #include <string>
 
 #include "common/types.h"
@@ -17,8 +18,19 @@ enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
 class Logger {
  public:
+  /// Receives every formatted log line (even below threshold while a
+  /// capture is installed). Used by the obs flight recorder.
+  using Capture = std::function<void(LogLevel level, SimTime now,
+                                     const char* component,
+                                     const char* message)>;
+
   /// Global minimum level; defaults to kWarn so tests stay quiet.
   static LogLevel& threshold();
+
+  /// Installs (or, with nullptr, removes) the capture hook. Lines below
+  /// threshold go only to the capture; lines at/above go to both.
+  static void set_capture(Capture capture);
+  static bool capture_installed();
 
   static void log(LogLevel level, SimTime now, const char* component,
                   const char* fmt, ...) __attribute__((format(printf, 4, 5)));
@@ -28,7 +40,8 @@ class Logger {
 
 #define SS_LOG(level, now, component, ...)                       \
   do {                                                           \
-    if ((level) >= ::ss::Logger::threshold()) {                  \
+    if ((level) >= ::ss::Logger::threshold() ||                  \
+        ::ss::Logger::capture_installed()) {                     \
       ::ss::Logger::log((level), (now), (component), __VA_ARGS__); \
     }                                                            \
   } while (0)

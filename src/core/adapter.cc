@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace ss::core {
 
@@ -78,6 +79,29 @@ Adapter::Adapter(net::Transport& net, GroupConfig group, ReplicaId id,
       [this](const std::string& frontend, const scada::ScadaMessage& msg) {
         emissions_.emplace_back(frontend, msg);
       });
+
+  obs_source_ = obs::Registry::instance().add_source(
+      endpoint_, [this](const obs::Registry::Emit& emit) {
+        emit("scada_requests", static_cast<double>(stats_.scada_requests));
+        emit("timeouts_armed", static_cast<double>(stats_.timeouts_armed));
+        emit("timeouts_cancelled",
+             static_cast<double>(stats_.timeouts_cancelled));
+        emit("timeout_votes_sent",
+             static_cast<double>(stats_.timeout_votes_sent));
+        emit("timeout_votes_received",
+             static_cast<double>(stats_.timeout_votes_received));
+        emit("timeout_injections",
+             static_cast<double>(stats_.timeout_injections));
+        emit("unknown_sources", static_cast<double>(stats_.unknown_sources));
+        const scada::MasterCounters& mc = master_.counters();
+        emit("master.updates_processed",
+             static_cast<double>(mc.updates_processed));
+        emit("master.writes_allowed", static_cast<double>(mc.writes_allowed));
+        emit("master.writes_denied", static_cast<double>(mc.writes_denied));
+        emit("master.write_results", static_cast<double>(mc.write_results));
+        emit("master.write_timeouts", static_cast<double>(mc.write_timeouts));
+        emit("master.events_created", static_cast<double>(mc.events_created));
+      });
 }
 
 Adapter::~Adapter() { net_.detach(endpoint_); }
@@ -113,6 +137,7 @@ Bytes Adapter::execute_ordered(const bft::ExecuteContext& ctx,
   switch (req.kind) {
     case CoreRequestKind::kScada: {
       ++stats_.scada_requests;
+      const SimTime adapter_t0 = net_.now();
       scada::ScadaMessage msg;
       try {
         msg = scada::decode_message(req.body);
@@ -139,12 +164,17 @@ Bytes Adapter::execute_ordered(const bft::ExecuteContext& ctx,
                                : "client/" + std::to_string(ctx.client.value);
 
       scada::MasterCounters before = master_.counters();
+      const SimTime master_t0 = net_.now();
       master_.handle(stamped, mctx, source);
+      obs::Tracer::instance().record(mctx.op, "master", endpoint_.c_str(),
+                                     master_t0, net_.now());
       if (replica_ != nullptr) {
         replica_->charge(opt_.costs.adapter_process +
                          opt_.costs.serialize_per_msg);
       }
       charge_execution(stamped, master_cost(before, stamped));
+      obs::Tracer::instance().record(mctx.op, "adapter", endpoint_.c_str(),
+                                     adapter_t0, net_.now());
       Writer w(1);
       w.u8(1);
       return std::move(w).take();

@@ -26,6 +26,7 @@
 #include "bft/executable.h"
 #include "bft/replica.h"
 #include "core/requests.h"
+#include "obs/metrics.h"
 #include "scada/master.h"
 #include "sim/cost_model.h"
 #include "net/transport.h"
@@ -126,6 +127,7 @@ class Adapter final : public bft::Executable, public bft::Recoverable {
   std::set<std::uint64_t> injected_;  // ops we already ordered a timeout for
 
   AdapterStats stats_;
+  obs::SourceHandle obs_source_;
 };
 
 }  // namespace ss::core

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace ss::core {
 
 namespace {
@@ -40,7 +42,13 @@ BaselineDeployment::BaselineDeployment(BaselineOptions options)
                 NodeOptions{.endpoint = kHmiEndpoint,
                             .peer = kMasterEndpoint,
                             .per_message_cost = opt_.costs.serialize_per_msg,
-                            .lanes = opt_.costs.hmi_lanes}) {}
+                            .lanes = opt_.costs.hmi_lanes}) {
+  obs::Tracer::instance().set_clock([this] { return loop_.now(); });
+}
+
+BaselineDeployment::~BaselineDeployment() {
+  obs::Tracer::instance().set_clock(nullptr);
+}
 
 ItemId BaselineDeployment::add_point(const std::string& name,
                                      scada::Variant initial) {

@@ -31,6 +31,7 @@ struct BaselineOptions {
 class BaselineDeployment {
  public:
   explicit BaselineDeployment(BaselineOptions options = {});
+  ~BaselineDeployment();
 
   /// Registers one data point in the Frontend and the Master (same id).
   ItemId add_point(const std::string& name, scada::Variant initial = {});

@@ -1,5 +1,7 @@
 #include "core/proxies.h"
 
+#include "obs/trace.h"
+
 namespace ss::core {
 
 ComponentProxy::ComponentProxy(net::Transport& net, GroupConfig group,
@@ -16,12 +18,13 @@ ComponentProxy::ComponentProxy(net::Transport& net, GroupConfig group,
   net_.attach(opt_.endpoint, [this](net::Message m) {
     on_component_message(std::move(m));
   });
-  client_.set_push_handler([this](ReplicaId replica, Bytes payload) {
-    lanes_.submit(opt_.per_message_cost,
-                  [this, replica, payload = std::move(payload)] {
-                    voter_.offer(replica, payload);
-                  });
-  });
+  client_.set_push_handler(
+      [this](ReplicaId replica, std::uint64_t seq, Bytes payload) {
+        lanes_.submit(opt_.per_message_cost,
+                      [this, replica, seq, payload = std::move(payload)] {
+                        voter_.offer(replica, payload, seq);
+                      });
+      });
 }
 
 ComponentProxy::~ComponentProxy() { net_.detach(opt_.endpoint); }
@@ -35,7 +38,13 @@ void ComponentProxy::on_component_message(net::Message msg) {
   }
   lanes_.submit(opt_.per_message_cost, [this, scada_msg = *decoded] {
     ++stats_.forwarded;
-    client_.invoke_ordered(CoreRequest::scada(scada_msg).encode());
+    // The agreement span covers the whole ordered round: submission to
+    // the replicas through the f+1-voted reply back at this proxy.
+    const OpId op = scada::context_of(scada_msg).op;
+    obs::Tracer::instance().begin(op, "agreement", opt_.endpoint.c_str());
+    client_.invoke_ordered(
+        CoreRequest::scada(scada_msg).encode(),
+        [op](Bytes) { obs::Tracer::instance().end(op, "agreement"); });
   });
 }
 

@@ -1,10 +1,39 @@
 #include "core/push_voter.h"
 
+#include "obs/trace.h"
+
 namespace ss::core {
 
-void PushVoter::offer(ReplicaId replica, ByteView payload) {
+bool PushVoter::ReplayWindow::accept(std::uint64_t seq) {
+  if (seq == 0) return true;  // unsequenced (legacy/test path)
+  if (seq > high) {
+    const std::uint64_t shift = seq - high;
+    bitmap = shift >= 64 ? 0 : bitmap << shift;
+    bitmap |= 1;
+    high = seq;
+    return true;
+  }
+  const std::uint64_t offset = high - seq;
+  if (offset >= 64) return false;  // beyond the window: treat as replay
+  const std::uint64_t bit = std::uint64_t{1} << offset;
+  if ((bitmap & bit) != 0) return false;
+  bitmap |= bit;
+  return true;
+}
+
+void PushVoter::offer(ReplicaId replica, ByteView payload, std::uint64_t seq) {
   ++stats_.offered;
   if (replica.value >= group_.n) return;
+
+  if (replay_windows_.empty()) replay_windows_.resize(group_.n);
+  if (!replay_windows_[replica.value].accept(seq)) {
+    // Seen (or far older than) this replica's current push frontier:
+    // a replayed capture, not a fresh vote. Without this check, replaying
+    // f+1 captured pushes of a message that already aged out of
+    // `delivered_` would re-deliver it to the HMI.
+    ++stats_.replayed;
+    return;
+  }
 
   scada::ScadaMessage msg;
   try {
@@ -21,7 +50,10 @@ void PushVoter::offer(ReplicaId replica, ByteView payload) {
   }
 
   auto [it, inserted] = votes_.try_emplace(digest);
-  if (inserted) vote_order_.push_back(digest);
+  if (inserted) {
+    vote_order_.push_back(digest);
+    obs::Tracer::instance().begin(scada::context_of(msg).op, "voter");
+  }
   if (!it->second.insert(replica.value).second) {
     ++stats_.duplicate_votes;
     return;
@@ -37,6 +69,7 @@ void PushVoter::offer(ReplicaId replica, ByteView payload) {
   delivered_.insert(digest);
   delivered_order_.push_back(digest);
   ++stats_.delivered;
+  obs::Tracer::instance().end(scada::context_of(msg).op, "voter");
   prune();
   deliver_(msg);
 }

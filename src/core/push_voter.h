@@ -12,6 +12,7 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "common/config.h"
 #include "crypto/sha256.h"
@@ -25,6 +26,7 @@ struct PushVoterStats {
   std::uint64_t duplicate_votes = 0;
   std::uint64_t malformed = 0;
   std::uint64_t stragglers = 0;  ///< votes arriving after delivery
+  std::uint64_t replayed = 0;    ///< push seq already seen / too old
 };
 
 /// Bounded-memory eviction windows. The defaults are generous enough that a
@@ -45,11 +47,29 @@ class PushVoter {
 
   /// Offers one replica's push. Delivers downstream exactly once per
   /// distinct message, as soon as f+1 replicas agree on it.
-  void offer(ReplicaId replica, ByteView payload);
+  ///
+  /// `seq` is the replica's monotonic push sequence number (carried inside
+  /// the HMAC-covered ServerPush body, so a network attacker cannot strip
+  /// or alter it). Each (replica, seq) pair is accepted at most once:
+  /// replaying f+1 captured pushes of a message whose digest has already
+  /// aged out of the delivered window can no longer re-deliver it to the
+  /// HMI. seq == 0 means "unsequenced" and bypasses replay protection
+  /// (legacy/test path only; real replicas start at 1).
+  void offer(ReplicaId replica, ByteView payload, std::uint64_t seq = 0);
 
   const PushVoterStats& stats() const { return stats_; }
 
  private:
+  /// IPsec-style (RFC 4303 §3.4.3) sliding anti-replay window: accepts
+  /// each sequence number at most once, tolerating reordering of up to 64
+  /// in-flight pushes. A bare low-watermark would mis-reject fresh pushes
+  /// that UDP delivered out of order.
+  struct ReplayWindow {
+    std::uint64_t high = 0;    ///< highest seq accepted
+    std::uint64_t bitmap = 0;  ///< bit i set => seq (high - i) seen
+    bool accept(std::uint64_t seq);
+  };
+
   void prune();
 
   GroupConfig group_;
@@ -59,6 +79,7 @@ class PushVoter {
   std::deque<crypto::Digest> vote_order_;
   std::set<crypto::Digest> delivered_;
   std::deque<crypto::Digest> delivered_order_;
+  std::vector<ReplayWindow> replay_windows_;  // indexed by replica id
   PushVoterStats stats_;
 };
 

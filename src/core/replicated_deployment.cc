@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace ss::core {
 
 ReplicatedDeployment::ReplicatedDeployment(ReplicatedOptions options)
@@ -13,6 +15,10 @@ ReplicatedDeployment::ReplicatedDeployment(ReplicatedOptions options)
       hmi_(scada::HmiOptions{.instance_id = 2,
                              .subscriber_name = kHmiEndpoint}) {
   const std::uint32_t n = opt_.group.n;
+
+  // Trace spans recorded by components without a transport reference (HMI,
+  // Frontend, voter) stamp virtual time through the process-wide tracer.
+  obs::Tracer::instance().set_clock([this] { return loop_.now(); });
 
   // ProxyMasters: deterministic Master + Adapter + replica + timeout client.
   masters_.reserve(n);
@@ -102,6 +108,10 @@ ReplicatedDeployment::ReplicatedDeployment(ReplicatedOptions options)
                   .peer = kProxyHmiEndpoint,
                   .per_message_cost = opt_.costs.serialize_per_msg,
                   .lanes = opt_.costs.hmi_lanes});
+}
+
+ReplicatedDeployment::~ReplicatedDeployment() {
+  obs::Tracer::instance().set_clock(nullptr);
 }
 
 ItemId ReplicatedDeployment::add_point(const std::string& name,

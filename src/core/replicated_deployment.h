@@ -47,6 +47,7 @@ inline constexpr std::uint32_t kAdapterClientBase = 100;
 class ReplicatedDeployment {
  public:
   explicit ReplicatedDeployment(ReplicatedOptions options = {});
+  ~ReplicatedDeployment();
 
   /// Registers one data point on the Frontend and every Master replica.
   ItemId add_point(const std::string& name, scada::Variant initial = {});

@@ -11,7 +11,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/logging.h"
 #include "common/serialization.h"
+#include "obs/metrics.h"
 
 namespace ss::net {
 
@@ -64,6 +66,28 @@ SocketTransport::SocketTransport(Resolver resolver, SocketOptions options)
     : resolver_(std::move(resolver)), opt_(options) {
   epoch_ = monotonic_ns();
   rx_buffer_.resize(65536);
+  obs_source_ = obs::Registry::instance().add_source(
+      "transport", [this](const obs::Registry::Emit& emit) {
+        emit("messages_sent", static_cast<double>(stats_.messages_sent));
+        emit("messages_delivered",
+             static_cast<double>(stats_.messages_delivered));
+        emit("datagrams_sent", static_cast<double>(stats_.datagrams_sent));
+        emit("datagrams_received",
+             static_cast<double>(stats_.datagrams_received));
+        emit("bytes_sent", static_cast<double>(stats_.bytes_sent));
+        emit("bytes_received", static_cast<double>(stats_.bytes_received));
+        emit("decode_errors", static_cast<double>(stats_.decode_errors));
+        emit("unresolved_drops", static_cast<double>(stats_.unresolved_drops));
+        emit("oversized_drops", static_cast<double>(stats_.oversized_drops));
+        emit("misdirected", static_cast<double>(stats_.misdirected));
+        emit("send_errors", static_cast<double>(stats_.send_errors));
+        emit("recv_errors", static_cast<double>(stats_.recv_errors));
+        emit("endpoints_detached",
+             static_cast<double>(stats_.endpoints_detached));
+        emit("reassembly_expired",
+             static_cast<double>(stats_.reassembly_expired));
+        emit("timers_fired", static_cast<double>(stats_.timers_fired));
+      });
 }
 
 SocketTransport::~SocketTransport() {
@@ -285,13 +309,16 @@ void SocketTransport::handle_datagram(ByteView datagram) {
       rs.first_seen = now();
       rs.fragments.resize(frag_count);
     }
-    if (rs.fragments.size() != frag_count ||
-        !rs.fragments[frag_index].empty()) {
-      // Conflicting header or duplicate fragment: keep the first view.
-      if (rs.fragments.size() != frag_count) {
-        ++stats_.decode_errors;
-        reassembly_.erase(key);
-      }
+    if (rs.fragments.size() != frag_count) {
+      // Conflicting fragment header: the first-seen header stays
+      // authoritative and only the conflicting datagram is dropped.
+      // Erasing the whole reassembly here would let one spoofed datagram
+      // poison an in-progress transfer (e.g. a state-transfer snapshot).
+      ++stats_.decode_errors;
+      return;
+    }
+    if (!rs.fragments[frag_index].empty()) {
+      // Duplicate fragment: keep the first copy.
       return;
     }
     rs.bytes += fragment.size();
@@ -326,9 +353,24 @@ void SocketTransport::read_socket(const std::string& name, int fd) {
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
-      // ECONNREFUSED et al. from queued ICMP errors: ignore, keep reading.
+      // ECONNREFUSED et al. from queued ICMP errors are transient: count
+      // and keep reading. A socket that *only* ever errors (EBADF after an
+      // fd was yanked, ENOTCONN, resource exhaustion) must not spin this
+      // loop forever, so after a run of consecutive hard failures the
+      // endpoint is detached and the failure is logged instead.
+      ++stats_.recv_errors;
+      if (++it->second.consecutive_recv_errors >= opt_.max_recv_failures) {
+        SS_LOG(LogLevel::kError, now(), "net",
+               "endpoint %s: %zu consecutive recvfrom failures "
+               "(last errno=%d), detaching",
+               name.c_str(), it->second.consecutive_recv_errors, errno);
+        ++stats_.endpoints_detached;
+        detach(name);
+        return;
+      }
       continue;
     }
+    it->second.consecutive_recv_errors = 0;
     ++stats_.datagrams_received;
     stats_.bytes_received += static_cast<std::uint64_t>(n);
     handle_datagram(ByteView(rx_buffer_.data(), static_cast<std::size_t>(n)));

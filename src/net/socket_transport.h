@@ -31,6 +31,7 @@
 #include "common/types.h"
 #include "net/resolver.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 
 namespace ss::net {
 
@@ -49,6 +50,10 @@ struct SocketOptions {
   std::size_t max_batch = 128;
   int rcvbuf_bytes = 1 << 22;
   int sndbuf_bytes = 1 << 22;
+  /// After this many *consecutive* hard recvfrom failures (anything other
+  /// than EAGAIN/EWOULDBLOCK/EINTR) the endpoint is detached instead of
+  /// spinning the read loop forever.
+  std::size_t max_recv_failures = 64;
 };
 
 struct SocketStats {
@@ -63,6 +68,8 @@ struct SocketStats {
   std::uint64_t oversized_drops = 0;
   std::uint64_t misdirected = 0;      ///< frame for a name not attached here
   std::uint64_t send_errors = 0;
+  std::uint64_t recv_errors = 0;      ///< hard recvfrom failures
+  std::uint64_t endpoints_detached = 0;  ///< detached after repeated failures
   std::uint64_t reassembly_expired = 0;
   std::uint64_t timers_fired = 0;
 };
@@ -118,6 +125,7 @@ class SocketTransport final : public Transport {
   struct EndpointState {
     int fd = -1;
     Handler handler;
+    std::size_t consecutive_recv_errors = 0;
   };
   struct PendingTimer {
     SimTime when;
@@ -177,6 +185,7 @@ class SocketTransport final : public Transport {
 
   Bytes rx_buffer_;
   SocketStats stats_;
+  obs::SourceHandle obs_source_;
 };
 
 }  // namespace ss::net

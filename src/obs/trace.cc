@@ -1,0 +1,176 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace ss::obs {
+
+// --- FlightRecorder --------------------------------------------------------
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::set_capacity(std::size_t n) {
+  capacity_ = n == 0 ? 1 : n;
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+void FlightRecorder::note(SimTime at, std::string text) {
+  if (ring_.size() >= capacity_) ring_.pop_front();
+  ring_.push_back(Entry{at, std::move(text)});
+}
+
+void FlightRecorder::add_span(const Span& span) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "span op=%" PRIu64 " stage=%s component=%s dur=%" PRId64 "ns",
+                span.op, span.stage.c_str(), span.component.c_str(),
+                span.duration());
+  note(span.end, buf);
+}
+
+void FlightRecorder::capture_logs() {
+  Logger::set_capture([](LogLevel level, SimTime now, const char* component,
+                         const char* message) {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), "log %-5s %s: %s",
+                  Logger::level_name(level), component, message);
+    FlightRecorder::instance().note(now, buf);
+  });
+}
+
+std::string FlightRecorder::dump_string() const {
+  std::string out;
+  char head[96];
+  std::snprintf(head, sizeof(head),
+                "--- flight recorder (%zu of last %zu events) ---\n",
+                ring_.size(), capacity_);
+  out += head;
+  for (const Entry& e : ring_) {
+    char stamp[48];
+    std::snprintf(stamp, sizeof(stamp), "[%12.3fms] ",
+                  static_cast<double>(e.at) / kNanosPerMilli);
+    out += stamp;
+    out += e.text;
+    out.push_back('\n');
+  }
+  out += "--- end flight recorder ---\n";
+  return out;
+}
+
+void FlightRecorder::dump(std::FILE* out) const {
+  const std::string s = dump_string();
+  std::fwrite(s.data(), 1, s.size(), out);
+  std::fflush(out);
+}
+
+void FlightRecorder::clear() { ring_.clear(); }
+
+// --- Tracer ----------------------------------------------------------------
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::begin(OpId op, const char* stage, const char* component) {
+  if (op.value == 0) return;  // unattributed traffic (e.g. subscribes)
+  const Key key{op.value, stage};
+  const std::uint64_t seq = next_seq_++;
+  open_[key] = Open{component, now(), seq};
+  open_order_.emplace_back(key, seq);
+  evict_open_if_needed();
+}
+
+void Tracer::end(OpId op, const char* stage) {
+  if (op.value == 0) return;
+  const auto it = open_.find(Key{op.value, stage});
+  if (it == open_.end()) return;
+  Span span;
+  span.op = op.value;
+  span.stage = stage;
+  span.component = it->second.component;
+  span.begin = it->second.begin;
+  span.end = now();
+  open_.erase(it);
+  finish(span);
+}
+
+void Tracer::record(OpId op, const char* stage, const char* component,
+                    SimTime begin, SimTime end) {
+  if (op.value == 0) return;
+  Span span;
+  span.op = op.value;
+  span.stage = stage;
+  span.component = component;
+  span.begin = begin;
+  span.end = end;
+  finish(span);
+}
+
+void Tracer::finish(const Span& span) {
+  if (spans_.size() >= capacity_) spans_.pop_front();
+  spans_.push_back(span);
+  Registry::instance()
+      .histogram(std::string("stage/") + span.stage)
+      .record(span.duration());
+  FlightRecorder::instance().add_span(span);
+}
+
+void Tracer::evict_open_if_needed() {
+  // Ops that never complete (lost writes, timeouts) would otherwise leak
+  // open spans; drop the oldest once the table is full.
+  constexpr std::size_t kMaxOpen = 4096;
+  while (open_.size() > kMaxOpen && !open_order_.empty()) {
+    const auto [key, seq] = open_order_.front();
+    open_order_.pop_front();
+    const auto it = open_.find(key);
+    if (it != open_.end() && it->second.seq == seq) open_.erase(it);
+  }
+  // Keep the FIFO itself bounded despite stale entries.
+  while (open_order_.size() > 4 * kMaxOpen) open_order_.pop_front();
+}
+
+std::vector<Span> Tracer::spans_for(OpId op) const {
+  std::vector<Span> out;
+  for (const Span& s : spans_) {
+    if (s.op == op.value) out.push_back(s);
+  }
+  return out;
+}
+
+bool Tracer::has_span(OpId op, const std::string& stage) const {
+  for (const Span& s : spans_) {
+    if (s.op == op.value && s.stage == stage) return true;
+  }
+  return false;
+}
+
+void Tracer::dump_jsonl(std::FILE* out) const {
+  for (const Span& s : spans_) {
+    std::fprintf(out,
+                 "{\"op\":%" PRIu64
+                 ",\"stage\":\"%s\",\"component\":\"%s\",\"begin_ns\":%" PRId64
+                 ",\"end_ns\":%" PRId64 ",\"dur_ns\":%" PRId64 "}\n",
+                 s.op, s.stage.c_str(), s.component.c_str(), s.begin, s.end,
+                 s.duration());
+  }
+}
+
+void Tracer::set_capacity(std::size_t n) {
+  capacity_ = n == 0 ? 1 : n;
+  while (spans_.size() > capacity_) spans_.pop_front();
+}
+
+void Tracer::reset() {
+  open_.clear();
+  open_order_.clear();
+  spans_.clear();
+  next_seq_ = 1;
+}
+
+}  // namespace ss::obs

@@ -1,0 +1,131 @@
+// Unified observability: op-level trace spans and the flight recorder.
+//
+// A SCADA operation already carries a process-wide identity — the OpId
+// minted by the HMI or Frontend and propagated in every ScadaMessage's
+// MsgContext (the paper's ContextInfo). The Tracer piggybacks on it: each
+// component brackets its part of the op with begin(op, stage) / end(op,
+// stage), and the completed spans form a cross-component timeline:
+//
+//   hmi > frontend > agreement > master/adapter > rtu > voter
+//
+// Spans are process-local (begin and end always run in the same process),
+// so durations need no cross-host clock sync. In the sim backend every
+// component shares one virtual clock and spans from different "processes"
+// line up exactly; in the UDP deployment each process dumps its spans to
+// SS_TRACE_DIR and the orchestrator merges them by op id.
+//
+// The FlightRecorder is a bounded ring of recent spans and log lines,
+// dumped to stderr when a chaos invariant fires or a deploy process
+// crashes — the last few thousand events before the failure, for free.
+//
+// Single-threaded like the rest of the codebase; no locks.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ss::obs {
+
+struct Span {
+  std::uint64_t op = 0;
+  std::string stage;      // frontend | agreement | master | adapter | rtu | voter | hmi
+  std::string component;  // emitting component, e.g. "proxy/frontend"
+  SimTime begin = 0;
+  SimTime end = 0;
+
+  SimTime duration() const { return end - begin; }
+};
+
+/// Bounded ring buffer of recent observability events (completed spans and
+/// captured log lines). dump() prints the tail of history — cheap enough to
+/// keep always-on, detailed enough to explain a crash.
+class FlightRecorder {
+ public:
+  static FlightRecorder& instance();
+
+  void set_capacity(std::size_t n);
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return ring_.size(); }
+
+  void note(SimTime at, std::string text);
+  void add_span(const Span& span);
+
+  /// Installs a Logger capture hook so every SS_LOG line (at any level)
+  /// is recorded here in addition to its normal destination.
+  void capture_logs();
+
+  std::string dump_string() const;
+  void dump(std::FILE* out) const;
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime at = 0;
+    std::string text;
+  };
+
+  std::deque<Entry> ring_;
+  std::size_t capacity_ = 4096;
+};
+
+/// Per-process span tracker keyed by (op, stage). begin()/end() cover async
+/// stages; record() covers synchronous ones measured by the caller.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Time source for begin()/end(). Deployments point this at their
+  /// transport clock (sim virtual time or socket monotonic time) and clear
+  /// it on teardown. Unset clock reads as 0 — spans still form, with zero
+  /// durations.
+  void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+  SimTime now() const { return clock_ ? clock_() : 0; }
+
+  void begin(OpId op, const char* stage, const char* component = "");
+  /// Completes an open span; no-op if begin() was never called for the key.
+  void end(OpId op, const char* stage);
+  /// Records an already-measured span in one call.
+  void record(OpId op, const char* stage, const char* component, SimTime begin,
+              SimTime end);
+
+  /// Completed spans, oldest first, bounded by capacity.
+  const std::deque<Span>& spans() const { return spans_; }
+  std::vector<Span> spans_for(OpId op) const;
+  bool has_span(OpId op, const std::string& stage) const;
+
+  void dump_jsonl(std::FILE* out) const;
+
+  void set_capacity(std::size_t n);
+  /// Drops completed and open spans; keeps the clock.
+  void reset();
+
+ private:
+  struct Open {
+    std::string component;
+    SimTime begin = 0;
+    std::uint64_t seq = 0;  // admission order, for FIFO eviction
+  };
+  using Key = std::pair<std::uint64_t, std::string>;
+
+  void finish(const Span& span);
+  void evict_open_if_needed();
+
+  std::function<SimTime()> clock_;
+  std::map<Key, Open> open_;
+  // FIFO of (key, seq) for bounding open_; entries whose seq no longer
+  // matches are stale (the span ended or was restarted) and are skipped.
+  std::deque<std::pair<Key, std::uint64_t>> open_order_;
+  std::deque<Span> spans_;
+  std::size_t capacity_ = 8192;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace ss::obs

@@ -1,5 +1,7 @@
 #include "rtu/driver.h"
 
+#include "obs/trace.h"
+
 namespace ss::rtu {
 
 RtuDriver::RtuDriver(net::Transport& net, scada::Frontend& frontend,
@@ -26,9 +28,9 @@ void RtuDriver::start() {
   if (started_) return;
   started_ = true;
   frontend_.set_field_writer(
-      [this](ItemId item, const scada::Variant& value,
+      [this](OpId op, ItemId item, const scada::Variant& value,
              std::function<void(bool, std::string)> done) {
-        field_write(item, value, std::move(done));
+        field_write(op, item, value, std::move(done));
       });
   poll_tick();
 }
@@ -51,13 +53,15 @@ void RtuDriver::poll_tick() {
   net_.schedule(opt_.poll_period, [this] { poll_tick(); });
 }
 
-void RtuDriver::field_write(ItemId item, const scada::Variant& value,
+void RtuDriver::field_write(OpId op, ItemId item, const scada::Variant& value,
                             std::function<void(bool, std::string)> done) {
   auto it = actuators_.find(item.value);
   if (it == actuators_.end()) {
     done(false, "no actuator bound for item");
     return;
   }
+  // The rtu span covers the Modbus round trip to the field device.
+  obs::Tracer::instance().begin(op, "rtu", opt_.endpoint.c_str());
   const ActuatorBinding& binding = it->second;
   ModbusRequest req;
   req.transaction = next_transaction_++;
@@ -67,6 +71,7 @@ void RtuDriver::field_write(ItemId item, const scada::Variant& value,
 
   PendingRequest pending;
   pending.is_write = true;
+  pending.op = op;
   pending.done = std::move(done);
   if (opt_.write_timeout > 0) {
     std::uint16_t transaction = req.transaction;
@@ -75,8 +80,10 @@ void RtuDriver::field_write(ItemId item, const scada::Variant& value,
           auto pit = pending_.find(transaction);
           if (pit == pending_.end()) return;
           auto callback = std::move(pit->second.done);
+          OpId timed_out_op = pit->second.op;
           pending_.erase(pit);
           ++counters_.write_timeouts;
+          obs::Tracer::instance().end(timed_out_op, "rtu");
           if (callback) callback(false, "rtu timeout");
         });
   }
@@ -100,6 +107,7 @@ void RtuDriver::on_message(net::Message msg) {
 
   if (pending.is_write) {
     ++counters_.write_responses;
+    obs::Tracer::instance().end(pending.op, "rtu");
     if (pending.done) {
       if (rsp.ok()) {
         pending.done(true, "");

@@ -77,13 +77,14 @@ class RtuDriver {
   struct PendingRequest {
     bool is_write = false;
     std::size_t sensor_index = 0;  ///< for reads
+    OpId op;                       ///< originating write op, for tracing
     std::function<void(bool, std::string)> done;  ///< for writes
     net::Timer timeout;
   };
 
   void on_message(net::Message msg);
   void poll_tick();
-  void field_write(ItemId item, const scada::Variant& value,
+  void field_write(OpId op, ItemId item, const scada::Variant& value,
                    std::function<void(bool, std::string)> done);
 
   net::Transport& net_;

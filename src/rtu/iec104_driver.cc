@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "obs/trace.h"
+
 namespace ss::rtu {
 
 Iec104Driver::Iec104Driver(net::Transport& net, scada::Frontend& frontend,
@@ -27,9 +29,9 @@ void Iec104Driver::start() {
   if (started_) return;
   started_ = true;
   frontend_.set_field_writer(
-      [this](ItemId item, const scada::Variant& value,
+      [this](OpId op, ItemId item, const scada::Variant& value,
              std::function<void(bool, std::string)> done) {
-        field_write(item, value, std::move(done));
+        field_write(op, item, value, std::move(done));
       });
 
   std::set<std::string> devices;
@@ -43,7 +45,8 @@ void Iec104Driver::start() {
   }
 }
 
-void Iec104Driver::field_write(ItemId item, const scada::Variant& value,
+void Iec104Driver::field_write(OpId op, ItemId item,
+                               const scada::Variant& value,
                                std::function<void(bool, std::string)> done) {
   auto it = setpoints_.find(item.value);
   if (it == setpoints_.end()) {
@@ -62,15 +65,20 @@ void Iec104Driver::field_write(ItemId item, const scada::Variant& value,
   command.ioa = key.ioa;
   command.value = value.to_double_or_zero();
 
+  // The rtu span covers the IEC-104 command round trip.
+  obs::Tracer::instance().begin(op, "rtu", opt_.endpoint.c_str());
   PendingCommand pending;
+  pending.op = op;
   pending.done = std::move(done);
   if (opt_.command_timeout > 0) {
     pending.timeout = net_.schedule(opt_.command_timeout, [this, key] {
       auto pit = pending_.find(key);
       if (pit == pending_.end()) return;
       auto callback = std::move(pit->second.done);
+      OpId timed_out_op = pit->second.op;
       pending_.erase(pit);
       ++counters_.command_timeouts;
+      obs::Tracer::instance().end(timed_out_op, "rtu");
       if (callback) callback(false, "iec104 command timeout");
     });
   }
@@ -115,6 +123,7 @@ void Iec104Driver::on_message(net::Message msg) {
       PendingCommand pending = std::move(it->second);
       pending.timeout.cancel();
       pending_.erase(it);
+      obs::Tracer::instance().end(pending.op, "rtu");
       if (asdu.negative) {
         ++counters_.commands_rejected;
         if (pending.done) pending.done(false, "iec104 negative confirmation");

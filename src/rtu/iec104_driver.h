@@ -61,12 +61,13 @@ class Iec104Driver {
     }
   };
   struct PendingCommand {
+    OpId op;  ///< originating write op, for tracing
     std::function<void(bool, std::string)> done;
     net::Timer timeout;
   };
 
   void on_message(net::Message msg);
-  void field_write(ItemId item, const scada::Variant& value,
+  void field_write(OpId op, ItemId item, const scada::Variant& value,
                    std::function<void(bool, std::string)> done);
 
   net::Transport& net_;

@@ -1,5 +1,7 @@
 #include "scada/frontend.h"
 
+#include "obs/trace.h"
+
 namespace ss::scada {
 
 Frontend::Frontend(FrontendOptions options) : opt_(options) {}
@@ -48,9 +50,13 @@ void Frontend::handle(const ScadaMessage& msg) {
   if (kind_of(msg) != ScadaMsgKind::kWriteValue) return;
   const auto& write = std::get<WriteValue>(msg);
   ++counters_.writes_received;
+  // Frontend span: command arrival through the WriteResult leaving for the
+  // Master (covers the field round trip, if any).
+  obs::Tracer::instance().begin(write.ctx.op, "frontend", "frontend");
 
   auto finish = [this, ctx = write.ctx, item = write.item,
                  value = write.value](bool ok, std::string reason) {
+    obs::Tracer::instance().end(ctx.op, "frontend");
     auto it = items_.find(item.value);
     if (ok && it != items_.end()) {
       it->second.value = value;
@@ -71,7 +77,7 @@ void Frontend::handle(const ScadaMessage& msg) {
     return;
   }
   if (field_writer_) {
-    field_writer_(write.item, write.value, finish);
+    field_writer_(write.ctx.op, write.item, write.value, finish);
   } else {
     finish(true, "");
   }

@@ -34,9 +34,11 @@ class Frontend {
   using MasterSink = std::function<void(const ScadaMessage&)>;
   /// Applies a write to the field device; `done(ok, reason)` may fire
   /// asynchronously (an RTU round-trip) or never (a dropped reply — which
-  /// is exactly what the logical-timeout protocol exists for).
+  /// is exactly what the logical-timeout protocol exists for). `op` is the
+  /// end-to-end operation id, so drivers can attribute the field round
+  /// trip to the originating write in traces.
   using FieldWriter =
-      std::function<void(ItemId item, const Variant& value,
+      std::function<void(OpId op, ItemId item, const Variant& value,
                          std::function<void(bool ok, std::string reason)>)>;
 
   explicit Frontend(FrontendOptions options = {});

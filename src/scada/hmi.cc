@@ -1,5 +1,7 @@
 #include "scada/hmi.h"
 
+#include "obs/trace.h"
+
 namespace ss::scada {
 
 Hmi::Hmi(HmiOptions options) : opt_(std::move(options)) {}
@@ -26,6 +28,9 @@ OpId Hmi::write(ItemId item, Variant value, WriteCallback on_result) {
   OpId op = next_op();
   ++counters_.writes_issued;
   pending_[op.value] = std::move(on_result);
+  // The hmi span brackets the whole operation: write issued to WriteResult
+  // received, spanning every other stage.
+  obs::Tracer::instance().begin(op, "hmi", opt_.subscriber_name.c_str());
 
   WriteValue msg;
   msg.ctx.op = op;
@@ -61,6 +66,7 @@ void Hmi::handle(const ScadaMessage& msg) {
       if (it == pending_.end()) return;  // duplicate result
       WriteCallback callback = std::move(it->second);
       pending_.erase(it);
+      obs::Tracer::instance().end(result.ctx.op, "hmi");
       switch (result.status) {
         case WriteStatus::kOk:
           ++counters_.writes_ok;

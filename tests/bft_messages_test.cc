@@ -200,10 +200,12 @@ TEST(BftMessages, ReplyAndPushRoundTrip) {
   ServerPush push;
   push.replica = ReplicaId{1};
   push.client = ClientId{9};
+  push.seq = 42;
   push.payload = Bytes{6};
   ServerPush pd = ServerPush::decode(push.encode());
   EXPECT_EQ(pd.replica, push.replica);
   EXPECT_EQ(pd.client, push.client);
+  EXPECT_EQ(pd.seq, push.seq);
   EXPECT_EQ(pd.payload, push.payload);
 }
 

@@ -4,10 +4,41 @@
 // determinism of the whole pipeline.
 #include <gtest/gtest.h>
 
+#include "chaos/invariant_checker.h"
 #include "chaos/swarm.h"
+#include "obs/trace.h"
 
 namespace ss::chaos {
 namespace {
+
+// --- flight recorder integration ------------------------------------------
+
+TEST(FlightRecorderDump, FirstViolationDumpsRecentHistoryToStderr) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::instance();
+  recorder.clear();
+  recorder.note(123, "breadcrumb before the failure");
+
+  core::ReplicatedDeployment deployment;
+  InvariantChecker checker(deployment);
+
+  testing::internal::CaptureStderr();
+  checker.add_violation("test-invariant", "synthetic violation for the dump");
+  // Only the FIRST violation dumps — a cascade must not flood stderr.
+  checker.add_violation("test-invariant", "second violation, no dump");
+  std::string err = testing::internal::GetCapturedStderr();
+
+  EXPECT_NE(err.find("invariant violation [test-invariant]"),
+            std::string::npos)
+      << err;
+  EXPECT_NE(err.find("flight recorder"), std::string::npos) << err;
+  EXPECT_NE(err.find("breadcrumb before the failure"), std::string::npos)
+      << err;
+  // One dump, not two.
+  EXPECT_EQ(err.find("--- end flight recorder ---"),
+            err.rfind("--- end flight recorder ---"));
+  EXPECT_EQ(checker.violations().size(), 2u);
+  recorder.clear();
+}
 
 /// Runs `count` seeds of one family and expects a clean sweep; on failure
 /// prints the one-line repro command for each failing seed.

@@ -19,6 +19,7 @@ struct FakeReplica {
   ReplicaId id;
   std::string endpoint;
   std::vector<ClientRequest> requests;
+  std::uint64_t next_push_seq = 1;
 
   FakeReplica(sim::Network& net_in, crypto::Keychain& keys_in, ReplicaId id_in)
       : net(net_in), keys(keys_in), id(id_in),
@@ -62,6 +63,7 @@ struct FakeReplica {
     ServerPush p;
     p.replica = id;
     p.client = client;
+    p.seq = next_push_seq++;
     p.payload = std::move(payload);
     std::string to = crypto::client_principal(client);
     Envelope env;
@@ -194,9 +196,11 @@ TEST(ClientProxyTest, PushesDeliveredPerReplica) {
   Harness h;
   ClientProxy client(h.net, h.group, ClientId{1}, h.keys);
   std::vector<std::pair<std::uint32_t, Bytes>> pushes;
-  client.set_push_handler([&](ReplicaId replica, Bytes payload) {
-    pushes.emplace_back(replica.value, std::move(payload));
-  });
+  client.set_push_handler(
+      [&](ReplicaId replica, std::uint64_t seq, Bytes payload) {
+        EXPECT_GT(seq, 0u);
+        pushes.emplace_back(replica.value, std::move(payload));
+      });
   h.replicas[2]->push(ClientId{1}, Bytes{7, 7});
   h.replicas[3]->push(ClientId{1}, Bytes{8});
   h.step();

@@ -9,6 +9,9 @@
 // end-to-end (HMAC on SCADA links, CRC on field links), never silently
 // accepted as data.
 #include <gtest/gtest.h>
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <memory>
@@ -436,6 +439,71 @@ TEST_P(CorruptionRejection, CorruptedFieldWritesAreNeverApplied) {
   ASSERT_EQ(to_master.size(), 1u);
   EXPECT_EQ(std::get<scada::WriteResult>(to_master[0]).status,
             scada::WriteStatus::kFailed);
+}
+
+// ---------------------------------------------------------------------------
+// Reassembly hardening (socket backend)
+
+TEST(Reassembly, ConflictingFragmentHeaderDoesNotPoisonTransfer) {
+  // Regression: a single spoofed datagram that reuses an in-flight
+  // (from, msg_id, to) key with a *different* fragment count used to erase
+  // the whole reassembly state, so the genuine transfer could never
+  // complete. The first-seen header is authoritative; only the conflicting
+  // datagram may be dropped.
+  net::Resolver resolver;
+  std::uint16_t port = next_port();
+  resolver.add("bob", net::SocketAddress{"127.0.0.1", port});
+  net::SocketTransport transport(std::move(resolver));
+
+  Bytes received;
+  transport.attach("bob",
+                   [&](net::Message m) { received = std::move(m.payload); });
+
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in dest{};
+  dest.sin_family = AF_INET;
+  dest.sin_port = htons(port);
+  dest.sin_addr.s_addr = inet_addr("127.0.0.1");
+
+  auto send_frag = [&](std::uint64_t msg_id, std::uint16_t index,
+                       std::uint16_t count, const Bytes& piece) {
+    Writer w;
+    w.u32(0x53535450);  // "SSTP"
+    w.u8(1);            // version
+    w.u64(msg_id);
+    w.u16(index);
+    w.u16(count);
+    w.str("alice");
+    w.str("bob");
+    w.blob(ByteView(piece.data(), piece.size()));
+    Bytes datagram = std::move(w).take();
+    ASSERT_EQ(::sendto(fd, datagram.data(), datagram.size(), 0,
+                       reinterpret_cast<sockaddr*>(&dest), sizeof(dest)),
+              static_cast<ssize_t>(datagram.size()));
+  };
+
+  send_frag(7, 0, 3, Bytes{'A', 'A', 'A', 'A'});
+  ASSERT_TRUE(transport.run_until(
+      [&] { return transport.stats().datagrams_received >= 1; }, millis(500)));
+
+  // The spoofed conflicting header: same key, count 2 instead of 3.
+  std::uint64_t errors_before = transport.stats().decode_errors;
+  send_frag(7, 0, 2, Bytes{'X', 'X'});
+  ASSERT_TRUE(transport.run_until(
+      [&] { return transport.stats().decode_errors > errors_before; },
+      millis(500)));
+  EXPECT_EQ(transport.stats().decode_errors, errors_before + 1);
+  EXPECT_TRUE(received.empty());
+
+  // The genuine transfer still completes with the remaining fragments.
+  send_frag(7, 1, 3, Bytes{'B', 'B', 'B', 'B'});
+  send_frag(7, 2, 3, Bytes{'C', 'C'});
+  EXPECT_TRUE(
+      transport.run_until([&] { return !received.empty(); }, millis(500)));
+  EXPECT_EQ(received,
+            (Bytes{'A', 'A', 'A', 'A', 'B', 'B', 'B', 'B', 'C', 'C'}));
+  ::close(fd);
 }
 
 TEST_P(CorruptionRejection, CorruptedScadaFramesFailHmacVerification) {

@@ -72,10 +72,11 @@ TEST(PushVoterTest, MalformedAndOutOfRangeAreRejected) {
 }
 
 TEST(PushVoterTest, DeliveredWindowEvictionForgetsOldDigests) {
-  // Window of 1: delivering a second message evicts the first digest, so a
-  // full quorum re-offering the first message re-delivers it. This is the
-  // documented trade-off of bounded memory — the window must be sized above
-  // the replicas' maximum skew, which tests deliberately violate here.
+  // Window of 1, *unsequenced* offers (seq = 0, the legacy/test path that
+  // bypasses replay protection): delivering a second message evicts the
+  // first digest, so a full quorum re-offering the first message
+  // re-delivers it. Sequenced offers — what real replicas send — reject
+  // this replay; see ReplayAfterWindowPruningIsRejected below.
   Fixture fx(PushVoterOptions{.delivered_window = 1, .vote_window = 64});
   Bytes a = update_payload(10, 1.0);
   Bytes b = update_payload(11, 2.0);
@@ -112,6 +113,92 @@ TEST(PushVoterTest, VoteWindowEvictionDropsOldestOpenVotes) {
   EXPECT_EQ(fx.deliveries, 0);
   fx.voter.offer(ReplicaId{0}, a);  // second fresh vote completes quorum
   EXPECT_EQ(fx.deliveries, 1);
+}
+
+TEST(PushVoterTest, ReplayAfterWindowPruningIsRejected) {
+  // Regression: with a delivered window of 1, message `a`'s digest ages
+  // out once `b` delivers. Replaying f+1 *captured* pushes of `a` (same
+  // per-replica sequence numbers — a network attacker cannot forge new
+  // ones, they are HMAC-covered) must NOT re-deliver it to the HMI.
+  Fixture fx(PushVoterOptions{.delivered_window = 1, .vote_window = 64});
+  Bytes a = update_payload(30, 1.0);
+  Bytes b = update_payload(31, 2.0);
+
+  fx.voter.offer(ReplicaId{0}, a, /*seq=*/1);
+  fx.voter.offer(ReplicaId{1}, a, /*seq=*/1);
+  EXPECT_EQ(fx.deliveries, 1);
+  fx.voter.offer(ReplicaId{0}, b, /*seq=*/2);
+  fx.voter.offer(ReplicaId{1}, b, /*seq=*/2);
+  EXPECT_EQ(fx.deliveries, 2);  // `a` evicted from the delivered window
+
+  // The replayed capture of `a`: same payload, same seqs. Rejected.
+  fx.voter.offer(ReplicaId{0}, a, /*seq=*/1);
+  fx.voter.offer(ReplicaId{1}, a, /*seq=*/1);
+  EXPECT_EQ(fx.deliveries, 2);
+  EXPECT_EQ(fx.voter.stats().replayed, 2u);
+  EXPECT_EQ(fx.voter.stats().delivered, 2u);
+}
+
+TEST(PushVoterTest, StragglerReplayIsAlsoRejected) {
+  // All n replicas pushed `a`; the attacker captured every copy. After the
+  // digest ages out, replaying ANY f+1 of the captures (including the two
+  // that arrived as stragglers) must not re-deliver.
+  Fixture fx(PushVoterOptions{.delivered_window = 1, .vote_window = 64});
+  Bytes a = update_payload(40, 1.0);
+  Bytes b = update_payload(41, 2.0);
+
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    fx.voter.offer(ReplicaId{r}, a, /*seq=*/1);
+  }
+  EXPECT_EQ(fx.deliveries, 1);
+  fx.voter.offer(ReplicaId{0}, b, /*seq=*/2);
+  fx.voter.offer(ReplicaId{1}, b, /*seq=*/2);
+  EXPECT_EQ(fx.deliveries, 2);
+
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    fx.voter.offer(ReplicaId{r}, a, /*seq=*/1);
+  }
+  EXPECT_EQ(fx.deliveries, 2);
+  EXPECT_EQ(fx.voter.stats().replayed, 4u);
+}
+
+TEST(PushVoterTest, FreshResendWithNewSeqsDelivers) {
+  // A *genuine* re-occurrence of the same payload (e.g. the operator
+  // writes the same value again) carries fresh sequence numbers and still
+  // delivers after the old digest was pruned.
+  Fixture fx(PushVoterOptions{.delivered_window = 1, .vote_window = 64});
+  Bytes a = update_payload(50, 1.0);
+  Bytes b = update_payload(51, 2.0);
+
+  fx.voter.offer(ReplicaId{0}, a, /*seq=*/1);
+  fx.voter.offer(ReplicaId{1}, a, /*seq=*/1);
+  fx.voter.offer(ReplicaId{0}, b, /*seq=*/2);
+  fx.voter.offer(ReplicaId{1}, b, /*seq=*/2);
+  EXPECT_EQ(fx.deliveries, 2);
+
+  fx.voter.offer(ReplicaId{0}, a, /*seq=*/3);
+  fx.voter.offer(ReplicaId{1}, a, /*seq=*/3);
+  EXPECT_EQ(fx.deliveries, 3);
+  EXPECT_EQ(fx.voter.stats().replayed, 0u);
+}
+
+TEST(PushVoterTest, ReorderedSeqsWithinWindowAccepted) {
+  // UDP reorders: seq 5 lands before seq 3. Both must count (the sliding
+  // window remembers individual seqs, not just a low-watermark).
+  Fixture fx;
+  Bytes a = update_payload(60, 1.0);
+  Bytes b = update_payload(61, 2.0);
+
+  fx.voter.offer(ReplicaId{0}, b, /*seq=*/5);
+  fx.voter.offer(ReplicaId{0}, a, /*seq=*/3);  // late but fresh: accepted
+  EXPECT_EQ(fx.voter.stats().replayed, 0u);
+  fx.voter.offer(ReplicaId{1}, a, /*seq=*/3);
+  fx.voter.offer(ReplicaId{1}, b, /*seq=*/5);
+  EXPECT_EQ(fx.deliveries, 2);
+
+  // But offering an already-seen (replica, seq) pair again is a replay.
+  fx.voter.offer(ReplicaId{0}, a, /*seq=*/3);
+  EXPECT_EQ(fx.voter.stats().replayed, 1u);
 }
 
 TEST(PushVoterTest, ByzantineSprayStaysBounded) {

@@ -834,7 +834,7 @@ TEST(Frontend, FieldWriterFailurePropagates) {
   Frontend frontend;
   ItemId item = frontend.add_item("valve", Variant{0.0});
   frontend.set_field_writer(
-      [](ItemId, const Variant&,
+      [](OpId, ItemId, const Variant&,
          std::function<void(bool, std::string)> done) {
         done(false, "device offline");
       });

@@ -123,7 +123,7 @@ void Utility::install_combined_field_writer() {
   // Both drivers expose their logic through the frontend's single field
   // writer, so the last installer wins; compose them explicitly.
   system.frontend().set_field_writer(
-      [this](ItemId item, const scada::Variant& value,
+      [this](OpId, ItemId item, const scada::Variant& value,
              std::function<void(bool, std::string)> done) {
         if (item == feeder_limit) {
           // Send the IEC command through the driver's endpoint directly.
