@@ -24,7 +24,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: chaos_replay --family=<byzantine|partitions|lossy-links|"
-      "rtu-faults|mixed>\n"
+      "rtu-faults|crash-restart|mixed>\n"
       "                    [--f=<1|2>] [--seed=<n|0xHEX>]\n"
       "                    [--sabotage=no-timeouts] [--keep=i,j,...]\n");
   return 2;

@@ -12,11 +12,23 @@
 //   deploy local [--f N] [--base-port P]   orchestrate everything on
 //                                          localhost; exits 0 when the HMI
 //                                          completes both paper use cases
+//     [--supervise]                        restart replica processes that
+//                                          die (exponential backoff, bounded
+//                                          retries); implies a durable state
+//                                          dir so restarts recover from disk
+//     [--kill-replica I --kill-after MS]   SIGKILL replica I after MS ms —
+//                                          the crash-restart smoke test
+//     [--rounds N]                         N extra HMI write rounds, so
+//                                          there is load during the window
 //   deploy config --f N --base-port P      print the generated config file
 //   deploy replica --id I --f N --config FILE
 //   deploy frontend --f N --config FILE
-//   deploy hmi --f N --config FILE
+//   deploy hmi --f N --config FILE [--rounds N]
 //   deploy rtu --config FILE
+//
+// With SS_STATE_DIR=<dir> each replica keeps a WAL + checkpoint under
+// <dir>/replica-<id> (fsync'd before decisions execute) and recovers from
+// it on startup; SS_CHECKPOINT_INTERVAL overrides the checkpoint period.
 //
 // The HMI process drives the paper's two §IV-E use cases end-to-end and is
 // the deployment's exit status: an Item update (RTU sensor -> Frontend ->
@@ -57,6 +69,9 @@
 #include "scada/frontend.h"
 #include "scada/hmi.h"
 #include "scada/master.h"
+#include "storage/checkpoint.h"
+#include "storage/env.h"
+#include "storage/replica_storage.h"
 
 using namespace ss;
 
@@ -251,6 +266,15 @@ int run_replica(const std::string& config, GroupConfig group,
                           ClientId{core::kProxyFrontendClient});
 
   bft::ReplicaOptions replica_options;  // zero CPU costs: real CPUs are real
+  if (const char* interval = std::getenv("SS_CHECKPOINT_INTERVAL")) {
+    long parsed = std::strtol(interval, nullptr, 10);
+    if (parsed > 0) {
+      replica_options.checkpoint_interval = static_cast<std::uint64_t>(parsed);
+    }
+  }
+  // Declared before the replica: the storage must outlive it.
+  storage::PosixEnv storage_env;
+  std::unique_ptr<storage::ReplicaStorage> storage;
   bft::Replica replica(transport, group, ReplicaId{id}, keys, adapter,
                        adapter, replica_options);
   adapter.attach_replica(&replica);
@@ -258,6 +282,25 @@ int run_replica(const std::string& config, GroupConfig group,
   bft::ClientProxy timeout_client(
       transport, group, ClientId{core::kAdapterClientBase + id}, keys);
   adapter.attach_timeout_client(&timeout_client);
+
+  // With SS_STATE_DIR set, every decided batch hits an fsync'd WAL before it
+  // executes and checkpoints go to disk; a restarted process rebuilds its
+  // state from those files first and only asks the peers for the suffix it
+  // missed while down.
+  if (const char* state_root = std::getenv("SS_STATE_DIR")) {
+    const std::string dir =
+        std::string(state_root) + "/replica-" + std::to_string(id);
+    storage = std::make_unique<storage::ReplicaStorage>(
+        storage_env, dir, "storage/replica-" + std::to_string(id));
+    replica.set_storage(storage.get());
+    replica.recover_from_storage();
+    if (replica.last_decided().value > 0) {
+      std::fprintf(stderr, "[replica/%u] recovered to cid=%llu from %s\n", id,
+                   static_cast<unsigned long long>(replica.last_decided().value),
+                   dir.c_str());
+    }
+    replica.request_state_transfer();
+  }
 
   const std::string tag = "replica/" + std::to_string(id);
   setup_observability(transport, tag);
@@ -269,6 +312,9 @@ int run_replica(const std::string& config, GroupConfig group,
                                std::to_string(replica.stats().batches_decided);
                       });
   serve(transport);
+  // Graceful TERM: persist the final frontier so the next start replays
+  // nothing (and so the orchestrator can audit cross-replica digests).
+  if (storage != nullptr) replica.checkpoint_now();
   return 0;
 }
 
@@ -334,7 +380,8 @@ int run_rtu(const std::string& config) {
   return 0;
 }
 
-int run_hmi(const std::string& config, GroupConfig group) {
+int run_hmi(const std::string& config, GroupConfig group,
+            std::uint32_t rounds) {
   install_stop_handler();
   net::SocketTransport transport = make_transport(config);
   crypto::Keychain keys(kGroupSecret);
@@ -388,6 +435,30 @@ int run_hmi(const std::string& config, GroupConfig group) {
     return 1;
   }
   std::printf("[hmi] write value: setpoint = 42 committed\n");
+
+  // Extra paced write rounds: sustained load for the crash-restart smoke
+  // test, where a replica is SIGKILLed and supervised back mid-run. Every
+  // round must still commit — f=1 tolerates the one missing replica, and
+  // the restarted one rejoins from disk.
+  for (std::uint32_t round = 1; round <= rounds; ++round) {
+    bool round_done = false;
+    bool round_ok = false;
+    hmi.write(kSetpoint, scada::Variant{42.0 + round},
+              [&](const scada::WriteResult& result) {
+                round_done = true;
+                round_ok = result.status == scada::WriteStatus::kOk;
+              });
+    transport.run_until([&] { return round_done; }, seconds(30));
+    if (!round_done || !round_ok) {
+      std::fprintf(stderr, "[hmi] FAIL: write round %u %s\n", round,
+                   round_done ? "rejected" : "timed out after 30s");
+      return 1;
+    }
+    transport.run_until([] { return false; }, millis(250));
+  }
+  if (rounds > 0) {
+    std::printf("[hmi] %u extra write rounds committed\n", rounds);
+  }
   std::printf("[hmi] both use cases completed over UDP\n");
   return 0;
 }
@@ -504,7 +575,60 @@ pid_t spawn(const char* self, const std::vector<std::string>& args) {
   std::_Exit(127);
 }
 
-int run_local(const char* self, std::uint32_t f, std::uint16_t base_port) {
+/// Orchestrator-side audit of the durable state the replicas left behind:
+/// every replica dir must hold a loadable (CRC-verified) checkpoint, and
+/// checkpoints at the same cid must carry the same application digest — the
+/// same invariant the chaos engine's checker enforces in simulation.
+/// Returns the (possibly demoted) exit code.
+int audit_state_dirs(const std::string& root, std::uint32_t n, int code) {
+  storage::PosixEnv env;
+  std::map<std::uint64_t, std::pair<crypto::Digest, std::uint32_t>> by_cid;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    storage::CheckpointStore store(env, root + "/replica-" + std::to_string(i));
+    std::optional<storage::Checkpoint> ckpt = store.load();
+    if (!ckpt.has_value()) {
+      std::fprintf(stderr,
+                   "deploy: replica/%u left no loadable checkpoint under %s\n",
+                   i, root.c_str());
+      code = 1;
+      continue;
+    }
+    std::printf("deploy: replica/%u on-disk checkpoint cid=%llu\n", i,
+                static_cast<unsigned long long>(ckpt->cid.value));
+    auto [it, inserted] = by_cid.try_emplace(
+        ckpt->cid.value, std::make_pair(ckpt->app_digest, i));
+    if (!inserted && it->second.first != ckpt->app_digest) {
+      std::fprintf(stderr,
+                   "deploy: checkpoint digest divergence at cid=%llu between "
+                   "replica/%u and replica/%u\n",
+                   static_cast<unsigned long long>(ckpt->cid.value),
+                   it->second.second, i);
+      code = 1;
+    }
+  }
+  return code;
+}
+
+void remove_state_dirs(const std::string& root, std::uint32_t n) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::string dir = root + "/replica-" + std::to_string(i);
+    for (const char* file : {"/wal", "/wal.tmp", "/snapshot", "/snapshot.tmp"}) {
+      ::unlink((dir + file).c_str());
+    }
+    ::rmdir(dir.c_str());
+  }
+  ::rmdir(root.c_str());
+}
+
+struct SuperviseOptions {
+  bool enabled = false;
+  int kill_replica = -1;     ///< SIGKILL this replica once...
+  long kill_after_ms = 1500; ///< ...this long after launch
+  std::uint32_t rounds = 0;  ///< extra HMI write rounds (load for the window)
+};
+
+int run_local(const char* self, std::uint32_t f, std::uint16_t base_port,
+              const SuperviseOptions& sup) {
   const GroupConfig group = GroupConfig::for_f(f);
   if (base_port == 0) {
     // Derived from the pid so concurrent CI jobs on one host don't collide.
@@ -530,27 +654,122 @@ int run_local(const char* self, std::uint32_t f, std::uint16_t base_port) {
     ::setenv("SS_TRACE_DIR", dir.c_str(), 0);
   }
   const std::string trace_dir = std::getenv("SS_TRACE_DIR");
-  std::printf("deploy: f=%u n=%u base_port=%u config=%s\n", f, group.n,
-              base_port, config.c_str());
+
+  // Supervision implies durable replicas: a restarted process is only
+  // useful if it can come back from disk. An SS_STATE_DIR inherited from
+  // the caller wins (and is kept for inspection); otherwise one is created
+  // under /tmp and removed after the audit.
+  bool own_state_dir = false;
+  if (sup.enabled && std::getenv("SS_STATE_DIR") == nullptr) {
+    std::string dir = "/tmp/smart-scada-state-" + std::to_string(::getpid());
+    ::mkdir(dir.c_str(), 0755);
+    ::setenv("SS_STATE_DIR", dir.c_str(), 0);
+    own_state_dir = true;
+  }
+  const char* state_root_env = std::getenv("SS_STATE_DIR");
+  const std::string state_root = state_root_env ? state_root_env : "";
+  std::printf("deploy: f=%u n=%u base_port=%u config=%s%s%s\n", f, group.n,
+              base_port, config.c_str(),
+              state_root.empty() ? "" : " state_dir=",
+              state_root.c_str());
 
   const std::string fs = std::to_string(f);
-  std::vector<pid_t> background;
+  std::vector<pid_t> background;  // rtu + frontend; replicas tracked below
   background.push_back(spawn(self, {"rtu", "--config", config}));
-  for (std::uint32_t i = 0; i < group.n; ++i) {
-    background.push_back(spawn(self, {"replica", "--id", std::to_string(i),
-                                      "--f", fs, "--config", config}));
-  }
+  std::vector<pid_t> replica_pid(group.n, -1);
+  auto spawn_replica = [&](std::uint32_t i) {
+    replica_pid[i] = spawn(self, {"replica", "--id", std::to_string(i), "--f",
+                                  fs, "--config", config});
+  };
+  for (std::uint32_t i = 0; i < group.n; ++i) spawn_replica(i);
   background.push_back(spawn(self, {"frontend", "--f", fs, "--config", config}));
 
   // Give servers a beat to bind before the HMI starts asking questions
   // (requests are retransmitted anyway; this just avoids burning retries).
   ::usleep(300 * 1000);
-  pid_t hmi = spawn(self, {"hmi", "--f", fs, "--config", config});
+  std::vector<std::string> hmi_args = {"hmi", "--f", fs, "--config", config};
+  if (sup.rounds > 0) {
+    hmi_args.push_back("--rounds");
+    hmi_args.push_back(std::to_string(sup.rounds));
+  }
+  pid_t hmi = spawn(self, hmi_args);
 
   int status = 0;
-  ::waitpid(hmi, &status, 0);
+  if (!sup.enabled) {
+    ::waitpid(hmi, &status, 0);
+  } else {
+    // The supervisor: reap dead replica processes and restart them with
+    // exponential backoff (200ms * 2^attempt, at most kMaxRestarts per
+    // replica), optionally SIGKILLing one replica on schedule to exercise
+    // the crash path. The HMI's exit ends the run as before.
+    constexpr std::uint32_t kMaxRestarts = 5;
+    std::vector<std::uint32_t> restarts(group.n, 0);
+    std::vector<long> restart_at_ms(group.n, -1);
+    long elapsed_ms = 0;
+    bool kill_fired = sup.kill_replica < 0 ||
+                      sup.kill_replica >= static_cast<int>(group.n);
+    bool hmi_done = false;
+    while (!hmi_done) {
+      ::usleep(50 * 1000);
+      elapsed_ms += 50;
+      if (!kill_fired && elapsed_ms >= sup.kill_after_ms) {
+        kill_fired = true;
+        if (replica_pid[sup.kill_replica] > 0) {
+          std::printf("deploy: supervisor SIGKILLs replica/%d at %ld ms\n",
+                      sup.kill_replica, elapsed_ms);
+          ::kill(replica_pid[sup.kill_replica], SIGKILL);
+        }
+      }
+      for (std::uint32_t i = 0; i < group.n; ++i) {
+        if (restart_at_ms[i] >= 0 && elapsed_ms >= restart_at_ms[i]) {
+          restart_at_ms[i] = -1;
+          std::printf("deploy: supervisor restarts replica/%u (attempt %u)\n",
+                      i, restarts[i]);
+          spawn_replica(i);
+        }
+      }
+      int child_status = 0;
+      pid_t pid;
+      while ((pid = ::waitpid(-1, &child_status, WNOHANG)) > 0) {
+        if (pid == hmi) {
+          status = child_status;
+          hmi_done = true;
+          continue;
+        }
+        for (std::uint32_t i = 0; i < group.n; ++i) {
+          if (pid != replica_pid[i]) continue;
+          replica_pid[i] = -1;
+          if (restarts[i] >= kMaxRestarts) {
+            std::fprintf(stderr,
+                         "deploy: replica/%u died %u times, giving up on it\n",
+                         i, restarts[i]);
+          } else {
+            long backoff = 200L << restarts[i];
+            ++restarts[i];
+            std::printf(
+                "deploy: replica/%u %s, restart in %ld ms\n", i,
+                WIFSIGNALED(child_status)
+                    ? ("killed by signal " +
+                       std::to_string(WTERMSIG(child_status)))
+                          .c_str()
+                    : "exited",
+                backoff);
+            restart_at_ms[i] = elapsed_ms + backoff;
+          }
+          break;
+        }
+      }
+    }
+  }
+
   for (pid_t pid : background) ::kill(pid, SIGTERM);
+  for (pid_t pid : replica_pid) {
+    if (pid > 0) ::kill(pid, SIGTERM);
+  }
   for (pid_t pid : background) ::waitpid(pid, nullptr, 0);
+  for (pid_t pid : replica_pid) {
+    if (pid > 0) ::waitpid(pid, nullptr, 0);
+  }
   ::unlink(config.c_str());
 
   print_write_timeline(load_trace_dir(trace_dir));
@@ -571,6 +790,14 @@ int run_local(const char* self, std::uint32_t f, std::uint16_t base_port) {
   }
 
   int code = WIFEXITED(status) ? WEXITSTATUS(status) : 1;
+  if (!state_root.empty()) {
+    code = audit_state_dirs(state_root, group.n, code);
+    if (own_state_dir) {
+      remove_state_dirs(state_root, group.n);
+    } else {
+      std::printf("deploy: replica state kept in %s\n", state_root.c_str());
+    }
+  }
   std::printf("deploy: %s\n", code == 0 ? "SUCCESS" : "FAILURE");
   return code;
 }
@@ -578,11 +805,16 @@ int run_local(const char* self, std::uint32_t f, std::uint16_t base_port) {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: deploy local [--f N] [--base-port P]\n"
+      "usage: deploy local [--f N] [--base-port P] [--supervise]\n"
+      "                    [--kill-replica I] [--kill-after MS] [--rounds N]\n"
       "       deploy config [--f N] [--base-port P]\n"
       "       deploy replica --id I [--f N] --config FILE\n"
-      "       deploy (frontend|hmi) [--f N] --config FILE\n"
-      "       deploy rtu --config FILE\n");
+      "       deploy frontend [--f N] --config FILE\n"
+      "       deploy hmi [--f N] --config FILE [--rounds N]\n"
+      "       deploy rtu --config FILE\n"
+      "env:   SS_STATE_DIR=<dir>            durable replica state (WAL +\n"
+      "                                     checkpoints) under <dir>/replica-<id>\n"
+      "       SS_CHECKPOINT_INTERVAL=<n>    checkpoint every n decisions\n");
   return 2;
 }
 
@@ -606,9 +838,15 @@ int main(int argc, char** argv) {
   std::uint32_t id = 0;
   std::uint16_t base_port = 0;
   std::string config;
-  for (int i = 2; i + 1 < argc; i += 2) {
+  SuperviseOptions sup;
+  for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
-    const char* value = argv[i + 1];
+    if (flag == "--supervise") {  // the only valueless flag
+      sup.enabled = true;
+      continue;
+    }
+    if (i + 1 >= argc) return usage();
+    const char* value = argv[++i];
     if (flag == "--f") {
       f = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
     } else if (flag == "--id") {
@@ -618,13 +856,20 @@ int main(int argc, char** argv) {
           static_cast<std::uint16_t>(std::strtoul(value, nullptr, 10));
     } else if (flag == "--config") {
       config = value;
+    } else if (flag == "--kill-replica") {
+      sup.kill_replica = static_cast<int>(std::strtol(value, nullptr, 10));
+    } else if (flag == "--kill-after") {
+      sup.kill_after_ms = std::strtol(value, nullptr, 10);
+    } else if (flag == "--rounds") {
+      sup.rounds =
+          static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
     } else {
       return usage();
     }
   }
 
   try {
-    if (role == "local") return run_local(argv[0], f, base_port);
+    if (role == "local") return run_local(argv[0], f, base_port, sup);
     if (role == "config") {
       std::fputs(make_resolver(GroupConfig::for_f(f).n, "127.0.0.1",
                                base_port ? base_port : 47000)
@@ -637,7 +882,7 @@ int main(int argc, char** argv) {
     const GroupConfig group = GroupConfig::for_f(f);
     if (role == "replica") return run_replica(config, group, id);
     if (role == "frontend") return run_frontend(config, group);
-    if (role == "hmi") return run_hmi(config, group);
+    if (role == "hmi") return run_hmi(config, group, sup.rounds);
     if (role == "rtu") return run_rtu(config);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "deploy %s: %s\n", role.c_str(), e.what());

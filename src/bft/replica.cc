@@ -1,8 +1,10 @@
 #include "bft/replica.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
+#include "storage/replica_storage.h"
 
 namespace ss::bft {
 
@@ -129,6 +131,9 @@ void Replica::dispatch(Envelope env) {
 }
 
 void Replica::send_envelope(const std::string& to, MsgType type, Bytes body) {
+  // WAL replay re-derives local state only; every message a replayed
+  // decision would emit was already sent by the pre-crash incarnation.
+  if (replaying_) return;
   if (byzantine_ == ByzantineMode::kSilent) return;
   if (byzantine_ == ByzantineMode::kCorruptReplies &&
       (type == MsgType::kClientReply || type == MsgType::kServerPush) &&
@@ -453,6 +458,12 @@ void Replica::try_decide() {
     Batch batch = Batch::decode(inst.proposal->batch);
     crypto::Digest decided_digest = inst.digest;
     ConsensusId cid{next};
+    if (storage_ != nullptr) {
+      // Write-ahead: the decision must be durable before any of its effects
+      // (execution, replies, checkpoint) become visible, or a crash here
+      // would leave the replica having acted on a decision it cannot replay.
+      storage_->append_decision(cid, inst.proposal->batch);
+    }
     Bytes decided_proposal = std::move(inst.proposal->batch);
     instances_.erase(it);
     last_decided_ = cid;
@@ -883,6 +894,24 @@ void Replica::maybe_checkpoint() {
   checkpoint_digest_ = crypto::Sha256::hash(recoverable_.snapshot());
   checkpoint_cid_ = last_decided_;
   ++stats_.checkpoints;
+  write_storage_checkpoint();
+}
+
+void Replica::checkpoint_now() {
+  checkpoint_digest_ = crypto::Sha256::hash(recoverable_.snapshot());
+  checkpoint_cid_ = last_decided_;
+  ++stats_.checkpoints;
+  write_storage_checkpoint();
+}
+
+void Replica::write_storage_checkpoint() {
+  if (storage_ == nullptr || !checkpoint_digest_.has_value()) return;
+  storage::Checkpoint ckpt;
+  ckpt.cid = checkpoint_cid_;
+  ckpt.last_timestamp = last_timestamp_;
+  ckpt.app_digest = *checkpoint_digest_;
+  ckpt.full_snapshot = encode_full_snapshot();
+  storage_->write_checkpoint(ckpt);
 }
 
 void Replica::request_state_now() {
@@ -994,6 +1023,15 @@ void Replica::handle_state_reply(const StateReply& rep) {
     transferring_ = false;
     state_replies_.clear();
     ++stats_.state_transfers;
+    if (storage_ != nullptr) {
+      // The frontier just jumped past decisions this replica never logged.
+      // Persist the transferred state as a checkpoint immediately (which
+      // also truncates the now-stale WAL prefix) so the on-disk WAL never
+      // has a seq gap below the checkpoint it would replay against.
+      checkpoint_digest_ = crypto::Sha256::hash(recoverable_.snapshot());
+      checkpoint_cid_ = last_decided_;
+      write_storage_checkpoint();
+    }
     SS_LOG(LogLevel::kInfo, net_.now(), endpoint_.c_str(),
            "state transfer complete at cid=%lu",
            static_cast<unsigned long>(last_decided_.value));
@@ -1034,6 +1072,122 @@ void Replica::recover() {
   state_replies_.clear();
   StateRequest req{id_, last_decided_};
   broadcast(MsgType::kStateRequest, req.encode());
+}
+
+// --------------------------------------------------------------------------
+// durable recovery
+
+void Replica::recover_from_storage() {
+  if (storage_ == nullptr) return;
+  auto wall_start = std::chrono::steady_clock::now();
+  bool restored_checkpoint = false;
+  std::uint64_t replayed = 0;
+
+  if (std::optional<storage::Checkpoint> ckpt = storage_->load_checkpoint()) {
+    try {
+      apply_full_snapshot(ckpt->full_snapshot);
+      last_decided_ = ckpt->cid;
+      last_timestamp_ = ckpt->last_timestamp;
+      checkpoint_digest_ = ckpt->app_digest;
+      checkpoint_cid_ = ckpt->cid;
+      restored_checkpoint = true;
+    } catch (const DecodeError&) {
+      // The checkpoint file passed its CRC but its content does not decode
+      // (e.g. written by an incompatible build). Recover from genesis + WAL.
+      SS_LOG(LogLevel::kWarn, net_.now(), endpoint_.c_str(),
+             "checkpoint snapshot undecodable; recovering from WAL only");
+    }
+  }
+
+  replaying_ = true;
+  for (const storage::Wal::Record& rec : storage_->wal_records()) {
+    if (rec.seq <= last_decided_.value) continue;  // covered by checkpoint
+    if (rec.seq != last_decided_.value + 1) {
+      // A seq gap can only mean records below a checkpoint outlived it
+      // (which write_checkpoint prevents) — stop rather than execute out of
+      // order; state transfer will fill in the rest.
+      SS_LOG(LogLevel::kWarn, net_.now(), endpoint_.c_str(),
+             "wal replay: seq gap at %lu (frontier %lu); stopping replay",
+             static_cast<unsigned long>(rec.seq),
+             static_cast<unsigned long>(last_decided_.value));
+      break;
+    }
+    Batch batch;
+    try {
+      batch = Batch::decode(rec.payload);
+    } catch (const DecodeError&) {
+      SS_LOG(LogLevel::kWarn, net_.now(), endpoint_.c_str(),
+             "wal replay: undecodable batch at seq %lu; stopping replay",
+             static_cast<unsigned long>(rec.seq));
+      break;
+    }
+    ConsensusId cid{rec.seq};
+    last_decided_ = cid;
+    execute_batch(cid, batch);
+    last_timestamp_ = batch.timestamp;
+    maybe_checkpoint();
+    ++replayed;
+  }
+  replaying_ = false;
+
+  if (restored_checkpoint || replayed > 0) {
+    auto duration_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count());
+    storage_->note_recovery(duration_ns, replayed);
+    SS_LOG(LogLevel::kInfo, net_.now(), endpoint_.c_str(),
+           "recovered from storage: checkpoint=%s cid=%lu wal_replayed=%lu",
+           restored_checkpoint ? "yes" : "no",
+           static_cast<unsigned long>(last_decided_.value),
+           static_cast<unsigned long>(replayed));
+  }
+}
+
+void Replica::reboot(ByteView genesis_full_snapshot) {
+  if (!crashed_) crash();
+
+  // Back to constructed defaults, as a real process restart would be. The
+  // stats_ counters deliberately survive: they are observational, and the
+  // chaos engine's reports aggregate them across the whole run.
+  regency_ = 0;
+  last_decided_ = ConsensusId{0};
+  last_timestamp_ = 0;
+  instances_.clear();
+  pending_.clear();
+  pending_index_.clear();
+  executed_.clear();
+  reply_cache_.clear();
+  retained_writeset_.reset();
+  stall_check_armed_ = false;
+  regency_evidence_.clear();
+  for (auto& [key, timer] : suspect_timers_) timer.cancel();
+  suspect_timers_.clear();
+  highest_stop_sent_ = 0;
+  stop_regency_from_.clear();
+  stop_data_.clear();
+  sync_done_for_regency_ = true;
+  transferring_ = false;
+  state_replies_.clear();
+  state_current_votes_.clear();
+  checkpoint_digest_.reset();
+  checkpoint_cid_ = ConsensusId{0};
+  next_push_seq_ = 1;
+  byzantine_ = ByzantineMode::kNone;  // byzantine behaviour is in-memory
+
+  // The app object is shared with the "process", so put it back to what a
+  // fresh main() would construct before recovery layers anything on top.
+  if (!genesis_full_snapshot.empty()) {
+    apply_full_snapshot(genesis_full_snapshot);
+  }
+
+  recover_from_storage();
+
+  crashed_ = false;
+  net_.attach(endpoint_, [this](net::Message m) { on_message(std::move(m)); });
+  // Disk brings us to the last durable frontier; peers supply whatever was
+  // decided while we were down (bounded by what the WAL+checkpoint cover).
+  request_state_now();
 }
 
 }  // namespace ss::bft

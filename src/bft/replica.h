@@ -35,6 +35,10 @@
 #include "net/lanes.h"
 #include "net/transport.h"
 
+namespace ss::storage {
+class ReplicaStorage;
+}  // namespace ss::storage
+
 namespace ss::bft {
 
 /// Fault behaviours a test/bench can switch a replica into. A Byzantine
@@ -140,6 +144,39 @@ class Replica {
   void recover();
   bool crashed() const { return crashed_; }
 
+  // --- durability (optional; replicas run fine without it) -----------------
+
+  /// Attaches a durable store. From now on every decided batch is logged
+  /// (fsync'd) before it executes, and checkpoints are written to disk.
+  /// The storage must outlive the replica.
+  void set_storage(storage::ReplicaStorage* storage) { storage_ = storage; }
+
+  /// Restores state from the attached storage: loads the newest checkpoint,
+  /// then replays the WAL suffix through the normal execute path (with all
+  /// network sends suppressed — the outside world already saw them). Call
+  /// once at process start, before serving traffic.
+  void recover_from_storage();
+
+  /// Emulates a full process restart in place (for the deterministic
+  /// simulation, where destroying the Replica mid-run is not an option):
+  /// wipes all volatile state back to constructed defaults, restores the
+  /// given genesis image, recovers from storage, re-attaches to the network
+  /// and asks peers for whatever was decided while "down".
+  void reboot(ByteView genesis_full_snapshot);
+
+  /// Forces a checkpoint of the current frontier (and, with storage
+  /// attached, persists it). Used on graceful shutdown and by tests that
+  /// compare checkpoint digests at a known cid.
+  void checkpoint_now();
+
+  /// Asks peers for any decisions made while this replica was down. Safe to
+  /// call at any time; a transfer already in flight makes it a no-op.
+  void request_state_transfer() { request_state_now(); }
+
+  /// The full recovery image (app snapshot + dedup table + reply cache) —
+  /// what state transfer ships and checkpoints persist.
+  Bytes full_snapshot() const { return encode_full_snapshot(); }
+
   void set_byzantine(ByzantineMode mode) { byzantine_ = mode; }
   ByzantineMode byzantine() const { return byzantine_; }
 
@@ -193,6 +230,7 @@ class Replica {
 
   // --- state transfer & checkpoints ----------------------------------------
   void maybe_checkpoint();
+  void write_storage_checkpoint();
   void maybe_request_state(ConsensusId evidence_cid);
   void note_progress_evidence(ConsensusId cid);
   void request_state_now();
@@ -271,6 +309,10 @@ class Replica {
 
   std::optional<crypto::Digest> checkpoint_digest_;
   ConsensusId checkpoint_cid_{0};
+  storage::ReplicaStorage* storage_ = nullptr;  // optional, not owned
+  /// True while recover_from_storage() replays the WAL: replayed decisions
+  /// must mutate local state only, never re-emit network messages.
+  bool replaying_ = false;
   DecisionObserver decision_observer_;
   std::uint64_t next_push_seq_ = 1;  // anti-replay seq for ServerPush
   bool crashed_ = false;

@@ -164,6 +164,27 @@ void add_lossy_links(Rng& rng, const ScriptParams& params,
   }
 }
 
+void add_crash_restart_faults(Rng& rng, const ScriptParams& params,
+                              const std::vector<std::uint32_t>& impaired,
+                              FaultScript& script) {
+  for (std::uint32_t replica : impaired) {
+    SimTime start = pick_time(rng, params.horizon / 20, params.horizon / 2);
+    FaultAction kill;
+    kill.at = start;
+    kill.kind = ActionKind::kKillReplica;
+    kill.replica = replica;
+    script.actions.push_back(kill);
+    if (rng.chance(0.8)) {
+      // Supervised restart before the horizon; otherwise the drain-phase
+      // heal restarts it (a replica that stays down past the horizon).
+      FaultAction restart = kill;
+      restart.kind = ActionKind::kRestartReplica;
+      restart.at = pick_time(rng, start + millis(300), params.horizon);
+      script.actions.push_back(restart);
+    }
+  }
+}
+
 void add_rtu_faults(Rng& rng, const ScriptParams& params,
                     FaultScript& script) {
   if (!params.has_rtu) return;
@@ -196,6 +217,8 @@ const char* family_name(ScenarioFamily family) {
       return "lossy-links";
     case ScenarioFamily::kRtuFaults:
       return "rtu-faults";
+    case ScenarioFamily::kCrashRestart:
+      return "crash-restart";
     case ScenarioFamily::kMixed:
       return "mixed";
   }
@@ -243,6 +266,10 @@ std::string FaultAction::describe() const {
              " requests";
     case ActionKind::kRtuFailWrites:
       return at_ms(at) + " rtu fails " + std::to_string(count) + " writes";
+    case ActionKind::kKillReplica:
+      return at_ms(at) + " replica " + std::to_string(replica) + " killed -9";
+    case ActionKind::kRestartReplica:
+      return at_ms(at) + " replica " + std::to_string(replica) + " restarted";
   }
   return "?";
 }
@@ -278,6 +305,9 @@ FaultScript generate_script(ScenarioFamily family, const ScriptParams& params,
       break;
     case ScenarioFamily::kRtuFaults:
       add_rtu_faults(rng, params, script);
+      break;
+    case ScenarioFamily::kCrashRestart:
+      add_crash_restart_faults(rng, params, impaired, script);
       break;
     case ScenarioFamily::kMixed: {
       if (!impaired.empty()) {

@@ -30,13 +30,14 @@ enum class ScenarioFamily {
   kPartitions,         ///< replica isolation and heals (pause/restart too)
   kLossyLinks,         ///< probabilistic drop/dup/delay on replica links
   kRtuFaults,          ///< swallowed requests and failing writes in the field
+  kCrashRestart,       ///< kill -9 + supervised restart with durable state
   kMixed,              ///< everything at once, still within the fault budget
 };
 
 inline constexpr ScenarioFamily kAllFamilies[] = {
     ScenarioFamily::kByzantineReplicas, ScenarioFamily::kPartitions,
     ScenarioFamily::kLossyLinks, ScenarioFamily::kRtuFaults,
-    ScenarioFamily::kMixed};
+    ScenarioFamily::kCrashRestart, ScenarioFamily::kMixed};
 
 const char* family_name(ScenarioFamily family);
 bool parse_family(const std::string& name, ScenarioFamily& out);
@@ -52,6 +53,8 @@ enum class ActionKind {
   kHealLink,          ///< link (same patterns, heal=true)
   kRtuSwallowRequests,  ///< count: requests the RTU silently ignores
   kRtuFailWrites,       ///< count: writes the RTU answers with an error
+  kKillReplica,         ///< replica (kill -9; unsynced durable bytes vanish)
+  kRestartReplica,      ///< replica (supervised restart: recover from disk)
 };
 
 struct FaultAction {

@@ -170,9 +170,12 @@ void InvariantChecker::final_check(bool quiesced, bool expect_liveness) {
   std::uint32_t reference_replica = 0;
   std::map<std::uint64_t, std::pair<crypto::Digest, std::uint32_t>>
       checkpoint_by_cid;
+  std::uint32_t considered = 0;
+  std::uint32_t with_checkpoint = 0;
   for (std::uint32_t i = 0; i < dep_.n(); ++i) {
     bft::Replica& replica = dep_.replica(i);
     if (replica.crashed() || impaired_[i]) continue;
+    ++considered;
     std::uint64_t decided = replica.last_decided().value;
     if (!have_reference) {
       have_reference = true;
@@ -187,6 +190,7 @@ void InvariantChecker::final_check(bool quiesced, bool expect_liveness) {
       add_violation("convergence", buf);
     }
     if (replica.last_checkpoint_digest().has_value()) {
+      ++with_checkpoint;
       std::uint64_t ckpt_cid = replica.last_checkpoint_cid().value;
       auto [it, inserted] = checkpoint_by_cid.try_emplace(
           ckpt_cid,
@@ -201,6 +205,26 @@ void InvariantChecker::final_check(bool quiesced, bool expect_liveness) {
                       hex_prefix(*replica.last_checkpoint_digest()).c_str());
         add_violation("checkpoint-divergence", buf);
       }
+    }
+  }
+  if (require_checkpoint_alignment_) {
+    // The engine checkpointed every live correct replica at the quiesced
+    // frontier, so all of them must report a checkpoint, at one shared cid.
+    // Digest equality at that cid is enforced by the loop above.
+    if (with_checkpoint < considered) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "only %u of %u live correct replicas hold a checkpoint "
+                    "after forced alignment",
+                    with_checkpoint, considered);
+      add_violation("checkpoint-alignment", buf);
+    } else if (checkpoint_by_cid.size() > 1) {
+      std::string detail = "checkpoints at multiple cids after alignment:";
+      for (const auto& [cid, entry] : checkpoint_by_cid) {
+        detail += " cid=" + std::to_string(cid) + "@replica" +
+                  std::to_string(entry.second);
+      }
+      add_violation("checkpoint-alignment", detail);
     }
   }
   if (!dep_.masters_converged()) {

@@ -51,6 +51,15 @@ class InvariantChecker {
   /// The engine marks replicas impaired/restored as the script executes.
   void set_impaired(std::uint32_t replica, bool impaired);
 
+  /// When set, final_check(quiesced) additionally requires every live
+  /// correct replica to hold a checkpoint at one shared cid (the engine
+  /// forces checkpoint_now() on all of them after quiescence, so a rejoined
+  /// replica whose durable state failed to converge shows up as either a
+  /// missing checkpoint or a divergent digest).
+  void set_require_checkpoint_alignment(bool require) {
+    require_checkpoint_alignment_ = require;
+  }
+
   /// The engine reports every write it issues; completion is observed via
   /// the HMI write callback the engine forwards to note_write_completed.
   void note_write_issued(OpId op);
@@ -96,6 +105,7 @@ class InvariantChecker {
   std::map<DeliveryKey, crypto::Digest> deliveries_;
   std::map<std::uint64_t, WriteRecord> writes_;  // by op id
   std::vector<Violation> violations_;
+  bool require_checkpoint_alignment_ = false;
   std::uint64_t decisions_observed_ = 0;
   std::uint64_t writes_issued_ = 0;
   std::uint64_t writes_completed_ = 0;

@@ -70,6 +70,17 @@ class ChaosRun {
       checker_.add_violation("event-budget", e.what());
     }
     if (!runaway) {
+      if (opt_.family == ScenarioFamily::kCrashRestart) {
+        // Align checkpoints at the quiesced frontier so the checker compares
+        // digests at one shared cid — in particular, a rejoined replica's
+        // durable checkpoint must converge with the live quorum's.
+        for (std::uint32_t i = 0; i < system_.n(); ++i) {
+          if (!system_.replica(i).crashed()) {
+            system_.replica(i).checkpoint_now();
+          }
+        }
+        checker_.set_require_checkpoint_alignment(true);
+      }
       checker_.final_check(/*quiesced=*/true, /*expect_liveness=*/true);
     }
 
@@ -96,6 +107,12 @@ class ChaosRun {
                             ? 0
                             : millis(500);
     out.checkpoint_interval = 32;
+    if (options.family == ScenarioFamily::kCrashRestart) {
+      // Durable state dirs + a small checkpoint interval, so a kill landing
+      // mid-run has both a checkpoint and a WAL suffix to recover from.
+      out.durable = true;
+      out.checkpoint_interval = 8;
+    }
     // Vary the network's fault rng with the seed so probabilistic link
     // policies explore different drop patterns per run.
     std::uint64_t sm = options.seed;
@@ -192,6 +209,15 @@ class ChaosRun {
       case ActionKind::kRtuFailWrites:
         rtu_.fail_next_writes(action.count);
         break;
+      case ActionKind::kKillReplica:
+        if (!system_.replica(action.replica).crashed()) {
+          system_.kill_replica_process(action.replica);
+        }
+        break;
+      case ActionKind::kRestartReplica:
+        // No-op unless the replica is actually down from a kill.
+        system_.restart_replica_process(action.replica);
+        break;
     }
   }
 
@@ -204,7 +230,13 @@ class ChaosRun {
         system_.set_byzantine(i, bft::ByzantineMode::kNone);
       }
       checker_.set_impaired(i, false);
-      if (system_.replica(i).crashed()) system_.recover_replica(i);
+      if (system_.replica(i).crashed()) {
+        if (system_.durable() && system_.replica_killed(i)) {
+          system_.restart_replica_process(i);  // supervisor-style restart
+        } else {
+          system_.recover_replica(i);
+        }
+      }
     }
     system_.net().clear_all_faults();
     rtu_.swallow_next_requests(0);

@@ -1,5 +1,6 @@
 #include "common/bytes.h"
 
+#include <array>
 #include <stdexcept>
 
 namespace ss {
@@ -55,6 +56,26 @@ std::uint16_t crc16(ByteView data) {
     }
   }
   return crc;
+}
+
+std::uint32_t crc32(ByteView data) {
+  // Table generated once, on first use (256 * 4 bytes).
+  static const auto kTable = [] {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    crc = kTable[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
 }
 
 bool constant_time_equal(ByteView a, ByteView b) {

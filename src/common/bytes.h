@@ -33,4 +33,10 @@ bool constant_time_equal(ByteView a, ByteView b);
 /// flipped register bit would be silently accepted as a valid value.
 std::uint16_t crc16(ByteView data);
 
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320 reflected, init/xorout
+/// 0xFFFFFFFF). Guards on-disk records (WAL entries, checkpoint files)
+/// against torn writes and bit rot: a record whose stored CRC does not match
+/// is treated as never written, not as an error to propagate.
+std::uint32_t crc32(ByteView data);
+
 }  // namespace ss

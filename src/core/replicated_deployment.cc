@@ -54,11 +54,18 @@ ReplicatedDeployment::ReplicatedDeployment(ReplicatedOptions options)
   replica_options.per_decision_cost = opt_.costs.bft_consensus_overhead;
   replica_options.lanes = opt_.costs.replicated_master_lanes;
 
+  killed_.assign(n, false);
   for (std::uint32_t i = 0; i < n; ++i) {
     replicas_.push_back(std::make_unique<bft::Replica>(
         net_, opt_.group, ReplicaId{i}, keys_, *adapters_[i], *adapters_[i],
         replica_options));
     adapters_[i]->attach_replica(replicas_.back().get());
+    if (opt_.durable) {
+      replica_storage_.push_back(std::make_unique<storage::ReplicaStorage>(
+          storage_env_, "replica-" + std::to_string(i),
+          "storage/replica-" + std::to_string(i)));
+      replicas_.back()->set_storage(replica_storage_.back().get());
+    }
 
     bft::ClientOptions timeout_client_options;
     timeout_client_options.reply_timeout = opt_.client_reply_timeout;
@@ -132,9 +139,39 @@ void ReplicatedDeployment::configure_masters(
 }
 
 void ReplicatedDeployment::start() {
+  if (opt_.durable && genesis_images_.empty()) {
+    // What a freshly exec'd replica process would reconstruct from its
+    // static configuration, before any decision executed — captured now
+    // (points added, no traffic yet) so reboot() can reset the shared app
+    // objects to it.
+    genesis_images_.reserve(replicas_.size());
+    for (auto& replica : replicas_) {
+      genesis_images_.push_back(replica->full_snapshot());
+    }
+  }
   hmi_.subscribe_all();
   // Let the subscriptions order and execute before traffic starts.
   loop_.run_until(loop_.now() + millis(50));
+}
+
+void ReplicatedDeployment::kill_replica_process(std::uint32_t i) {
+  if (!opt_.durable) {
+    crash_replica(i);
+    return;
+  }
+  killed_.at(i) = true;
+  // kill -9 semantics: appended-but-unsynced bytes never reach the disk.
+  // (The WAL syncs every record before the decision takes effect, so in
+  // practice this only drops bytes a torn-write test planted deliberately.)
+  storage_env_.drop_unsynced();
+  replicas_.at(i)->crash();
+}
+
+void ReplicatedDeployment::restart_replica_process(std::uint32_t i) {
+  if (!opt_.durable || !killed_.at(i)) return;
+  killed_.at(i) = false;
+  replicas_.at(i)->reboot(genesis_images_.empty() ? ByteView{}
+                                                  : ByteView(genesis_images_.at(i)));
 }
 
 bool ReplicatedDeployment::masters_converged() const {

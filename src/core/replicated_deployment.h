@@ -20,6 +20,8 @@
 #include "sim/cost_model.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
+#include "storage/env.h"
+#include "storage/replica_storage.h"
 
 namespace ss::core {
 
@@ -37,6 +39,10 @@ struct ReplicatedOptions {
   /// Parallel-execution lanes per Adapter (paper §VII-b future work);
   /// 1 = the paper's single-threaded prototype. See AdapterOptions.
   std::uint32_t executor_lanes = 1;
+  /// Gives every replica a durable store (in-memory Env with real crash
+  /// semantics): decided batches are write-ahead logged and checkpoints hit
+  /// "disk", enabling kill_replica_process / restart_replica_process.
+  bool durable = false;
 };
 
 /// Well-known client ids.
@@ -81,6 +87,22 @@ class ReplicatedDeployment {
     replicas_.at(i)->set_byzantine(mode);
   }
 
+  /// `kill -9` of a replica "process" (durable mode only): unsynced bytes
+  /// vanish from its state dir and the replica goes silent until
+  /// restart_replica_process. Without `durable`, degrades to crash_replica.
+  void kill_replica_process(std::uint32_t i);
+  /// Restarts a killed replica the way a supervisor would restart the real
+  /// process: volatile state is lost, durable state is recovered from the
+  /// state dir, and the gap is filled by state transfer from the peers.
+  void restart_replica_process(std::uint32_t i);
+  bool replica_killed(std::uint32_t i) const { return killed_.at(i); }
+  bool durable() const { return opt_.durable; }
+
+  storage::MemEnv& storage_env() { return storage_env_; }
+  storage::ReplicaStorage* replica_storage(std::uint32_t i) {
+    return opt_.durable ? replica_storage_.at(i).get() : nullptr;
+  }
+
   /// Voter/adapter stat exposure for invariant checkers and benches.
   const PushVoterStats& hmi_voter_stats() const {
     return proxy_hmi_->voter_stats();
@@ -111,6 +133,14 @@ class ReplicatedDeployment {
   std::vector<std::unique_ptr<Adapter>> adapters_;
   std::vector<std::unique_ptr<bft::Replica>> replicas_;
   std::vector<std::unique_ptr<bft::ClientProxy>> adapter_clients_;
+
+  // Durable mode: one simulated "disk" shared by the deployment, one state
+  // dir per replica, and the genesis image reboot() restores before
+  // layering recovered state on top (captured in start(), pre-traffic).
+  storage::MemEnv storage_env_;
+  std::vector<std::unique_ptr<storage::ReplicaStorage>> replica_storage_;
+  std::vector<Bytes> genesis_images_;
+  std::vector<bool> killed_;
 
   std::unique_ptr<ComponentProxy> proxy_hmi_;
   std::unique_ptr<ComponentProxy> proxy_frontend_;

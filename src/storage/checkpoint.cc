@@ -1,0 +1,82 @@
+#include "storage/checkpoint.h"
+
+#include "common/logging.h"
+#include "common/serialization.h"
+
+namespace ss::storage {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53435031;  // "SCP1"
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(Env& env, std::string dir)
+    : env_(env),
+      dir_(std::move(dir)),
+      path_(dir_ + "/snapshot"),
+      tmp_path_(dir_ + "/snapshot.tmp") {
+  env_.create_dirs(dir_);
+}
+
+std::optional<Checkpoint> CheckpointStore::load() {
+  // A leftover snapshot.tmp is a checkpoint write that never completed its
+  // rename: its content is possibly torn and its name was never made
+  // durable. It must be ignored — the previous `snapshot` (if any) is the
+  // newest checkpoint that ever existed. Remove it so it cannot shadow a
+  // later write either.
+  if (env_.file_exists(tmp_path_)) {
+    SS_LOG(LogLevel::kWarn, 0, path_.c_str(),
+           "checkpoint: ignoring stale snapshot.tmp from an interrupted "
+           "write");
+    env_.remove_file(tmp_path_);
+  }
+
+  std::optional<Bytes> data = env_.read_file(path_);
+  if (!data.has_value()) return std::nullopt;
+  if (data->size() < 4) return std::nullopt;
+
+  // Trailing CRC covers everything before it.
+  ByteView body(data->data(), data->size() - 4);
+  Reader crc_reader(ByteView(data->data() + data->size() - 4, 4));
+  if (crc32(body) != crc_reader.u32()) {
+    SS_LOG(LogLevel::kWarn, 0, path_.c_str(),
+           "checkpoint: CRC mismatch, treating as absent");
+    return std::nullopt;
+  }
+
+  try {
+    Reader r(body);
+    if (r.u32() != kMagic) return std::nullopt;
+    Checkpoint out;
+    out.cid = r.id<ConsensusId>();
+    out.last_timestamp = r.i64();
+    Bytes digest = r.blob();
+    if (digest.size() != out.app_digest.size()) return std::nullopt;
+    std::copy(digest.begin(), digest.end(), out.app_digest.begin());
+    out.full_snapshot = r.blob();
+    r.expect_done();
+    return out;
+  } catch (const DecodeError&) {
+    SS_LOG(LogLevel::kWarn, 0, path_.c_str(),
+           "checkpoint: malformed despite CRC, treating as absent");
+    return std::nullopt;
+  }
+}
+
+void CheckpointStore::write(const Checkpoint& checkpoint) {
+  Writer w(checkpoint.full_snapshot.size() + 64);
+  w.u32(kMagic);
+  w.id(checkpoint.cid);
+  w.i64(checkpoint.last_timestamp);
+  w.blob(ByteView(checkpoint.app_digest.data(), checkpoint.app_digest.size()));
+  w.blob(checkpoint.full_snapshot);
+  std::uint32_t crc = crc32(w.bytes());
+  w.u32(crc);
+
+  env_.write_file(tmp_path_, w.bytes());   // data durable under the tmp name
+  env_.rename_file(tmp_path_, path_);      // atomic swap
+  env_.sync_dir(dir_);                     // the new name is durable too
+}
+
+}  // namespace ss::storage

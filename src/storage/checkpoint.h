@@ -1,0 +1,61 @@
+// Atomic on-disk checkpoints of replica state.
+//
+// A checkpoint bundles the consensus frontier (cid + deterministic batch
+// timestamp), the digest of the application snapshot (what cross-replica
+// convergence checks compare), and the replica's full snapshot blob (app
+// state + request-dedup table + reply cache — the same encoding state
+// transfer ships over the wire).
+//
+// Write protocol (crash-atomic):
+//   1. write snapshot.tmp and fsync it          — data durable, name not
+//   2. rename snapshot.tmp -> snapshot          — atomic swap
+//   3. fsync the containing directory           — the NAME is now durable
+//
+// A crash between 1 and 2 leaves a stale snapshot.tmp next to the previous
+// good checkpoint; load() must (and does) ignore it. A crash between 2 and
+// 3 may come back with either the old or the new checkpoint — both are
+// self-consistent because the WAL is only truncated after step 3. The file
+// carries a trailing CRC-32 so a torn step-1 write that somehow got renamed
+// (or plain bit rot) reads as "no checkpoint", never as corrupt state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "crypto/sha256.h"
+#include "storage/env.h"
+
+namespace ss::storage {
+
+struct Checkpoint {
+  ConsensusId cid{0};           ///< state is valid as of this decided instance
+  SimTime last_timestamp = 0;   ///< deterministic timestamp at that frontier
+  crypto::Digest app_digest{};  ///< Sha256 of the application snapshot
+  Bytes full_snapshot;          ///< Replica::encode_full_snapshot payload
+};
+
+class CheckpointStore {
+ public:
+  CheckpointStore(Env& env, std::string dir);
+
+  /// Loads the newest valid checkpoint. Stale `snapshot.tmp` leftovers from
+  /// a crashed write are removed, not loaded; a checkpoint that fails its
+  /// CRC or decode is treated as absent.
+  std::optional<Checkpoint> load();
+
+  /// Durably replaces the checkpoint (tmp + rename + dir fsync, see above).
+  void write(const Checkpoint& checkpoint);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Env& env_;
+  std::string dir_;
+  std::string path_;
+  std::string tmp_path_;
+};
+
+}  // namespace ss::storage

@@ -1,0 +1,214 @@
+#include "storage/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace ss::storage {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+class PosixAppendFile final : public AppendFile {
+ public:
+  PosixAppendFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixAppendFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void append(ByteView data) override {
+    std::size_t done = 0;
+    while (done < data.size()) {
+      ssize_t n = ::write(fd_, data.data() + done, data.size() - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("write", path_);
+      }
+      done += static_cast<std::size_t>(n);
+    }
+  }
+
+  void sync() override {
+    if (::fsync(fd_) != 0) throw_errno("fsync", path_);
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace
+
+std::optional<Bytes> PosixEnv::read_file(const std::string& path) const {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::nullopt;
+    throw_errno("open", path);
+  }
+  Bytes out;
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_errno("read", path);
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+void PosixEnv::write_file(const std::string& path, ByteView data) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("open", path);
+  PosixAppendFile file(fd, path);
+  file.append(data);
+  file.sync();
+  // file's destructor closes fd (it took ownership).
+}
+
+std::unique_ptr<AppendFile> PosixEnv::open_append(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) throw_errno("open", path);
+  return std::make_unique<PosixAppendFile>(fd, path);
+}
+
+void PosixEnv::rename_file(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) throw_errno("rename", from);
+}
+
+void PosixEnv::sync_dir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw_errno("open dir", dir);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw_errno("fsync dir", dir);
+  }
+  ::close(fd);
+}
+
+void PosixEnv::remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    throw_errno("unlink", path);
+  }
+}
+
+bool PosixEnv::file_exists(const std::string& path) const {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void PosixEnv::truncate_file(const std::string& path, std::size_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    throw_errno("truncate", path);
+  }
+}
+
+void PosixEnv::create_dirs(const std::string& dir) {
+  std::string partial;
+  for (std::size_t i = 0; i <= dir.size(); ++i) {
+    if (i < dir.size() && dir[i] != '/') continue;
+    partial = dir.substr(0, i == dir.size() ? i : i + 1);
+    if (partial.empty() || partial == "/") continue;
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      throw_errno("mkdir", partial);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// MemEnv
+
+namespace {
+
+class MemAppendFile final : public AppendFile {
+ public:
+  MemAppendFile(Bytes* data, std::size_t* synced_size)
+      : data_(data), synced_size_(synced_size) {}
+
+  void append(ByteView data) override {
+    data_->insert(data_->end(), data.begin(), data.end());
+  }
+
+  void sync() override { *synced_size_ = data_->size(); }
+
+ private:
+  Bytes* data_;
+  std::size_t* synced_size_;
+};
+
+}  // namespace
+
+std::optional<Bytes> MemEnv::read_file(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  return it->second.data;
+}
+
+void MemEnv::write_file(const std::string& path, ByteView data) {
+  FileState& file = files_[path];
+  file.data.assign(data.begin(), data.end());
+  file.synced_size = file.data.size();
+}
+
+std::unique_ptr<AppendFile> MemEnv::open_append(const std::string& path) {
+  FileState& file = files_[path];
+  // NOTE: the handle points into the map entry; MemEnv must outlive handles,
+  // and remove_file on a file with an open handle is not supported (the
+  // durability layer never does either).
+  return std::make_unique<MemAppendFile>(&file.data, &file.synced_size);
+}
+
+void MemEnv::rename_file(const std::string& from, const std::string& to) {
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    throw std::runtime_error("rename: no such file " + from);
+  }
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+}
+
+void MemEnv::remove_file(const std::string& path) { files_.erase(path); }
+
+bool MemEnv::file_exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+void MemEnv::truncate_file(const std::string& path, std::size_t size) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw std::runtime_error("truncate: no such file " + path);
+  }
+  FileState& file = it->second;
+  if (size < file.data.size()) file.data.resize(size);
+  if (file.synced_size > file.data.size()) {
+    file.synced_size = file.data.size();
+  }
+}
+
+void MemEnv::drop_unsynced() {
+  for (auto& [path, file] : files_) {
+    if (file.data.size() > file.synced_size) {
+      file.data.resize(file.synced_size);
+    }
+  }
+}
+
+Bytes* MemEnv::raw(const std::string& path) {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second.data;
+}
+
+}  // namespace ss::storage
+

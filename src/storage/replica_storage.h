@@ -1,0 +1,74 @@
+// Per-replica durable state: one WAL + one checkpoint store under a state
+// directory, plus the observability hooks for both.
+//
+// Layout of a state dir (e.g. $SS_STATE_DIR/replica-2):
+//   snapshot       — newest atomic checkpoint (see checkpoint.h)
+//   snapshot.tmp   — transient, only during a checkpoint write
+//   wal            — decided batches since that checkpoint (see wal.h)
+//   wal.tmp        — transient, only during a WAL truncation
+//
+// The ordering invariant the two files maintain together: the WAL record
+// for cid is durable BEFORE the decision executes, and the WAL is truncated
+// only AFTER the checkpoint covering those cids is durably renamed into
+// place. Recovery therefore always finds checkpoint ∪ WAL ⊇ everything the
+// replica ever acted on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/metrics.h"
+#include "storage/checkpoint.h"
+#include "storage/env.h"
+#include "storage/wal.h"
+
+namespace ss::storage {
+
+struct ReplicaStorageStats {
+  std::uint64_t decisions_logged = 0;
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t records_replayed = 0;  ///< WAL records replayed, last recovery
+};
+
+class ReplicaStorage {
+ public:
+  /// Opens (creating if needed) the state dir, scans the WAL, and repairs
+  /// any torn tail. `metrics_prefix` names this replica's polled stats
+  /// source in the obs registry (e.g. "storage/replica-2").
+  ReplicaStorage(Env& env, std::string dir, std::string metrics_prefix);
+
+  /// Newest valid checkpoint, or nullopt for a fresh (or wiped) replica.
+  std::optional<Checkpoint> load_checkpoint() { return checkpoints_.load(); }
+
+  /// WAL records that survived the open-time scan, in append order.
+  const std::vector<Wal::Record>& wal_records() const { return wal_.records(); }
+
+  /// Durably logs a decided batch. Returns only once the record is synced;
+  /// the fsync latency lands in the storage.fsync_ns histogram.
+  void append_decision(ConsensusId cid, ByteView batch);
+
+  /// Durably replaces the checkpoint, then drops the WAL prefix it covers.
+  void write_checkpoint(const Checkpoint& checkpoint);
+
+  /// Records a completed crash recovery (for the recoveries counter and the
+  /// storage.recovery_ns histogram).
+  void note_recovery(std::uint64_t duration_ns, std::uint64_t records_replayed);
+
+  const ReplicaStorageStats& stats() const { return stats_; }
+  const WalStats& wal_stats() const { return wal_.stats(); }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  Env& env_;
+  std::string dir_;
+  Wal wal_;
+  CheckpointStore checkpoints_;
+  ReplicaStorageStats stats_;
+  obs::SourceHandle metrics_;
+};
+
+}  // namespace ss::storage

@@ -1,0 +1,75 @@
+// Checksummed write-ahead log of decided batches.
+//
+// One record per decided consensus instance, appended before the batch is
+// executed and fsync'd before the replica acts on the decision:
+//
+//   [u32 len][u32 crc32][u64 seq][len payload bytes]      (all little-endian)
+//
+// `len` is the payload size, `seq` the ConsensusId, and the CRC covers
+// seq + payload. Recovery scans front to back and TRUNCATES at the first
+// record that is short, oversized, or fails its CRC — a torn tail from a
+// crash mid-append is indistinguishable from bit rot, and both mean "these
+// decisions were never durably logged", not "abort". Everything before the
+// first bad byte is intact by construction (records are only ever appended).
+//
+// Checkpoints bound the log: truncate_through(seq) drops the durable prefix
+// a checkpoint already covers by rewriting the suffix to wal.tmp and
+// renaming it into place (with a directory fsync), so a crash at any point
+// leaves either the old or the new log, never a spliced one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "storage/env.h"
+
+namespace ss::storage {
+
+struct WalStats {
+  std::uint64_t records_recovered = 0;  ///< intact records found at open
+  std::uint64_t torn_bytes_dropped = 0; ///< tail bytes discarded at open
+  std::uint64_t appends = 0;
+  std::uint64_t truncations = 0;
+};
+
+class Wal {
+ public:
+  struct Record {
+    std::uint64_t seq = 0;
+    Bytes payload;
+  };
+
+  /// Opens (creating if missing) `dir`/wal, scans it, and truncates any
+  /// torn tail in place so the next append lands on a clean boundary.
+  Wal(Env& env, std::string dir);
+
+  /// The intact records recovered at open time, in seq order as written.
+  const std::vector<Record>& records() const { return records_; }
+
+  /// Appends one record and fsyncs. The record is durable when this returns.
+  void append(std::uint64_t seq, ByteView payload);
+
+  /// Drops every record with seq <= `through` (atomic rewrite + rename +
+  /// directory fsync). No-op when nothing would be dropped.
+  void truncate_through(std::uint64_t through);
+
+  const WalStats& stats() const { return stats_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  static Bytes encode_record(std::uint64_t seq, ByteView payload);
+  void scan_and_repair();
+
+  Env& env_;
+  std::string dir_;
+  std::string path_;
+  std::unique_ptr<AppendFile> file_;
+  std::vector<Record> records_;  // mirror of the on-disk log (bounded by the
+                                 // checkpoint interval via truncate_through)
+  WalStats stats_;
+};
+
+}  // namespace ss::storage

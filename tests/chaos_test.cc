@@ -64,7 +64,7 @@ void expect_clean_sweep(ScenarioFamily family, std::uint32_t f,
   }
 }
 
-// --- the 500+ seed swarm: 5 families x 88 seeds at f=1, x 16 at f=2 ------
+// --- the 500+ seed swarm: 6 families x 88 seeds at f=1, x 16 at f=2 ------
 
 TEST(ChaosSweep, ByzantineReplicasF1) {
   expect_clean_sweep(ScenarioFamily::kByzantineReplicas, 1, 1, 88);
@@ -80,6 +80,10 @@ TEST(ChaosSweep, LossyLinksF1) {
 
 TEST(ChaosSweep, RtuFaultsF1) {
   expect_clean_sweep(ScenarioFamily::kRtuFaults, 1, 1, 88);
+}
+
+TEST(ChaosSweep, CrashRestartF1) {
+  expect_clean_sweep(ScenarioFamily::kCrashRestart, 1, 1, 88);
 }
 
 TEST(ChaosSweep, MixedF1) {
