@@ -578,14 +578,24 @@ pid_t spawn(const char* self, const std::vector<std::string>& args) {
 /// Orchestrator-side audit of the durable state the replicas left behind:
 /// every replica dir must hold a loadable (CRC-verified) checkpoint, and
 /// checkpoints at the same cid must carry the same application digest — the
-/// same invariant the chaos engine's checker enforces in simulation.
+/// same invariant the chaos engine's checker enforces in simulation. The
+/// audit is strictly read-only (load_read_only): when SS_STATE_DIR is kept
+/// for inspection, a leftover snapshot.tmp is evidence of an interrupted
+/// checkpoint write and must survive the audit.
 /// Returns the (possibly demoted) exit code.
 int audit_state_dirs(const std::string& root, std::uint32_t n, int code) {
   storage::PosixEnv env;
   std::map<std::uint64_t, std::pair<crypto::Digest, std::uint32_t>> by_cid;
   for (std::uint32_t i = 0; i < n; ++i) {
-    storage::CheckpointStore store(env, root + "/replica-" + std::to_string(i));
-    std::optional<storage::Checkpoint> ckpt = store.load();
+    const std::string dir = root + "/replica-" + std::to_string(i);
+    storage::CheckpointStore store(env, dir);
+    if (env.file_exists(dir + "/snapshot.tmp")) {
+      std::printf(
+          "deploy: replica/%u left a snapshot.tmp (interrupted checkpoint "
+          "write); keeping it for inspection\n",
+          i);
+    }
+    std::optional<storage::Checkpoint> ckpt = store.load_read_only();
     if (!ckpt.has_value()) {
       std::fprintf(stderr,
                    "deploy: replica/%u left no loadable checkpoint under %s\n",

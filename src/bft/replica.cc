@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <vector>
 
 #include "common/logging.h"
 #include "storage/replica_storage.h"
@@ -1099,8 +1100,13 @@ void Replica::recover_from_storage() {
     }
   }
 
+  // Replay a copy: maybe_checkpoint() inside the loop may write a durable
+  // checkpoint, and ReplicaStorage::write_checkpoint() truncates the WAL's
+  // own record vector — iterating it directly would invalidate the loop's
+  // iterators the moment a replayed seq lands on a checkpoint boundary.
+  const std::vector<storage::Wal::Record> records = storage_->wal_records();
   replaying_ = true;
-  for (const storage::Wal::Record& rec : storage_->wal_records()) {
+  for (const storage::Wal::Record& rec : records) {
     if (rec.seq <= last_decided_.value) continue;  // covered by checkpoint
     if (rec.seq != last_decided_.value + 1) {
       // A seq gap can only mean records below a checkpoint outlived it

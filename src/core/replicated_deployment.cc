@@ -161,9 +161,11 @@ void ReplicatedDeployment::kill_replica_process(std::uint32_t i) {
   }
   killed_.at(i) = true;
   // kill -9 semantics: appended-but-unsynced bytes never reach the disk.
-  // (The WAL syncs every record before the decision takes effect, so in
-  // practice this only drops bytes a torn-write test planted deliberately.)
-  storage_env_.drop_unsynced();
+  // Scoped to this replica's state dir — other replicas' processes are
+  // still alive, so their unsynced bytes must survive. (The WAL syncs every
+  // record before the decision takes effect, so in practice this only drops
+  // bytes a torn-write test planted deliberately.)
+  storage_env_.drop_unsynced("replica-" + std::to_string(i) + "/");
   replicas_.at(i)->crash();
 }
 

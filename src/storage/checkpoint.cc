@@ -31,7 +31,17 @@ std::optional<Checkpoint> CheckpointStore::load() {
            "write");
     env_.remove_file(tmp_path_);
   }
+  return parse_current();
+}
 
+std::optional<Checkpoint> CheckpointStore::load_read_only() const {
+  // Deliberately no remove_file: a leftover snapshot.tmp is still never
+  // loaded (it may be torn), but an audit must not destroy the evidence of
+  // the interrupted write it came from.
+  return parse_current();
+}
+
+std::optional<Checkpoint> CheckpointStore::parse_current() const {
   std::optional<Bytes> data = env_.read_file(path_);
   if (!data.has_value()) return std::nullopt;
   if (data->size() < 4) return std::nullopt;

@@ -46,12 +46,21 @@ class CheckpointStore {
   /// CRC or decode is treated as absent.
   std::optional<Checkpoint> load();
 
+  /// Same validation as load(), but strictly read-only: a stale
+  /// `snapshot.tmp` is still ignored, but left on disk untouched. For
+  /// orchestrator-side audits of a state dir kept for inspection, where the
+  /// tmp file is evidence of an interrupted write the user may want to
+  /// examine.
+  std::optional<Checkpoint> load_read_only() const;
+
   /// Durably replaces the checkpoint (tmp + rename + dir fsync, see above).
   void write(const Checkpoint& checkpoint);
 
   const std::string& path() const { return path_; }
 
  private:
+  std::optional<Checkpoint> parse_current() const;
+
   Env& env_;
   std::string dir_;
   std::string path_;

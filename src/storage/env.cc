@@ -197,8 +197,9 @@ void MemEnv::truncate_file(const std::string& path, std::size_t size) {
   }
 }
 
-void MemEnv::drop_unsynced() {
+void MemEnv::drop_unsynced(const std::string& prefix) {
   for (auto& [path, file] : files_) {
+    if (path.compare(0, prefix.size(), prefix) != 0) continue;
     if (file.data.size() > file.synced_size) {
       file.data.resize(file.synced_size);
     }

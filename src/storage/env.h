@@ -92,9 +92,12 @@ class MemEnv final : public Env {
   void truncate_file(const std::string& path, std::size_t size) override;
   void create_dirs(const std::string& dir) override { (void)dir; }
 
-  /// The simulated `kill -9`: every file loses the bytes appended since its
-  /// last sync(). Called by the deployment when it kills a replica process.
-  void drop_unsynced();
+  /// The simulated `kill -9`: every file whose path starts with `prefix`
+  /// loses the bytes appended since its last sync(). The deployment passes
+  /// the killed replica's state-dir prefix so one process's death cannot
+  /// drop unsynced bytes from another replica's files; an empty prefix
+  /// crashes the whole "machine".
+  void drop_unsynced(const std::string& prefix = "");
 
   /// Direct mutable access for tests that corrupt bytes on "disk".
   Bytes* raw(const std::string& path);

@@ -9,8 +9,10 @@
 #include <string>
 #include <vector>
 
+#include "bft/messages.h"
 #include "storage/env.h"
 #include "storage/replica_storage.h"
+#include "storage/wal.h"
 #include "tests/bft_harness.h"
 
 namespace ss::bft {
@@ -106,6 +108,58 @@ TEST(Durability, RestartRecoversFromDiskAlone) {
   cluster.put_round(*client, "after", "restart");
   EXPECT_TRUE(cluster.apps_converged());
   EXPECT_EQ(cluster.replicas[2]->stats().state_transfers, 0u);
+}
+
+// Regression: in socket mode a SIGKILL can land between the WAL append for
+// a boundary decision and the checkpoint rename it triggers, leaving a WAL
+// that spans a checkpoint boundary. Replay then writes a checkpoint MID
+// iteration, and that checkpoint truncates the WAL's own record vector —
+// which used to invalidate the replay loop's iterators (UB). The sim cannot
+// be killed inside that window (append/execute/checkpoint run in one
+// event), so the test plants the boundary record directly.
+TEST(Durability, ReplayAcrossCheckpointBoundarySurvivesMidReplayTruncation) {
+  ReplicaOptions options;
+  options.checkpoint_interval = 4;
+  DurableCluster cluster(1, options);
+  auto client = cluster.make_client(1);
+
+  // 7 rounds: checkpoint at 4, WAL holding 5..7.
+  for (int i = 0; i < 7; ++i) {
+    cluster.put_round(*client, "k" + std::to_string(i), "v");
+  }
+  ASSERT_EQ(cluster.replicas[2]->last_decided().value, 7u);
+  ASSERT_EQ(cluster.replicas[2]->last_checkpoint_cid().value, 4u);
+
+  cluster.kill(2);
+
+  // Decisions 8..10 reached the WAL (appended + synced) but the process
+  // died before the checkpoint at 8 was renamed into place. Records PAST
+  // the boundary matter: the mid-replay truncation destroys exactly those
+  // trailing vector slots, so an iterator left dangling by it would read
+  // freed payloads. Empty batches keep the records decodable without
+  // forging client authenticators (replay does not re-validate what
+  // consensus already ordered).
+  {
+    storage::Wal wal(cluster.env, cluster.dir(2));
+    for (std::uint64_t seq = 8; seq <= 10; ++seq) {
+      wal.append(seq, Batch{}.encode());
+    }
+  }
+
+  cluster.restart(2);
+
+  // Replay covered 5..10, crossing the interval-4 boundary at 8: the
+  // mid-replay checkpoint truncated the WAL without derailing the loop,
+  // and disk holds the boundary checkpoint plus the replayed suffix.
+  EXPECT_EQ(cluster.replicas[2]->last_decided().value, 10u);
+  EXPECT_EQ(cluster.replicas[2]->last_checkpoint_cid().value, 8u);
+  EXPECT_EQ(cluster.stores[2]->stats().records_replayed, 6u);
+  ASSERT_EQ(cluster.stores[2]->wal_records().size(), 2u);
+  EXPECT_EQ(cluster.stores[2]->wal_records()[0].seq, 9u);
+  ASSERT_TRUE(cluster.stores[2]->load_checkpoint().has_value());
+  EXPECT_EQ(cluster.stores[2]->load_checkpoint()->cid.value, 8u);
+  // No traffic afterwards: the planted cid-8 batch is not what the live
+  // replicas will decide at cid 8, so this replica must stay retired.
 }
 
 TEST(Durability, MissedDecisionsAreFilledByStateTransfer) {

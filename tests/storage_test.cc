@@ -42,6 +42,22 @@ TEST(MemEnv, DropUnsyncedLosesOnlyUnsyncedBytes) {
   EXPECT_EQ(env.read_file("f").value(), payload_of("durable"));
 }
 
+TEST(MemEnv, DropUnsyncedScopedByPrefixSparesOtherReplicas) {
+  MemEnv env;
+  auto mine = env.open_append("replica-1/wal");
+  mine->append(payload_of("mine-unsynced"));
+  auto theirs = env.open_append("replica-10/wal");
+  theirs->append(payload_of("theirs-unsynced"));
+
+  // Killing replica 1 must not touch replica 10's in-flight bytes (note the
+  // trailing "/": "replica-1" alone would prefix-match "replica-10" too).
+  env.drop_unsynced("replica-1/");
+
+  EXPECT_EQ(env.read_file("replica-1/wal").value(), Bytes{});
+  EXPECT_EQ(env.read_file("replica-10/wal").value(),
+            payload_of("theirs-unsynced"));
+}
+
 TEST(MemEnv, RenameIsAtomicReplace) {
   MemEnv env;
   env.write_file("a", payload_of("new"));
@@ -204,6 +220,20 @@ TEST(CheckpointStore, StaleTmpFromACrashedWriteIsIgnoredAndRemoved) {
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->cid.value, 42u);
   EXPECT_FALSE(env.file_exists("d/snapshot.tmp"));
+}
+
+TEST(CheckpointStore, ReadOnlyLoadIgnoresButKeepsStaleTmp) {
+  MemEnv env;
+  CheckpointStore store(env, "d");
+  store.write(sample_checkpoint());
+  env.write_file("d/snapshot.tmp", payload_of("torn half-written junk"));
+
+  // An audit must see the good checkpoint without destroying the tmp file —
+  // it is the evidence of the interrupted write.
+  std::optional<Checkpoint> loaded = store.load_read_only();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->cid.value, 42u);
+  EXPECT_TRUE(env.file_exists("d/snapshot.tmp"));
 }
 
 TEST(CheckpointStore, CorruptCheckpointReadsAsAbsent) {
