@@ -29,6 +29,9 @@
 // With SS_STATE_DIR=<dir> each replica keeps a WAL + checkpoint under
 // <dir>/replica-<id> (fsync'd before decisions execute) and recovers from
 // it on startup; SS_CHECKPOINT_INTERVAL overrides the checkpoint period.
+// With SS_RUNNER=pooled:<N> each replica fans HMAC verify/sign and message
+// codec out to N worker threads (core::PooledOrderedRunner); the state
+// machine and all sends stay on the poll thread.
 //
 // The HMI process drives the paper's two §IV-E use cases end-to-end and is
 // the deployment's exit status: an Item update (RTU sensor -> Frontend ->
@@ -57,6 +60,7 @@
 #include "core/nodes.h"
 #include "core/proxies.h"
 #include "core/replicated_deployment.h"
+#include "core/runner.h"
 #include "core/scada_link.h"
 #include "crypto/keychain.h"
 #include "net/resolver.h"
@@ -278,6 +282,19 @@ int run_replica(const std::string& config, GroupConfig group,
   bft::Replica replica(transport, group, ReplicaId{id}, keys, adapter,
                        adapter, replica_options);
   adapter.attach_replica(&replica);
+
+  // SS_RUNNER=pooled:<N> fans HMAC/codec work out to N workers; results
+  // drain back on the poll thread via the runner's eventfd. Constructed
+  // after the replica so its destructor (stop + join workers) runs first —
+  // no task can touch the replica once it is gone.
+  std::unique_ptr<core::Runner> runner =
+      core::make_runner_from_env("replica-" + std::to_string(id));
+  replica.set_runner(runner.get());
+  if (runner->notify_fd() >= 0) {
+    transport.add_pollable(runner->notify_fd(), [&] { runner->drain(); });
+    std::fprintf(stderr, "[replica/%u] runner: %u workers\n", id,
+                 runner->workers());
+  }
 
   bft::ClientProxy timeout_client(
       transport, group, ClientId{core::kAdapterClientBase + id}, keys);
@@ -824,7 +841,11 @@ int usage() {
       "       deploy rtu --config FILE\n"
       "env:   SS_STATE_DIR=<dir>            durable replica state (WAL +\n"
       "                                     checkpoints) under <dir>/replica-<id>\n"
-      "       SS_CHECKPOINT_INTERVAL=<n>    checkpoint every n decisions\n");
+      "       SS_CHECKPOINT_INTERVAL=<n>    checkpoint every n decisions\n"
+      "       SS_RUNNER=inline|pooled:N|spin:N\n"
+      "                                     replica crypto/codec runner: N\n"
+      "                                     worker threads for HMAC + codec\n"
+      "                                     (default inline, single-threaded)\n");
   return 2;
 }
 

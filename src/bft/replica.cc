@@ -35,6 +35,7 @@ Replica::Replica(net::Transport& net, GroupConfig group, ReplicaId id,
       recoverable_(state),
       opt_(options),
       lanes_(net, options.lanes),
+      runner_(options.runner != nullptr ? options.runner : &inline_runner_),
       byz_rng_(0xBAD0000 + id.value) {
   opt_.max_batch = std::max<std::uint32_t>(opt_.max_batch, 1);
   net_.attach(endpoint_, [this](net::Message m) { on_message(std::move(m)); });
@@ -48,40 +49,110 @@ Replica::~Replica() { net_.detach(endpoint_); }
 void Replica::on_message(net::Message msg) {
   if (crashed_) return;
   lanes_.submit(opt_.per_message_cost,
-                [this, payload = std::move(msg.payload)]() {
+                [this, payload = std::move(msg.payload)]() mutable {
                   if (crashed_) return;
-                  Envelope env;
-                  try {
-                    env = Envelope::decode(payload);
-                  } catch (const DecodeError&) {
-                    ++stats_.decode_failures;
-                    return;
-                  }
-                  Bytes material =
-                      mac_material(env.type, env.sender, endpoint_, env.body);
-                  if (!keys_.verify(env.sender, endpoint_, material, env.mac)) {
-                    ++stats_.mac_failures;
-                    return;
-                  }
-                  try {
-                    dispatch(std::move(env));
-                  } catch (const DecodeError&) {
-                    ++stats_.decode_failures;
-                  }
+                  runner_->submit([this, payload = std::move(payload)]()
+                                      -> core::Runner::Solo {
+                    auto in = std::make_shared<Inbound>(prevalidate(payload));
+                    return [this, in] { deliver(std::move(*in)); };
+                  });
                 });
 }
 
-void Replica::dispatch(Envelope env) {
+Replica::Inbound Replica::prevalidate(const Bytes& payload) const {
+  // Runs on a runner worker thread: everything it reads (endpoint_, keys_,
+  // group_, id_) is immutable for the replica's lifetime, and every
+  // operation (decode, HMAC, SHA-256) is a pure function of its inputs.
+  Inbound in;
+  try {
+    in.env = Envelope::decode(payload);
+  } catch (const DecodeError&) {
+    in.decode_failed = true;
+    return in;
+  }
+  Bytes material =
+      mac_material(in.env.type, in.env.sender, endpoint_, in.env.body);
+  if (!keys_.verify(in.env.sender, endpoint_, material, in.env.mac)) {
+    in.mac_failed = true;
+    return in;
+  }
+  switch (in.env.type) {
+    case MsgType::kClientRequest: {
+      // A failed pre-decode leaves pre.request empty; the driver-side
+      // handler re-decodes inline and counts the failure there, keeping
+      // the stats accounting in one place.
+      try {
+        ClientRequest req = ClientRequest::decode(in.env.body);
+        in.pre.request_auth_ok =
+            req.auth.size() == group_.n &&
+            keys_.verify(crypto::client_principal(req.client), endpoint_,
+                         req.encode_core(), req.auth[id_.value]);
+        in.pre.request = std::move(req);
+      } catch (const DecodeError&) {
+      }
+      break;
+    }
+    case MsgType::kPropose: {
+      try {
+        Propose p = Propose::decode(in.env.body);
+        PrevalidatedPropose pp;
+        pp.digest = crypto::Sha256::hash(p.batch);
+        try {
+          pp.batch.batch = Batch::decode(p.batch);
+          pp.batch.decoded = true;
+          pp.batch.auth_ok = true;
+          for (const ClientRequest& req : pp.batch.batch.requests) {
+            if (req.auth.size() != group_.n ||
+                !keys_.verify(crypto::client_principal(req.client), endpoint_,
+                              req.encode_core(), req.auth[id_.value])) {
+              pp.batch.auth_ok = false;
+              break;
+            }
+          }
+        } catch (const DecodeError&) {
+        }
+        in.pre.propose_pre = std::move(pp);
+        in.pre.propose = std::move(p);
+      } catch (const DecodeError&) {
+      }
+      break;
+    }
+    default:
+      break;  // other message bodies are cheap; decoded on the driver
+  }
+  return in;
+}
+
+void Replica::deliver(Inbound in) {
+  if (crashed_) return;
+  if (in.decode_failed) {
+    ++stats_.decode_failures;
+    return;
+  }
+  if (in.mac_failed) {
+    ++stats_.mac_failures;
+    return;
+  }
+  try {
+    dispatch(std::move(in.env), std::move(in.pre));
+  } catch (const DecodeError&) {
+    ++stats_.decode_failures;
+  }
+}
+
+void Replica::dispatch(Envelope env, Prevalidated pre) {
   switch (env.type) {
     case MsgType::kClientRequest:
-      handle_client_request(env);
+      handle_client_request(env, pre);
       break;
     case MsgType::kPropose: {
-      Propose p = Propose::decode(env.body);
+      Propose p = pre.propose.has_value() ? std::move(*pre.propose)
+                                          : Propose::decode(env.body);
       // The envelope sender must be the leader the message claims.
       if (env.sender != crypto::replica_principal(p.leader)) return;
       if (group_.leader_for(p.regency) != p.leader) return;
-      handle_propose(std::move(p), /*from_sync=*/false);
+      handle_propose(std::move(p), /*from_sync=*/false,
+                     std::move(pre.propose_pre));
       break;
     }
     case MsgType::kWrite: {
@@ -147,12 +218,23 @@ void Replica::send_envelope(const std::string& to, MsgType type, Bytes body) {
     v.value[0] ^= 0xff;
     body = v.encode();
   }
-  Envelope env;
-  env.type = type;
-  env.sender = endpoint_;
-  env.body = std::move(body);
-  env.mac = keys_.mac(endpoint_, to, mac_material(type, endpoint_, to, env.body));
-  net_.send(endpoint_, to, env.encode());
+  // MAC + wire encoding are pure: offload them to the runner. The solo only
+  // hands the finished bytes to the transport, so outbound messages leave
+  // in submission order from the driver thread.
+  runner_->submit(
+      [this, to, type, body = std::move(body)]() mutable -> core::Runner::Solo {
+        Envelope env;
+        env.type = type;
+        env.sender = endpoint_;
+        env.body = std::move(body);
+        env.mac =
+            keys_.mac(endpoint_, to, mac_material(type, endpoint_, to, env.body));
+        auto wire = std::make_shared<Bytes>(env.encode());
+        return [this, to = std::move(to), wire] {
+          if (crashed_) return;
+          net_.send(endpoint_, to, std::move(*wire));
+        };
+      });
 }
 
 void Replica::broadcast(MsgType type, const Bytes& body) {
@@ -165,8 +247,20 @@ void Replica::broadcast(MsgType type, const Bytes& body) {
 // --------------------------------------------------------------------------
 // client requests
 
-void Replica::handle_client_request(const Envelope& env) {
-  ClientRequest req = ClientRequest::decode(env.body);
+void Replica::handle_client_request(const Envelope& env, Prevalidated& pre) {
+  // Decode and authenticator verification are worker-side when the message
+  // came through prevalidate(); the inline fallback covers everything else.
+  ClientRequest req;
+  bool auth_ok;
+  if (pre.request.has_value()) {
+    auth_ok = pre.request_auth_ok;
+    req = std::move(*pre.request);
+  } else {
+    req = ClientRequest::decode(env.body);
+    auth_ok = req.auth.size() == group_.n &&
+              keys_.verify(crypto::client_principal(req.client), endpoint_,
+                           req.encode_core(), req.auth[id_.value]);
+  }
   // The envelope may come from the client itself or from a replica
   // forwarding a stalled request; either way the request's own
   // authenticator (below) is what proves the client issued it.
@@ -181,11 +275,9 @@ void Replica::handle_client_request(const Envelope& env) {
     if (!from_replica) return;
   }
 
-  // Verify this replica's entry in the request authenticator, so that a
-  // batch containing the request can be validated by every follower.
-  if (req.auth.size() != group_.n ||
-      !keys_.verify(crypto::client_principal(req.client), endpoint_,
-                    req.encode_core(), req.auth[id_.value])) {
+  // This replica's entry in the request authenticator must verify, so that
+  // a batch containing the request can be validated by every follower.
+  if (!auth_ok) {
     ++stats_.auth_failures;
     return;
   }
@@ -345,7 +437,19 @@ void Replica::maybe_propose() {
   handle_propose(std::move(p), /*from_sync=*/false);
 }
 
-bool Replica::validate_proposal(const Propose& p, Batch& out_batch) {
+bool Replica::validate_proposal(Instance& inst, Batch& out_batch) {
+  if (inst.prevalidated.has_value()) {
+    // The runner worker already decoded the batch and checked every request
+    // authenticator; only the state-dependent checks remain.
+    PrevalidatedBatch pre = std::move(*inst.prevalidated);
+    inst.prevalidated.reset();
+    if (!pre.decoded || !pre.auth_ok) return false;
+    out_batch = std::move(pre.batch);
+    if (out_batch.timestamp <= last_timestamp_) return false;
+    if (out_batch.requests.empty()) return false;
+    return true;
+  }
+  const Propose& p = *inst.proposal;
   try {
     out_batch = Batch::decode(p.batch);
   } catch (const DecodeError&) {
@@ -363,7 +467,8 @@ bool Replica::validate_proposal(const Propose& p, Batch& out_batch) {
   return true;
 }
 
-void Replica::handle_propose(Propose p, bool from_sync) {
+void Replica::handle_propose(Propose p, bool from_sync,
+                             std::optional<PrevalidatedPropose> pre) {
   (void)from_sync;
   if (p.regency > regency_) note_regency_evidence(p.leader, p.regency);
   if (p.regency != regency_) return;
@@ -371,7 +476,8 @@ void Replica::handle_propose(Propose p, bool from_sync) {
 
   ConsensusId inst_cid = p.cid;
   Instance& inst = instances_[p.cid.value];
-  crypto::Digest digest = crypto::Sha256::hash(p.batch);
+  crypto::Digest digest =
+      pre.has_value() ? pre->digest : crypto::Sha256::hash(p.batch);
   if (inst.proposal.has_value()) {
     if (inst.digest != digest) {
       // Equivocation: the leader sent conflicting proposals for one
@@ -386,6 +492,7 @@ void Replica::handle_propose(Propose p, bool from_sync) {
   note_progress_evidence(inst_cid);
   inst.proposal = std::move(p);
   inst.digest = digest;
+  if (pre.has_value()) inst.prevalidated = std::move(pre->batch);
   try_decide();
 }
 
@@ -427,7 +534,7 @@ void Replica::try_decide() {
 
     if (!inst.write_sent) {
       Batch batch;
-      if (!validate_proposal(*inst.proposal, batch)) {
+      if (!validate_proposal(inst, batch)) {
         SS_LOG(LogLevel::kWarn, net_.now(), endpoint_.c_str(),
                "invalid proposal for cid=%lu; suspecting leader",
                static_cast<unsigned long>(next));

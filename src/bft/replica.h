@@ -31,6 +31,7 @@
 #include "bft/messages.h"
 #include "common/config.h"
 #include "common/rng.h"
+#include "core/runner.h"
 #include "crypto/keychain.h"
 #include "net/lanes.h"
 #include "net/transport.h"
@@ -68,6 +69,13 @@ struct ReplicaOptions {
   /// Virtual CPU cost charged per decided batch (bookkeeping).
   SimTime per_decision_cost = 0;
   std::uint32_t lanes = 1;
+  /// Crypto/codec runner (core/runner.h): HMAC verify of inbound messages,
+  /// HMAC sign + encode of outbound ones, and message decode run as runner
+  /// tasks; the state machine stays on the driver thread. Null selects the
+  /// replica's own InlineRunner (fully synchronous — the simulated backend
+  /// stays byte-identical). Not owned; must outlive the replica unless
+  /// swapped out via set_runner() first.
+  core::Runner* runner = nullptr;
 };
 
 struct ReplicaStats {
@@ -180,7 +188,44 @@ class Replica {
   void set_byzantine(ByzantineMode mode) { byzantine_ = mode; }
   ByzantineMode byzantine() const { return byzantine_; }
 
+  /// Swaps the crypto/codec runner (null restores the internal
+  /// InlineRunner). Drain the old runner before swapping: in-flight tasks
+  /// capture `this` and deliver through whichever runner ran them.
+  void set_runner(core::Runner* runner) {
+    runner_ = runner != nullptr ? runner : &inline_runner_;
+  }
+  core::Runner& runner() { return *runner_; }
+
  private:
+  /// Worker-side pre-validation results: pure functions of the wire payload
+  /// and the replica's immutable identity (keys, group, id). Computed by
+  /// Runner tasks on worker threads, consumed by the driver-side handlers,
+  /// which fall back to computing inline when a field is absent (sync-path
+  /// proposals, the leader's own proposal).
+  struct PrevalidatedBatch {
+    bool decoded = false;
+    bool auth_ok = false;  ///< every request authenticator verified
+    Batch batch;
+  };
+  struct PrevalidatedPropose {
+    crypto::Digest digest{};  ///< Sha256 of the proposal's batch bytes
+    PrevalidatedBatch batch;
+  };
+  struct Prevalidated {
+    std::optional<ClientRequest> request;  ///< decoded kClientRequest body
+    bool request_auth_ok = false;
+    std::optional<Propose> propose;  ///< decoded kPropose body
+    std::optional<PrevalidatedPropose> propose_pre;
+  };
+  /// One inbound message after the worker-side prologue (decode + MAC
+  /// verify + pre-validation), delivered to the driver in receive order.
+  struct Inbound {
+    bool decode_failed = false;
+    bool mac_failed = false;
+    Envelope env;
+    Prevalidated pre;
+  };
+
   struct Instance {
     std::optional<Propose> proposal;
     crypto::Digest digest{};
@@ -188,18 +233,26 @@ class Replica {
     bool accept_sent = false;
     std::map<ReplicaId, crypto::Digest> writes;
     std::map<ReplicaId, crypto::Digest> accepts;
+    /// Worker-verified batch for this proposal, consumed by
+    /// validate_proposal (absent on the inline fallback paths).
+    std::optional<PrevalidatedBatch> prevalidated;
   };
 
   using PendingKey = std::pair<std::uint64_t, std::uint64_t>;  // client, seq
 
   // --- networking ---------------------------------------------------------
   void on_message(net::Message msg);
-  void dispatch(Envelope env);
+  /// Worker-thread prologue: decode + MAC verify + per-type pre-validation.
+  /// Must only touch immutable state (it runs concurrently with the driver).
+  Inbound prevalidate(const Bytes& payload) const;
+  /// Driver-thread epilogue: stats for failed prologues, then dispatch.
+  void deliver(Inbound in);
+  void dispatch(Envelope env, Prevalidated pre);
   void send_envelope(const std::string& to, MsgType type, Bytes body);
   void broadcast(MsgType type, const Bytes& body);
 
   // --- client requests ----------------------------------------------------
-  void handle_client_request(const Envelope& env);
+  void handle_client_request(const Envelope& env, Prevalidated& pre);
   bool already_executed(ClientId client, RequestId seq) const;
   void remember_executed(ClientId client, RequestId seq);
   void enqueue_pending(ClientRequest req);
@@ -208,14 +261,15 @@ class Replica {
 
   // --- consensus ----------------------------------------------------------
   void maybe_propose();
-  void handle_propose(Propose p, bool from_sync);
+  void handle_propose(Propose p, bool from_sync,
+                      std::optional<PrevalidatedPropose> pre = std::nullopt);
   void handle_write(const PhaseVote& v);
   void handle_accept(const PhaseVote& v);
   std::uint32_t matching_votes(const std::map<ReplicaId, crypto::Digest>& votes,
                                const crypto::Digest& value) const;
   void try_decide();
   void execute_batch(ConsensusId cid, const Batch& batch);
-  bool validate_proposal(const Propose& p, Batch& out_batch);
+  bool validate_proposal(Instance& inst, Batch& out_batch);
   Batch make_batch();
 
   // --- view change --------------------------------------------------------
@@ -250,6 +304,8 @@ class Replica {
   Recoverable& recoverable_;
   ReplicaOptions opt_;
   net::Lanes lanes_;
+  core::InlineRunner inline_runner_;
+  core::Runner* runner_;  // never null; defaults to &inline_runner_
 
   std::uint64_t regency_ = 0;
   ConsensusId last_decided_{0};

@@ -7,9 +7,11 @@
 #include <time.h>
 #include <unistd.h>
 
+#include <cassert>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/serialization.h"
@@ -397,6 +399,19 @@ void SocketTransport::fire_due_timers() {
   }
 }
 
+void SocketTransport::add_pollable(int fd, std::function<void()> on_ready) {
+  pollables_.emplace_back(fd, std::move(on_ready));
+}
+
+void SocketTransport::remove_pollable(int fd) {
+  for (auto it = pollables_.begin(); it != pollables_.end(); ++it) {
+    if (it->first == fd) {
+      pollables_.erase(it);
+      return;
+    }
+  }
+}
+
 void SocketTransport::expire_reassemblies() {
   SimTime t = now();
   if (t - last_gc_ < opt_.reassembly_timeout / 2) return;
@@ -412,6 +427,16 @@ void SocketTransport::expire_reassemblies() {
 }
 
 std::size_t SocketTransport::poll_once(SimTime max_wait) {
+#ifndef NDEBUG
+  // Bind the loop to its first caller, then hold every later iteration to
+  // it: delivery, timers, and pollable (runner-drain) callbacks must share
+  // one thread — see the threading contract in the header.
+  if (loop_thread_ == std::thread::id{}) {
+    loop_thread_ = std::this_thread::get_id();
+  }
+  assert(loop_thread_ == std::this_thread::get_id() &&
+         "SocketTransport must be polled from a single thread");
+#endif
   std::uint64_t delivered_before =
       stats_.messages_delivered + stats_.timers_fired;
   flush_outbox();
@@ -428,8 +453,16 @@ std::size_t SocketTransport::poll_once(SimTime max_wait) {
   snapshot.reserve(endpoints_.size());
   for (const auto& [name, ep] : endpoints_) snapshot.emplace_back(name, ep.fd);
   std::vector<pollfd> fds;
-  fds.reserve(snapshot.size());
+  fds.reserve(snapshot.size() + pollables_.size());
   for (const auto& [name, fd] : snapshot) {
+    fds.push_back(pollfd{fd, POLLIN, 0});
+  }
+  // Pollables after the sockets; their fds are snapshotted too, since a
+  // callback may add/remove pollables.
+  std::vector<int> extra;
+  extra.reserve(pollables_.size());
+  for (const auto& [fd, cb] : pollables_) {
+    extra.push_back(fd);
     fds.push_back(pollfd{fd, POLLIN, 0});
   }
 
@@ -440,10 +473,25 @@ std::size_t SocketTransport::poll_once(SimTime max_wait) {
     ::poll(nullptr, 0, timeout_ms);
   }
   if (ready > 0) {
-    for (std::size_t i = 0; i < fds.size(); ++i) {
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
       if (fds[i].revents & (POLLIN | POLLERR)) {
         read_socket(snapshot[i].first, snapshot[i].second);
       }
+    }
+    for (std::size_t i = 0; i < extra.size(); ++i) {
+      if ((fds[snapshot.size() + i].revents & (POLLIN | POLLERR)) == 0) {
+        continue;
+      }
+      // Re-look-up by fd and copy the callback: it may add/remove
+      // pollables itself, reallocating the vector mid-call.
+      std::function<void()> cb;
+      for (const auto& [fd, fn] : pollables_) {
+        if (fd == extra[i]) {
+          cb = fn;
+          break;
+        }
+      }
+      if (cb) cb();
     }
   }
 

@@ -11,6 +11,17 @@
 // loop: handlers and timer actions run on the polling thread and never
 // re-entrantly inside send().
 //
+// Threading contract: everything on this class — attach/detach, send,
+// poll_once/run, handlers, timer actions, and the pollable callbacks
+// registered via add_pollable — runs on ONE thread, the poll-loop thread.
+// Debug builds assert it (poll_once binds the loop to the first calling
+// thread). This is what lets a core::PooledOrderedRunner coexist with the
+// transport: its worker threads never touch the transport; they signal an
+// eventfd that is registered here as a pollable, so the runner's completion
+// drain (and thus every replica state mutation and every send) happens on
+// the same thread that delivers messages — the PR 3 reassembly state, the
+// outbox, and the handler map all stay single-threaded.
+//
 // Delivery is UDP: unreliable and unordered. That is exactly the fault
 // model the BFT stack already tolerates (clients retransmit, replicas
 // dedupe), and the HMAC layer above the transport rejects anything a real
@@ -23,6 +34,7 @@
 #include <memory>
 #include <queue>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -110,6 +122,13 @@ class SocketTransport final : public Transport {
 
   void stop() { stopped_ = true; }
 
+  /// Adds an external fd (e.g. a runner's completion eventfd) to the poll
+  /// set; `on_ready` runs on the poll-loop thread whenever the fd is
+  /// readable. The callback consumes the readiness itself (read the fd).
+  /// The fd is not owned; remove it before closing it.
+  void add_pollable(int fd, std::function<void()> on_ready);
+  void remove_pollable(int fd);
+
   /// Optional hook polled every iteration (e.g. a signal flag); returning
   /// true stops the loop.
   void set_interrupt_check(std::function<bool()> check) {
@@ -183,9 +202,18 @@ class SocketTransport final : public Transport {
       reassembly_;
   SimTime last_gc_ = 0;
 
+  /// External fds (runner eventfds) polled alongside the sockets.
+  std::vector<std::pair<int, std::function<void()>>> pollables_;
+
   Bytes rx_buffer_;
   SocketStats stats_;
   obs::SourceHandle obs_source_;
+
+#ifndef NDEBUG
+  /// poll_once binds the loop to its first caller; later calls (and the
+  /// state they drive) must come from that same thread.
+  std::thread::id loop_thread_{};
+#endif
 };
 
 }  // namespace ss::net

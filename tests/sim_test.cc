@@ -5,6 +5,11 @@
 #include <string>
 #include <vector>
 
+#include "core/replicated_deployment.h"
+#include "core/runner.h"
+#include "obs/trace.h"
+#include "scada/messages.h"
+#include "scada/variant.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
 #include "sim/service_lane.h"
@@ -280,6 +285,80 @@ TEST(ServiceLanes, ZeroCostCompletesImmediately) {
   loop.run();
   EXPECT_TRUE(done);
   EXPECT_EQ(loop.now(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Runner-seam determinism regression (PR 6)
+//
+// The runner seam threaded through bft::Replica must be invisible to the
+// simulator: a full replicated write round produces the exact same virtual
+// timeline (trace spans), the same wire traffic, and the same replica state
+// bytes whether the replicas use their built-in InlineRunner or one we
+// install explicitly. Run twice with defaults to establish the baseline is
+// itself reproducible, then once with explicit runners — all three
+// signatures must be byte-identical.
+
+namespace {
+
+/// Full-fidelity signature of one simulated write round: every trace span
+/// (op, stage, component, virtual begin/end), the network counters, the
+/// final virtual time, and each replica's full state snapshot bytes.
+std::string write_round_signature(bool explicit_inline_runner) {
+  obs::Tracer::instance().reset();
+  core::ReplicatedDeployment system;
+  std::vector<core::InlineRunner> runners(system.n());
+  if (explicit_inline_runner) {
+    for (std::uint32_t i = 0; i < system.n(); ++i) {
+      system.replica(i).set_runner(&runners[i]);
+    }
+  }
+  ItemId item = system.add_point("breaker/1", scada::Variant{0.0});
+  system.start();
+
+  scada::WriteResult result;
+  bool done = false;
+  system.hmi().write(item, scada::Variant{1.0},
+                     [&](const scada::WriteResult& r) {
+                       result = r;
+                       done = true;
+                     });
+  system.settle();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(result.status, scada::WriteStatus::kOk);
+
+  std::string sig;
+  for (const obs::Span& span : obs::Tracer::instance().spans()) {
+    sig += std::to_string(span.op) + "|" + span.stage + "|" + span.component +
+           "|" + std::to_string(span.begin) + "|" + std::to_string(span.end) +
+           "\n";
+  }
+  const NetworkStats& stats = system.net().stats();
+  sig += "net " + std::to_string(stats.sent) + " " +
+         std::to_string(stats.delivered) + " " + std::to_string(stats.bytes) +
+         "\n";
+  sig += "now " + std::to_string(system.loop().now()) + "\n";
+  for (std::uint32_t i = 0; i < system.n(); ++i) {
+    Bytes snapshot = system.replica(i).full_snapshot();
+    sig += "replica " + std::to_string(i) + " ";
+    sig.append(reinterpret_cast<const char*>(snapshot.data()),
+               snapshot.size());
+    sig += "\n";
+  }
+  obs::Tracer::instance().reset();
+  return sig;
+}
+
+}  // namespace
+
+TEST(RunnerDeterminism, InlineRunnerLeavesSimTimelineUnchanged) {
+  std::string baseline = write_round_signature(false);
+  EXPECT_FALSE(baseline.empty());
+  EXPECT_NE(baseline.find("agreement"), std::string::npos)
+      << "write round never reached the BFT layer";
+  EXPECT_EQ(write_round_signature(false), baseline)
+      << "sim run is not reproducible at all";
+  EXPECT_EQ(write_round_signature(true), baseline)
+      << "explicit InlineRunner changed the simulated timeline or bytes";
 }
 
 }  // namespace
