@@ -31,7 +31,7 @@ double update_throughput(std::uint32_t max_batch) {
   ItemId item = system.add_point("feeder");
   system.start();
   std::uint64_t count = 0;
-  auto tick = [&] {
+  auto tick = [&](SimTime) {
     system.frontend().field_update(item, scada::Variant{double(count++)});
   };
   drive_open_loop(system.loop(), 1000.0, kWarmup, tick);

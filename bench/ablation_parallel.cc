@@ -53,7 +53,7 @@ double run(double rate, std::uint32_t executor_lanes, int items) {
   system.start();
 
   std::uint64_t count = 0;
-  auto tick = [&] {
+  auto tick = [&](SimTime) {
     system.frontend().field_update(points[count % points.size()],
                                    scada::Variant{double(count)});
     ++count;

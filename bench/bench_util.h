@@ -54,19 +54,38 @@ inline void print_stage_breakdown(const std::vector<StageSummary>& stages) {
   }
 }
 
-/// Open-loop workload: calls `tick` at `rate_per_sec` for `duration`,
-/// starting at the loop's current time.
+/// Open-loop workload: calls `tick(scheduled)` at `rate_per_sec` for
+/// `duration`. Every arrival time is fixed up front against an absolute
+/// epoch (arrival k fires at epoch + k*period, never at "previous tick +
+/// period"), and the tick receives its *scheduled* time — latency probes
+/// must measure from it, not from loop.now() at emission. Chained relative
+/// scheduling would let any tick that fires late push every later arrival
+/// back, silently thinning the workload exactly when the system is slow —
+/// the coordinated-omission failure mode the src/load driver exists to
+/// avoid (see load/schedule.h).
 inline void drive_open_loop(sim::EventLoop& loop, double rate_per_sec,
                             SimTime duration,
-                            const std::function<void()>& tick) {
+                            const std::function<void(SimTime scheduled)>& tick) {
   SimTime period = static_cast<SimTime>(kNanosPerSec / rate_per_sec);
-  SimTime end = loop.now() + duration;
-  std::function<void()> step = [&loop, period, end, tick, &step] {
-    if (loop.now() >= end) return;
-    tick();
-    loop.schedule(period, step);
+  SimTime epoch = loop.now();
+  SimTime end = epoch + duration;
+  auto index = std::make_shared<std::uint64_t>(0);
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [&loop, period, epoch, end, tick, index, step] {
+    // Issue everything due (a late wakeup issues the whole backlog), then
+    // re-arm at the next absolute arrival time.
+    for (;;) {
+      SimTime scheduled = epoch + static_cast<SimTime>(*index) * period;
+      if (scheduled >= end) return;
+      if (scheduled > loop.now()) {
+        loop.schedule(scheduled - loop.now(), *step);
+        return;
+      }
+      ++*index;
+      tick(scheduled);
+    }
   };
-  loop.schedule(0, step);
+  loop.schedule(0, *step);
   loop.run_until(end + millis(1));
 }
 

@@ -22,8 +22,11 @@ struct Result {
   std::vector<double> latencies_us;  ///< field_update -> HMI, measure window
 };
 
-/// Tracks per-update delivery latency: the tick records the emission time
-/// under the update's integer value, the HMI callback looks it up again.
+/// Tracks per-update delivery latency: the tick records the *scheduled*
+/// emission time under the update's integer value, the HMI callback looks
+/// it up again. Using the scheduled time (not loop.now() at emission) keeps
+/// queueing delay ahead of the emit inside the sample — the open-loop
+/// coordinated-omission rule (see load/schedule.h).
 struct LatencyProbe {
   template <typename System>
   void attach(System& system) {
@@ -36,7 +39,7 @@ struct LatencyProbe {
       }
     });
   }
-  void emit() { emitted_at.push_back(loop->now()); }
+  void emit(SimTime scheduled) { emitted_at.push_back(scheduled); }
 
   sim::EventLoop* loop = nullptr;
   std::vector<SimTime> emitted_at;
@@ -53,8 +56,8 @@ Result run_baseline(const sim::CostModel& costs) {
   probe.attach(system);
 
   double value = 0;
-  auto tick = [&] {
-    probe.emit();
+  auto tick = [&](SimTime scheduled) {
+    probe.emit(scheduled);
     system.frontend().field_update(item, scada::Variant{value});
     value += 1.0;
   };
@@ -86,8 +89,8 @@ Result run_replicated(const sim::CostModel& costs) {
   probe.attach(system);
 
   double value = 0;
-  auto tick = [&] {
-    probe.emit();
+  auto tick = [&](SimTime scheduled) {
+    probe.emit(scheduled);
     system.frontend().field_update(item, scada::Variant{value});
     value += 1.0;
   };

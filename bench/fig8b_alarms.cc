@@ -54,7 +54,7 @@ Result run_baseline(const sim::CostModel& costs, int alarm_pct) {
   system.start();
 
   ValueSource source(alarm_pct);
-  auto tick = [&] {
+  auto tick = [&](SimTime) {
     system.frontend().field_update(item, scada::Variant{source.next()});
   };
   drive_open_loop(system.loop(), kRate, kWarmup, tick);
@@ -88,7 +88,7 @@ Result run_replicated(const sim::CostModel& costs, int alarm_pct) {
   system.start();
 
   ValueSource source(alarm_pct);
-  auto tick = [&] {
+  auto tick = [&](SimTime) {
     system.frontend().field_update(item, scada::Variant{source.next()});
   };
   drive_open_loop(system.loop(), kRate, kWarmup, tick);

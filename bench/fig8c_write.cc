@@ -26,6 +26,15 @@ struct Result {
 /// Issues writes back-to-back: the next write starts when the previous
 /// result arrives. Returns completed writes per second plus the per-write
 /// round-trip latencies seen during the measure window.
+///
+/// Closed-loop caveat: this deliberately reproduces the paper's synchronous
+/// workload, where there is no arrival schedule — each write's start time
+/// *depends on* the previous result, so the latencies below are service
+/// round-trips, not user-perceived waiting times, and throughput saturates
+/// at 1/latency regardless of capacity. They must not be compared against
+/// open-loop percentiles. For the coordinated-omission-safe version of this
+/// workload (latency measured from a scheduled send time), run
+/// `load_openloop --op write` (src/load).
 template <typename System>
 Result run_closed_loop(System& system, ItemId item) {
   std::uint64_t completed = 0;
@@ -143,6 +152,12 @@ int main(int argc, char** argv) {
               percentile(smart.latencies_us, 99));
   print_note("SMaRt-SCADA per-stage breakdown (trace spans):");
   print_stage_breakdown(smart_stages);
+  print_note(
+      "note: closed-loop (synchronous) workload — latencies are service "
+      "round-trips,");
+  print_note(
+      "      not schedule-anchored; see load_openloop --op write for the "
+      "open-loop view");
   reset_observability();
 
   print_note("sensitivity (CPU costs scaled):");

@@ -1,0 +1,533 @@
+// Open-loop load generator for the SMaRt-SCADA deployment (src/load driver).
+//
+// Spawns thousands of virtual HMI/frontend clients as interleaved seeded
+// arrival streams (load::generate_schedule) and fires them through ONE HMI
+// core + ProxyHMI and ONE Frontend core + ProxyFrontend against a 3f+1
+// replica group — so "5000 clients" costs two UDP ports, not ten thousand,
+// while the arrival process is indistinguishable from 5000 independent
+// senders. Every latency sample is measured from the operation's
+// *scheduled* send time (coordinated-omission-safe; see load/schedule.h).
+//
+// Two backends over the same Transport seam:
+//  * --mode socket (default): forks the `deploy` binary's replica role
+//    n = 3f+1 times and drives them over real UDP from an in-process
+//    SocketTransport. No RTU or separate frontend process is needed: the
+//    Frontend core lives here, and without a field writer its writes apply
+//    locally and succeed immediately — the measured path is the full
+//    HMI -> agreement -> frontend -> agreement -> voted-reply loop.
+//  * --mode sim: the deterministic in-process ReplicatedDeployment in
+//    virtual time (CI-stable numbers, no sockets).
+//
+// Workloads: --op write (HMI operator writes, the fig8c use case),
+// --op update (Frontend field updates pushed to the HMI, the fig8a use
+// case), --op mixed (alternating). Shapes: fixed | poisson | burst.
+//
+// Emits BENCH_<name>.json (schema in load/report.h) with per-run records:
+// goodput, timeout rate, full latency distribution, pump slip, and the
+// transport RX-batching counters (recvmmsg batch sizes) as extras.
+// Exit status is nonzero if any run completes zero operations.
+//
+// Examples:
+//   load_openloop --mode socket --op write --rate 500 --duration 5
+//   load_openloop --mode socket --op update --shape burst --rate 1000
+//       --clients 2000 --sweep 250,500,1000
+//   load_openloop --mode sim --op mixed --rate 800 --duration 10
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/proxies.h"
+#include "core/nodes.h"
+#include "core/replicated_deployment.h"
+#include "core/scada_link.h"
+#include "crypto/keychain.h"
+#include "load/driver.h"
+#include "load/report.h"
+#include "load/schedule.h"
+#include "net/resolver.h"
+#include "net/socket_transport.h"
+#include "obs/metrics.h"
+#include "scada/frontend.h"
+#include "scada/hmi.h"
+
+using namespace ss;
+
+namespace {
+
+// Must match the registration order in examples/deploy.cpp: item ids are
+// dense by registration order and agreed system-wide.
+constexpr ItemId kTemperature{1};
+constexpr ItemId kSetpoint{2};
+const char* kTemperatureName = "plant/reactor/temperature";
+const char* kSetpointName = "plant/reactor/setpoint";
+const char* kGroupSecret = "smart-scada-secret";
+
+struct Options {
+  std::string mode = "socket";  // socket | sim
+  std::string op = "write";     // write | update | mixed
+  load::ScheduleOptions schedule;
+  SimTime op_timeout = seconds(2);
+  std::uint32_t f = 1;
+  std::uint16_t base_port = 0;
+  std::string out_dir = ".";
+  std::string bench = "load";     // output file: BENCH_<bench>.json
+  std::string name = "openloop";  // record name prefix
+  std::string deploy;             // path to the deploy binary (socket mode)
+  std::vector<double> sweep;      // extra rates; empty = single run at --rate
+};
+
+double parse_double(const char* v) { return std::strtod(v, nullptr); }
+long parse_long(const char* v) { return std::strtol(v, nullptr, 10); }
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: load_openloop [--mode socket|sim] [--op write|update|mixed]\n"
+      "         [--shape fixed|poisson|burst] [--rate OPS] [--duration S]\n"
+      "         [--clients N] [--seed X] [--timeout MS] [--f N]\n"
+      "         [--burst-mult M] [--burst-period-ms MS] [--burst-len-ms MS]\n"
+      "         [--sweep R1,R2,...] [--base-port P] [--deploy PATH]\n"
+      "         [--out DIR] [--bench NAME] [--name NAME]\n"
+      "env:   SS_RX_BATCH / SS_BUSY_POLL are honored by this process and\n"
+      "       inherited by the spawned replicas (socket mode)\n");
+  return 2;
+}
+
+/// The per-run issuer state shared between the schedule driver and the HMI
+/// update callback: field updates are matched back to their arrival index
+/// through the pushed value (value = base + index, the fig8a trick), writes
+/// through the HMI's own OpId-keyed result callback.
+struct Workload {
+  std::string op;
+  scada::Hmi* hmi = nullptr;
+  scada::Frontend* frontend = nullptr;
+  double update_base = 0;  ///< distinguishes runs in one process
+  std::vector<load::OpenLoopDriver::CompletionFn> update_done;
+
+  bool is_write(const load::Arrival& a) const {
+    if (op == "write") return true;
+    if (op == "update") return false;
+    return (a.index & 1) != 0;  // mixed: even = update, odd = write
+  }
+
+  void issue(const load::Arrival& a, load::OpenLoopDriver::CompletionFn done) {
+    if (is_write(a)) {
+      hmi->write(kSetpoint,
+                 scada::Variant{21.0 + static_cast<double>(a.index % 64)},
+                 [done](const scada::WriteResult& r) {
+                   done(r.status == scada::WriteStatus::kOk);
+                 });
+    } else {
+      update_done[a.index] = std::move(done);
+      frontend->field_update(
+          kTemperature,
+          scada::Variant{update_base + static_cast<double>(a.index)});
+    }
+  }
+
+  /// Install on the HMI once per run, before start().
+  void on_update(const scada::ItemUpdate& update) {
+    if (update.item != kTemperature) return;
+    double rel = update.value.as_double() - update_base;
+    if (rel < 0 || rel >= static_cast<double>(update_done.size())) return;
+    auto index = static_cast<std::size_t>(rel);
+    if (update_done[index]) update_done[index](true);
+  }
+};
+
+/// Transport RX counters attached to each record so the report shows the
+/// recvmmsg fast path working (batch sizes > 1 under load). Counter fields
+/// are deltas over the run; the batch-size distribution is read from the
+/// process-global net.rx_batch_size histogram.
+void attach_rx_extras(load::RunRecord& record, const net::SocketStats& before,
+                      const net::SocketStats& after) {
+  double batches =
+      static_cast<double>(after.rx_batches - before.rx_batches);
+  double datagrams =
+      static_cast<double>(after.datagrams_received - before.datagrams_received);
+  record.extras.emplace_back("net_rx_batches", batches);
+  record.extras.emplace_back("net_rx_datagrams", datagrams);
+  record.extras.emplace_back("net_rx_ring_full",
+                             static_cast<double>(after.rx_ring_full -
+                                                 before.rx_ring_full));
+  record.extras.emplace_back("net_rx_batch_mean",
+                             batches > 0 ? datagrams / batches : 0.0);
+  const obs::Histogram& h =
+      obs::Registry::instance().histogram("net.rx_batch_size");
+  record.extras.emplace_back("net_rx_batch_max",
+                             static_cast<double>(h.max()));
+  record.extras.emplace_back("net_rx_batch_p99",
+                             static_cast<double>(h.percentile(99)));
+}
+
+// ---------------------------------------------------------------------------
+// Socket mode: fork `deploy replica` processes, drive them over real UDP.
+
+std::string locate_deploy(const std::string& override_path) {
+  if (!override_path.empty()) return override_path;
+  if (const char* env = std::getenv("SS_DEPLOY")) return env;
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    std::string dir(buf);
+    std::size_t slash = dir.rfind('/');
+    if (slash != std::string::npos) dir.resize(slash);
+    for (const std::string& cand :
+         {dir + "/../examples/deploy", dir + "/deploy"}) {
+      if (::access(cand.c_str(), X_OK) == 0) return cand;
+    }
+  }
+  return "deploy";  // hope it is on PATH
+}
+
+class SocketHarness {
+ public:
+  SocketHarness(const Options& opt) : opt_(opt) {
+    deploy_ = locate_deploy(opt.deploy);
+    base_port_ = opt.base_port != 0
+                     ? opt.base_port
+                     : static_cast<std::uint16_t>(
+                           41000 + (::getpid() % 8000) * 2);
+    group_ = GroupConfig::for_f(opt.f);
+    write_config();
+    spawn_replicas();
+    ::usleep(300 * 1000);  // let the replicas bind before we start asking
+
+    transport_ = std::make_unique<net::SocketTransport>(
+        net::Resolver::from_file(config_), net::socket_options_from_env());
+    keys_ = std::make_unique<crypto::Keychain>(kGroupSecret);
+
+    // HMI side (the operator): Hmi core + ProxyHMI, exactly as `deploy hmi`.
+    hmi_ = std::make_unique<scada::Hmi>(
+        scada::HmiOptions{.subscriber_name = core::kHmiEndpoint});
+    core::ProxyOptions hmi_proxy_options;
+    hmi_proxy_options.endpoint = core::kProxyHmiEndpoint;
+    hmi_proxy_options.component_endpoint = core::kHmiEndpoint;
+    hmi_proxy_ = std::make_unique<core::ComponentProxy>(
+        *transport_, group_, ClientId{core::kProxyHmiClient}, *keys_,
+        hmi_proxy_options);
+    hmi_node_ = std::make_unique<core::HmiNode>(
+        *transport_, *keys_, *hmi_,
+        core::NodeOptions{.endpoint = core::kHmiEndpoint,
+                          .peer = core::kProxyHmiEndpoint});
+
+    // Frontend side (the field): Frontend core + ProxyFrontend, as `deploy
+    // frontend` but with no RTU driver — writes succeed locally, which is
+    // what a load harness wants (the field bus is not the system under
+    // test).
+    frontend_ = std::make_unique<scada::Frontend>(
+        scada::FrontendOptions{.instance_id = 1});
+    frontend_->add_item(kTemperatureName);
+    frontend_->add_item(kSetpointName, scada::Variant{20.0});
+    core::ProxyOptions fe_proxy_options;
+    fe_proxy_options.endpoint = core::kProxyFrontendEndpoint;
+    fe_proxy_options.component_endpoint = core::kFrontendEndpoint;
+    frontend_proxy_ = std::make_unique<core::ComponentProxy>(
+        *transport_, group_, ClientId{core::kProxyFrontendClient}, *keys_,
+        fe_proxy_options);
+    frontend_node_ = std::make_unique<core::FrontendNode>(
+        *transport_, *keys_, *frontend_,
+        core::NodeOptions{.endpoint = core::kFrontendEndpoint,
+                          .peer = core::kProxyFrontendEndpoint});
+  }
+
+  ~SocketHarness() {
+    // Tear down the transport (and everything attached to it) before the
+    // replicas go away, then reap the children.
+    frontend_node_.reset();
+    frontend_proxy_.reset();
+    hmi_node_.reset();
+    hmi_proxy_.reset();
+    transport_.reset();
+    for (pid_t pid : replicas_) {
+      if (pid > 0) ::kill(pid, SIGTERM);
+    }
+    for (pid_t pid : replicas_) {
+      if (pid > 0) ::waitpid(pid, nullptr, 0);
+    }
+    if (!config_.empty()) ::unlink(config_.c_str());
+  }
+
+  /// Subscribes the HMI and proves both op paths end-to-end (one write,
+  /// one field update) before any measurement. Returns false if the group
+  /// never becomes live.
+  bool warm_up() {
+    hmi_->subscribe_all();
+    SimTime deadline = transport_->now() + seconds(30);
+    while (transport_->now() < deadline) {
+      bool write_done = false;
+      bool write_ok = false;
+      hmi_->write(kSetpoint, scada::Variant{20.0},
+                  [&](const scada::WriteResult& r) {
+                    write_done = true;
+                    write_ok = r.status == scada::WriteStatus::kOk;
+                  });
+      frontend_->field_update(kTemperature, scada::Variant{-1.0});
+      transport_->run_until(
+          [&] { return write_done && hmi_->item(kTemperature) != nullptr; },
+          seconds(2));
+      if (write_done && write_ok && hmi_->item(kTemperature) != nullptr) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  load::RunRecord run(const std::string& name,
+                      const load::ScheduleOptions& schedule_opt) {
+    Workload workload;
+    workload.op = opt_.op;
+    workload.hmi = hmi_.get();
+    workload.frontend = frontend_.get();
+    workload.update_base = static_cast<double>(++run_counter_) * 1e9;
+
+    std::vector<load::Arrival> schedule = load::generate_schedule(schedule_opt);
+    workload.update_done.resize(schedule.size());
+    hmi_->set_update_callback(
+        [&workload](const scada::ItemUpdate& u) { workload.on_update(u); });
+
+    net::SocketStats before = transport_->stats();
+    load::DriverOptions driver_opt;
+    driver_opt.op_timeout = opt_.op_timeout;
+    load::OpenLoopDriver driver(
+        *transport_, std::move(schedule),
+        [&workload](const load::Arrival& a,
+                    load::OpenLoopDriver::CompletionFn done) {
+          workload.issue(a, std::move(done));
+        },
+        driver_opt);
+    driver.start();
+    SimTime hard_stop = schedule_opt.duration + opt_.op_timeout + seconds(5);
+    transport_->run_until([&] { return driver.finished(); }, hard_stop);
+
+    load::RunRecord record =
+        load::RunRecord::from_driver(name, opt_.op, schedule_opt, driver);
+    attach_rx_extras(record, before, transport_->stats());
+    hmi_->set_update_callback({});
+    return record;
+  }
+
+ private:
+  void write_config() {
+    config_ = "/tmp/smart-scada-load-" + std::to_string(::getpid()) + ".conf";
+    std::string cmd = deploy_ + " config --f " + std::to_string(opt_.f) +
+                      " --base-port " + std::to_string(base_port_);
+    std::FILE* pipe = ::popen(cmd.c_str(), "r");
+    if (pipe == nullptr) {
+      throw std::runtime_error("load_openloop: cannot run: " + cmd);
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) {
+      text.append(buf, n);
+    }
+    int rc = ::pclose(pipe);
+    if (rc != 0 || text.empty()) {
+      throw std::runtime_error("load_openloop: `" + cmd +
+                               "` failed; pass --deploy PATH");
+    }
+    std::ofstream out(config_);
+    out << text;
+  }
+
+  void spawn_replicas() {
+    const std::string fs = std::to_string(opt_.f);
+    for (std::uint32_t i = 0; i < group_.n; ++i) {
+      pid_t pid = ::fork();
+      if (pid == 0) {
+        std::string id = std::to_string(i);
+        const char* argv[] = {deploy_.c_str(), "replica",
+                              "--id",          id.c_str(),
+                              "--f",           fs.c_str(),
+                              "--config",      config_.c_str(),
+                              nullptr};
+        ::execv(deploy_.c_str(), const_cast<char**>(argv));
+        std::perror("execv deploy replica");
+        std::_Exit(127);
+      }
+      replicas_.push_back(pid);
+    }
+  }
+
+  Options opt_;
+  std::string deploy_;
+  std::string config_;
+  std::uint16_t base_port_ = 0;
+  GroupConfig group_ = GroupConfig::for_f(1);
+  std::vector<pid_t> replicas_;
+  std::uint64_t run_counter_ = 0;
+
+  std::unique_ptr<net::SocketTransport> transport_;
+  std::unique_ptr<crypto::Keychain> keys_;
+  std::unique_ptr<scada::Hmi> hmi_;
+  std::unique_ptr<core::ComponentProxy> hmi_proxy_;
+  std::unique_ptr<core::HmiNode> hmi_node_;
+  std::unique_ptr<scada::Frontend> frontend_;
+  std::unique_ptr<core::ComponentProxy> frontend_proxy_;
+  std::unique_ptr<core::FrontendNode> frontend_node_;
+};
+
+// ---------------------------------------------------------------------------
+// Sim mode: the deterministic in-process deployment, virtual time.
+
+load::RunRecord run_sim(const Options& opt, const std::string& name,
+                        const load::ScheduleOptions& schedule_opt) {
+  core::ReplicatedOptions sys_opt;
+  sys_opt.group = GroupConfig::for_f(opt.f);
+  sys_opt.storage_retention = 1024;
+  sys_opt.checkpoint_interval = 4096;
+  // Open-loop overload must queue, not trigger retransmit storms or view
+  // changes (see fig8a_update.cc for the same reasoning).
+  sys_opt.client_reply_timeout = seconds(60);
+  sys_opt.request_timeout = seconds(60);
+  core::ReplicatedDeployment system(sys_opt);
+  ItemId temperature = system.add_point(kTemperatureName);
+  ItemId setpoint = system.add_point(kSetpointName, scada::Variant{20.0});
+  (void)temperature;
+  (void)setpoint;
+  system.start();
+
+  Workload workload;
+  workload.op = opt.op;
+  workload.hmi = &system.hmi();
+  workload.frontend = &system.frontend();
+  workload.update_base = 1e9;
+
+  std::vector<load::Arrival> schedule = load::generate_schedule(schedule_opt);
+  workload.update_done.resize(schedule.size());
+  system.hmi().set_update_callback(
+      [&workload](const scada::ItemUpdate& u) { workload.on_update(u); });
+
+  load::DriverOptions driver_opt;
+  driver_opt.op_timeout = opt.op_timeout;
+  load::OpenLoopDriver driver(
+      system.net(), std::move(schedule),
+      [&workload](const load::Arrival& a,
+                  load::OpenLoopDriver::CompletionFn done) {
+        workload.issue(a, std::move(done));
+      },
+      driver_opt);
+  driver.start();
+  SimTime hard_stop =
+      system.loop().now() + schedule_opt.duration + opt.op_timeout + seconds(5);
+  while (!driver.finished() && system.loop().now() < hard_stop) {
+    system.run_until(std::min<SimTime>(system.loop().now() + millis(100),
+                                       hard_stop));
+  }
+  load::RunRecord record =
+      load::RunRecord::from_driver(name, opt.op, schedule_opt, driver);
+  system.hmi().set_update_callback({});
+  return record;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) return usage();
+    const char* v = argv[++i];
+    if (flag == "--mode") {
+      opt.mode = v;
+    } else if (flag == "--op") {
+      opt.op = v;
+    } else if (flag == "--shape") {
+      auto parsed = load::arrival_shape_from_name(v);
+      if (!parsed.has_value()) return usage();
+      opt.schedule.shape = *parsed;
+    } else if (flag == "--rate") {
+      opt.schedule.rate_per_sec = parse_double(v);
+    } else if (flag == "--duration") {
+      opt.schedule.duration =
+          static_cast<SimTime>(parse_double(v) * kNanosPerSec);
+    } else if (flag == "--clients") {
+      opt.schedule.clients = static_cast<std::uint32_t>(parse_long(v));
+    } else if (flag == "--seed") {
+      opt.schedule.seed = static_cast<std::uint64_t>(parse_long(v));
+    } else if (flag == "--timeout") {
+      opt.op_timeout = millis(parse_long(v));
+    } else if (flag == "--burst-mult") {
+      opt.schedule.burst_multiplier = parse_double(v);
+    } else if (flag == "--burst-period-ms") {
+      opt.schedule.burst_period = millis(parse_long(v));
+    } else if (flag == "--burst-len-ms") {
+      opt.schedule.burst_length = millis(parse_long(v));
+    } else if (flag == "--f") {
+      opt.f = static_cast<std::uint32_t>(parse_long(v));
+    } else if (flag == "--base-port") {
+      opt.base_port = static_cast<std::uint16_t>(parse_long(v));
+    } else if (flag == "--out") {
+      opt.out_dir = v;
+    } else if (flag == "--bench") {
+      opt.bench = v;
+    } else if (flag == "--name") {
+      opt.name = v;
+    } else if (flag == "--deploy") {
+      opt.deploy = v;
+    } else if (flag == "--sweep") {
+      for (const char* p = v; *p != '\0';) {
+        char* end = nullptr;
+        double rate = std::strtod(p, &end);
+        if (end == p) break;
+        if (rate > 0) opt.sweep.push_back(rate);
+        p = (*end == ',') ? end + 1 : end;
+      }
+    } else {
+      return usage();
+    }
+  }
+  if (opt.mode != "socket" && opt.mode != "sim") return usage();
+  if (opt.op != "write" && opt.op != "update" && opt.op != "mixed") {
+    return usage();
+  }
+
+  std::vector<double> rates = opt.sweep;
+  if (rates.empty()) rates.push_back(opt.schedule.rate_per_sec);
+
+  load::LoadReport report(opt.bench);
+  bool any_zero = false;
+  try {
+    std::unique_ptr<SocketHarness> harness;
+    if (opt.mode == "socket") {
+      harness = std::make_unique<SocketHarness>(opt);
+      if (!harness->warm_up()) {
+        std::fprintf(stderr,
+                     "load_openloop: replica group never became live\n");
+        return 1;
+      }
+    }
+    for (double rate : rates) {
+      load::ScheduleOptions schedule_opt = opt.schedule;
+      schedule_opt.rate_per_sec = rate;
+      std::string name =
+          opt.name + "@" + std::to_string(static_cast<long>(rate));
+      load::RunRecord record = opt.mode == "socket"
+                                   ? harness->run(name, schedule_opt)
+                                   : run_sim(opt, name, schedule_opt);
+      load::LoadReport::print(record);
+      if (record.stats.ok == 0) any_zero = true;
+      report.add(std::move(record));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "load_openloop: %s\n", e.what());
+    return 1;
+  }
+  report.write(opt.out_dir);
+  if (any_zero) {
+    std::fprintf(stderr, "load_openloop: a run completed zero operations\n");
+    return 1;
+  }
+  return 0;
+}

@@ -213,7 +213,8 @@ net::Resolver make_resolver(std::uint32_t n, const std::string& host,
 }
 
 net::SocketTransport make_transport(const std::string& config) {
-  return net::SocketTransport(net::Resolver::from_file(config));
+  return net::SocketTransport(net::Resolver::from_file(config),
+                              net::socket_options_from_env());
 }
 
 void serve(net::SocketTransport& transport) {
@@ -845,7 +846,11 @@ int usage() {
       "       SS_RUNNER=inline|pooled:N|spin:N\n"
       "                                     replica crypto/codec runner: N\n"
       "                                     worker threads for HMAC + codec\n"
-      "                                     (default inline, single-threaded)\n");
+      "                                     (default inline, single-threaded)\n"
+      "       SS_RX_BATCH=<n>               datagrams per recvmmsg call\n"
+      "                                     (default 32; 1 = plain recvfrom)\n"
+      "       SS_BUSY_POLL=<us>             spin this long before blocking\n"
+      "                                     in poll (default 0 = off)\n");
   return 2;
 }
 

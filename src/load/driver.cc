@@ -1,0 +1,150 @@
+#include "load/driver.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ss::load {
+
+OpenLoopDriver::OpenLoopDriver(net::Transport& net,
+                               std::vector<Arrival> schedule, Issuer issuer,
+                               DriverOptions options)
+    : net_(net),
+      schedule_(std::move(schedule)),
+      issuer_(std::move(issuer)),
+      opt_(std::move(options)) {
+  outcomes_.assign(schedule_.size(), Outcome::kPending);
+  stats_.scheduled = schedule_.size();
+  obs_source_ = obs::Registry::instance().add_source(
+      opt_.metrics_prefix, [this](const obs::Registry::Emit& emit) {
+        emit("scheduled", static_cast<double>(stats_.scheduled));
+        emit("issued", static_cast<double>(stats_.issued));
+        emit("ok", static_cast<double>(stats_.ok));
+        emit("failed", static_cast<double>(stats_.failed));
+        emit("timeouts", static_cast<double>(stats_.timeouts));
+        emit("duplicates", static_cast<double>(stats_.duplicates));
+        emit("late_replies", static_cast<double>(stats_.late_replies));
+        emit("latency_p50_ns", static_cast<double>(latency_.percentile(50)));
+        emit("latency_p99_ns", static_cast<double>(latency_.percentile(99)));
+        emit("goodput_per_sec", goodput_per_sec());
+      });
+}
+
+OpenLoopDriver::~OpenLoopDriver() {
+  *alive_ = false;
+  pump_timer_.cancel();
+  sweep_timer_.cancel();
+}
+
+void OpenLoopDriver::start() {
+  if (started_ || schedule_.empty()) {
+    started_ = true;
+    return;
+  }
+  started_ = true;
+  epoch_ = net_.now();
+  last_activity_ = epoch_;
+  arm_pump();
+}
+
+double OpenLoopDriver::goodput_per_sec() const {
+  SimTime span = active_span();
+  if (span <= 0) return 0.0;
+  return static_cast<double>(stats_.ok) /
+         (static_cast<double>(span) / static_cast<double>(kNanosPerSec));
+}
+
+void OpenLoopDriver::pump() {
+  // Issue everything due. A pump that fell behind (a long poll iteration, a
+  // burst window) issues the whole backlog now; the slip is recorded in
+  // send_lag and the latency origin stays the scheduled time either way.
+  while (issued_ < schedule_.size()) {
+    SimTime now_rel = net_.now() - epoch_;
+    const Arrival& arrival = schedule_[issued_];
+    if (arrival.at > now_rel) break;
+    ++issued_;
+    ++stats_.issued;
+    send_lag_.record(now_rel - arrival.at);
+    last_activity_ = net_.now();
+    std::shared_ptr<bool> alive = alive_;
+    const std::uint64_t index = arrival.index;
+    issuer_(arrival, [this, alive, index](bool ok) {
+      if (!*alive) return;
+      complete(index, ok);
+    });
+  }
+  arm_pump();
+  arm_sweep();
+}
+
+void OpenLoopDriver::arm_pump() {
+  if (issued_ >= schedule_.size()) return;
+  SimTime target = epoch_ + schedule_[issued_].at;
+  SimTime delay = std::max<SimTime>(0, target - net_.now());
+  pump_timer_ = net_.schedule(delay, [this] { pump(); });
+}
+
+void OpenLoopDriver::sweep_timeouts() {
+  SimTime now = net_.now();
+  while (sweep_cursor_ < issued_) {
+    if (outcomes_[sweep_cursor_] != Outcome::kPending) {
+      ++sweep_cursor_;
+      continue;
+    }
+    // Deadlines are monotone in index (schedule order + constant timeout),
+    // so the first pending op that has not expired ends the sweep.
+    if (epoch_ + schedule_[sweep_cursor_].at + opt_.op_timeout > now) break;
+    resolve(sweep_cursor_, Outcome::kTimeout);
+    ++sweep_cursor_;
+  }
+  arm_sweep();
+}
+
+void OpenLoopDriver::arm_sweep() {
+  sweep_timer_.cancel();
+  while (sweep_cursor_ < issued_ &&
+         outcomes_[sweep_cursor_] != Outcome::kPending) {
+    ++sweep_cursor_;
+  }
+  if (sweep_cursor_ >= issued_ && issued_ >= schedule_.size()) return;
+  if (sweep_cursor_ >= issued_) return;  // pump re-arms after next issue
+  SimTime deadline = epoch_ + schedule_[sweep_cursor_].at + opt_.op_timeout;
+  SimTime delay = std::max<SimTime>(0, deadline - net_.now());
+  sweep_timer_ = net_.schedule(delay, [this] { sweep_timeouts(); });
+}
+
+void OpenLoopDriver::complete(std::uint64_t index, bool ok) {
+  if (index >= outcomes_.size()) return;
+  last_activity_ = net_.now();
+  Outcome& outcome = outcomes_[index];
+  if (outcome == Outcome::kTimeout) {
+    ++stats_.late_replies;
+    return;
+  }
+  if (outcome != Outcome::kPending) {
+    ++stats_.duplicates;
+    return;
+  }
+  resolve(index, ok ? Outcome::kOk : Outcome::kFailed);
+}
+
+void OpenLoopDriver::resolve(std::uint64_t index, Outcome outcome) {
+  outcomes_[index] = outcome;
+  ++resolved_;
+  last_activity_ = net_.now();
+  switch (outcome) {
+    case Outcome::kOk:
+      ++stats_.ok;
+      latency_.record(net_.now() - (epoch_ + schedule_[index].at));
+      break;
+    case Outcome::kFailed:
+      ++stats_.failed;
+      break;
+    case Outcome::kTimeout:
+      ++stats_.timeouts;
+      break;
+    case Outcome::kPending:
+      break;
+  }
+}
+
+}  // namespace ss::load

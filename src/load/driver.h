@@ -1,0 +1,136 @@
+// Open-loop, coordinated-omission-safe load driver over the Transport seam.
+//
+// The driver walks a materialised arrival schedule (schedule.h) and launches
+// each operation through a caller-supplied Issuer at (or as soon as possible
+// after) its scheduled send time — it never waits for replies. Every
+// latency sample is measured from the operation's *scheduled* send time, so
+// when the system under test queues, stalls, or drops, the delay lands in
+// the histogram instead of silently stretching the workload: a server that
+// freezes for two seconds owes two-second latencies to every arrival that
+// was scheduled inside the freeze, and that is exactly what gets recorded.
+//
+// Per-operation outcome tracking distinguishes
+//  * ok        — first completion reported success;
+//  * failed    — first completion reported failure (e.g. a write denied or
+//                resolved by the logical-timeout protocol);
+//  * timeout   — no completion within op_timeout of the scheduled send;
+//  * and counts duplicates (completions after the first) and late replies
+//    (completions after the driver already recorded a timeout).
+//
+// The driver runs on whatever Transport backend it is handed: sim::Network
+// (deterministic tests, virtual time) or net::SocketTransport (the
+// multi-process UDP deployment, wall-clock time — see bench/load_openloop).
+// Like everything else on the seam it is single-threaded: issue, completion,
+// and timeout paths all run on the transport's loop thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "load/schedule.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+
+namespace ss::load {
+
+enum class Outcome : std::uint8_t { kPending = 0, kOk, kFailed, kTimeout };
+
+struct DriverOptions {
+  /// An operation with no completion this long after its *scheduled* send
+  /// time is recorded as a timeout (late completions are still counted).
+  SimTime op_timeout = seconds(5);
+  /// obs::Registry histogram prefix: "<prefix>.latency_ns" (scheduled-send
+  /// to success) and "<prefix>.send_lag_ns" (scheduled to actual send).
+  std::string metrics_prefix = "load";
+};
+
+struct DriverStats {
+  std::uint64_t scheduled = 0;  ///< operations in the schedule
+  std::uint64_t issued = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t duplicates = 0;    ///< completions after the first
+  std::uint64_t late_replies = 0;  ///< completions after a recorded timeout
+};
+
+class OpenLoopDriver {
+ public:
+  /// Resolves one operation; the first call fixes the outcome. May be
+  /// invoked any number of times (duplicates are counted, not failures) and
+  /// safely outlives the driver.
+  using CompletionFn = std::function<void(bool ok)>;
+  /// Launches one operation. Called on the transport loop at the arrival's
+  /// send time; must not block.
+  using Issuer = std::function<void(const Arrival&, CompletionFn done)>;
+
+  OpenLoopDriver(net::Transport& net, std::vector<Arrival> schedule,
+                 Issuer issuer, DriverOptions options = {});
+  ~OpenLoopDriver();
+
+  OpenLoopDriver(const OpenLoopDriver&) = delete;
+  OpenLoopDriver& operator=(const OpenLoopDriver&) = delete;
+
+  /// Anchors the schedule epoch at net.now() and arms the pump. Call once.
+  void start();
+
+  /// True once every scheduled operation is resolved (ok/failed/timeout).
+  bool finished() const {
+    return issued_ == schedule_.size() && resolved_ == schedule_.size();
+  }
+
+  const DriverStats& stats() const { return stats_; }
+  const std::vector<Arrival>& schedule() const { return schedule_; }
+  SimTime epoch() const { return epoch_; }
+
+  /// Transport time from epoch to the last issue/resolution (the measured
+  /// run length; 0 before start).
+  SimTime active_span() const { return last_activity_ - epoch_; }
+
+  /// Successful operations per second of active span.
+  double goodput_per_sec() const;
+
+  /// Scheduled-send -> success latency histogram (ns). The driver also
+  /// registers an obs snapshot source under metrics_prefix exporting the
+  /// counters and latency percentiles.
+  const obs::Histogram& latency() const { return latency_; }
+  /// Scheduled-send -> actual-send pump slip (ns).
+  const obs::Histogram& send_lag() const { return send_lag_; }
+
+ private:
+  void pump();
+  void arm_pump();
+  void sweep_timeouts();
+  void arm_sweep();
+  void complete(std::uint64_t index, bool ok);
+  void resolve(std::uint64_t index, Outcome outcome);
+
+  net::Transport& net_;
+  std::vector<Arrival> schedule_;
+  Issuer issuer_;
+  DriverOptions opt_;
+
+  SimTime epoch_ = 0;
+  SimTime last_activity_ = 0;
+  std::size_t issued_ = 0;    ///< schedule prefix already launched
+  std::size_t resolved_ = 0;  ///< operations with a final outcome
+  std::size_t sweep_cursor_ = 0;  ///< lowest index that may still time out
+  std::vector<Outcome> outcomes_;
+  net::Timer pump_timer_;
+  net::Timer sweep_timer_;
+  bool started_ = false;
+
+  obs::Histogram latency_;
+  obs::Histogram send_lag_;
+  obs::SourceHandle obs_source_;
+
+  DriverStats stats_;
+  /// Completion callbacks may outlive the driver (a reply arriving after
+  /// teardown); they check this guard before touching it.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace ss::load

@@ -1,0 +1,114 @@
+#include "load/report.h"
+
+#include <cstdio>
+
+namespace ss::load {
+
+namespace {
+
+double to_us(std::int64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+void write_latency(std::FILE* out, const char* key,
+                   const LatencySummary& summary) {
+  std::fprintf(out,
+               "\"%s\": {\"samples\": %llu, \"min_us\": %.2f, "
+               "\"mean_us\": %.2f, \"p50_us\": %.2f, \"p90_us\": %.2f, "
+               "\"p99_us\": %.2f, \"p999_us\": %.2f, \"max_us\": %.2f}",
+               key, static_cast<unsigned long long>(summary.samples),
+               summary.min_us, summary.mean_us, summary.p50_us, summary.p90_us,
+               summary.p99_us, summary.p999_us, summary.max_us);
+}
+
+}  // namespace
+
+LatencySummary LatencySummary::from_histogram(const obs::Histogram& h) {
+  LatencySummary s;
+  s.samples = h.count();
+  s.min_us = to_us(h.min());
+  s.mean_us = h.mean() / 1000.0;
+  s.p50_us = to_us(h.percentile(50));
+  s.p90_us = to_us(h.percentile(90));
+  s.p99_us = to_us(h.percentile(99));
+  s.p999_us = to_us(h.percentile(99.9));
+  s.max_us = to_us(h.max());
+  return s;
+}
+
+RunRecord RunRecord::from_driver(std::string name, std::string op,
+                                 const ScheduleOptions& schedule,
+                                 const OpenLoopDriver& driver) {
+  RunRecord r;
+  r.name = std::move(name);
+  r.op = std::move(op);
+  r.schedule = schedule;
+  r.stats = driver.stats();
+  r.run_seconds = static_cast<double>(driver.active_span()) /
+                  static_cast<double>(kNanosPerSec);
+  r.goodput_per_sec = driver.goodput_per_sec();
+  r.latency = LatencySummary::from_histogram(driver.latency());
+  r.send_lag = LatencySummary::from_histogram(driver.send_lag());
+  return r;
+}
+
+std::string LoadReport::write(const std::string& dir) const {
+  std::string path = dir + "/BENCH_" + bench_ + ".json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "load report: cannot write %s\n", path.c_str());
+    return "";
+  }
+  std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"records\": [", bench_.c_str());
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const RunRecord& r = records_[i];
+    std::fprintf(out, "%s\n    {\"name\": \"%s\", \"op\": \"%s\", ",
+                 i == 0 ? "" : ",", r.name.c_str(), r.op.c_str());
+    std::fprintf(out,
+                 "\"shape\": \"%s\", \"rate_per_sec\": %.2f, "
+                 "\"duration_s\": %.3f, \"clients\": %u, \"seed\": %llu,\n",
+                 arrival_shape_name(r.schedule.shape), r.schedule.rate_per_sec,
+                 static_cast<double>(r.schedule.duration) /
+                     static_cast<double>(kNanosPerSec),
+                 r.schedule.clients,
+                 static_cast<unsigned long long>(r.schedule.seed));
+    std::fprintf(out,
+                 "     \"scheduled\": %llu, \"issued\": %llu, \"ok\": %llu, "
+                 "\"failed\": %llu, \"timeouts\": %llu, \"duplicates\": %llu, "
+                 "\"late_replies\": %llu,\n",
+                 static_cast<unsigned long long>(r.stats.scheduled),
+                 static_cast<unsigned long long>(r.stats.issued),
+                 static_cast<unsigned long long>(r.stats.ok),
+                 static_cast<unsigned long long>(r.stats.failed),
+                 static_cast<unsigned long long>(r.stats.timeouts),
+                 static_cast<unsigned long long>(r.stats.duplicates),
+                 static_cast<unsigned long long>(r.stats.late_replies));
+    std::fprintf(out,
+                 "     \"run_seconds\": %.3f, \"goodput_per_sec\": %.2f, "
+                 "\"timeout_rate\": %.6f,\n     ",
+                 r.run_seconds, r.goodput_per_sec, r.timeout_rate());
+    write_latency(out, "latency_us", r.latency);
+    std::fprintf(out, ",\n     ");
+    write_latency(out, "send_lag_us", r.send_lag);
+    for (const auto& [key, value] : r.extras) {
+      std::fprintf(out, ",\n     \"%s\": %.3f", key.c_str(), value);
+    }
+    std::fprintf(out, "}");
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+  return path;
+}
+
+void LoadReport::print(const RunRecord& r) {
+  std::printf(
+      "%-24s %s/%s rate %8.1f/s x%us  ok %llu  to %llu  fail %llu  "
+      "goodput %8.1f/s  p50 %8.1f us  p99 %9.1f us  p99.9 %9.1f us\n",
+      r.name.c_str(), r.op.c_str(), arrival_shape_name(r.schedule.shape),
+      r.schedule.rate_per_sec, r.schedule.clients,
+      static_cast<unsigned long long>(r.stats.ok),
+      static_cast<unsigned long long>(r.stats.timeouts),
+      static_cast<unsigned long long>(r.stats.failed), r.goodput_per_sec,
+      r.latency.p50_us, r.latency.p99_us, r.latency.p999_us);
+}
+
+}  // namespace ss::load

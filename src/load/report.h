@@ -1,0 +1,84 @@
+// BENCH_load.json report writer for open-loop load runs.
+//
+// One record per (workload, configuration) run: the schedule parameters
+// that make the run reproducible, the outcome counters, goodput and
+// timeout rate, and the full latency distribution (p50/p90/p99/p99.9,
+// min/mean/max) read out of the driver's obs histograms. The schema is
+// validated by the CI load-smoke job, so it is part of the repo's contract:
+// extend it, don't rename fields.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "load/driver.h"
+#include "load/schedule.h"
+#include "obs/metrics.h"
+
+namespace ss::load {
+
+/// Latency distribution summary in microseconds, extracted from an
+/// obs::Histogram of nanosecond samples.
+struct LatencySummary {
+  std::uint64_t samples = 0;
+  double min_us = 0;
+  double mean_us = 0;
+  double p50_us = 0;
+  double p90_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double max_us = 0;
+
+  static LatencySummary from_histogram(const obs::Histogram& h);
+};
+
+struct RunRecord {
+  std::string name;
+  std::string op;  ///< workload kind ("write", "update", "mixed", ...)
+  ScheduleOptions schedule;
+  DriverStats stats;
+  double run_seconds = 0;       ///< active span of the run
+  double goodput_per_sec = 0;   ///< successful ops per active second
+  LatencySummary latency;       ///< scheduled-send -> success
+  LatencySummary send_lag;      ///< scheduled-send -> actual send
+  /// Free-form numeric extras appended to the record (e.g. transport RX
+  /// batching stats); name -> value.
+  std::vector<std::pair<std::string, double>> extras;
+
+  /// Fills the measurement fields from a finished (or deadline-stopped)
+  /// driver.
+  static RunRecord from_driver(std::string name, std::string op,
+                               const ScheduleOptions& schedule,
+                               const OpenLoopDriver& driver);
+
+  double timeout_rate() const {
+    return stats.scheduled == 0
+               ? 0.0
+               : static_cast<double>(stats.timeouts) /
+                     static_cast<double>(stats.scheduled);
+  }
+};
+
+class LoadReport {
+ public:
+  /// `bench` names the output file: BENCH_<bench>.json.
+  explicit LoadReport(std::string bench = "load") : bench_(std::move(bench)) {}
+
+  void add(RunRecord record) { records_.push_back(std::move(record)); }
+  const std::vector<RunRecord>& records() const { return records_; }
+
+  /// Writes BENCH_<bench>.json into `dir` (default: working directory).
+  /// Returns the path written, or an empty string on I/O failure.
+  std::string write(const std::string& dir = ".") const;
+
+  /// One-line human summary of a record to stdout.
+  static void print(const RunRecord& record);
+
+ private:
+  std::string bench_;
+  std::vector<RunRecord> records_;
+};
+
+}  // namespace ss::load

@@ -1,0 +1,71 @@
+// Deterministic open-loop arrival schedules.
+//
+// An open-loop load generator decides *when* every operation is sent before
+// the system under test gets a vote: arrival times are a pure function of
+// the schedule options (shape, rate, client count, seed), never of reply
+// latency. That is the difference between measuring a system and measuring
+// the generator's politeness — a closed-loop driver that waits for each
+// reply silently stretches its own schedule whenever the system queues, so
+// queueing delay disappears from the data (coordinated omission). Here the
+// whole schedule is materialised up front; the driver (driver.h) timestamps
+// each operation at its *scheduled* send time, so backpressure shows up as
+// latency, not as missing samples.
+//
+// Three shapes cover the paper's fig8 workloads and the storm scenarios the
+// overload campaigns need:
+//  * kFixedRate — evenly spaced arrivals per client, seeded random phase per
+//    client (the Kirsch et al. country-scale steady stream);
+//  * kPoisson  — exponential inter-arrivals per client (memoryless sensor
+//    and operator traffic);
+//  * kBurst    — a Poisson base stream whose rate multiplies during
+//    periodic burst windows (alarm storms, fig8b at 10-100x).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ss::load {
+
+enum class ArrivalShape : std::uint8_t { kFixedRate = 0, kPoisson, kBurst };
+
+const char* arrival_shape_name(ArrivalShape shape);
+std::optional<ArrivalShape> arrival_shape_from_name(std::string_view name);
+
+struct ScheduleOptions {
+  ArrivalShape shape = ArrivalShape::kFixedRate;
+  /// Aggregate arrival rate across all clients, operations per second.
+  double rate_per_sec = 1000.0;
+  SimTime duration = seconds(10);
+  /// Virtual clients; the aggregate rate is split evenly across them and
+  /// each client gets an independent seeded stream.
+  std::uint32_t clients = 1;
+  std::uint64_t seed = 0x10adull;
+
+  // kBurst only: during each [k*burst_period, k*burst_period + burst_length)
+  // window the per-client rate is multiplied by burst_multiplier.
+  double burst_multiplier = 10.0;
+  SimTime burst_period = seconds(2);
+  SimTime burst_length = millis(200);
+};
+
+/// One scheduled operation. `at` is nanoseconds from the schedule epoch (the
+/// driver anchors the epoch at start time); `index` is dense in schedule
+/// order, so drivers can use it as an operation key.
+struct Arrival {
+  SimTime at = 0;
+  std::uint32_t client = 0;
+  std::uint64_t index = 0;
+};
+
+/// Materialises the full arrival list, sorted by (time, client), with dense
+/// indices. Byte-identical output for identical options — the determinism
+/// the sim-backend load tests and the chaos-style replay of a load run rely
+/// on.
+std::vector<Arrival> generate_schedule(const ScheduleOptions& options);
+
+}  // namespace ss::load

@@ -9,6 +9,7 @@
 
 #include <cassert>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <thread>
@@ -41,6 +42,45 @@ bool to_sockaddr(const SocketAddress& address, sockaddr_in* out) {
 
 }  // namespace
 
+SocketOptions socket_options_from_env(SocketOptions base) {
+  if (const char* v = std::getenv("SS_RX_BATCH")) {
+    long n = std::strtol(v, nullptr, 10);
+    if (n >= 1 && n <= 1024) base.rx_batch = static_cast<std::size_t>(n);
+  }
+  if (const char* v = std::getenv("SS_BUSY_POLL")) {
+    long us = std::strtol(v, nullptr, 10);
+    if (us >= 0) base.busy_poll = static_cast<SimTime>(us) * 1000;
+  }
+  return base;
+}
+
+/// One 64 KiB slot per datagram recvmmsg may return; headers/iovecs are set
+/// up once and reused for every call, so the steady-state RX path does no
+/// allocation.
+struct SocketTransport::RxRing {
+  explicit RxRing(std::size_t slots)
+      : buffers(slots, Bytes(65536)), hdrs(slots), iovs(slots), peers(slots) {
+    rearm();
+  }
+  /// msg_hdr fields (namelen in particular) are overwritten by the kernel on
+  /// every call and must be reset before the next one.
+  void rearm() {
+    for (std::size_t i = 0; i < buffers.size(); ++i) {
+      iovs[i].iov_base = buffers[i].data();
+      iovs[i].iov_len = buffers[i].size();
+      std::memset(&hdrs[i], 0, sizeof(hdrs[i]));
+      hdrs[i].msg_hdr.msg_name = &peers[i];
+      hdrs[i].msg_hdr.msg_namelen = sizeof(peers[i]);
+      hdrs[i].msg_hdr.msg_iov = &iovs[i];
+      hdrs[i].msg_hdr.msg_iovlen = 1;
+    }
+  }
+  std::vector<Bytes> buffers;
+  std::vector<mmsghdr> hdrs;
+  std::vector<iovec> iovs;
+  std::vector<sockaddr_in> peers;
+};
+
 struct SocketTransport::TimerState {
   bool cancelled = false;
   std::function<void()> action;
@@ -68,6 +108,7 @@ SocketTransport::SocketTransport(Resolver resolver, SocketOptions options)
     : resolver_(std::move(resolver)), opt_(options) {
   epoch_ = monotonic_ns();
   rx_buffer_.resize(65536);
+  if (opt_.rx_batch > 1) rx_ring_ = std::make_unique<RxRing>(opt_.rx_batch);
   obs_source_ = obs::Registry::instance().add_source(
       "transport", [this](const obs::Registry::Emit& emit) {
         emit("messages_sent", static_cast<double>(stats_.messages_sent));
@@ -89,6 +130,8 @@ SocketTransport::SocketTransport(Resolver resolver, SocketOptions options)
         emit("reassembly_expired",
              static_cast<double>(stats_.reassembly_expired));
         emit("timers_fired", static_cast<double>(stats_.timers_fired));
+        emit("rx_batches", static_cast<double>(stats_.rx_batches));
+        emit("rx_ring_full", static_cast<double>(stats_.rx_ring_full));
       });
 }
 
@@ -123,6 +166,12 @@ int SocketTransport::open_socket(const std::string& name) {
                sizeof(opt_.rcvbuf_bytes));
   ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &opt_.sndbuf_bytes,
                sizeof(opt_.sndbuf_bytes));
+  if (opt_.busy_poll > 0) {
+    // Best effort; needs CAP_NET_ADMIN on older kernels, and the userspace
+    // spin in poll_once carries the feature where this is refused.
+    int us = static_cast<int>(opt_.busy_poll / 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_BUSY_POLL, &us, sizeof(us));
+  }
   if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
     int err = errno;
     ::close(fd);
@@ -344,7 +393,36 @@ void SocketTransport::handle_datagram(ByteView datagram) {
   if (handler) handler(Message{std::move(from), std::move(to), std::move(payload)});
 }
 
+bool SocketTransport::note_recv_failure(const std::string& name, int err) {
+  // ECONNREFUSED et al. from queued ICMP errors are transient: count and
+  // keep reading. A socket that *only* ever errors (EBADF after an fd was
+  // yanked, ENOTCONN, resource exhaustion) must not spin the read loop
+  // forever, so after a run of consecutive hard failures the endpoint is
+  // detached and the failure is logged instead.
+  ++stats_.recv_errors;
+  auto it = endpoints_.find(name);
+  if (it == endpoints_.end()) return true;
+  if (++it->second.consecutive_recv_errors >= opt_.max_recv_failures) {
+    SS_LOG(LogLevel::kError, now(), "net",
+           "endpoint %s: %zu consecutive recv failures (last errno=%d), "
+           "detaching",
+           name.c_str(), it->second.consecutive_recv_errors, err);
+    ++stats_.endpoints_detached;
+    detach(name);
+    return true;
+  }
+  return false;
+}
+
 void SocketTransport::read_socket(const std::string& name, int fd) {
+  if (rx_ring_ && recvmmsg_ok_) {
+    read_socket_batched(name, fd);
+  } else {
+    read_socket_single(name, fd);
+  }
+}
+
+void SocketTransport::read_socket_single(const std::string& name, int fd) {
   for (;;) {
     auto it = endpoints_.find(name);
     if (it == endpoints_.end() || it->second.fd != fd) return;  // detached
@@ -355,27 +433,57 @@ void SocketTransport::read_socket(const std::string& name, int fd) {
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
-      // ECONNREFUSED et al. from queued ICMP errors are transient: count
-      // and keep reading. A socket that *only* ever errors (EBADF after an
-      // fd was yanked, ENOTCONN, resource exhaustion) must not spin this
-      // loop forever, so after a run of consecutive hard failures the
-      // endpoint is detached and the failure is logged instead.
-      ++stats_.recv_errors;
-      if (++it->second.consecutive_recv_errors >= opt_.max_recv_failures) {
-        SS_LOG(LogLevel::kError, now(), "net",
-               "endpoint %s: %zu consecutive recvfrom failures "
-               "(last errno=%d), detaching",
-               name.c_str(), it->second.consecutive_recv_errors, errno);
-        ++stats_.endpoints_detached;
-        detach(name);
-        return;
-      }
+      if (note_recv_failure(name, errno)) return;
       continue;
     }
     it->second.consecutive_recv_errors = 0;
+    ++stats_.rx_batches;
+    obs::Registry::instance().histogram("net.rx_batch_size").record(1);
     ++stats_.datagrams_received;
     stats_.bytes_received += static_cast<std::uint64_t>(n);
     handle_datagram(ByteView(rx_buffer_.data(), static_cast<std::size_t>(n)));
+  }
+}
+
+void SocketTransport::read_socket_batched(const std::string& name, int fd) {
+  RxRing& ring = *rx_ring_;
+  for (;;) {
+    auto it = endpoints_.find(name);
+    if (it == endpoints_.end() || it->second.fd != fd) return;  // detached
+    ring.rearm();
+    int n = ::recvmmsg(fd, ring.hdrs.data(),
+                       static_cast<unsigned int>(ring.hdrs.size()), 0, nullptr);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      if (errno == ENOSYS || errno == EOPNOTSUPP) {
+        // Kernel/libc without recvmmsg: permanently fall back to the
+        // one-datagram-per-syscall path. Delivery is byte-identical; only
+        // the syscall count differs.
+        recvmmsg_ok_ = false;
+        SS_LOG(LogLevel::kWarn, now(), "net",
+               "recvmmsg unavailable (errno=%d), falling back to recvfrom",
+               errno);
+        read_socket_single(name, fd);
+        return;
+      }
+      if (note_recv_failure(name, errno)) return;
+      continue;
+    }
+    if (n == 0) return;
+    it->second.consecutive_recv_errors = 0;
+    ++stats_.rx_batches;
+    obs::Registry::instance().histogram("net.rx_batch_size").record(n);
+    for (int i = 0; i < n; ++i) {
+      std::size_t len = ring.hdrs[i].msg_len;
+      ++stats_.datagrams_received;
+      stats_.bytes_received += len;
+      handle_datagram(ByteView(ring.buffers[i].data(), len));
+    }
+    if (static_cast<std::size_t>(n) < ring.hdrs.size()) return;  // drained
+    // The whole ring filled — more datagrams are likely queued; go again
+    // without returning to poll().
+    ++stats_.rx_ring_full;
   }
 }
 
@@ -468,7 +576,25 @@ std::size_t SocketTransport::poll_once(SimTime max_wait) {
 
   int ready = 0;
   if (!fds.empty()) {
-    ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (opt_.busy_poll > 0 && wait > 0) {
+      // Userspace spin: zero-timeout polls for up to min(busy_poll, wait)
+      // before parking in the kernel. Burns the core to shave the wakeup
+      // latency off each RX; the budget keeps timers on schedule.
+      SimTime wait_deadline = now() + wait;
+      SimTime spin_deadline = now() + std::min(opt_.busy_poll, wait);
+      do {
+        ready = ::poll(fds.data(), fds.size(), 0);
+      } while (ready == 0 && now() < spin_deadline);
+      // Don't let the spin push the next timer late: the blocking poll
+      // below gets only what is left of the original wait budget.
+      SimTime remaining = wait_deadline - now();
+      if (remaining < 0) remaining = 0;
+      timeout_ms =
+          static_cast<int>((remaining + kNanosPerMilli - 1) / kNanosPerMilli);
+    }
+    if (ready == 0 && timeout_ms >= 0) {
+      ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    }
   } else if (timeout_ms > 0) {
     ::poll(nullptr, 0, timeout_ms);
   }

@@ -62,11 +62,25 @@ struct SocketOptions {
   std::size_t max_batch = 128;
   int rcvbuf_bytes = 1 << 22;
   int sndbuf_bytes = 1 << 22;
-  /// After this many *consecutive* hard recvfrom failures (anything other
-  /// than EAGAIN/EWOULDBLOCK/EINTR) the endpoint is detached instead of
-  /// spinning the read loop forever.
+  /// After this many *consecutive* hard recv failures (anything other than
+  /// EAGAIN/EWOULDBLOCK/EINTR) the endpoint is detached instead of spinning
+  /// the read loop forever.
   std::size_t max_recv_failures = 64;
+  /// Datagrams drained per recvmmsg(2) call — the size of the preallocated
+  /// RX buffer ring. 1 disables the batched path and reads one datagram per
+  /// recvfrom(2) call (also the automatic fallback where recvmmsg is
+  /// unavailable). Each ring slot holds a full 64 KiB datagram.
+  std::size_t rx_batch = 32;
+  /// Userspace busy-poll budget: poll_once spins (zero-timeout polls) for
+  /// up to this long before blocking in poll(2). Trades a core for RX
+  /// latency; 0 = disabled. Also applied as SO_BUSY_POLL where supported.
+  SimTime busy_poll = 0;
 };
+
+/// `base` with the deployment environment knobs applied on top:
+/// SS_RX_BATCH=<n> (RX ring size, 1 = recvfrom path) and SS_BUSY_POLL=<us>
+/// (spin budget in microseconds).
+SocketOptions socket_options_from_env(SocketOptions base = {});
 
 struct SocketStats {
   std::uint64_t messages_sent = 0;
@@ -84,6 +98,8 @@ struct SocketStats {
   std::uint64_t endpoints_detached = 0;  ///< detached after repeated failures
   std::uint64_t reassembly_expired = 0;
   std::uint64_t timers_fired = 0;
+  std::uint64_t rx_batches = 0;    ///< recvmmsg/recvfrom calls that returned data
+  std::uint64_t rx_ring_full = 0;  ///< batched reads that filled the whole ring
 };
 
 class SocketTransport final : public Transport {
@@ -169,12 +185,19 @@ class SocketTransport final : public Transport {
     std::vector<Bytes> fragments;
   };
 
+  struct RxRing;  // preallocated recvmmsg buffer ring (defined in the .cc)
+
   int open_socket(const std::string& name);
   void enqueue_fragments(const std::string& from, const std::string& to,
                          const Bytes& payload, int fd,
                          const SocketAddress& dest);
   void flush_outbox();
   void read_socket(const std::string& name, int fd);
+  void read_socket_single(const std::string& name, int fd);
+  void read_socket_batched(const std::string& name, int fd);
+  /// Counts a hard recv failure on `name`; returns true if the endpoint was
+  /// detached (caller must stop reading this fd).
+  bool note_recv_failure(const std::string& name, int err);
   void handle_datagram(ByteView datagram);
   void fire_due_timers();
   void expire_reassemblies();
@@ -206,6 +229,11 @@ class SocketTransport final : public Transport {
   std::vector<std::pair<int, std::function<void()>>> pollables_;
 
   Bytes rx_buffer_;
+  /// Preallocated recvmmsg buffers; null when rx_batch <= 1.
+  std::unique_ptr<RxRing> rx_ring_;
+  /// Cleared at runtime if recvmmsg(2) reports ENOSYS/EOPNOTSUPP — every
+  /// later read takes the recvfrom path.
+  bool recvmmsg_ok_ = true;
   SocketStats stats_;
   obs::SourceHandle obs_source_;
 
