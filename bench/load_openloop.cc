@@ -36,6 +36,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,6 +58,7 @@
 #include "net/socket_transport.h"
 #include "obs/metrics.h"
 #include "scada/frontend.h"
+#include "scada/handlers.h"
 #include "scada/hmi.h"
 
 using namespace ss;
@@ -83,6 +85,13 @@ struct Options {
   std::string name = "openloop";  // record name prefix
   std::string deploy;             // path to the deploy binary (socket mode)
   std::vector<double> sweep;      // extra rates; empty = single run at --rate
+  std::vector<double> sweep_burst;  // burst multipliers; overrides --sweep
+  /// >= 0: this percentage of updates trips the replicas' alarm Monitor
+  /// (SS_ALARM_THRESHOLD) — the fig8b AE-subsystem storm over sockets.
+  int alarm_pct = -1;
+  /// > 0 (socket mode): SIGKILL one replica round-robin every period and
+  /// respawn it 200 ms later — proactive recovery under load.
+  long proactive_period_ms = 0;
 };
 
 double parse_double(const char* v) { return std::strtod(v, nullptr); }
@@ -95,7 +104,9 @@ int usage() {
       "         [--shape fixed|poisson|burst] [--rate OPS] [--duration S]\n"
       "         [--clients N] [--seed X] [--timeout MS] [--f N]\n"
       "         [--burst-mult M] [--burst-period-ms MS] [--burst-len-ms MS]\n"
-      "         [--sweep R1,R2,...] [--base-port P] [--deploy PATH]\n"
+      "         [--sweep R1,R2,...] [--sweep-burst M1,M2,...]\n"
+      "         [--alarm-pct P] [--proactive-period MS]\n"
+      "         [--base-port P] [--deploy PATH]\n"
       "         [--out DIR] [--bench NAME] [--name NAME]\n"
       "env:   SS_RX_BATCH / SS_BUSY_POLL are honored by this process and\n"
       "       inherited by the spawned replicas (socket mode)\n");
@@ -108,6 +119,11 @@ int usage() {
 /// through the HMI's own OpId-keyed result callback.
 struct Workload {
   std::string op;
+  /// >= 0: that share of updates trips the replicas' alarm Monitor. The
+  /// magnitude still encodes the arrival index (update_base >= 1e9 keeps it
+  /// far above SS_ALARM_THRESHOLD = 100) and the *sign* picks alarm
+  /// (positive) vs normal (negative, far below any threshold).
+  int alarm_pct = -1;
   scada::Hmi* hmi = nullptr;
   scada::Frontend* frontend = nullptr;
   double update_base = 0;  ///< distinguishes runs in one process
@@ -128,16 +144,22 @@ struct Workload {
                  });
     } else {
       update_done[a.index] = std::move(done);
-      frontend->field_update(
-          kTemperature,
-          scada::Variant{update_base + static_cast<double>(a.index)});
+      double value = update_base + static_cast<double>(a.index);
+      if (alarm_pct >= 0) {
+        bool alarm =
+            (a.index + 1) * static_cast<std::uint64_t>(alarm_pct) / 100 !=
+            a.index * static_cast<std::uint64_t>(alarm_pct) / 100;
+        if (!alarm) value = -value;
+      }
+      frontend->field_update(kTemperature, scada::Variant{value});
     }
   }
 
   /// Install on the HMI once per run, before start().
   void on_update(const scada::ItemUpdate& update) {
     if (update.item != kTemperature) return;
-    double rel = update.value.as_double() - update_base;
+    double raw = update.value.as_double();
+    double rel = (alarm_pct >= 0 ? std::fabs(raw) : raw) - update_base;
     if (rel < 0 || rel >= static_cast<double>(update_done.size())) return;
     auto index = static_cast<std::size_t>(rel);
     if (update_done[index]) update_done[index](true);
@@ -199,6 +221,22 @@ class SocketHarness {
                      : static_cast<std::uint16_t>(
                            41000 + (::getpid() % 8000) * 2);
     group_ = GroupConfig::for_f(opt.f);
+    if (opt_.alarm_pct >= 0) {
+      // The spawned replicas attach a Monitor to the temperature point so
+      // the 'update' workload exercises the AE subsystem (fig8b).
+      ::setenv("SS_ALARM_THRESHOLD", "100", /*overwrite=*/0);
+    }
+    if (opt_.proactive_period_ms > 0 &&
+        std::getenv("SS_STATE_DIR") == nullptr) {
+      // Proactive reincarnation is only meaningful with durable state: the
+      // killed replica must reboot from its checkpoint + WAL, not from
+      // scratch. Give the group a throwaway state root if none was set.
+      char tmpl[] = "/tmp/smart-scada-load-state-XXXXXX";
+      if (::mkdtemp(tmpl) != nullptr) {
+        ::setenv("SS_STATE_DIR", tmpl, 1);
+        ::setenv("SS_CHECKPOINT_INTERVAL", "16", /*overwrite=*/0);
+      }
+    }
     write_config();
     spawn_replicas();
     ::usleep(300 * 1000);  // let the replicas bind before we start asking
@@ -287,6 +325,7 @@ class SocketHarness {
                       const load::ScheduleOptions& schedule_opt) {
     Workload workload;
     workload.op = opt_.op;
+    workload.alarm_pct = opt_.alarm_pct;
     workload.hmi = hmi_.get();
     workload.frontend = frontend_.get();
     workload.update_base = static_cast<double>(++run_counter_) * 1e9;
@@ -297,6 +336,7 @@ class SocketHarness {
         [&workload](const scada::ItemUpdate& u) { workload.on_update(u); });
 
     net::SocketStats before = transport_->stats();
+    std::uint64_t reinc_before = reincarnations_;
     load::DriverOptions driver_opt;
     driver_opt.op_timeout = opt_.op_timeout;
     load::OpenLoopDriver driver(
@@ -307,15 +347,29 @@ class SocketHarness {
         },
         driver_opt);
     driver.start();
-    SimTime hard_stop = schedule_opt.duration + opt_.op_timeout + seconds(5);
-    transport_->run_until([&] { return driver.finished(); }, hard_stop);
+    SimTime deadline = transport_->now() + schedule_opt.duration +
+                       opt_.op_timeout + seconds(5);
+    if (opt_.proactive_period_ms > 0 && next_kill_at_ == 0) {
+      next_kill_at_ = transport_->now() + millis(opt_.proactive_period_ms);
+    }
+    while (!driver.finished() && transport_->now() < deadline) {
+      transport_->run_until([&] { return driver.finished(); }, millis(50));
+      maybe_reincarnate();
+    }
 
     load::RunRecord record =
         load::RunRecord::from_driver(name, opt_.op, schedule_opt, driver);
     attach_rx_extras(record, before, transport_->stats());
+    if (opt_.proactive_period_ms > 0) {
+      record.extras.emplace_back(
+          "proactive_reincarnations",
+          static_cast<double>(reincarnations_ - reinc_before));
+    }
     hmi_->set_update_callback({});
     return record;
   }
+
+  std::uint64_t reincarnations() const { return reincarnations_; }
 
  private:
   void write_config() {
@@ -341,22 +395,55 @@ class SocketHarness {
     out << text;
   }
 
-  void spawn_replicas() {
+  pid_t spawn_replica(std::uint32_t i) {
     const std::string fs = std::to_string(opt_.f);
+    pid_t pid = ::fork();
+    if (pid == 0) {
+      std::string id = std::to_string(i);
+      const char* argv[] = {deploy_.c_str(), "replica",
+                            "--id",          id.c_str(),
+                            "--f",           fs.c_str(),
+                            "--config",      config_.c_str(),
+                            nullptr};
+      ::execv(deploy_.c_str(), const_cast<char**>(argv));
+      std::perror("execv deploy replica");
+      std::_Exit(127);
+    }
+    return pid;
+  }
+
+  void spawn_replicas() {
     for (std::uint32_t i = 0; i < group_.n; ++i) {
-      pid_t pid = ::fork();
-      if (pid == 0) {
-        std::string id = std::to_string(i);
-        const char* argv[] = {deploy_.c_str(), "replica",
-                              "--id",          id.c_str(),
-                              "--f",           fs.c_str(),
-                              "--config",      config_.c_str(),
-                              nullptr};
-        ::execv(deploy_.c_str(), const_cast<char**>(argv));
-        std::perror("execv deploy replica");
-        std::_Exit(127);
+      replicas_.push_back(spawn_replica(i));
+    }
+  }
+
+  /// Proactive recovery under load (--proactive-period): SIGKILL one replica
+  /// round-robin per period and respawn it 200 ms later. With SS_STATE_DIR
+  /// set the restarted process reboots from its checkpoint + WAL and rejoins
+  /// on a fresh session-key epoch — the same policy `deploy --supervise`
+  /// runs with SS_PROACTIVE_PERIOD.
+  void maybe_reincarnate() {
+    if (opt_.proactive_period_ms <= 0) return;
+    SimTime now = transport_->now();
+    if (respawn_at_ != 0 && now >= respawn_at_) {
+      replicas_.at(victim_) = spawn_replica(victim_);
+      respawn_at_ = 0;
+      ++reincarnations_;
+      std::fprintf(stderr,
+                   "load_openloop: proactive reincarnation #%llu of "
+                   "replica/%u\n",
+                   static_cast<unsigned long long>(reincarnations_), victim_);
+    }
+    if (respawn_at_ == 0 && next_kill_at_ != 0 && now >= next_kill_at_) {
+      victim_ = next_victim_;
+      next_victim_ = (next_victim_ + 1) % group_.n;
+      if (replicas_.at(victim_) > 0) {
+        ::kill(replicas_.at(victim_), SIGKILL);
+        ::waitpid(replicas_.at(victim_), nullptr, 0);
       }
-      replicas_.push_back(pid);
+      respawn_at_ = now + millis(200);
+      next_kill_at_ = now + millis(opt_.proactive_period_ms);
     }
   }
 
@@ -367,6 +454,13 @@ class SocketHarness {
   GroupConfig group_ = GroupConfig::for_f(1);
   std::vector<pid_t> replicas_;
   std::uint64_t run_counter_ = 0;
+
+  // --proactive-period bookkeeping.
+  std::uint32_t next_victim_ = 0;
+  std::uint32_t victim_ = 0;
+  SimTime next_kill_at_ = 0;   ///< 0 until the first run arms the timer
+  SimTime respawn_at_ = 0;     ///< nonzero while a victim is down
+  std::uint64_t reincarnations_ = 0;
 
   std::unique_ptr<net::SocketTransport> transport_;
   std::unique_ptr<crypto::Keychain> keys_;
@@ -394,12 +488,18 @@ load::RunRecord run_sim(const Options& opt, const std::string& name,
   core::ReplicatedDeployment system(sys_opt);
   ItemId temperature = system.add_point(kTemperatureName);
   ItemId setpoint = system.add_point(kSetpointName, scada::Variant{20.0});
-  (void)temperature;
   (void)setpoint;
+  if (opt.alarm_pct >= 0) {
+    system.configure_masters([temperature](scada::ScadaMaster& master) {
+      master.handlers(temperature).emplace<scada::MonitorHandler>(
+          scada::MonitorHandler::Condition::kAbove, 100.0);
+    });
+  }
   system.start();
 
   Workload workload;
   workload.op = opt.op;
+  workload.alarm_pct = opt.alarm_pct;
   workload.hmi = &system.hmi();
   workload.frontend = &system.frontend();
   workload.update_base = 1e9;
@@ -484,6 +584,18 @@ int main(int argc, char** argv) {
         if (rate > 0) opt.sweep.push_back(rate);
         p = (*end == ',') ? end + 1 : end;
       }
+    } else if (flag == "--sweep-burst") {
+      for (const char* p = v; *p != '\0';) {
+        char* end = nullptr;
+        double mult = std::strtod(p, &end);
+        if (end == p) break;
+        if (mult > 0) opt.sweep_burst.push_back(mult);
+        p = (*end == ',') ? end + 1 : end;
+      }
+    } else if (flag == "--alarm-pct") {
+      opt.alarm_pct = static_cast<int>(parse_long(v));
+    } else if (flag == "--proactive-period") {
+      opt.proactive_period_ms = parse_long(v);
     } else {
       return usage();
     }
@@ -493,8 +605,33 @@ int main(int argc, char** argv) {
     return usage();
   }
 
-  std::vector<double> rates = opt.sweep;
-  if (rates.empty()) rates.push_back(opt.schedule.rate_per_sec);
+  // A sweep is either over rates (--sweep) or, for the alarm-storm bench,
+  // over burst multipliers at a fixed base rate (--sweep-burst).
+  struct Planned {
+    std::string name;
+    load::ScheduleOptions schedule;
+  };
+  std::vector<Planned> runs;
+  if (!opt.sweep_burst.empty()) {
+    for (double mult : opt.sweep_burst) {
+      load::ScheduleOptions schedule = opt.schedule;
+      schedule.shape = load::ArrivalShape::kBurst;
+      schedule.burst_multiplier = mult;
+      runs.push_back({opt.name + "@burst" +
+                          std::to_string(static_cast<long>(mult)) + "x",
+                      schedule});
+    }
+  } else {
+    std::vector<double> rates = opt.sweep;
+    if (rates.empty()) rates.push_back(opt.schedule.rate_per_sec);
+    for (double rate : rates) {
+      load::ScheduleOptions schedule = opt.schedule;
+      schedule.rate_per_sec = rate;
+      runs.push_back(
+          {opt.name + "@" + std::to_string(static_cast<long>(rate)),
+           schedule});
+    }
+  }
 
   load::LoadReport report(opt.bench);
   bool any_zero = false;
@@ -508,14 +645,10 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
-    for (double rate : rates) {
-      load::ScheduleOptions schedule_opt = opt.schedule;
-      schedule_opt.rate_per_sec = rate;
-      std::string name =
-          opt.name + "@" + std::to_string(static_cast<long>(rate));
-      load::RunRecord record = opt.mode == "socket"
-                                   ? harness->run(name, schedule_opt)
-                                   : run_sim(opt, name, schedule_opt);
+    for (const Planned& planned : runs) {
+      load::RunRecord record =
+          opt.mode == "socket" ? harness->run(planned.name, planned.schedule)
+                               : run_sim(opt, planned.name, planned.schedule);
       load::LoadReport::print(record);
       if (record.stats.ok == 0) any_zero = true;
       report.add(std::move(record));

@@ -60,6 +60,7 @@
 #include "core/nodes.h"
 #include "core/proxies.h"
 #include "core/replicated_deployment.h"
+#include "core/restart_budget.h"
 #include "core/runner.h"
 #include "core/scada_link.h"
 #include "crypto/keychain.h"
@@ -258,8 +259,17 @@ int run_replica(const std::string& config, GroupConfig group,
   scada::MasterOptions master_options;
   master_options.deterministic = true;  // timestamps come from agreement
   scada::ScadaMaster master(std::move(master_options));
-  master.add_item(kTemperatureName);
+  ItemId temperature = master.add_item(kTemperatureName);
   master.add_item(kSetpointName);
+  // SS_ALARM_THRESHOLD attaches a Monitor to the temperature point, so the
+  // AE subsystem (alarm persisted + EventUpdate pushed to the HMI) is live
+  // in socket mode — the fig8b alarm-storm bench drives this path.
+  if (const char* threshold = std::getenv("SS_ALARM_THRESHOLD")) {
+    master.handlers(temperature)
+        .emplace<scada::MonitorHandler>(
+            scada::MonitorHandler::Condition::kAbove,
+            std::strtod(threshold, nullptr));
+  }
 
   core::AdapterOptions adapter_options;
   adapter_options.write_timeout = millis(800);
@@ -312,11 +322,18 @@ int run_replica(const std::string& config, GroupConfig group,
         storage_env, dir, "storage/replica-" + std::to_string(id));
     replica.set_storage(storage.get());
     replica.recover_from_storage();
+    // Every process start is a reincarnation: derive fresh session keys by
+    // bumping the durable key epoch. Peers accept the previous epoch for a
+    // bounded handover window, then reject it — anything signed with keys
+    // stolen before this restart stops verifying.
+    replica.set_key_epoch(storage->bump_epoch());
     if (replica.last_decided().value > 0) {
       std::fprintf(stderr, "[replica/%u] recovered to cid=%llu from %s\n", id,
                    static_cast<unsigned long long>(replica.last_decided().value),
                    dir.c_str());
     }
+    std::fprintf(stderr, "[replica/%u] key epoch %u\n", id,
+                 replica.key_epoch());
     replica.request_state_transfer();
   }
 
@@ -727,12 +744,25 @@ int run_local(const char* self, std::uint32_t f, std::uint16_t base_port,
     ::waitpid(hmi, &status, 0);
   } else {
     // The supervisor: reap dead replica processes and restart them with
-    // exponential backoff (200ms * 2^attempt, at most kMaxRestarts per
-    // replica), optionally SIGKILLing one replica on schedule to exercise
-    // the crash path. The HMI's exit ends the run as before.
-    constexpr std::uint32_t kMaxRestarts = 5;
-    std::vector<std::uint32_t> restarts(group.n, 0);
+    // exponential backoff (200ms * 2^attempt, at most max_attempts per
+    // crash burst — sustained healthy uptime resets the budget, see
+    // core::RestartBudget), optionally SIGKILLing one replica on schedule
+    // to exercise the crash path. With SS_PROACTIVE_PERIOD=<ms> it also
+    // reincarnates one replica per period round-robin (proactive recovery:
+    // durable reboot + fresh key epoch), only when the whole group is up,
+    // and without charging the restart budget — a scheduled kill is not a
+    // crash. The HMI's exit ends the run as before.
+    std::vector<core::RestartBudget> budget(group.n);
+    for (std::uint32_t i = 0; i < group.n; ++i) budget[i].on_start(0);
     std::vector<long> restart_at_ms(group.n, -1);
+    std::vector<bool> proactive_kill(group.n, false);
+    long proactive_period_ms = 0;
+    if (const char* period = std::getenv("SS_PROACTIVE_PERIOD")) {
+      proactive_period_ms = std::strtol(period, nullptr, 10);
+    }
+    long next_proactive_ms = proactive_period_ms;
+    std::uint32_t proactive_next = 0;
+    std::uint32_t reincarnations = 0;
     long elapsed_ms = 0;
     bool kill_fired = sup.kill_replica < 0 ||
                       sup.kill_replica >= static_cast<int>(group.n);
@@ -740,6 +770,9 @@ int run_local(const char* self, std::uint32_t f, std::uint16_t base_port,
     while (!hmi_done) {
       ::usleep(50 * 1000);
       elapsed_ms += 50;
+      for (std::uint32_t i = 0; i < group.n; ++i) {
+        if (replica_pid[i] > 0) budget[i].note_healthy(elapsed_ms);
+      }
       if (!kill_fired && elapsed_ms >= sup.kill_after_ms) {
         kill_fired = true;
         if (replica_pid[sup.kill_replica] > 0) {
@@ -748,12 +781,32 @@ int run_local(const char* self, std::uint32_t f, std::uint16_t base_port,
           ::kill(replica_pid[sup.kill_replica], SIGKILL);
         }
       }
+      if (proactive_period_ms > 0 && elapsed_ms >= next_proactive_ms) {
+        next_proactive_ms += proactive_period_ms;
+        // Only reincarnate with every replica up and no restart pending:
+        // the scheduler must never push the group past its fault budget.
+        bool all_up = true;
+        for (std::uint32_t i = 0; i < group.n; ++i) {
+          if (replica_pid[i] <= 0 || restart_at_ms[i] >= 0) all_up = false;
+        }
+        if (all_up) {
+          std::uint32_t victim = proactive_next;
+          proactive_next = (proactive_next + 1) % group.n;
+          ++reincarnations;
+          proactive_kill[victim] = true;
+          std::printf(
+              "deploy: proactive reincarnation #%u of replica/%u at %ld ms\n",
+              reincarnations, victim, elapsed_ms);
+          ::kill(replica_pid[victim], SIGKILL);
+        }
+      }
       for (std::uint32_t i = 0; i < group.n; ++i) {
         if (restart_at_ms[i] >= 0 && elapsed_ms >= restart_at_ms[i]) {
           restart_at_ms[i] = -1;
           std::printf("deploy: supervisor restarts replica/%u (attempt %u)\n",
-                      i, restarts[i]);
+                      i, budget[i].attempts());
           spawn_replica(i);
+          budget[i].on_start(elapsed_ms);
         }
       }
       int child_status = 0;
@@ -767,13 +820,17 @@ int run_local(const char* self, std::uint32_t f, std::uint16_t base_port,
         for (std::uint32_t i = 0; i < group.n; ++i) {
           if (pid != replica_pid[i]) continue;
           replica_pid[i] = -1;
-          if (restarts[i] >= kMaxRestarts) {
+          if (proactive_kill[i]) {
+            // Scheduled reincarnation: short fixed downtime, no budget
+            // charge (only real crashes count against it).
+            proactive_kill[i] = false;
+            restart_at_ms[i] = elapsed_ms + 200;
+          } else if (long backoff = budget[i].on_death(elapsed_ms);
+                     backoff < 0) {
             std::fprintf(stderr,
                          "deploy: replica/%u died %u times, giving up on it\n",
-                         i, restarts[i]);
+                         i, budget[i].attempts());
           } else {
-            long backoff = 200L << restarts[i];
-            ++restarts[i];
             std::printf(
                 "deploy: replica/%u %s, restart in %ld ms\n", i,
                 WIFSIGNALED(child_status)
@@ -787,6 +844,10 @@ int run_local(const char* self, std::uint32_t f, std::uint16_t base_port,
           break;
         }
       }
+    }
+    if (proactive_period_ms > 0) {
+      std::printf("deploy: %u proactive reincarnations completed\n",
+                  reincarnations);
     }
   }
 
@@ -843,6 +904,11 @@ int usage() {
       "env:   SS_STATE_DIR=<dir>            durable replica state (WAL +\n"
       "                                     checkpoints) under <dir>/replica-<id>\n"
       "       SS_CHECKPOINT_INTERVAL=<n>    checkpoint every n decisions\n"
+      "       SS_PROACTIVE_PERIOD=<ms>      with --supervise: reincarnate one\n"
+      "                                     replica per period round-robin\n"
+      "                                     (durable reboot + fresh key epoch)\n"
+      "       SS_ALARM_THRESHOLD=<v>        attach a Monitor (alarm above v)\n"
+      "                                     to the temperature point\n"
       "       SS_RUNNER=inline|pooled:N|spin:N\n"
       "                                     replica crypto/codec runner: N\n"
       "                                     worker threads for HMAC + codec\n"

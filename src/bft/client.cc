@@ -4,20 +4,6 @@
 
 namespace ss::bft {
 
-namespace {
-
-Bytes mac_material(MsgType type, const std::string& sender,
-                   const std::string& receiver, const Bytes& body) {
-  Writer w(body.size() + sender.size() + receiver.size() + 8);
-  w.enumeration(type);
-  w.str(sender);
-  w.str(receiver);
-  w.blob(body);
-  return std::move(w).take();
-}
-
-}  // namespace
-
 ClientProxy::ClientProxy(net::Transport& net, GroupConfig group, ClientId id,
                          const crypto::Keychain& keys, ClientOptions options)
     : net_(net),
@@ -44,6 +30,10 @@ RequestId ClientProxy::invoke_unordered(Bytes payload,
 
 RequestId ClientProxy::invoke(RequestMode mode, Bytes payload,
                               ReplyCallback on_reply) {
+  if (opt_.max_inflight != 0 && inflight_.size() >= opt_.max_inflight) {
+    ++stats_.shed;
+    return RequestId{0};
+  }
   RequestId seq = next_seq_;
   next_seq_ = next_seq_.next();
   ++stats_.invoked;
@@ -77,8 +67,9 @@ void ClientProxy::send_to_all(const Bytes& body) {
     env.type = MsgType::kClientRequest;
     env.sender = endpoint_;
     env.body = body;
-    env.mac = keys_.mac(endpoint_, to,
-                        mac_material(env.type, endpoint_, to, env.body));
+    env.mac = keys_.mac(
+        endpoint_, to,
+        envelope_mac_material(env.type, endpoint_, to, env.epoch, env.body));
     net_.send(endpoint_, to, env.encode());
   }
 }
@@ -115,8 +106,11 @@ void ClientProxy::on_message(net::Message msg) {
     ++stats_.mac_failures;
     return;
   }
-  if (!keys_.verify(env.sender, endpoint_,
-                    mac_material(env.type, env.sender, endpoint_, env.body),
+  // Verify under the claimed epoch; clients apply no recency policy — a
+  // reply forged under a stale epoch is masked by f+1 reply voting anyway.
+  if (!keys_.verify(env.sender, endpoint_, env.epoch,
+                    envelope_mac_material(env.type, env.sender, endpoint_,
+                                          env.epoch, env.body),
                     env.mac)) {
     ++stats_.mac_failures;
     return;

@@ -26,6 +26,11 @@ namespace ss::bft {
 struct ClientOptions {
   SimTime reply_timeout = millis(300);  ///< retransmit period
   std::uint32_t max_retries = 20;       ///< then the request fails
+  /// Backpressure: with more than this many requests in flight, invoke()
+  /// sheds the new request instead of queueing it (0 = unlimited). A
+  /// flooded frontend drops excess field updates at the edge rather than
+  /// amplifying the overload into the agreement group.
+  std::uint32_t max_inflight = 0;
 };
 
 struct ClientStats {
@@ -36,6 +41,7 @@ struct ClientStats {
   std::uint64_t replies_received = 0;
   std::uint64_t pushes_received = 0;
   std::uint64_t mac_failures = 0;
+  std::uint64_t shed = 0;  ///< requests dropped by the max_inflight cap
 };
 
 class ClientProxy {
@@ -62,6 +68,8 @@ class ClientProxy {
 
   /// Invokes a request through total-order agreement. The callback fires
   /// once, with the f+1-voted reply. Multiple invocations may be in flight.
+  /// Returns RequestId{0} (and never fires the callback) when the request
+  /// was shed by the max_inflight cap.
   RequestId invoke_ordered(Bytes payload, ReplyCallback on_reply = {});
 
   /// Read-only fast path: executed by each replica without ordering.

@@ -46,6 +46,7 @@ Bytes Envelope::encode() const {
   Writer w(body.size() + sender.size() + 48);
   w.enumeration(type);
   w.str(sender);
+  w.varint(epoch);
   w.blob(body);
   put_digest(w, mac);
   return std::move(w).take();
@@ -56,10 +57,23 @@ Envelope Envelope::decode(ByteView data) {
   Envelope e;
   e.type = r.enumeration<MsgType>(static_cast<std::uint64_t>(MsgType::kMax));
   e.sender = r.str();
+  e.epoch = r.varint32();
   e.body = r.blob();
   e.mac = get_digest(r);
   r.expect_done();
   return e;
+}
+
+Bytes envelope_mac_material(MsgType type, const std::string& sender,
+                            const std::string& receiver, std::uint32_t epoch,
+                            const Bytes& body) {
+  Writer w(body.size() + sender.size() + receiver.size() + 16);
+  w.enumeration(type);
+  w.str(sender);
+  w.str(receiver);
+  w.varint(epoch);
+  w.blob(body);
+  return std::move(w).take();
 }
 
 Bytes ClientRequest::encode_core() const {

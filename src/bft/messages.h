@@ -37,16 +37,28 @@ enum class MsgType : std::uint8_t {
 const char* msg_type_name(MsgType t);
 
 /// Outer framing: body is the encoded inner message, mac authenticates
-/// (sender -> receiver, type, body).
+/// (sender -> receiver, type, epoch, body).
 struct Envelope {
   MsgType type{};
   std::string sender;  ///< principal == endpoint name
+  /// Sender's session-key epoch. 0 is the provisioning-time pair key
+  /// (clients, adapters); a replica bumps its epoch at every reincarnation
+  /// so session keys stolen before the reboot stop verifying once the
+  /// receiver's handover window closes.
+  std::uint32_t epoch = 0;
   Bytes body;
   crypto::Digest mac{};
 
   Bytes encode() const;
   static Envelope decode(ByteView data);  // throws DecodeError
 };
+
+/// Byte string an Envelope's HMAC covers: (type, sender, receiver, epoch,
+/// body). The receiver is folded in so a MAC for one peer cannot be
+/// replayed to another.
+Bytes envelope_mac_material(MsgType type, const std::string& sender,
+                            const std::string& receiver, std::uint32_t epoch,
+                            const Bytes& body);
 
 enum class RequestMode : std::uint8_t { kOrdered = 0, kUnordered = 1 };
 

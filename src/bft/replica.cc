@@ -5,23 +5,10 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "storage/replica_storage.h"
 
 namespace ss::bft {
-
-namespace {
-
-Bytes mac_material(MsgType type, const std::string& sender,
-                   const std::string& receiver, const Bytes& body) {
-  Writer w(body.size() + sender.size() + receiver.size() + 8);
-  w.enumeration(type);
-  w.str(sender);
-  w.str(receiver);
-  w.blob(body);
-  return std::move(w).take();
-}
-
-}  // namespace
 
 Replica::Replica(net::Transport& net, GroupConfig group, ReplicaId id,
                  const crypto::Keychain& keys, Executable& app,
@@ -70,9 +57,13 @@ Replica::Inbound Replica::prevalidate(const Bytes& payload) const {
     in.decode_failed = true;
     return in;
   }
-  Bytes material =
-      mac_material(in.env.type, in.env.sender, endpoint_, in.env.body);
-  if (!keys_.verify(in.env.sender, endpoint_, material, in.env.mac)) {
+  // Verify under the epoch the sender claims; whether that epoch is still
+  // current is a driver-thread policy question (accept_sender_epoch) — here
+  // we only establish that the sender holds the keys for it.
+  Bytes material = envelope_mac_material(in.env.type, in.env.sender, endpoint_,
+                                         in.env.epoch, in.env.body);
+  if (!keys_.verify(in.env.sender, endpoint_, in.env.epoch, material,
+                    in.env.mac)) {
     in.mac_failed = true;
     return in;
   }
@@ -141,6 +132,15 @@ void Replica::deliver(Inbound in) {
 }
 
 void Replica::dispatch(Envelope env, Prevalidated pre) {
+  // Replica-to-replica traffic must carry a current (or within-handover)
+  // key epoch. Client requests are exempt: clients stay on epoch 0, and a
+  // forwarded request's real gate is its per-replica authenticator anyway.
+  if (env.type != MsgType::kClientRequest &&
+      !accept_sender_epoch(env.sender, env.epoch)) {
+    ++stats_.epoch_rejections;
+    ++obs::Registry::instance().counter("bft.epoch_rejections");
+    return;
+  }
   switch (env.type) {
     case MsgType::kClientRequest:
       handle_client_request(env, pre);
@@ -220,15 +220,19 @@ void Replica::send_envelope(const std::string& to, MsgType type, Bytes body) {
   }
   // MAC + wire encoding are pure: offload them to the runner. The solo only
   // hands the finished bytes to the transport, so outbound messages leave
-  // in submission order from the driver thread.
+  // in submission order from the driver thread. key_epoch_ is captured here,
+  // on the driver thread — workers never read the mutable member.
   runner_->submit(
-      [this, to, type, body = std::move(body)]() mutable -> core::Runner::Solo {
+      [this, to, type, epoch = key_epoch_,
+       body = std::move(body)]() mutable -> core::Runner::Solo {
         Envelope env;
         env.type = type;
         env.sender = endpoint_;
+        env.epoch = epoch;
         env.body = std::move(body);
-        env.mac =
-            keys_.mac(endpoint_, to, mac_material(type, endpoint_, to, env.body));
+        env.mac = keys_.mac(
+            endpoint_, to, epoch,
+            envelope_mac_material(type, endpoint_, to, epoch, env.body));
         auto wire = std::make_shared<Bytes>(env.encode());
         return [this, to = std::move(to), wire] {
           if (crashed_) return;
@@ -471,10 +475,15 @@ void Replica::handle_propose(Propose p, bool from_sync,
                              std::optional<PrevalidatedPropose> pre) {
   (void)from_sync;
   if (p.regency > regency_) note_regency_evidence(p.leader, p.regency);
+  // Progress evidence counts even when the regency doesn't match ours yet:
+  // a replica that rejoins while a view change is in flight drops every
+  // vote of the new regency until it has adopted it, and if the instance
+  // those votes decide is the last one before a quiet period, nothing else
+  // would ever tell the replica it fell behind.
+  note_progress_evidence(p.cid);
   if (p.regency != regency_) return;
   if (p.cid.value <= last_decided_.value) return;
 
-  ConsensusId inst_cid = p.cid;
   Instance& inst = instances_[p.cid.value];
   crypto::Digest digest =
       pre.has_value() ? pre->digest : crypto::Sha256::hash(p.batch);
@@ -489,7 +498,6 @@ void Replica::handle_propose(Propose p, bool from_sync,
     }
     return;
   }
-  note_progress_evidence(inst_cid);
   inst.proposal = std::move(p);
   inst.digest = digest;
   if (pre.has_value()) inst.prevalidated = std::move(pre->batch);
@@ -507,20 +515,20 @@ std::uint32_t Replica::matching_votes(
 }
 
 void Replica::handle_write(const PhaseVote& v) {
-  if (v.regency > regency_) note_regency_evidence(v.voter, v.regency);
-  if (v.regency != regency_ || v.cid.value <= last_decided_.value) return;
   if (v.voter.value >= group_.n) return;
+  if (v.regency > regency_) note_regency_evidence(v.voter, v.regency);
+  note_progress_evidence(v.cid);  // even under a regency we haven't adopted
+  if (v.regency != regency_ || v.cid.value <= last_decided_.value) return;
   instances_[v.cid.value].writes[v.voter] = v.value;
-  note_progress_evidence(v.cid);
   try_decide();
 }
 
 void Replica::handle_accept(const PhaseVote& v) {
-  if (v.regency > regency_) note_regency_evidence(v.voter, v.regency);
-  if (v.regency != regency_ || v.cid.value <= last_decided_.value) return;
   if (v.voter.value >= group_.n) return;
+  if (v.regency > regency_) note_regency_evidence(v.voter, v.regency);
+  note_progress_evidence(v.cid);  // even under a regency we haven't adopted
+  if (v.regency != regency_ || v.cid.value <= last_decided_.value) return;
   instances_[v.cid.value].accepts[v.voter] = v.value;
-  note_progress_evidence(v.cid);
   try_decide();
 }
 
@@ -643,11 +651,14 @@ void Replica::push_to_client(ClientId client, Bytes payload) {
   push.replica = id_;
   push.client = client;
   // Monotonic per-replica sequence (shared across clients; gaps are fine).
-  // The client-side PushVoter uses it to reject replayed captures. Note
-  // the counter is per-process: a restarted replica starts over and its
-  // early pushes read as replays downstream until it passes its old
-  // frontier — harmless, since delivery only needs f+1 of the others.
-  push.seq = next_push_seq_++;
+  // The client-side PushVoter uses it to reject replayed captures. The
+  // low-order counter is per-process, so a reincarnated replica starts it
+  // over — folding the key epoch into the high bits keeps the composite
+  // sequence monotone across reboots. Without it, a rebooted replica's
+  // pushes read as replays at the voter until the counter re-passes its
+  // pre-reboot frontier, and with rolling proactive recovery enough
+  // replicas are muted at once to starve the f+1 vote quorum.
+  push.seq = (static_cast<std::uint64_t>(key_epoch_) << 32) | next_push_seq_++;
   push.payload = std::move(payload);
   ++stats_.pushes_sent;
   send_envelope(crypto::client_principal(client), MsgType::kServerPush,
@@ -1044,22 +1055,35 @@ void Replica::maybe_request_state(ConsensusId evidence_cid) {
 }
 
 void Replica::note_progress_evidence(ConsensusId cid) {
-  if (cid.value <= last_decided_.value + 1) return;
+  if (cid.value <= last_decided_.value) return;
   if (cid.value >= last_decided_.value + opt_.state_gap_threshold) {
     request_state_now();
     return;
   }
-  // Small gap: peers are working on a later instance than we can reach.
-  // That is normal for a moment (we may still decide the open instance),
-  // so only transfer if the gap persists for a full request timeout.
-  if (stall_check_armed_) return;
+  // Small gap: peers are working on an instance we haven't decided. Usually
+  // normal for a moment (cid == next is the live case — we decide it from
+  // the same vote stream), so only transfer if the gap persists for a full
+  // request timeout. The undecided-next case matters too: a replica that
+  // missed the PROPOSE (lossy link, or votes dropped while a view change it
+  // hadn't adopted yet was in flight) holds quorum votes it can never act
+  // on, and if that instance is the last before a quiet period nothing else
+  // would ever close the gap.
+  if (cid.value > stall_target_) stall_target_ = cid.value;
+  if (!stall_check_armed_) arm_stall_check(stall_target_);
+}
+
+void Replica::arm_stall_check(std::uint64_t target) {
   stall_check_armed_ = true;
-  std::uint64_t target = cid.value;
   net_.schedule(opt_.request_timeout, [this, target] {
     stall_check_armed_ = false;
     if (crashed_) return;
-    if (last_decided_.value + 1 < target) {
+    if (last_decided_.value < target) {
       request_state_now();
+    } else if (last_decided_.value < stall_target_) {
+      // Evidence for a later instance arrived while this check was armed;
+      // it never got its own timer, so give it one — a one-shot check here
+      // would go blind if that evidence was the last message before quiet.
+      arm_stall_check(stall_target_);
     }
   });
 }
@@ -1086,6 +1110,7 @@ void Replica::handle_state_reply(const StateReply& rep) {
       transferring_ = false;
       state_replies_.clear();
       state_current_votes_.clear();
+      note_rejoin_complete();
     }
     return;
   }
@@ -1131,6 +1156,7 @@ void Replica::handle_state_reply(const StateReply& rep) {
     transferring_ = false;
     state_replies_.clear();
     ++stats_.state_transfers;
+    note_rejoin_complete();
     if (storage_ != nullptr) {
       // The frontier just jumped past decisions this replica never logged.
       // Persist the transferred state as a checkpoint immediately (which
@@ -1176,10 +1202,35 @@ void Replica::crash() {
 void Replica::recover() {
   crashed_ = false;
   net_.attach(endpoint_, [this](net::Message m) { on_message(std::move(m)); });
+  rejoin_started_ = net_.now();
   transferring_ = true;
   state_replies_.clear();
   StateRequest req{id_, last_decided_};
   broadcast(MsgType::kStateRequest, req.encode());
+}
+
+bool Replica::accept_sender_epoch(const std::string& sender,
+                                  std::uint32_t epoch) {
+  PeerEpoch& pe = peer_epochs_[sender];
+  if (epoch == pe.current) return true;
+  if (epoch > pe.current) {
+    // The peer reincarnated (deriving a fresher epoch needs the group
+    // secret, so this is not forgeable with stolen session keys). Honour
+    // its previous epoch for the handover window: in-flight messages MAC'd
+    // before the reboot are still legitimate for that long.
+    pe.current = epoch;
+    pe.prev_expiry = net_.now() + opt_.epoch_handover_window;
+    return true;
+  }
+  return epoch + 1 == pe.current && net_.now() < pe.prev_expiry;
+}
+
+void Replica::note_rejoin_complete() {
+  if (!rejoin_started_.has_value()) return;
+  obs::Registry::instance()
+      .histogram("bft.recovery_ns")
+      .record(static_cast<std::int64_t>(net_.now() - *rejoin_started_));
+  rejoin_started_.reset();
 }
 
 // --------------------------------------------------------------------------
@@ -1287,6 +1338,14 @@ void Replica::reboot(ByteView genesis_full_snapshot) {
   checkpoint_cid_ = ConsensusId{0};
   next_push_seq_ = 1;
   byzantine_ = ByzantineMode::kNone;  // byzantine behaviour is in-memory
+  peer_epochs_.clear();
+
+  // A reincarnated replica derives fresh session keys: bump the key epoch
+  // (durably, when storage is attached) so anything signed with the
+  // pre-reboot keys ages out once the peers' handover windows close.
+  // key_epoch_ itself is deliberately NOT reset above — it must only ever
+  // move forward.
+  key_epoch_ = storage_ != nullptr ? storage_->bump_epoch() : key_epoch_ + 1;
 
   // The app object is shared with the "process", so put it back to what a
   // fresh main() would construct before recovery layers anything on top.
@@ -1298,6 +1357,7 @@ void Replica::reboot(ByteView genesis_full_snapshot) {
 
   crashed_ = false;
   net_.attach(endpoint_, [this](net::Message m) { on_message(std::move(m)); });
+  rejoin_started_ = net_.now();
   // Disk brings us to the last durable frontier; peers supply whatever was
   // decided while we were down (bounded by what the WAL+checkpoint cover).
   request_state_now();

@@ -69,6 +69,11 @@ struct ReplicaOptions {
   /// Virtual CPU cost charged per decided batch (bookkeeping).
   SimTime per_decision_cost = 0;
   std::uint32_t lanes = 1;
+  /// After a peer presents a fresh key epoch, messages MAC'd under its
+  /// immediately previous epoch are still accepted this long (in-flight
+  /// traffic from before the reincarnation) and rejected afterwards — the
+  /// bound on how long session keys stolen before a reboot stay useful.
+  SimTime epoch_handover_window = seconds(2);
   /// Crypto/codec runner (core/runner.h): HMAC verify of inbound messages,
   /// HMAC sign + encode of outbound ones, and message decode run as runner
   /// tasks; the state machine stays on the driver thread. Null selects the
@@ -93,6 +98,9 @@ struct ReplicaStats {
   std::uint64_t pushes_sent = 0;
   std::uint64_t requests_forwarded = 0;
   std::uint64_t requests_flood_dropped = 0;
+  /// Replica-to-replica messages dropped by the key-epoch recency policy
+  /// (valid MAC for the claimed epoch, but the epoch is stale).
+  std::uint64_t epoch_rejections = 0;
 };
 
 class Replica {
@@ -188,6 +196,15 @@ class Replica {
   void set_byzantine(ByzantineMode mode) { byzantine_ = mode; }
   ByzantineMode byzantine() const { return byzantine_; }
 
+  /// Session-key epoch this replica signs outbound messages under. 0 until
+  /// the first reincarnation; reboot() bumps it (durably, when storage is
+  /// attached).
+  std::uint32_t key_epoch() const { return key_epoch_; }
+  /// Adopts an outbound key epoch explicitly — a freshly exec'd replica
+  /// process installs the epoch its supervisor bumped at spawn. Driver
+  /// thread only.
+  void set_key_epoch(std::uint32_t epoch) { key_epoch_ = epoch; }
+
   /// Swaps the crypto/codec runner (null restores the internal
   /// InlineRunner). Drain the old runner before swapping: in-flight tasks
   /// capture `this` and deliver through whichever runner ran them.
@@ -250,6 +267,11 @@ class Replica {
   void dispatch(Envelope env, Prevalidated pre);
   void send_envelope(const std::string& to, MsgType type, Bytes body);
   void broadcast(MsgType type, const Bytes& body);
+  /// Key-epoch recency policy for replica-to-replica traffic (driver
+  /// thread; mutates peer_epochs_). The MAC already verified under the
+  /// claimed epoch — this decides whether that epoch is still current.
+  bool accept_sender_epoch(const std::string& sender, std::uint32_t epoch);
+  void note_rejoin_complete();
 
   // --- client requests ----------------------------------------------------
   void handle_client_request(const Envelope& env, Prevalidated& pre);
@@ -287,6 +309,7 @@ class Replica {
   void write_storage_checkpoint();
   void maybe_request_state(ConsensusId evidence_cid);
   void note_progress_evidence(ConsensusId cid);
+  void arm_stall_check(std::uint64_t target);
   void request_state_now();
   void resend_cached_reply(ClientId client, RequestId seq);
   Bytes encode_full_snapshot() const;
@@ -339,7 +362,10 @@ class Replica {
   std::optional<RetainedWriteset> retained_writeset_;
 
   /// Small-gap stall detection: evidence that peers decided ahead of us.
+  /// One timer at a time; stall_target_ tracks the highest evidence cid so
+  /// evidence arriving while armed still gets checked (the callback re-arms).
   bool stall_check_armed_ = false;
+  std::uint64_t stall_target_ = 0;
 
   /// Highest regency each peer has been observed *operating* in (consensus
   /// messages, not STOPs). A replica that slept through a view change —
@@ -374,6 +400,20 @@ class Replica {
   bool crashed_ = false;
   ByzantineMode byzantine_ = ByzantineMode::kNone;
   Rng byz_rng_{0xBAD};
+
+  // key epochs (proactive recovery)
+  std::uint32_t key_epoch_ = 0;
+  /// Per-peer epoch tracking: the newest epoch seen from the peer, and how
+  /// long the immediately previous one is still honoured.
+  struct PeerEpoch {
+    std::uint32_t current = 0;
+    SimTime prev_expiry = 0;
+  };
+  std::map<std::string, PeerEpoch> peer_epochs_;
+  /// Set when recover()/reboot() starts rejoining; cleared (and the
+  /// duration recorded) when state transfer completes.
+  std::optional<SimTime> rejoin_started_;
+
   ReplicaStats stats_;
 };
 

@@ -185,6 +185,64 @@ void add_crash_restart_faults(Rng& rng, const ScriptParams& params,
   }
 }
 
+// The proactive-recovery attack the key-epoch machinery exists to defeat:
+// an adversary compromises a replica, the operator reincarnates it (kill +
+// durable restart, which bumps its session-key epoch), and the adversary —
+// who walked away with the pre-reincarnation session keys — replays forged
+// traffic with them after the handover window closed. Every forged message
+// must die at the receivers' epoch policy.
+void add_compromise_recover_faults(Rng& rng, const ScriptParams& params,
+                                   const std::vector<std::uint32_t>& impaired,
+                                   FaultScript& script) {
+  if (impaired.empty()) return;
+  std::uint32_t victim = impaired.front();
+
+  static constexpr bft::ByzantineMode kModes[] = {
+      bft::ByzantineMode::kSilent, bft::ByzantineMode::kCorruptReplies,
+      bft::ByzantineMode::kCorruptVotes, bft::ByzantineMode::kEquivocate};
+  FaultAction compromise;
+  compromise.at = pick_time(rng, params.horizon / 20, params.horizon / 3);
+  compromise.kind = ActionKind::kSetByzantine;
+  compromise.replica = victim;
+  compromise.mode = kModes[rng.below(4)];
+  script.actions.push_back(compromise);
+
+  FaultAction kill;
+  kill.at = pick_time(rng, compromise.at + millis(200), params.horizon / 2);
+  kill.kind = ActionKind::kKillReplica;
+  kill.replica = victim;
+  script.actions.push_back(kill);
+
+  FaultAction restart = kill;
+  restart.kind = ActionKind::kRestartReplica;
+  restart.at = kill.at + millis(100) +
+               static_cast<SimTime>(rng.below(millis(200)));
+  script.actions.push_back(restart);
+
+  // Scheduled well past the engine's 250 ms handover window, measured from
+  // the restart (peers adopt the new epoch within the victim's first
+  // rejoin messages): the stolen epoch is stale by the time it is replayed.
+  FaultAction replay;
+  replay.at = restart.at + millis(700) +
+              static_cast<SimTime>(rng.below(millis(300)));
+  replay.kind = ActionKind::kReplayStolenKeys;
+  replay.replica = victim;
+  replay.count = 3 + rng.below(6);
+  script.actions.push_back(replay);
+}
+
+void add_request_flood(Rng& rng, const ScriptParams& params,
+                       FaultScript& script) {
+  std::uint32_t bursts = 2 + static_cast<std::uint32_t>(rng.below(3));
+  for (std::uint32_t i = 0; i < bursts; ++i) {
+    FaultAction flood;
+    flood.at = pick_time(rng, params.horizon / 10, params.horizon * 2 / 3);
+    flood.kind = ActionKind::kUpdateFlood;
+    flood.count = 200 + rng.below(601);
+    script.actions.push_back(flood);
+  }
+}
+
 void add_rtu_faults(Rng& rng, const ScriptParams& params,
                     FaultScript& script) {
   if (!params.has_rtu) return;
@@ -219,6 +277,10 @@ const char* family_name(ScenarioFamily family) {
       return "rtu-faults";
     case ScenarioFamily::kCrashRestart:
       return "crash-restart";
+    case ScenarioFamily::kCompromiseRecover:
+      return "compromise-recover";
+    case ScenarioFamily::kRequestFlood:
+      return "request-flood";
     case ScenarioFamily::kMixed:
       return "mixed";
   }
@@ -270,6 +332,13 @@ std::string FaultAction::describe() const {
       return at_ms(at) + " replica " + std::to_string(replica) + " killed -9";
     case ActionKind::kRestartReplica:
       return at_ms(at) + " replica " + std::to_string(replica) + " restarted";
+    case ActionKind::kReplayStolenKeys:
+      return at_ms(at) + " adversary replays " + std::to_string(count) +
+             " forged messages with replica " + std::to_string(replica) +
+             "'s stolen keys";
+    case ActionKind::kUpdateFlood:
+      return at_ms(at) + " frontend floods " + std::to_string(count) +
+             " updates";
   }
   return "?";
 }
@@ -308,6 +377,12 @@ FaultScript generate_script(ScenarioFamily family, const ScriptParams& params,
       break;
     case ScenarioFamily::kCrashRestart:
       add_crash_restart_faults(rng, params, impaired, script);
+      break;
+    case ScenarioFamily::kCompromiseRecover:
+      add_compromise_recover_faults(rng, params, impaired, script);
+      break;
+    case ScenarioFamily::kRequestFlood:
+      add_request_flood(rng, params, script);
       break;
     case ScenarioFamily::kMixed: {
       if (!impaired.empty()) {

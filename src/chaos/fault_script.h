@@ -31,13 +31,16 @@ enum class ScenarioFamily {
   kLossyLinks,         ///< probabilistic drop/dup/delay on replica links
   kRtuFaults,          ///< swallowed requests and failing writes in the field
   kCrashRestart,       ///< kill -9 + supervised restart with durable state
+  kCompromiseRecover,  ///< compromise, reincarnate, replay the stolen keys
+  kRequestFlood,       ///< telemetry bursts against the frontend backpressure
   kMixed,              ///< everything at once, still within the fault budget
 };
 
 inline constexpr ScenarioFamily kAllFamilies[] = {
     ScenarioFamily::kByzantineReplicas, ScenarioFamily::kPartitions,
-    ScenarioFamily::kLossyLinks, ScenarioFamily::kRtuFaults,
-    ScenarioFamily::kCrashRestart, ScenarioFamily::kMixed};
+    ScenarioFamily::kLossyLinks,        ScenarioFamily::kRtuFaults,
+    ScenarioFamily::kCrashRestart,      ScenarioFamily::kCompromiseRecover,
+    ScenarioFamily::kRequestFlood,      ScenarioFamily::kMixed};
 
 const char* family_name(ScenarioFamily family);
 bool parse_family(const std::string& name, ScenarioFamily& out);
@@ -55,6 +58,9 @@ enum class ActionKind {
   kRtuFailWrites,       ///< count: writes the RTU answers with an error
   kKillReplica,         ///< replica (kill -9; unsynced durable bytes vanish)
   kRestartReplica,      ///< replica (supervised restart: recover from disk)
+  kReplayStolenKeys,    ///< replica, count: forge traffic with the session
+                        ///< keys captured before the replica reincarnated
+  kUpdateFlood,         ///< count: burst of frontend field updates
 };
 
 struct FaultAction {

@@ -2,7 +2,9 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "common/rng.h"
@@ -70,7 +72,8 @@ class ChaosRun {
       checker_.add_violation("event-budget", e.what());
     }
     if (!runaway) {
-      if (opt_.family == ScenarioFamily::kCrashRestart) {
+      if (opt_.family == ScenarioFamily::kCrashRestart ||
+          opt_.family == ScenarioFamily::kCompromiseRecover) {
         // Align checkpoints at the quiesced frontier so the checker compares
         // digests at one shared cid — in particular, a rejoined replica's
         // durable checkpoint must converge with the live quorum's.
@@ -82,6 +85,7 @@ class ChaosRun {
         checker_.set_require_checkpoint_alignment(true);
       }
       checker_.final_check(/*quiesced=*/true, /*expect_liveness=*/true);
+      check_family_invariants();
     }
 
     RunReport report;
@@ -93,7 +97,9 @@ class ChaosRun {
     for (std::uint32_t i = 0; i < system_.n(); ++i) {
       report.view_changes += system_.replica_stats(i).view_changes;
       report.state_transfers += system_.replica_stats(i).state_transfers;
+      report.epoch_rejections += system_.replica_stats(i).epoch_rejections;
     }
+    report.shed = system_.proxy_frontend().client_stats().shed;
     return report;
   }
 
@@ -107,11 +113,23 @@ class ChaosRun {
                             ? 0
                             : millis(500);
     out.checkpoint_interval = 32;
-    if (options.family == ScenarioFamily::kCrashRestart) {
+    if (options.family == ScenarioFamily::kCrashRestart ||
+        options.family == ScenarioFamily::kCompromiseRecover) {
       // Durable state dirs + a small checkpoint interval, so a kill landing
       // mid-run has both a checkpoint and a WAL suffix to recover from.
       out.durable = true;
       out.checkpoint_interval = 8;
+    }
+    if (options.family == ScenarioFamily::kCompromiseRecover) {
+      // Short handover window: the scripted stolen-key replay (>= 700 ms
+      // after the restart) must land after it closes, so every forged
+      // old-epoch message is rejected rather than tolerated as handover.
+      out.epoch_handover_window = millis(250);
+    }
+    if (options.family == ScenarioFamily::kRequestFlood) {
+      // Edge backpressure under test: the flood must shed at the frontend
+      // proxy instead of amplifying into the agreement group.
+      out.frontend_max_inflight = 64;
     }
     // Vary the network's fault rng with the seed so probabilistic link
     // policies explore different drop patterns per run.
@@ -211,13 +229,120 @@ class ChaosRun {
         break;
       case ActionKind::kKillReplica:
         if (!system_.replica(action.replica).crashed()) {
+          // An adversary who had the replica captures its current session
+          // keys on the way out; kReplayStolenKeys uses this epoch later.
+          stolen_epochs_[action.replica] =
+              system_.replica(action.replica).key_epoch();
           system_.kill_replica_process(action.replica);
         }
         break;
       case ActionKind::kRestartReplica:
         // No-op unless the replica is actually down from a kill.
         system_.restart_replica_process(action.replica);
+        if (system_.replica(action.replica).byzantine() ==
+            bft::ByzantineMode::kNone) {
+          // Reincarnation reimages the replica (reboot() wipes any Byzantine
+          // mode), so the checker holds it to the correct-replica invariants
+          // again from here on.
+          checker_.set_impaired(action.replica, false);
+        }
         break;
+      case ActionKind::kReplayStolenKeys:
+        replay_stolen_keys(action.replica, action.count);
+        break;
+      case ActionKind::kUpdateFlood:
+        // Telemetry burst kept below the tank alarm threshold (95): pure
+        // request-rate pressure on the frontend path, not an alarm storm.
+        for (std::uint64_t k = 0; k < action.count; ++k) {
+          double value = 30.0 + static_cast<double>(flood_counter_++ % 50);
+          system_.frontend().field_update(tank_, scada::Variant{value});
+          ++flooded_;
+        }
+        break;
+    }
+  }
+
+  /// Forges WRITE votes from `victim` MACed with the session keys of
+  /// `stolen_epochs_[victim]` — exactly what an adversary holding the
+  /// pre-reincarnation keys can produce. The MACs are genuine for that
+  /// epoch, so only the receivers' epoch recency policy stands between
+  /// these messages and the agreement state machine.
+  void replay_stolen_keys(std::uint32_t victim, std::uint64_t count) {
+    replay_victim_ = victim;
+    auto it = stolen_epochs_.find(victim);
+    std::uint32_t stolen = it != stolen_epochs_.end()
+                               ? it->second
+                               : system_.replica(victim).key_epoch();
+    // Only messages carrying a genuinely stale epoch count toward the
+    // epoch-flush invariant: a minimized script that dropped the kill leaves
+    // the "stolen" keys current, and current-epoch traffic is legitimately
+    // accepted (the ordinary agreement invariants still judge it).
+    bool stale = stolen < system_.replica(victim).key_epoch();
+    const std::string from = crypto::replica_principal(ReplicaId{victim});
+    for (std::uint64_t k = 0; k < count; ++k) {
+      bft::PhaseVote vote;
+      vote.cid = ConsensusId{1 + k};
+      vote.voter = ReplicaId{victim};
+      Bytes body = vote.encode();
+      for (std::uint32_t r = 0; r < system_.n(); ++r) {
+        if (r == victim) continue;
+        const std::string to = crypto::replica_principal(ReplicaId{r});
+        bft::Envelope env;
+        env.type = bft::MsgType::kWrite;
+        env.sender = from;
+        env.epoch = stolen;
+        env.body = body;
+        env.mac = system_.keys().mac(
+            from, to, stolen,
+            bft::envelope_mac_material(env.type, from, to, stolen, body));
+        system_.net().send(from, to, env.encode());
+        if (stale) ++stolen_sent_;
+      }
+    }
+  }
+
+  /// Family-specific end-of-run judgements, on top of the checker's
+  /// universal invariants.
+  void check_family_invariants() {
+    if (opt_.family == ScenarioFamily::kCompromiseRecover &&
+        stolen_sent_ > 0) {
+      // Epoch flush: every forged old-epoch message died at a receiver.
+      std::uint64_t rejections = 0;
+      for (std::uint32_t i = 0; i < system_.n(); ++i) {
+        rejections += system_.replica_stats(i).epoch_rejections;
+      }
+      if (rejections < stolen_sent_) {
+        checker_.add_violation(
+            "epoch-flush",
+            "only " + std::to_string(rejections) +
+                " epoch rejections for " + std::to_string(stolen_sent_) +
+                " forged old-epoch messages");
+      }
+      // Post-recovery clean: the reincarnated victim runs a bumped key
+      // epoch and no residual Byzantine mode.
+      if (replay_victim_.has_value()) {
+        bft::Replica& victim = system_.replica(*replay_victim_);
+        if (victim.key_epoch() == 0) {
+          checker_.add_violation("key-refresh",
+                                 "victim replica " +
+                                     std::to_string(*replay_victim_) +
+                                     " still on key epoch 0 after "
+                                     "reincarnation");
+        }
+        if (victim.byzantine() != bft::ByzantineMode::kNone) {
+          checker_.add_violation("key-refresh",
+                                 "victim replica " +
+                                     std::to_string(*replay_victim_) +
+                                     " still Byzantine after reincarnation");
+        }
+      }
+    }
+    if (opt_.family == ScenarioFamily::kRequestFlood && flooded_ > 64 &&
+        system_.proxy_frontend().client_stats().shed == 0) {
+      checker_.add_violation(
+          "backpressure",
+          "flood of " + std::to_string(flooded_) +
+              " updates never tripped the frontend inflight cap");
     }
   }
 
@@ -252,6 +377,12 @@ class ChaosRun {
   ItemId tank_, pump_, valve_;
   SimTime stop_writes_at_ = 0;
   std::uint64_t write_counter_ = 0;
+  /// Session-key epoch each killed replica held when the adversary "left".
+  std::map<std::uint32_t, std::uint32_t> stolen_epochs_;
+  std::optional<std::uint32_t> replay_victim_;
+  std::uint64_t stolen_sent_ = 0;   ///< forged old-epoch envelopes sent
+  std::uint64_t flooded_ = 0;       ///< updates issued by kUpdateFlood
+  std::uint64_t flood_counter_ = 0;
 };
 
 FaultScript subset(const FaultScript& script,
@@ -269,9 +400,10 @@ std::string RunReport::summary() const {
   std::snprintf(buf, sizeof(buf),
                 "%zu violations, %" PRIu64 " decisions, %" PRIu64 "/%" PRIu64
                 " writes, %" PRIu64 " view changes, %" PRIu64
-                " state transfers",
+                " state transfers, %" PRIu64 " epoch rejections, %" PRIu64
+                " shed",
                 violations.size(), decisions, writes_completed, writes_issued,
-                view_changes, state_transfers);
+                view_changes, state_transfers, epoch_rejections, shed);
   return buf;
 }
 

@@ -51,6 +51,8 @@ struct RunReport {
   std::uint64_t writes_completed = 0;
   std::uint64_t view_changes = 0;
   std::uint64_t state_transfers = 0;
+  std::uint64_t epoch_rejections = 0;  ///< old-epoch messages refused
+  std::uint64_t shed = 0;              ///< updates shed by frontend backpressure
 
   bool ok() const { return violations.empty(); }
   std::string summary() const;

@@ -3,15 +3,26 @@
 //
 // Intrusion tolerance assumes at most f compromised replicas *at a time*;
 // periodically reincarnating each replica from a clean image bounds the
-// window an undetected intrusion can survive. The scheduler restarts one
+// window an undetected intrusion can survive. The scheduler reincarnates one
 // replica per period, round-robin, and only when the rest of the group is
-// healthy (never more than one replica down by its own doing); the restart
-// wipes volatile state and rejoins via state transfer.
+// healthy (never more than one replica down by its own doing).
+//
+// A reincarnation on a durable deployment is a full process restart:
+// kill_replica_process drops the state dir's unsynced bytes, and the replica
+// comes back via reboot() — checkpoint restore + WAL replay, volatile state
+// wiped, a fresh session-key epoch, and a bounded state transfer for the
+// decisions it slept through. On a non-durable deployment it degrades to the
+// volatile crash()/recover() pair (state transfer only, no key refresh).
+//
+// The real multi-process deployment has its own implementation of the same
+// policy: `examples/deploy --supervise` with SS_PROACTIVE_PERIOD set
+// SIGKILLs one replica process per period round-robin.
 #pragma once
 
-#include <functional>
+#include <optional>
 
-#include "bft/replica.h"
+#include "core/replicated_deployment.h"
+#include "obs/metrics.h"
 #include "sim/event_loop.h"
 
 namespace ss::core {
@@ -30,15 +41,9 @@ struct RecoverySchedulerStats {
 
 class RecoveryScheduler {
  public:
-  /// `replica_at(i)` must return the i-th replica of the group (the
-  /// scheduler does not own them).
-  RecoveryScheduler(sim::EventLoop& loop, GroupConfig group,
-                    std::function<bft::Replica&(std::uint32_t)> replica_at,
+  RecoveryScheduler(ReplicatedDeployment& deployment,
                     RecoverySchedulerOptions options = {})
-      : loop_(loop),
-        group_(group),
-        replica_at_(std::move(replica_at)),
-        opt_(options) {}
+      : dep_(deployment), opt_(options) {}
 
   void start() {
     if (started_) return;
@@ -46,13 +51,20 @@ class RecoveryScheduler {
     schedule_next();
   }
 
-  void stop() { stopped_ = true; }
+  /// Stops scheduling further reincarnations. A victim currently inside its
+  /// downtime window is brought back immediately — stopping the scheduler
+  /// must never strand a replica crashed (its pending recover callback
+  /// would otherwise be the only way back up, and it bails once stopped).
+  void stop() {
+    stopped_ = true;
+    if (down_.has_value()) bring_back(*down_);
+  }
 
   const RecoverySchedulerStats& stats() const { return stats_; }
 
  private:
   void schedule_next() {
-    loop_.schedule(opt_.period, [this] { tick(); });
+    dep_.loop().schedule(opt_.period, [this] { tick(); });
   }
 
   void tick() {
@@ -60,33 +72,51 @@ class RecoveryScheduler {
     // Only reincarnate when every *other* replica is up: the scheduler must
     // never be the reason the group exceeds its fault budget.
     bool others_healthy = true;
-    for (std::uint32_t i = 0; i < group_.n; ++i) {
-      if (i != next_ && replica_at_(i).crashed()) others_healthy = false;
+    for (std::uint32_t i = 0; i < dep_.n(); ++i) {
+      if (i != next_ && dep_.replica(i).crashed()) others_healthy = false;
     }
-    if (!others_healthy || replica_at_(next_).crashed()) {
+    if (!others_healthy || dep_.replica(next_).crashed()) {
       ++stats_.skipped_unhealthy;
       schedule_next();
       return;
     }
 
     std::uint32_t victim = next_;
-    next_ = (next_ + 1) % group_.n;
+    next_ = (next_ + 1) % dep_.n();
     ++stats_.recoveries;
-    replica_at_(victim).crash();
-    loop_.schedule(opt_.downtime, [this, victim] {
-      if (stopped_) return;
-      replica_at_(victim).recover();
-    });
+    down_ = victim;
+    went_down_at_ = dep_.loop().now();
+    if (dep_.durable()) {
+      dep_.kill_replica_process(victim);
+    } else {
+      dep_.crash_replica(victim);
+    }
+    dep_.loop().schedule(opt_.downtime, [this, victim] { bring_back(victim); });
     schedule_next();
   }
 
-  sim::EventLoop& loop_;
-  GroupConfig group_;
-  std::function<bft::Replica&(std::uint32_t)> replica_at_;
+  /// Idempotent: the downtime callback and stop() may both ask for it.
+  void bring_back(std::uint32_t victim) {
+    if (!down_.has_value() || *down_ != victim) return;
+    down_.reset();
+    if (dep_.durable() && dep_.replica_killed(victim)) {
+      dep_.restart_replica_process(victim);
+    } else if (dep_.replica(victim).crashed()) {
+      dep_.recover_replica(victim);
+    }
+    obs::Registry::instance()
+        .histogram("recovery.reincarnation_ns")
+        .record(static_cast<std::int64_t>(dep_.loop().now() - went_down_at_));
+  }
+
+  ReplicatedDeployment& dep_;
   RecoverySchedulerOptions opt_;
   std::uint32_t next_ = 0;
   bool started_ = false;
   bool stopped_ = false;
+  /// Victim currently inside its downtime window, if any.
+  std::optional<std::uint32_t> down_;
+  SimTime went_down_at_ = 0;
   RecoverySchedulerStats stats_;
 };
 

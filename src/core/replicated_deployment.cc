@@ -53,6 +53,7 @@ ReplicatedDeployment::ReplicatedDeployment(ReplicatedOptions options)
       opt_.costs.bft_crypto_per_msg + opt_.costs.serialize_per_msg;
   replica_options.per_decision_cost = opt_.costs.bft_consensus_overhead;
   replica_options.lanes = opt_.costs.replicated_master_lanes;
+  replica_options.epoch_handover_window = opt_.epoch_handover_window;
 
   killed_.assign(n, false);
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -98,6 +99,7 @@ ReplicatedDeployment::ReplicatedDeployment(ReplicatedOptions options)
       opt_.costs.serialize_per_msg + opt_.costs.voter_process;
   frontend_proxy_options.lanes = opt_.costs.proxy_lanes;
   frontend_proxy_options.client.reply_timeout = opt_.client_reply_timeout;
+  frontend_proxy_options.client.max_inflight = opt_.frontend_max_inflight;
   proxy_frontend_ = std::make_unique<ComponentProxy>(
       net_, opt_.group, ClientId{kProxyFrontendClient}, keys_,
       frontend_proxy_options);

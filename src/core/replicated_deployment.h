@@ -43,6 +43,14 @@ struct ReplicatedOptions {
   /// semantics): decided batches are write-ahead logged and checkpoints hit
   /// "disk", enabling kill_replica_process / restart_replica_process.
   bool durable = false;
+  /// How long replicas keep accepting a peer's previous session-key epoch
+  /// after it reincarnates (bft::ReplicaOptions::epoch_handover_window).
+  SimTime epoch_handover_window = seconds(2);
+  /// Backpressure cap on the frontend proxy's in-flight ordered requests
+  /// (0 = unlimited): excess field updates are shed at the edge instead of
+  /// amplifying an overload into the agreement group. HMI operator writes
+  /// ride their own proxy and are never shed.
+  std::uint32_t frontend_max_inflight = 0;
 };
 
 /// Well-known client ids.

@@ -1,0 +1,59 @@
+// Restart-budget accounting for supervised replica processes.
+//
+// The deploy supervisor restarts a dead replica with exponential backoff,
+// but gives up after a bounded number of attempts so a replica that dies on
+// startup (bad state dir, port clash) cannot flap forever. The budget is
+// time-aware: an attempt counter that only ever grew would, over a long
+// campaign, permanently abandon a replica whose crashes were hours apart —
+// so sustained healthy uptime grants amnesty and zeroes the counter. Each
+// *burst* of crashes still hits the cap.
+#pragma once
+
+#include <cstdint>
+
+namespace ss::core {
+
+class RestartBudget {
+ public:
+  explicit RestartBudget(std::uint32_t max_attempts = 5,
+                         long healthy_reset_ms = 10'000,
+                         long base_backoff_ms = 200)
+      : max_attempts_(max_attempts),
+        healthy_reset_ms_(healthy_reset_ms),
+        base_backoff_ms_(base_backoff_ms) {}
+
+  /// The process was (re)started at `now_ms`.
+  void on_start(long now_ms) { alive_since_ms_ = now_ms; }
+
+  /// The process died at `now_ms`. Returns the backoff delay before the
+  /// next restart attempt, or -1 when the budget is exhausted (give up).
+  long on_death(long now_ms) {
+    note_healthy(now_ms);  // a long healthy run before this death counts
+    alive_since_ms_ = -1;
+    if (attempts_ >= max_attempts_) return -1;
+    long backoff = base_backoff_ms_ << attempts_;
+    ++attempts_;
+    return backoff;
+  }
+
+  /// Periodic tick while the process is alive: after healthy_reset_ms of
+  /// uninterrupted uptime the attempt counter resets.
+  void note_healthy(long now_ms) {
+    if (attempts_ > 0 && alive_since_ms_ >= 0 &&
+        now_ms - alive_since_ms_ >= healthy_reset_ms_) {
+      attempts_ = 0;
+    }
+  }
+
+  std::uint32_t attempts() const { return attempts_; }
+  bool exhausted() const { return attempts_ >= max_attempts_; }
+
+ private:
+  std::uint32_t max_attempts_;
+  long healthy_reset_ms_;
+  long base_backoff_ms_;
+  std::uint32_t attempts_ = 0;
+  long alive_since_ms_ = -1;  ///< -1 while dead
+};
+
+}  // namespace ss::core

@@ -20,14 +20,35 @@ Bytes Keychain::pair_key(const std::string& a, const std::string& b) const {
   return Bytes(d.begin(), d.end());
 }
 
+Bytes Keychain::session_key(const std::string& sender,
+                            const std::string& receiver,
+                            std::uint32_t epoch) const {
+  if (epoch == 0) return pair_key(sender, receiver);
+  std::string material = secret_ + "|epoch/" + std::to_string(epoch) + "|" +
+                         sender + "|" + receiver;
+  Digest d = Sha256::hash(ss::bytes_of(material));
+  return Bytes(d.begin(), d.end());
+}
+
 Digest Keychain::mac(const std::string& sender, const std::string& receiver,
                      ByteView message) const {
   return hmac_sha256(pair_key(sender, receiver), message);
 }
 
+Digest Keychain::mac(const std::string& sender, const std::string& receiver,
+                     std::uint32_t epoch, ByteView message) const {
+  return hmac_sha256(session_key(sender, receiver, epoch), message);
+}
+
 bool Keychain::verify(const std::string& sender, const std::string& receiver,
                       ByteView message, const Digest& mac_value) const {
   return hmac_verify(pair_key(sender, receiver), message, mac_value);
+}
+
+bool Keychain::verify(const std::string& sender, const std::string& receiver,
+                      std::uint32_t epoch, ByteView message,
+                      const Digest& mac_value) const {
+  return hmac_verify(session_key(sender, receiver, epoch), message, mac_value);
 }
 
 MacVector MacVector::create(const Keychain& chain, const std::string& sender,

@@ -30,11 +30,26 @@ class Keychain {
   /// Symmetric key shared by principals a and b (order-insensitive).
   Bytes pair_key(const std::string& a, const std::string& b) const;
 
+  /// Session key for messages sent by `sender` to `receiver` under the
+  /// sender's key epoch. Epoch 0 is the provisioning-time pair key
+  /// (order-insensitive; clients and adapters stay on it forever). Epoch
+  /// e > 0 is the direction-sensitive key a replica derives at its e-th
+  /// reincarnation. Derivation requires the group secret — standing in for
+  /// SecureSMART's tamper-proof key store — so stealing a replica's epoch-e
+  /// session keys yields nothing about its post-recovery epoch-(e+1) keys.
+  Bytes session_key(const std::string& sender, const std::string& receiver,
+                    std::uint32_t epoch) const;
+
   Digest mac(const std::string& sender, const std::string& receiver,
              ByteView message) const;
+  Digest mac(const std::string& sender, const std::string& receiver,
+             std::uint32_t epoch, ByteView message) const;
 
   bool verify(const std::string& sender, const std::string& receiver,
               ByteView message, const Digest& mac_value) const;
+  bool verify(const std::string& sender, const std::string& receiver,
+              std::uint32_t epoch, ByteView message,
+              const Digest& mac_value) const;
 
  private:
   std::string secret_;

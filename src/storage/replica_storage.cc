@@ -1,6 +1,9 @@
 #include "storage/replica_storage.h"
 
 #include <chrono>
+#include <cstdlib>
+
+#include "common/bytes.h"
 
 namespace ss::storage {
 
@@ -23,6 +26,10 @@ ReplicaStorage::ReplicaStorage(Env& env, std::string dir,
       dir_(std::move(dir)),
       wal_(env_, dir_),
       checkpoints_(env_, dir_) {
+  if (std::optional<Bytes> raw = env_.read_file(dir_ + "/epoch")) {
+    std::string text(raw->begin(), raw->end());
+    epoch_ = static_cast<std::uint32_t>(std::strtoul(text.c_str(), nullptr, 10));
+  }
   metrics_ = obs::Registry::instance().add_source(
       std::move(metrics_prefix), [this](const obs::Registry::Emit& emit) {
         emit("decisions_logged", static_cast<double>(stats_.decisions_logged));
@@ -36,6 +43,7 @@ ReplicaStorage::ReplicaStorage(Env& env, std::string dir,
              static_cast<double>(wal_.stats().torn_bytes_dropped));
         emit("wal_appends", static_cast<double>(wal_.stats().appends));
         emit("wal_truncations", static_cast<double>(wal_.stats().truncations));
+        emit("key_epoch", static_cast<double>(epoch_));
       });
 }
 
@@ -58,6 +66,16 @@ void ReplicaStorage::write_checkpoint(const Checkpoint& checkpoint) {
   if (wal_.stats().truncations != truncations_before) {
     ++obs::Registry::instance().counter("storage.wal_truncations");
   }
+}
+
+std::uint32_t ReplicaStorage::bump_epoch() {
+  ++epoch_;
+  // write_file creates/truncates and syncs the file itself; a torn write
+  // at worst loses the bump, which peers tolerate (the replica comes back
+  // presenting its previous epoch, still accepted as current).
+  std::string text = std::to_string(epoch_);
+  env_.write_file(dir_ + "/epoch", ss::bytes_of(text));
+  return epoch_;
 }
 
 void ReplicaStorage::note_recovery(std::uint64_t duration_ns,

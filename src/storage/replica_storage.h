@@ -58,6 +58,13 @@ class ReplicaStorage {
   /// storage.recovery_ns histogram).
   void note_recovery(std::uint64_t duration_ns, std::uint64_t records_replayed);
 
+  /// Durable session-key epoch (see bft::Replica::key_epoch). 0 until the
+  /// first bump; survives crashes — a reincarnation must never reuse a
+  /// pre-crash epoch, or stolen keys would verify again.
+  std::uint32_t key_epoch() const { return epoch_; }
+  /// Increments and durably persists the key epoch; returns the new value.
+  std::uint32_t bump_epoch();
+
   const ReplicaStorageStats& stats() const { return stats_; }
   const WalStats& wal_stats() const { return wal_.stats(); }
   const std::string& dir() const { return dir_; }
@@ -67,6 +74,7 @@ class ReplicaStorage {
   std::string dir_;
   Wal wal_;
   CheckpointStore checkpoints_;
+  std::uint32_t epoch_ = 0;
   ReplicaStorageStats stats_;
   obs::SourceHandle metrics_;
 };

@@ -159,16 +159,13 @@ TEST(Fuzz, TypeConfusedEnvelopesIgnored) {
   // valid MAC for the mislabeled type: the decoder must reject it.
   Stop stop{5, ReplicaId{1}};
   Bytes body = stop.encode();
-  Writer material;
-  material.enumeration(MsgType::kPropose);
-  material.str("replica/1");
-  material.str("replica/0");
-  material.blob(body);
+  Bytes material = envelope_mac_material(MsgType::kPropose, "replica/1",
+                                         "replica/0", /*epoch=*/0, body);
   Envelope env;
   env.type = MsgType::kPropose;
   env.sender = "replica/1";
   env.body = body;
-  env.mac = cluster.keys.mac("replica/1", "replica/0", material.bytes());
+  env.mac = cluster.keys.mac("replica/1", "replica/0", material);
   cluster.net.send("replica/1", "replica/0", env.encode());
   cluster.run_for(seconds(1));
 

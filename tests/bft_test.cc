@@ -411,12 +411,10 @@ TEST(Bft, ForgedClientRequestsAreRejected) {
   env.sender = "client/1";
   env.body = req.encode();
   // Even with a valid envelope MAC, the per-replica authenticator fails.
-  Writer material;
-  material.enumeration(env.type);
-  material.str(env.sender);
-  material.str("replica/0");
-  material.blob(env.body);
-  env.mac = cluster.keys.mac("client/1", "replica/0", material.bytes());
+  env.mac = cluster.keys.mac(
+      "client/1", "replica/0",
+      envelope_mac_material(env.type, env.sender, "replica/0", /*epoch=*/0,
+                            env.body));
   cluster.net.send("client/1", "replica/0", env.encode());
 
   cluster.run_for(seconds(2));

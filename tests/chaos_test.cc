@@ -90,6 +90,19 @@ TEST(ChaosSweep, MixedF1) {
   expect_clean_sweep(ScenarioFamily::kMixed, 1, 1, 88);
 }
 
+// Compromise -> reincarnate -> stolen-key replay: on top of the universal
+// invariants, every run checks that all forged old-epoch messages were
+// rejected and the victim came back clean on a fresh key epoch.
+TEST(ChaosSweep, CompromiseRecoverF1) {
+  expect_clean_sweep(ScenarioFamily::kCompromiseRecover, 1, 1, 88);
+}
+
+// Telemetry floods against the frontend inflight cap: updates shed at the
+// edge, operator writes keep completing, and the group stays convergent.
+TEST(ChaosSweep, RequestFloodF1) {
+  expect_clean_sweep(ScenarioFamily::kRequestFlood, 1, 1, 88);
+}
+
 TEST(ChaosSweep, AllFamiliesF2) {
   for (ScenarioFamily family : kAllFamilies) {
     expect_clean_sweep(family, 2, 1, 16);

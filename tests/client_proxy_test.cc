@@ -34,12 +34,7 @@ struct FakeReplica {
   ~FakeReplica() { net.detach(endpoint); }
 
   Bytes mac_material(MsgType type, const std::string& to, const Bytes& body) {
-    Writer w;
-    w.enumeration(type);
-    w.str(endpoint);
-    w.str(to);
-    w.blob(body);
-    return std::move(w).take();
+    return envelope_mac_material(type, endpoint, to, /*epoch=*/0, body);
   }
 
   void reply(ClientId client, RequestId seq, Bytes payload) {

@@ -1,6 +1,8 @@
-// Tests for the proactive-recovery scheduler: rolling reincarnation under
-// live traffic, fault-budget safety, and the sim substrate's queueing
-// sanity (delivered throughput saturates at modeled capacity).
+// Tests for the proactive-recovery scheduler: rolling durable reincarnation
+// under live traffic (reboot from checkpoint + WAL replay + key-epoch bump),
+// fault-budget safety, the stop()-during-downtime regression, and the sim
+// substrate's queueing sanity (delivered throughput saturates at modeled
+// capacity).
 #include <gtest/gtest.h>
 
 #include "core/recovery_scheduler.h"
@@ -16,20 +18,22 @@ ReplicatedOptions fast_options() {
   return options;
 }
 
+ReplicatedOptions durable_options() {
+  ReplicatedOptions options = fast_options();
+  options.durable = true;
+  options.checkpoint_interval = 8;
+  return options;
+}
+
 TEST(RecoveryScheduler, RollingReincarnationKeepsServiceLive) {
-  ReplicatedDeployment system(fast_options());
+  ReplicatedDeployment system(durable_options());
   ItemId item = system.add_point("sensor");
   system.start();
 
   RecoverySchedulerOptions options;
   options.period = seconds(4);
   options.downtime = seconds(1);  // long enough to miss decisions
-  RecoveryScheduler scheduler(
-      system.loop(), system.group(),
-      [&system](std::uint32_t i) -> bft::Replica& {
-        return system.replica(i);
-      },
-      options);
+  RecoveryScheduler scheduler(system, options);
   scheduler.start();
 
   // ~24 s of traffic: the scheduler reincarnates ~6 replicas (1.5 cycles).
@@ -45,13 +49,18 @@ TEST(RecoveryScheduler, RollingReincarnationKeepsServiceLive) {
   // Every update made it through despite the rolling restarts.
   EXPECT_EQ(system.hmi().counters().updates_received,
             static_cast<std::uint64_t>(sent));
-  // Each replica went through at least one state transfer.
+  // Each reincarnation was a durable process restart: every replica the
+  // scheduler cycled through carries a fresh (bumped) key epoch and went
+  // through at least one state transfer.
   std::uint64_t transfers = 0;
+  std::uint32_t epoch_bumped = 0;
   for (std::uint32_t i = 0; i < system.n(); ++i) {
     transfers += system.replica(i).stats().state_transfers;
+    if (system.replica(i).key_epoch() > 0) ++epoch_bumped;
     EXPECT_FALSE(system.replica(i).crashed());
   }
   EXPECT_GE(transfers, 4u);
+  EXPECT_GE(epoch_bumped, 4u);
   // Quiesce, then verify convergence.
   system.net().set_policy(kFrontendEndpoint, kProxyFrontendEndpoint,
                           sim::LinkPolicy::cut_link());
@@ -70,12 +79,7 @@ TEST(RecoveryScheduler, NeverExceedsFaultBudget) {
   RecoverySchedulerOptions options;
   options.period = seconds(2);
   options.downtime = seconds(1);
-  RecoveryScheduler scheduler(
-      system.loop(), system.group(),
-      [&system](std::uint32_t i) -> bft::Replica& {
-        return system.replica(i);
-      },
-      options);
+  RecoveryScheduler scheduler(system, options);
   scheduler.start();
 
   system.run_until(system.loop().now() + seconds(10));
@@ -92,6 +96,45 @@ TEST(RecoveryScheduler, NeverExceedsFaultBudget) {
   system.recover_replica(2);
   system.run_until(system.loop().now() + seconds(6));
   EXPECT_GE(scheduler.stats().recoveries, 1u);
+}
+
+// Regression: stop() used to leave a victim stranded when it landed inside
+// the downtime window — the pending recover callback bailed on stopped_
+// after crash() had already run, and nothing else ever brought the replica
+// back. stop() must recover the in-flight victim immediately.
+TEST(RecoveryScheduler, StopDuringDowntimeBringsVictimBack) {
+  ReplicatedDeployment system(durable_options());
+  ItemId item = system.add_point("sensor");
+  system.start();
+
+  RecoverySchedulerOptions options;
+  options.period = seconds(1);
+  options.downtime = seconds(30);  // stop() will land inside this window
+  RecoveryScheduler scheduler(system, options);
+  scheduler.start();
+
+  // Run past the first tick: one replica is now down for "30 s".
+  system.run_until(system.loop().now() + millis(1500));
+  std::uint32_t crashed = 0;
+  for (std::uint32_t i = 0; i < system.n(); ++i) {
+    if (system.replica(i).crashed()) ++crashed;
+  }
+  ASSERT_EQ(crashed, 1u);
+
+  scheduler.stop();
+  for (std::uint32_t i = 0; i < system.n(); ++i) {
+    EXPECT_FALSE(system.replica(i).crashed());
+  }
+
+  // The original downtime callback still fires later; it must stay a no-op
+  // and the group must serve traffic with all four replicas.
+  system.run_until(system.loop().now() + seconds(31));
+  for (std::uint32_t i = 0; i < system.n(); ++i) {
+    EXPECT_FALSE(system.replica(i).crashed());
+  }
+  system.frontend().field_update(item, scada::Variant{42.0});
+  system.run_until(system.loop().now() + seconds(1));
+  EXPECT_EQ(system.hmi().counters().updates_received, 1u);
 }
 
 // Sim-substrate sanity: when the offered load exceeds the modeled capacity
