@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -25,7 +26,8 @@ int usage() {
       stderr,
       "usage: chaos_replay --family=<byzantine|partitions|lossy-links|"
       "rtu-faults|crash-restart|mixed>\n"
-      "                    [--f=<1|2>] [--seed=<n|0xHEX>]\n"
+      "                    [--protocol=<pbft|minbft>] [--f=<1|2>]\n"
+      "                    [--seed=<n|0xHEX>]\n"
       "                    [--sabotage=no-timeouts] [--keep=i,j,...]\n");
   return 2;
 }
@@ -54,6 +56,13 @@ int main(int argc, char** argv) {
       if (!chaos::parse_family(value_of("--family="), options.family)) {
         std::fprintf(stderr, "unknown family '%s'\n",
                      value_of("--family=").c_str());
+        return usage();
+      }
+    } else if (arg.rfind("--protocol=", 0) == 0) {
+      try {
+        options.protocol = parse_protocol(value_of("--protocol="));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
         return usage();
       }
     } else if (arg.rfind("--f=", 0) == 0) {
@@ -89,7 +98,7 @@ int main(int argc, char** argv) {
   }
 
   chaos::ScriptParams params;
-  params.group = GroupConfig::for_f(options.f);
+  params.group = GroupConfig::for_protocol(options.protocol, options.f);
   params.horizon = options.horizon;
   chaos::FaultScript script =
       chaos::generate_script(options.family, params, options.seed);

@@ -99,6 +99,19 @@ volatile sig_atomic_t g_snapshot = 0;
 void handle_stop(int) { g_stop = 1; }
 void handle_snapshot(int) { g_snapshot = 1; }
 
+/// The one place every role derives its group from: SS_PROTOCOL selects the
+/// agreement engine (pbft, the default, runs 3f+1 processes; minbft runs
+/// 2f+1), and the environment propagates to spawned children, so `deploy
+/// local`, each replica, the frontend, and the HMI all agree on n without
+/// any extra plumbing.
+GroupConfig group_from_env(std::uint32_t f) {
+  Protocol protocol = Protocol::kPbft;
+  if (const char* name = std::getenv("SS_PROTOCOL")) {
+    protocol = parse_protocol(name);
+  }
+  return GroupConfig::for_protocol(protocol, f);
+}
+
 void install_stop_handler() {
   struct sigaction sa{};
   sa.sa_handler = handle_stop;
@@ -287,9 +300,20 @@ int run_replica(const std::string& config, GroupConfig group,
       replica_options.checkpoint_interval = static_cast<std::uint64_t>(parsed);
     }
   }
-  // Declared before the replica: the storage must outlive it.
+  // Declared (and with SS_STATE_DIR, constructed) before the replica: the
+  // storage must outlive it, and it must be present at construction — the
+  // MinBFT engine reads its durable USIG counter lease before the first
+  // message, so the deprecated set_storage shim would be too late.
   storage::PosixEnv storage_env;
   std::unique_ptr<storage::ReplicaStorage> storage;
+  const char* state_root = std::getenv("SS_STATE_DIR");
+  if (state_root != nullptr) {
+    const std::string dir =
+        std::string(state_root) + "/replica-" + std::to_string(id);
+    storage = std::make_unique<storage::ReplicaStorage>(
+        storage_env, dir, "storage/replica-" + std::to_string(id));
+    replica_options.storage = storage.get();
+  }
   bft::Replica replica(transport, group, ReplicaId{id}, keys, adapter,
                        adapter, replica_options);
   adapter.attach_replica(&replica);
@@ -315,12 +339,7 @@ int run_replica(const std::string& config, GroupConfig group,
   // executes and checkpoints go to disk; a restarted process rebuilds its
   // state from those files first and only asks the peers for the suffix it
   // missed while down.
-  if (const char* state_root = std::getenv("SS_STATE_DIR")) {
-    const std::string dir =
-        std::string(state_root) + "/replica-" + std::to_string(id);
-    storage = std::make_unique<storage::ReplicaStorage>(
-        storage_env, dir, "storage/replica-" + std::to_string(id));
-    replica.set_storage(storage.get());
+  if (storage != nullptr) {
     replica.recover_from_storage();
     // Every process start is a reincarnation: derive fresh session keys by
     // bumping the durable key epoch. Peers accept the previous epoch for a
@@ -330,7 +349,7 @@ int run_replica(const std::string& config, GroupConfig group,
     if (replica.last_decided().value > 0) {
       std::fprintf(stderr, "[replica/%u] recovered to cid=%llu from %s\n", id,
                    static_cast<unsigned long long>(replica.last_decided().value),
-                   dir.c_str());
+                   storage->dir().c_str());
     }
     std::fprintf(stderr, "[replica/%u] key epoch %u\n", id,
                  replica.key_epoch());
@@ -674,7 +693,7 @@ struct SuperviseOptions {
 
 int run_local(const char* self, std::uint32_t f, std::uint16_t base_port,
               const SuperviseOptions& sup) {
-  const GroupConfig group = GroupConfig::for_f(f);
+  const GroupConfig group = group_from_env(f);
   if (base_port == 0) {
     // Derived from the pid so concurrent CI jobs on one host don't collide.
     base_port = static_cast<std::uint16_t>(40000 + (::getpid() % 8000) * 2);
@@ -973,7 +992,7 @@ int main(int argc, char** argv) {
   try {
     if (role == "local") return run_local(argv[0], f, base_port, sup);
     if (role == "config") {
-      std::fputs(make_resolver(GroupConfig::for_f(f).n, "127.0.0.1",
+      std::fputs(make_resolver(group_from_env(f).n, "127.0.0.1",
                                base_port ? base_port : 47000)
                      .to_text()
                      .c_str(),
@@ -981,7 +1000,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (config.empty()) return usage();
-    const GroupConfig group = GroupConfig::for_f(f);
+    const GroupConfig group = group_from_env(f);
     if (role == "replica") return run_replica(config, group, id);
     if (role == "frontend") return run_frontend(config, group);
     if (role == "hmi") return run_hmi(config, group, sup.rounds);

@@ -1,0 +1,21 @@
+#include "bft/engine.h"
+
+#include "bft/engine_minbft.h"
+#include "bft/engine_pbft.h"
+
+namespace ss::bft {
+
+std::unique_ptr<AgreementEngine> make_engine(EngineHost& host,
+                                             const GroupConfig& group,
+                                             ReplicaId id,
+                                             const crypto::Keychain& keys) {
+  switch (group.protocol) {
+    case Protocol::kPbft:
+      return std::make_unique<PbftEngine>(host, group, id, keys);
+    case Protocol::kMinBft:
+      return std::make_unique<MinBftEngine>(host, group, id, keys);
+  }
+  throw std::invalid_argument("unknown protocol in GroupConfig");
+}
+
+}  // namespace ss::bft

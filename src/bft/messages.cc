@@ -38,6 +38,12 @@ const char* msg_type_name(MsgType t) {
       return "STATE_REQUEST";
     case MsgType::kStateReply:
       return "STATE_REPLY";
+    case MsgType::kMbPrepare:
+      return "MB_PREPARE";
+    case MsgType::kMbCommit:
+      return "MB_COMMIT";
+    case MsgType::kMbViewChange:
+      return "MB_VIEW_CHANGE";
   }
   return "?";
 }
@@ -282,6 +288,125 @@ Sync Sync::decode(ByteView data) {
   m.leader = r.id<ReplicaId>();
   m.cid = r.id<ConsensusId>();
   m.batch = r.blob();
+  r.expect_done();
+  return m;
+}
+
+namespace {
+
+void put_cert(Writer& w, const crypto::UsigCert& c) {
+  w.varint(c.counter);
+  put_digest(w, c.mac);
+}
+
+crypto::UsigCert get_cert(Reader& r) {
+  crypto::UsigCert c;
+  c.counter = r.varint();
+  c.mac = get_digest(r);
+  return c;
+}
+
+}  // namespace
+
+Bytes MbPrepare::material(std::uint64_t view, ConsensusId cid,
+                          const crypto::Digest& batch_digest) {
+  Writer w(48);
+  w.varint(view);
+  w.id(cid);
+  put_digest(w, batch_digest);
+  return std::move(w).take();
+}
+
+Bytes MbPrepare::encode() const {
+  Writer w(batch.size() + 64);
+  w.varint(view);
+  w.id(cid);
+  w.id(leader);
+  w.blob(batch);
+  put_cert(w, cert);
+  return std::move(w).take();
+}
+
+MbPrepare MbPrepare::decode(ByteView data) {
+  Reader r(data);
+  MbPrepare m;
+  m.view = r.varint();
+  m.cid = r.id<ConsensusId>();
+  m.leader = r.id<ReplicaId>();
+  m.batch = r.blob();
+  m.cert = get_cert(r);
+  r.expect_done();
+  return m;
+}
+
+Bytes MbCommit::material(std::uint64_t view, ConsensusId cid,
+                         const crypto::Digest& value) {
+  Writer w(48);
+  w.varint(view);
+  w.id(cid);
+  put_digest(w, value);
+  return std::move(w).take();
+}
+
+Bytes MbCommit::encode() const {
+  Writer w(128);
+  w.varint(view);
+  w.id(cid);
+  w.id(replica);
+  put_digest(w, value);
+  put_cert(w, prepare_cert);
+  put_cert(w, cert);
+  return std::move(w).take();
+}
+
+MbCommit MbCommit::decode(ByteView data) {
+  Reader r(data);
+  MbCommit m;
+  m.view = r.varint();
+  m.cid = r.id<ConsensusId>();
+  m.replica = r.id<ReplicaId>();
+  m.value = get_digest(r);
+  m.prepare_cert = get_cert(r);
+  m.cert = get_cert(r);
+  r.expect_done();
+  return m;
+}
+
+Bytes MbViewChange::encode_core() const {
+  Writer w(prepared_batch.size() + 128);
+  w.varint(view);
+  w.id(sender);
+  w.id(last_decided);
+  w.boolean(has_prepared);
+  w.varint(prepared_view);
+  w.id(prepared_cid);
+  put_digest(w, prepared_digest);
+  w.blob(prepared_batch);
+  put_cert(w, prepared_cert);
+  return std::move(w).take();
+}
+
+Bytes MbViewChange::encode() const {
+  Bytes core = encode_core();
+  Writer w(core.size() + 48);
+  w.raw(core);
+  put_cert(w, cert);
+  return std::move(w).take();
+}
+
+MbViewChange MbViewChange::decode(ByteView data) {
+  Reader r(data);
+  MbViewChange m;
+  m.view = r.varint();
+  m.sender = r.id<ReplicaId>();
+  m.last_decided = r.id<ConsensusId>();
+  m.has_prepared = r.boolean();
+  m.prepared_view = r.varint();
+  m.prepared_cid = r.id<ConsensusId>();
+  m.prepared_digest = get_digest(r);
+  m.prepared_batch = r.blob();
+  m.prepared_cert = get_cert(r);
+  m.cert = get_cert(r);
   r.expect_done();
   return m;
 }

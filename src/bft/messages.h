@@ -16,6 +16,7 @@
 #include "common/serialization.h"
 #include "common/types.h"
 #include "crypto/sha256.h"
+#include "crypto/usig.h"
 
 namespace ss::bft {
 
@@ -31,7 +32,12 @@ enum class MsgType : std::uint8_t {
   kSync,
   kStateRequest,
   kStateReply,
-  kMax = kStateReply,
+  // MinBFT engine (engine_minbft.h): every message carries a USIG trusted
+  // counter certificate, which is what makes the 2f+1 / f+1 quorums sound.
+  kMbPrepare,
+  kMbCommit,
+  kMbViewChange,
+  kMax = kMbViewChange,
 };
 
 const char* msg_type_name(MsgType t);
@@ -175,6 +181,72 @@ struct Sync {
 
   Bytes encode() const;
   static Sync decode(ByteView data);
+};
+
+// --- MinBFT engine messages (2f+1 replicas, USIG trusted counters) --------
+
+/// PREPARE: the leader's counter-certified proposal for one instance. The
+/// certificate seals (view, cid, batch digest) to the leader's monotonic
+/// counter — two conflicting prepares for one instance are cryptographic
+/// proof of equivocation.
+struct MbPrepare {
+  std::uint64_t view = 0;
+  ConsensusId cid;
+  ReplicaId leader;
+  Bytes batch;  ///< encoded Batch
+  crypto::UsigCert cert;
+
+  /// Byte string the leader's USIG certificate covers.
+  static Bytes material(std::uint64_t view, ConsensusId cid,
+                        const crypto::Digest& batch_digest);
+
+  Bytes encode() const;
+  static MbPrepare decode(ByteView data);
+};
+
+/// COMMIT: a replica's counter-certified vote for a prepared value. Carries
+/// the leader's prepare certificate so receivers can cross-check the value
+/// against what the leader certified for this instance (equivocation
+/// detection without waiting for a second conflicting prepare).
+struct MbCommit {
+  std::uint64_t view = 0;
+  ConsensusId cid;
+  ReplicaId replica;
+  crypto::Digest value{};  ///< batch digest being committed
+  crypto::UsigCert prepare_cert;
+  crypto::UsigCert cert;
+
+  /// Byte string the voter's USIG certificate covers.
+  static Bytes material(std::uint64_t view, ConsensusId cid,
+                        const crypto::Digest& value);
+
+  Bytes encode() const;
+  static MbCommit decode(ByteView data);
+};
+
+/// VIEW-CHANGE: STOP and STOP_DATA folded into one message — the counter
+/// certificate makes the sender's evidence non-repudiable, so it can be
+/// broadcast with the vote instead of sent to the new leader after a
+/// separate install round. f+1 matching view targets install the view; the
+/// new leader's re-PREPARE under the new view closes it.
+struct MbViewChange {
+  std::uint64_t view = 0;  ///< the view the sender wants to install
+  ReplicaId sender;
+  ConsensusId last_decided;
+  /// The prepared-but-undecided value the sender knows of, if any, with the
+  /// prepare certificate of the leader that certified it.
+  bool has_prepared = false;
+  std::uint64_t prepared_view = 0;
+  ConsensusId prepared_cid;
+  crypto::Digest prepared_digest{};
+  Bytes prepared_batch;
+  crypto::UsigCert prepared_cert;
+  crypto::UsigCert cert;
+
+  /// Encoding without the sender's own certificate (what it covers).
+  Bytes encode_core() const;
+  Bytes encode() const;
+  static MbViewChange decode(ByteView data);
 };
 
 struct StateRequest {

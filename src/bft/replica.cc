@@ -10,9 +10,9 @@
 
 namespace ss::bft {
 
-Replica::Replica(net::Transport& net, GroupConfig group, ReplicaId id,
-                 const crypto::Keychain& keys, Executable& app,
-                 Recoverable& state, ReplicaOptions options)
+ReplicaCore::ReplicaCore(net::Transport& net, GroupConfig group, ReplicaId id,
+                         const crypto::Keychain& keys, Executable& app,
+                         Recoverable& state, ReplicaOptions options)
     : net_(net),
       group_(group),
       id_(id),
@@ -23,17 +23,59 @@ Replica::Replica(net::Transport& net, GroupConfig group, ReplicaId id,
       opt_(options),
       lanes_(net, options.lanes),
       runner_(options.runner != nullptr ? options.runner : &inline_runner_),
-      byz_rng_(0xBAD0000 + id.value) {
+      storage_(options.storage),
+      byz_rng_(0xBAD0000 + id.value),
+      engine_(make_engine(*this, group_, id_, keys_)) {
   opt_.max_batch = std::max<std::uint32_t>(opt_.max_batch, 1);
   net_.attach(endpoint_, [this](net::Message m) { on_message(std::move(m)); });
 }
 
-Replica::~Replica() { net_.detach(endpoint_); }
+ReplicaCore::~ReplicaCore() { net_.detach(endpoint_); }
+
+// --------------------------------------------------------------------------
+// EngineHost services
+
+void ReplicaCore::schedule(SimTime delay, std::function<void()> fn) {
+  net_.schedule(delay, std::move(fn));
+}
+
+void ReplicaCore::send_to_replica(ReplicaId to, MsgType type, Bytes body) {
+  send_envelope(crypto::replica_principal(to), type, std::move(body));
+}
+
+void ReplicaCore::broadcast_replicas(MsgType type, const Bytes& body) {
+  broadcast(type, body);
+}
+
+void ReplicaCore::append_decision(ConsensusId cid, const Bytes& proposal) {
+  if (storage_ != nullptr) storage_->append_decision(cid, proposal);
+}
+
+void ReplicaCore::commit(ConsensusId cid, const Batch& batch,
+                         const crypto::Digest& digest) {
+  last_decided_ = cid;
+  ++stats_.batches_decided;
+  lanes_.submit(opt_.per_decision_cost, [] {});
+  execute_batch(cid, batch);
+  last_timestamp_ = batch.timestamp;
+  if (decision_observer_) {
+    decision_observer_(cid, digest, batch.timestamp);
+  }
+  maybe_checkpoint();
+}
+
+std::uint64_t ReplicaCore::usig_stored_lease() const {
+  return storage_ != nullptr ? storage_->usig_lease() : 0;
+}
+
+void ReplicaCore::usig_persist_lease(std::uint64_t lease) {
+  if (storage_ != nullptr) storage_->write_usig_lease(lease);
+}
 
 // --------------------------------------------------------------------------
 // networking
 
-void Replica::on_message(net::Message msg) {
+void ReplicaCore::on_message(net::Message msg) {
   if (crashed_) return;
   lanes_.submit(opt_.per_message_cost,
                 [this, payload = std::move(msg.payload)]() mutable {
@@ -46,10 +88,11 @@ void Replica::on_message(net::Message msg) {
                 });
 }
 
-Replica::Inbound Replica::prevalidate(const Bytes& payload) const {
+ReplicaCore::Inbound ReplicaCore::prevalidate(const Bytes& payload) const {
   // Runs on a runner worker thread: everything it reads (endpoint_, keys_,
-  // group_, id_) is immutable for the replica's lifetime, and every
-  // operation (decode, HMAC, SHA-256) is a pure function of its inputs.
+  // group_, id_, the engine's immutable identity) is fixed for the
+  // replica's lifetime, and every operation (decode, HMAC, SHA-256) is a
+  // pure function of its inputs.
   Inbound in;
   try {
     in.env = Envelope::decode(payload);
@@ -83,38 +126,16 @@ Replica::Inbound Replica::prevalidate(const Bytes& payload) const {
       }
       break;
     }
-    case MsgType::kPropose: {
-      try {
-        Propose p = Propose::decode(in.env.body);
-        PrevalidatedPropose pp;
-        pp.digest = crypto::Sha256::hash(p.batch);
-        try {
-          pp.batch.batch = Batch::decode(p.batch);
-          pp.batch.decoded = true;
-          pp.batch.auth_ok = true;
-          for (const ClientRequest& req : pp.batch.batch.requests) {
-            if (req.auth.size() != group_.n ||
-                !keys_.verify(crypto::client_principal(req.client), endpoint_,
-                              req.encode_core(), req.auth[id_.value])) {
-              pp.batch.auth_ok = false;
-              break;
-            }
-          }
-        } catch (const DecodeError&) {
-        }
-        in.pre.propose_pre = std::move(pp);
-        in.pre.propose = std::move(p);
-      } catch (const DecodeError&) {
-      }
-      break;
-    }
     default:
-      break;  // other message bodies are cheap; decoded on the driver
+      // Engine message types get their own worker-side prologue; anything
+      // else is cheap and decoded on the driver.
+      engine_->prevalidate(in.env, in.pre.engine);
+      break;
   }
   return in;
 }
 
-void Replica::deliver(Inbound in) {
+void ReplicaCore::deliver(Inbound in) {
   if (crashed_) return;
   if (in.decode_failed) {
     ++stats_.decode_failures;
@@ -131,7 +152,7 @@ void Replica::deliver(Inbound in) {
   }
 }
 
-void Replica::dispatch(Envelope env, Prevalidated pre) {
+void ReplicaCore::dispatch(Envelope env, Prevalidated pre) {
   // Replica-to-replica traffic must carry a current (or within-handover)
   // key epoch. Client requests are exempt: clients stay on epoch 0, and a
   // forwarded request's real gate is its per-replica authenticator anyway.
@@ -145,46 +166,6 @@ void Replica::dispatch(Envelope env, Prevalidated pre) {
     case MsgType::kClientRequest:
       handle_client_request(env, pre);
       break;
-    case MsgType::kPropose: {
-      Propose p = pre.propose.has_value() ? std::move(*pre.propose)
-                                          : Propose::decode(env.body);
-      // The envelope sender must be the leader the message claims.
-      if (env.sender != crypto::replica_principal(p.leader)) return;
-      if (group_.leader_for(p.regency) != p.leader) return;
-      handle_propose(std::move(p), /*from_sync=*/false,
-                     std::move(pre.propose_pre));
-      break;
-    }
-    case MsgType::kWrite: {
-      PhaseVote v = PhaseVote::decode(env.body);
-      if (env.sender != crypto::replica_principal(v.voter)) return;
-      handle_write(v);
-      break;
-    }
-    case MsgType::kAccept: {
-      PhaseVote v = PhaseVote::decode(env.body);
-      if (env.sender != crypto::replica_principal(v.voter)) return;
-      handle_accept(v);
-      break;
-    }
-    case MsgType::kStop: {
-      Stop s = Stop::decode(env.body);
-      if (env.sender != crypto::replica_principal(s.sender)) return;
-      handle_stop(s);
-      break;
-    }
-    case MsgType::kStopData: {
-      StopData sd = StopData::decode(env.body);
-      if (env.sender != crypto::replica_principal(sd.sender)) return;
-      handle_stop_data(sd);
-      break;
-    }
-    case MsgType::kSync: {
-      Sync s = Sync::decode(env.body);
-      if (env.sender != crypto::replica_principal(s.leader)) return;
-      handle_sync(s);
-      break;
-    }
     case MsgType::kStateRequest: {
       StateRequest req = StateRequest::decode(env.body);
       if (env.sender != crypto::replica_principal(req.requester)) return;
@@ -197,12 +178,17 @@ void Replica::dispatch(Envelope env, Prevalidated pre) {
       handle_state_reply(rep);
       break;
     }
-    default:
+    case MsgType::kClientReply:
+    case MsgType::kServerPush:
       break;  // replies/pushes are never addressed to a replica
+    default:
+      engine_->on_message(env, pre.engine);
+      break;
   }
 }
 
-void Replica::send_envelope(const std::string& to, MsgType type, Bytes body) {
+void ReplicaCore::send_envelope(const std::string& to, MsgType type,
+                                Bytes body) {
   // WAL replay re-derives local state only; every message a replayed
   // decision would emit was already sent by the pre-crash incarnation.
   if (replaying_) return;
@@ -212,11 +198,8 @@ void Replica::send_envelope(const std::string& to, MsgType type, Bytes body) {
       !body.empty()) {
     body[byz_rng_.below(body.size())] ^= 0x5a;
   }
-  if (byzantine_ == ByzantineMode::kCorruptVotes &&
-      (type == MsgType::kWrite || type == MsgType::kAccept)) {
-    PhaseVote v = PhaseVote::decode(body);
-    v.value[0] ^= 0xff;
-    body = v.encode();
+  if (byzantine_ == ByzantineMode::kCorruptVotes) {
+    engine_->corrupt_vote_for_test(type, body);
   }
   // MAC + wire encoding are pure: offload them to the runner. The solo only
   // hands the finished bytes to the transport, so outbound messages leave
@@ -241,7 +224,7 @@ void Replica::send_envelope(const std::string& to, MsgType type, Bytes body) {
       });
 }
 
-void Replica::broadcast(MsgType type, const Bytes& body) {
+void ReplicaCore::broadcast(MsgType type, const Bytes& body) {
   for (ReplicaId peer : group_.replica_ids()) {
     if (peer == id_) continue;
     send_envelope(crypto::replica_principal(peer), type, body);
@@ -251,7 +234,8 @@ void Replica::broadcast(MsgType type, const Bytes& body) {
 // --------------------------------------------------------------------------
 // client requests
 
-void Replica::handle_client_request(const Envelope& env, Prevalidated& pre) {
+void ReplicaCore::handle_client_request(const Envelope& env,
+                                        Prevalidated& pre) {
   // Decode and authenticator verification are worker-side when the message
   // came through prevalidate(); the inline fallback covers everything else.
   ClientRequest req;
@@ -306,15 +290,15 @@ void Replica::handle_client_request(const Envelope& env, Prevalidated& pre) {
   }
 
   enqueue_pending(std::move(req));
-  maybe_propose();
+  engine_->on_request_ready();
 }
 
-bool Replica::already_executed(ClientId client, RequestId seq) const {
+bool ReplicaCore::already_executed(ClientId client, RequestId seq) const {
   auto it = executed_.find(client.value);
   return it != executed_.end() && it->second.count(seq.value) > 0;
 }
 
-void Replica::remember_executed(ClientId client, RequestId seq) {
+void ReplicaCore::remember_executed(ClientId client, RequestId seq) {
   auto& seqs = executed_[client.value];
   seqs.insert(seq.value);
   // Bound memory: forget the oldest entries; a client that retransmits a
@@ -322,7 +306,7 @@ void Replica::remember_executed(ClientId client, RequestId seq) {
   while (seqs.size() > 4096) seqs.erase(seqs.begin());
 }
 
-void Replica::enqueue_pending(ClientRequest req) {
+void ReplicaCore::enqueue_pending(ClientRequest req) {
   auto& per_client = pending_index_[req.client.value];
   if (per_client.count(req.sequence.value) > 0) return;  // duplicate
   if (per_client.size() >= opt_.max_pending_per_client) {
@@ -333,10 +317,12 @@ void Replica::enqueue_pending(ClientRequest req) {
   RequestId seq = req.sequence;
   pending_.push_back(std::move(req));
   per_client[seq.value] = std::prev(pending_.end());
-  if (!is_leader()) arm_suspect_timer(client, seq);
+  if (!is_leader() || engine_->leader_self_suspects()) {
+    arm_suspect_timer(client, seq);
+  }
 }
 
-void Replica::erase_pending(ClientId client, RequestId seq) {
+void ReplicaCore::erase_pending(ClientId client, RequestId seq) {
   auto cit = pending_index_.find(client.value);
   if (cit == pending_index_.end()) return;
   auto rit = cit->second.find(seq.value);
@@ -351,7 +337,7 @@ void Replica::erase_pending(ClientId client, RequestId seq) {
   }
 }
 
-void Replica::arm_suspect_timer(ClientId client, RequestId seq) {
+void ReplicaCore::arm_suspect_timer(ClientId client, RequestId seq) {
   PendingKey key{client.value, seq.value};
   auto existing = suspect_timers_.find(key);
   if (existing != suspect_timers_.end() && existing->second.active()) return;
@@ -371,7 +357,7 @@ void Replica::arm_suspect_timer(ClientId client, RequestId seq) {
       auto cit = pending_index_.find(client.value);
       auto rit = cit->second.find(seq.value);
       ++stats_.requests_forwarded;
-      send_envelope(crypto::replica_principal(group_.leader_for(regency_)),
+      send_envelope(crypto::replica_principal(engine_->current_leader()),
                     MsgType::kClientRequest, rit->second->encode());
     });
   }
@@ -384,15 +370,25 @@ void Replica::arm_suspect_timer(ClientId client, RequestId seq) {
         SS_LOG(LogLevel::kInfo, net_.now(), endpoint_.c_str(),
                "request (%u,%lu) not ordered in time; suspecting leader %u",
                client.value, static_cast<unsigned long>(seq.value),
-               group_.leader_for(regency_).value);
-        suspect_leader();
+               engine_->current_leader().value);
+        engine_->suspect_leader();
       });
 }
 
-// --------------------------------------------------------------------------
-// consensus: normal case
+void ReplicaCore::rearm_suspect_timers() {
+  for (const ClientRequest& req : pending_) {
+    PendingKey key{req.client.value, req.sequence.value};
+    auto tit = suspect_timers_.find(key);
+    if (tit != suspect_timers_.end()) tit->second.cancel();
+    suspect_timers_.erase(key);
+    arm_suspect_timer(req.client, req.sequence);
+  }
+}
 
-Batch Replica::make_batch() {
+// --------------------------------------------------------------------------
+// execution
+
+Batch ReplicaCore::make_batch() {
   Batch batch;
   batch.timestamp = std::max(last_timestamp_ + 1, net_.now());
   for (const ClientRequest& req : pending_) {
@@ -402,202 +398,7 @@ Batch Replica::make_batch() {
   return batch;
 }
 
-void Replica::maybe_propose() {
-  if (crashed_ || !is_leader() || !sync_done_for_regency_) return;
-  if (pending_.empty()) return;
-  std::uint64_t next = last_decided_.value + 1;
-  auto it = instances_.find(next);
-  if (it != instances_.end() && it->second.proposal.has_value()) return;
-
-  Batch batch = make_batch();
-  Propose p;
-  p.cid = ConsensusId{next};
-  p.regency = regency_;
-  p.leader = id_;
-  p.batch = batch.encode();
-  ++stats_.proposals_sent;
-
-  if (byzantine_ == ByzantineMode::kEquivocate) {
-    // Send a conflicting batch (different timestamp => different digest) to
-    // half of the peers. Correct replicas cannot gather a WRITE quorum on
-    // either value; the suspect timers then vote the leader out.
-    Batch other = batch;
-    other.timestamp += 1;
-    Propose p2 = p;
-    p2.batch = other.encode();
-    bool flip = false;
-    for (ReplicaId peer : group_.replica_ids()) {
-      if (peer == id_) continue;
-      const Propose& chosen = flip ? p2 : p;
-      send_envelope(crypto::replica_principal(peer), MsgType::kPropose,
-                    chosen.encode());
-      flip = !flip;
-    }
-    // The equivocating leader does not vote itself, so neither value can
-    // reach a WRITE quorum and the correct replicas vote the leader out.
-    return;
-  }
-  broadcast(MsgType::kPropose, p.encode());
-  handle_propose(std::move(p), /*from_sync=*/false);
-}
-
-bool Replica::validate_proposal(Instance& inst, Batch& out_batch) {
-  if (inst.prevalidated.has_value()) {
-    // The runner worker already decoded the batch and checked every request
-    // authenticator; only the state-dependent checks remain.
-    PrevalidatedBatch pre = std::move(*inst.prevalidated);
-    inst.prevalidated.reset();
-    if (!pre.decoded || !pre.auth_ok) return false;
-    out_batch = std::move(pre.batch);
-    if (out_batch.timestamp <= last_timestamp_) return false;
-    if (out_batch.requests.empty()) return false;
-    return true;
-  }
-  const Propose& p = *inst.proposal;
-  try {
-    out_batch = Batch::decode(p.batch);
-  } catch (const DecodeError&) {
-    return false;
-  }
-  if (out_batch.timestamp <= last_timestamp_) return false;
-  if (out_batch.requests.empty()) return false;
-  for (const ClientRequest& req : out_batch.requests) {
-    if (req.auth.size() != group_.n) return false;
-    if (!keys_.verify(crypto::client_principal(req.client), endpoint_,
-                      req.encode_core(), req.auth[id_.value])) {
-      return false;
-    }
-  }
-  return true;
-}
-
-void Replica::handle_propose(Propose p, bool from_sync,
-                             std::optional<PrevalidatedPropose> pre) {
-  (void)from_sync;
-  if (p.regency > regency_) note_regency_evidence(p.leader, p.regency);
-  // Progress evidence counts even when the regency doesn't match ours yet:
-  // a replica that rejoins while a view change is in flight drops every
-  // vote of the new regency until it has adopted it, and if the instance
-  // those votes decide is the last one before a quiet period, nothing else
-  // would ever tell the replica it fell behind.
-  note_progress_evidence(p.cid);
-  if (p.regency != regency_) return;
-  if (p.cid.value <= last_decided_.value) return;
-
-  Instance& inst = instances_[p.cid.value];
-  crypto::Digest digest =
-      pre.has_value() ? pre->digest : crypto::Sha256::hash(p.batch);
-  if (inst.proposal.has_value()) {
-    if (inst.digest != digest) {
-      // Equivocation: the leader sent conflicting proposals for one
-      // instance. That is proof of a Byzantine leader.
-      SS_LOG(LogLevel::kWarn, net_.now(), endpoint_.c_str(),
-             "conflicting proposals for cid=%lu; suspecting leader",
-             static_cast<unsigned long>(p.cid.value));
-      suspect_leader();
-    }
-    return;
-  }
-  inst.proposal = std::move(p);
-  inst.digest = digest;
-  if (pre.has_value()) inst.prevalidated = std::move(pre->batch);
-  try_decide();
-}
-
-std::uint32_t Replica::matching_votes(
-    const std::map<ReplicaId, crypto::Digest>& votes,
-    const crypto::Digest& value) const {
-  std::uint32_t count = 0;
-  for (const auto& [voter, digest] : votes) {
-    if (digest == value) ++count;
-  }
-  return count;
-}
-
-void Replica::handle_write(const PhaseVote& v) {
-  if (v.voter.value >= group_.n) return;
-  if (v.regency > regency_) note_regency_evidence(v.voter, v.regency);
-  note_progress_evidence(v.cid);  // even under a regency we haven't adopted
-  if (v.regency != regency_ || v.cid.value <= last_decided_.value) return;
-  instances_[v.cid.value].writes[v.voter] = v.value;
-  try_decide();
-}
-
-void Replica::handle_accept(const PhaseVote& v) {
-  if (v.voter.value >= group_.n) return;
-  if (v.regency > regency_) note_regency_evidence(v.voter, v.regency);
-  note_progress_evidence(v.cid);  // even under a regency we haven't adopted
-  if (v.regency != regency_ || v.cid.value <= last_decided_.value) return;
-  instances_[v.cid.value].accepts[v.voter] = v.value;
-  try_decide();
-}
-
-void Replica::try_decide() {
-  for (;;) {
-    std::uint64_t next = last_decided_.value + 1;
-    auto it = instances_.find(next);
-    if (it == instances_.end()) return;
-    Instance& inst = it->second;
-    if (!inst.proposal.has_value()) return;
-
-    if (!inst.write_sent) {
-      Batch batch;
-      if (!validate_proposal(inst, batch)) {
-        SS_LOG(LogLevel::kWarn, net_.now(), endpoint_.c_str(),
-               "invalid proposal for cid=%lu; suspecting leader",
-               static_cast<unsigned long>(next));
-        instances_.erase(it);
-        suspect_leader();
-        return;
-      }
-      inst.write_sent = true;
-      inst.writes[id_] = inst.digest;
-      PhaseVote v{ConsensusId{next}, regency_, id_, inst.digest};
-      broadcast(MsgType::kWrite, v.encode());
-    }
-
-    if (!inst.accept_sent &&
-        matching_votes(inst.writes, inst.digest) >= group_.quorum()) {
-      inst.accept_sent = true;
-      inst.accepts[id_] = inst.digest;
-      PhaseVote v{ConsensusId{next}, regency_, id_, inst.digest};
-      broadcast(MsgType::kAccept, v.encode());
-    }
-
-    if (matching_votes(inst.accepts, inst.digest) < group_.quorum()) return;
-
-    // Decided. Keep the decided value as the retained write-set: deciding
-    // consumes the instance, but if the other accept-voters go quiet before
-    // anyone else decides, this replica's STOP_DATA is the only surviving
-    // certificate for the value — a fresh proposal at this cid would fork
-    // the history.
-    Batch batch = Batch::decode(inst.proposal->batch);
-    crypto::Digest decided_digest = inst.digest;
-    ConsensusId cid{next};
-    if (storage_ != nullptr) {
-      // Write-ahead: the decision must be durable before any of its effects
-      // (execution, replies, checkpoint) become visible, or a crash here
-      // would leave the replica having acted on a decision it cannot replay.
-      storage_->append_decision(cid, inst.proposal->batch);
-    }
-    Bytes decided_proposal = std::move(inst.proposal->batch);
-    instances_.erase(it);
-    last_decided_ = cid;
-    retained_writeset_ = RetainedWriteset{cid, regency_, decided_digest,
-                                          std::move(decided_proposal)};
-    ++stats_.batches_decided;
-    lanes_.submit(opt_.per_decision_cost, [] {});
-    execute_batch(cid, batch);
-    last_timestamp_ = batch.timestamp;
-    if (decision_observer_) {
-      decision_observer_(cid, decided_digest, batch.timestamp);
-    }
-    maybe_checkpoint();
-    maybe_propose();
-  }
-}
-
-void Replica::execute_batch(ConsensusId cid, const Batch& batch) {
+void ReplicaCore::execute_batch(ConsensusId cid, const Batch& batch) {
   std::uint32_t order = 0;
   for (const ClientRequest& req : batch.requests) {
     erase_pending(req.client, req.sequence);
@@ -631,7 +432,7 @@ void Replica::execute_batch(ConsensusId cid, const Batch& batch) {
   }
 }
 
-void Replica::resend_cached_reply(ClientId client, RequestId seq) {
+void ReplicaCore::resend_cached_reply(ClientId client, RequestId seq) {
   auto cit = reply_cache_.find(client.value);
   if (cit == reply_cache_.end()) return;
   auto rit = cit->second.find(seq.value);
@@ -646,7 +447,7 @@ void Replica::resend_cached_reply(ClientId client, RequestId seq) {
                 reply.encode());
 }
 
-void Replica::push_to_client(ClientId client, Bytes payload) {
+void ReplicaCore::push_to_client(ClientId client, Bytes payload) {
   ServerPush push;
   push.replica = id_;
   push.client = client;
@@ -666,283 +467,12 @@ void Replica::push_to_client(ClientId client, Bytes payload) {
 }
 
 // --------------------------------------------------------------------------
-// view change (Mod-SMaRt synchronization phase)
-
-void Replica::suspect_leader() { send_stop(regency_ + 1); }
-
-void Replica::note_regency_evidence(ReplicaId sender, std::uint64_t regency) {
-  if (regency <= regency_ || sender.value >= group_.n) return;
-  auto& recorded = regency_evidence_[sender.value];
-  if (regency <= recorded) return;
-  recorded = regency;
-
-  // Adopt the largest regency that f+1 distinct peers are operating in —
-  // at least one of them is correct, so that regency was really installed.
-  std::vector<std::uint64_t> observed;
-  observed.reserve(regency_evidence_.size());
-  for (const auto& [peer, r] : regency_evidence_) observed.push_back(r);
-  std::sort(observed.begin(), observed.end(), std::greater<>());
-  if (observed.size() < group_.f + 1) return;
-  std::uint64_t adopt = observed[group_.f];
-  if (adopt <= regency_) return;
-
-  SS_LOG(LogLevel::kInfo, net_.now(), endpoint_.c_str(),
-         "adopting regency %lu from peer evidence (was %lu)",
-         static_cast<unsigned long>(adopt),
-         static_cast<unsigned long>(regency_));
-  refresh_retained_writeset();
-  regency_ = adopt;
-  ++stats_.view_changes;
-  instances_.clear();
-  sync_done_for_regency_ = true;
-  for (auto it = regency_evidence_.begin(); it != regency_evidence_.end();) {
-    if (it->second <= adopt) {
-      it = regency_evidence_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  maybe_propose();
-}
-
-void Replica::send_stop(std::uint64_t regency) {
-  if (regency <= regency_ || highest_stop_sent_ > regency) return;
-  // Re-broadcasting an already-sent STOP is deliberate: STOPs can be lost
-  // on lossy links, and peers stuck below the install quorum have no other
-  // way to learn of this replica's vote. The suspect timers keep firing
-  // while the view change is needed, so the retransmit is periodic.
-  highest_stop_sent_ = regency;
-  Stop s{regency, id_};
-  broadcast(MsgType::kStop, s.encode());
-  handle_stop(s);  // record own vote (deduplicated by sender regency)
-}
-
-void Replica::handle_stop(const Stop& s) {
-  if (s.regency <= regency_) return;
-  if (s.sender.value >= group_.n) return;
-  auto& recorded = stop_regency_from_[s.sender.value];
-  if (s.regency <= recorded) return;
-  recorded = s.regency;
-
-  // A STOP for regency r supports every target <= r. The largest target
-  // supported by f+1 peers is joined; by 2f+1 peers it is installed.
-  std::vector<std::uint64_t> supported;
-  supported.reserve(stop_regency_from_.size());
-  for (const auto& [sender, regency] : stop_regency_from_) {
-    supported.push_back(regency);
-  }
-  std::sort(supported.begin(), supported.end(), std::greater<>());
-
-  if (supported.size() >= group_.f + 1) {
-    std::uint64_t join_target = supported[group_.f];
-    if (join_target > regency_) send_stop(join_target);
-  }
-  if (supported.size() >= group_.sync_quorum()) {
-    std::uint64_t install_target = supported[group_.sync_quorum() - 1];
-    if (install_target > regency_) install_regency(install_target);
-  }
-}
-
-void Replica::install_regency(std::uint64_t regency) {
-  if (regency <= regency_) return;
-
-  // Capture (and retain across regencies) write-set evidence for the open
-  // instance before wiping it: a value that may have been decided somewhere
-  // must be re-reported in every synchronization phase until it decides
-  // here too — otherwise a second view change forgets it and a conflicting
-  // value could be ordered for the same instance.
-  refresh_retained_writeset();
-
-  StopData sd;
-  sd.regency = regency;
-  sd.sender = id_;
-  sd.last_decided = last_decided_;
-  if (retained_writeset_.has_value() &&
-      (retained_writeset_->cid.value == last_decided_.value + 1 ||
-       retained_writeset_->cid.value == last_decided_.value)) {
-    sd.has_writeset = true;
-    sd.writeset_cid = retained_writeset_->cid;
-    sd.writeset_regency = retained_writeset_->regency;
-    sd.writeset_digest = retained_writeset_->digest;
-    sd.writeset_proposal = retained_writeset_->proposal;
-  }
-
-  regency_ = regency;
-  ++stats_.view_changes;
-  instances_.clear();
-  // Votes up to the installed regency are consumed; higher ones remain
-  // valid support for future view changes.
-  for (auto vit = stop_regency_from_.begin();
-       vit != stop_regency_from_.end();) {
-    if (vit->second <= regency) {
-      vit = stop_regency_from_.erase(vit);
-    } else {
-      ++vit;
-    }
-  }
-
-  ReplicaId leader = group_.leader_for(regency_);
-  SS_LOG(LogLevel::kInfo, net_.now(), endpoint_.c_str(),
-         "installed regency %lu (leader %u)",
-         static_cast<unsigned long>(regency), leader.value);
-
-  if (leader == id_) {
-    sync_done_for_regency_ = false;
-    handle_stop_data(sd);  // record own evidence
-    // If the STOP_DATA quorum never arrives (lossy links), step aside
-    // rather than wedging the group under a silent leader.
-    net_.schedule(opt_.request_timeout, [this, regency] {
-      if (crashed_ || regency_ != regency || sync_done_for_regency_) return;
-      SS_LOG(LogLevel::kInfo, net_.now(), endpoint_.c_str(),
-             "sync phase for regency %lu stalled; stepping aside",
-             static_cast<unsigned long>(regency));
-      send_stop(regency + 1);
-    });
-  } else {
-    sync_done_for_regency_ = true;
-    send_envelope(crypto::replica_principal(leader), MsgType::kStopData,
-                  sd.encode());
-    // Give the new leader a fresh chance before suspecting it too.
-    for (const ClientRequest& req : pending_) {
-      PendingKey key{req.client.value, req.sequence.value};
-      auto tit = suspect_timers_.find(key);
-      if (tit != suspect_timers_.end()) tit->second.cancel();
-      suspect_timers_.erase(key);
-      arm_suspect_timer(req.client, req.sequence);
-    }
-  }
-}
-
-void Replica::refresh_retained_writeset() {
-  if (retained_writeset_.has_value() &&
-      retained_writeset_->cid.value < last_decided_.value) {
-    // Stale: a later instance decided, so a quorum advanced past this cid
-    // and its value is durable elsewhere. Evidence at exactly last_decided
-    // is kept — it may be the only surviving certificate (see try_decide).
-    retained_writeset_.reset();
-  }
-  std::uint64_t open = last_decided_.value + 1;
-  auto it = instances_.find(open);
-  if (it != instances_.end() && it->second.proposal.has_value() &&
-      matching_votes(it->second.writes, it->second.digest) >=
-          group_.quorum()) {
-    // Fresh quorum evidence under the current regency supersedes whatever
-    // was retained from earlier regencies.
-    retained_writeset_ =
-        RetainedWriteset{ConsensusId{open}, regency_, it->second.digest,
-                         it->second.proposal->batch};
-  }
-}
-
-void Replica::handle_stop_data(const StopData& sd) {
-  if (sd.regency != regency_ || group_.leader_for(regency_) != id_) return;
-  if (sync_done_for_regency_) return;
-  auto& collected = stop_data_[sd.regency];
-  collected[sd.sender.value] = sd;
-  if (collected.size() >= group_.sync_quorum()) {
-    run_sync_decision(sd.regency);
-  }
-}
-
-void Replica::run_sync_decision(std::uint64_t regency) {
-  if (regency != regency_ || sync_done_for_regency_) return;
-  sync_done_for_regency_ = true;
-
-  const auto& collected = stop_data_[regency];
-
-  // The synchronization target is derived from the *reported* last-decided
-  // cids, not this leader's own: a leader that fell behind would otherwise
-  // aim the sync below the group's frontier, discard the write-set evidence
-  // reported for the real open instance, and later re-propose a fresh batch
-  // at a cid some replica already decided — forking the history. The
-  // (f+1)-th highest report is certified by at least one correct replica
-  // and cannot be inflated by the f faulty ones.
-  std::vector<std::uint64_t> reported;
-  reported.reserve(collected.size());
-  for (const auto& [sender, sd] : collected) {
-    reported.push_back(sd.last_decided.value);
-  }
-  std::sort(reported.begin(), reported.end(), std::greater<>());
-  std::uint64_t certified = reported[group_.f];
-  std::uint64_t max_reported = reported.front();
-  std::uint64_t target_cid = certified + 1;
-
-  // Among the reported write-sets for the target instance, a value with a
-  // write quorum in a *later* regency supersedes earlier ones (only one
-  // value can gain a write quorum per regency, and a later quorum implies
-  // knowledge of any earlier possibly-decided value).
-  const Bytes* chosen = nullptr;
-  std::uint64_t best_regency = 0;
-  crypto::Digest best_digest{};
-  for (const auto& [sender, sd] : collected) {
-    if (!sd.has_writeset || sd.writeset_cid.value != target_cid) continue;
-    if (crypto::Sha256::hash(sd.writeset_proposal) != sd.writeset_digest) {
-      continue;  // forged evidence
-    }
-    bool better = chosen == nullptr ||
-                  sd.writeset_regency > best_regency ||
-                  (sd.writeset_regency == best_regency &&
-                   sd.writeset_digest < best_digest);
-    if (better) {
-      chosen = &sd.writeset_proposal;
-      best_regency = sd.writeset_regency;
-      best_digest = sd.writeset_digest;
-    }
-  }
-  Bytes chosen_copy;
-  if (chosen != nullptr) chosen_copy = *chosen;
-  stop_data_.erase(regency);
-  chosen = chosen != nullptr ? &chosen_copy : nullptr;
-
-  if (chosen != nullptr) {
-    Sync sync;
-    sync.regency = regency;
-    sync.leader = id_;
-    sync.cid = ConsensusId{target_cid};
-    sync.batch = *chosen;
-    broadcast(MsgType::kSync, sync.encode());
-    Propose p{sync.cid, regency, id_, sync.batch};
-    handle_propose(std::move(p), /*from_sync=*/true);
-    // A behind leader can still pin the certified value for the group; it
-    // catches its own state up in parallel so it can vote and execute.
-    if (last_decided_.value + 1 < target_cid) request_state_now();
-  } else if (max_reported >= target_cid ||
-             last_decided_.value + 1 < target_cid) {
-    // Either some replica claims a decision at or past the target (a value
-    // exists that this leader does not know — never propose fresh over it),
-    // or this leader is behind the certified frontier. Catch up first;
-    // proposals resume once state transfer completes.
-    request_state_now();
-  } else {
-    maybe_propose();
-  }
-}
-
-void Replica::handle_sync(const Sync& s) {
-  if (group_.leader_for(s.regency) != s.leader) return;
-  if (s.regency < regency_) return;
-  if (s.regency > regency_) {
-    // We missed the STOP quorum; adopt the new regency via the SYNC. Same
-    // obligation as install_regency: write-set evidence for the open
-    // instance must survive the wipe, or a later view change could order a
-    // conflicting value for an instance that already decided elsewhere.
-    refresh_retained_writeset();
-    regency_ = s.regency;
-    ++stats_.view_changes;
-    instances_.clear();
-    sync_done_for_regency_ = true;
-  }
-  Propose p{s.cid, s.regency, s.leader, s.batch};
-  handle_propose(std::move(p), /*from_sync=*/true);
-}
-
-// --------------------------------------------------------------------------
 // checkpoints & state transfer
 
 /// Replica-level recovery state (dedup table + reply cache) bundled with
 /// the application snapshot, so a restored replica neither re-executes
 /// requests nor goes mute toward retransmitting clients.
-Bytes Replica::encode_full_snapshot() const {
+Bytes ReplicaCore::encode_full_snapshot() const {
   Bytes app_snapshot = recoverable_.snapshot();
   Writer w(app_snapshot.size() + 64);
   w.blob(app_snapshot);
@@ -972,7 +502,7 @@ Bytes Replica::encode_full_snapshot() const {
   return std::move(w).take();
 }
 
-void Replica::apply_full_snapshot(ByteView data) {
+void ReplicaCore::apply_full_snapshot(ByteView data) {
   Reader r(data);
   Bytes app_snapshot = r.blob();
 
@@ -1007,7 +537,7 @@ void Replica::apply_full_snapshot(ByteView data) {
   reply_cache_ = std::move(replies);
 }
 
-void Replica::maybe_checkpoint() {
+void ReplicaCore::maybe_checkpoint() {
   if (opt_.checkpoint_interval == 0) return;
   if (last_decided_.value % opt_.checkpoint_interval != 0) return;
   checkpoint_digest_ = crypto::Sha256::hash(recoverable_.snapshot());
@@ -1016,14 +546,14 @@ void Replica::maybe_checkpoint() {
   write_storage_checkpoint();
 }
 
-void Replica::checkpoint_now() {
+void ReplicaCore::checkpoint_now() {
   checkpoint_digest_ = crypto::Sha256::hash(recoverable_.snapshot());
   checkpoint_cid_ = last_decided_;
   ++stats_.checkpoints;
   write_storage_checkpoint();
 }
 
-void Replica::write_storage_checkpoint() {
+void ReplicaCore::write_storage_checkpoint() {
   if (storage_ == nullptr || !checkpoint_digest_.has_value()) return;
   storage::Checkpoint ckpt;
   ckpt.cid = checkpoint_cid_;
@@ -1033,7 +563,7 @@ void Replica::write_storage_checkpoint() {
   storage_->write_checkpoint(ckpt);
 }
 
-void Replica::request_state_now() {
+void ReplicaCore::request_state_now() {
   if (transferring_) return;
   transferring_ = true;
   state_replies_.clear();
@@ -1047,14 +577,14 @@ void Replica::request_state_now() {
   });
 }
 
-void Replica::maybe_request_state(ConsensusId evidence_cid) {
+void ReplicaCore::maybe_request_state(ConsensusId evidence_cid) {
   if (evidence_cid.value < last_decided_.value + opt_.state_gap_threshold) {
     return;
   }
   request_state_now();
 }
 
-void Replica::note_progress_evidence(ConsensusId cid) {
+void ReplicaCore::note_progress_evidence(ConsensusId cid) {
   if (cid.value <= last_decided_.value) return;
   if (cid.value >= last_decided_.value + opt_.state_gap_threshold) {
     request_state_now();
@@ -1072,7 +602,7 @@ void Replica::note_progress_evidence(ConsensusId cid) {
   if (!stall_check_armed_) arm_stall_check(stall_target_);
 }
 
-void Replica::arm_stall_check(std::uint64_t target) {
+void ReplicaCore::arm_stall_check(std::uint64_t target) {
   stall_check_armed_ = true;
   net_.schedule(opt_.request_timeout, [this, target] {
     stall_check_armed_ = false;
@@ -1088,7 +618,7 @@ void Replica::arm_stall_check(std::uint64_t target) {
   });
 }
 
-void Replica::handle_state_request(const StateRequest& req) {
+void ReplicaCore::handle_state_request(const StateRequest& req) {
   if (req.requester == id_ || req.requester.value >= group_.n) return;
   StateReply rep;
   rep.replica = id_;
@@ -1099,7 +629,7 @@ void Replica::handle_state_request(const StateRequest& req) {
                 rep.encode());
 }
 
-void Replica::handle_state_reply(const StateReply& rep) {
+void ReplicaCore::handle_state_reply(const StateReply& rep) {
   if (!transferring_) return;
   if (rep.replica.value >= group_.n) return;
   if (rep.cid.value <= last_decided_.value) {
@@ -1140,19 +670,9 @@ void Replica::handle_state_reply(const StateReply& rep) {
     } catch (const DecodeError&) {
       return;  // malformed despite quorum: keep waiting
     }
-    retained_writeset_.reset();  // the open instance is now in the past
     last_decided_ = r.cid;
     last_timestamp_ = r.last_timestamp;
-    // Keep instances buffered beyond the snapshot point: their proposals
-    // and votes let us participate immediately instead of falling behind
-    // again while traffic continues.
-    for (auto iit = instances_.begin(); iit != instances_.end();) {
-      if (iit->first <= last_decided_.value) {
-        iit = instances_.erase(iit);
-      } else {
-        ++iit;
-      }
-    }
+    engine_->on_state_transfer_applied();
     transferring_ = false;
     state_replies_.clear();
     ++stats_.state_transfers;
@@ -1180,7 +700,7 @@ void Replica::handle_state_reply(const StateReply& rep) {
         ++it;
       }
     }
-    maybe_propose();
+    engine_->on_request_ready();
     return;
   }
 }
@@ -1188,18 +708,18 @@ void Replica::handle_state_reply(const StateReply& rep) {
 // --------------------------------------------------------------------------
 // crash / recovery
 
-void Replica::crash() {
+void ReplicaCore::crash() {
   crashed_ = true;
   net_.detach(endpoint_);
   for (auto& [key, timer] : suspect_timers_) timer.cancel();
   suspect_timers_.clear();
   pending_.clear();
   pending_index_.clear();
-  instances_.clear();
+  engine_->on_crash();
   transferring_ = false;
 }
 
-void Replica::recover() {
+void ReplicaCore::recover() {
   crashed_ = false;
   net_.attach(endpoint_, [this](net::Message m) { on_message(std::move(m)); });
   rejoin_started_ = net_.now();
@@ -1209,8 +729,8 @@ void Replica::recover() {
   broadcast(MsgType::kStateRequest, req.encode());
 }
 
-bool Replica::accept_sender_epoch(const std::string& sender,
-                                  std::uint32_t epoch) {
+bool ReplicaCore::accept_sender_epoch(const std::string& sender,
+                                      std::uint32_t epoch) {
   PeerEpoch& pe = peer_epochs_[sender];
   if (epoch == pe.current) return true;
   if (epoch > pe.current) {
@@ -1225,7 +745,7 @@ bool Replica::accept_sender_epoch(const std::string& sender,
   return epoch + 1 == pe.current && net_.now() < pe.prev_expiry;
 }
 
-void Replica::note_rejoin_complete() {
+void ReplicaCore::note_rejoin_complete() {
   if (!rejoin_started_.has_value()) return;
   obs::Registry::instance()
       .histogram("bft.recovery_ns")
@@ -1236,7 +756,7 @@ void Replica::note_rejoin_complete() {
 // --------------------------------------------------------------------------
 // durable recovery
 
-void Replica::recover_from_storage() {
+void ReplicaCore::recover_from_storage() {
   if (storage_ == nullptr) return;
   auto wall_start = std::chrono::steady_clock::now();
   bool restored_checkpoint = false;
@@ -1308,29 +828,24 @@ void Replica::recover_from_storage() {
   }
 }
 
-void Replica::reboot(ByteView genesis_full_snapshot) {
+void ReplicaCore::reboot(ByteView genesis_full_snapshot) {
   if (!crashed_) crash();
 
   // Back to constructed defaults, as a real process restart would be. The
   // stats_ counters deliberately survive: they are observational, and the
-  // chaos engine's reports aggregate them across the whole run.
-  regency_ = 0;
+  // chaos engine's reports aggregate them across the whole run. The
+  // engine's trusted-component state (MinBFT's USIG counter) also survives
+  // — by design, a trusted counter never moves backwards.
+  engine_->reset();
   last_decided_ = ConsensusId{0};
   last_timestamp_ = 0;
-  instances_.clear();
   pending_.clear();
   pending_index_.clear();
   executed_.clear();
   reply_cache_.clear();
-  retained_writeset_.reset();
   stall_check_armed_ = false;
-  regency_evidence_.clear();
   for (auto& [key, timer] : suspect_timers_) timer.cancel();
   suspect_timers_.clear();
-  highest_stop_sent_ = 0;
-  stop_regency_from_.clear();
-  stop_data_.clear();
-  sync_done_for_regency_ = true;
   transferring_ = false;
   state_replies_.clear();
   state_current_votes_.clear();

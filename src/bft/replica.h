@@ -1,19 +1,16 @@
-// BFT SMR replica (mini BFT-SMaRt).
+// BFT SMR replica shell.
 //
-// One Replica pairs with one application (in SMaRt-SCADA: the Adapter
-// wrapping a deterministic SCADA Master). Normal case is a sequential,
-// leader-driven 3-phase agreement per batch:
+// One ReplicaCore pairs with one application (in SMaRt-SCADA: the Adapter
+// wrapping a deterministic SCADA Master) and one AgreementEngine
+// (engine.h). The shell owns everything protocol-agnostic — transport
+// wiring, the runner-based crypto/codec offload, client-request queueing
+// and flood protection, execution + reply caching, checkpoints, durable
+// storage/recovery, session-key epochs, and snapshot state transfer — and
+// routes agreement traffic to the engine selected by GroupConfig::protocol
+// (PBFT-style 3f+1 or MinBFT-style 2f+1; see DESIGN.md §16).
 //
-//   leader:    PROPOSE(cid, batch)  ->  all
-//   everyone:  WRITE(cid, digest)   ->  all   (on valid proposal)
-//   everyone:  ACCEPT(cid, digest)  ->  all   (on WRITE quorum)
-//   decide when ACCEPT quorum; execute batch in cid order.
-//
-// Quorums are ceil((n+f+1)/2). Leader change follows Mod-SMaRt's
-// STOP / STOP_DATA / SYNC synchronization phase; lagging replicas catch up
-// with snapshot-based state transfer. Deterministic time: the leader stamps
-// each batch, followers validate monotonicity, and the stamp is the only
-// clock the application ever sees.
+// Deterministic time: the leader stamps each batch, followers validate
+// monotonicity, and the stamp is the only clock the application ever sees.
 #pragma once
 
 #include <deque>
@@ -27,6 +24,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "bft/engine.h"
 #include "bft/executable.h"
 #include "bft/messages.h"
 #include "common/config.h"
@@ -41,17 +39,6 @@ class ReplicaStorage;
 }  // namespace ss::storage
 
 namespace ss::bft {
-
-/// Fault behaviours a test/bench can switch a replica into. A Byzantine
-/// replica in these modes exercises the failure paths the protocol must
-/// mask (f of n replicas may behave this way).
-enum class ByzantineMode {
-  kNone,
-  kSilent,          ///< sends nothing at all (crash-like, but still receives)
-  kCorruptReplies,  ///< flips bytes in client replies and pushes
-  kCorruptVotes,    ///< votes WRITE/ACCEPT for a wrong digest
-  kEquivocate,      ///< as leader, proposes different batches to different peers
-};
 
 struct ReplicaOptions {
   SimTime request_timeout = millis(400);  ///< leader-suspect timer
@@ -81,45 +68,37 @@ struct ReplicaOptions {
   /// stays byte-identical). Not owned; must outlive the replica unless
   /// swapped out via set_runner() first.
   core::Runner* runner = nullptr;
+  /// Durable store (storage/replica_storage.h). With one attached, every
+  /// decided batch is logged (fsync'd) before it executes and checkpoints
+  /// are written to disk. Not owned; must outlive the replica.
+  storage::ReplicaStorage* storage = nullptr;
 };
 
-struct ReplicaStats {
-  std::uint64_t proposals_sent = 0;
-  std::uint64_t batches_decided = 0;
-  std::uint64_t requests_executed = 0;
-  std::uint64_t requests_deduped = 0;
-  std::uint64_t unordered_executed = 0;
-  std::uint64_t mac_failures = 0;
-  std::uint64_t decode_failures = 0;
-  std::uint64_t auth_failures = 0;
-  std::uint64_t view_changes = 0;
-  std::uint64_t state_transfers = 0;
-  std::uint64_t checkpoints = 0;
-  std::uint64_t pushes_sent = 0;
-  std::uint64_t requests_forwarded = 0;
-  std::uint64_t requests_flood_dropped = 0;
-  /// Replica-to-replica messages dropped by the key-epoch recency policy
-  /// (valid MAC for the claimed epoch, but the epoch is stale).
-  std::uint64_t epoch_rejections = 0;
-};
-
-class Replica {
+class ReplicaCore final : private EngineHost {
  public:
-  Replica(net::Transport& net, GroupConfig group, ReplicaId id,
-          const crypto::Keychain& keys, Executable& app, Recoverable& state,
-          ReplicaOptions options = {});
-  ~Replica();
+  ReplicaCore(net::Transport& net, GroupConfig group, ReplicaId id,
+              const crypto::Keychain& keys, Executable& app,
+              Recoverable& state, ReplicaOptions options = {});
+  ~ReplicaCore() override;
 
-  Replica(const Replica&) = delete;
-  Replica& operator=(const Replica&) = delete;
+  ReplicaCore(const ReplicaCore&) = delete;
+  ReplicaCore& operator=(const ReplicaCore&) = delete;
 
   ReplicaId id() const { return id_; }
   const std::string& endpoint() const { return endpoint_; }
   const ReplicaStats& stats() const { return stats_; }
-  std::uint64_t regency() const { return regency_; }
-  ConsensusId last_decided() const { return last_decided_; }
-  SimTime last_timestamp() const { return last_timestamp_; }
-  bool is_leader() const { return group_.leader_for(regency_) == id_; }
+  const GroupConfig& group() const { return group_; }
+  /// Agreement protocol this replica runs (fixed at construction).
+  Protocol protocol() const { return engine_->protocol(); }
+  /// The engine's quorum structure — what group-size-aware callers
+  /// (RecoveryScheduler, deploy --supervise) should derive n and the fault
+  /// budget from instead of assuming n = 3f + 1.
+  QuorumConfig quorum_config() const { return engine_->quorums(); }
+  /// Monotone view counter (PBFT regency / MinBFT view).
+  std::uint64_t regency() const { return engine_->view(); }
+  ConsensusId last_decided() const override { return last_decided_; }
+  SimTime last_timestamp() const override { return last_timestamp_; }
+  bool is_leader() const { return engine_->current_leader() == id_; }
 
   /// Pushes an asynchronous message to a client (see PushSink). Called by
   /// the application during execute_ordered.
@@ -158,13 +137,13 @@ class Replica {
 
   /// Re-attaches and initiates state transfer from the peers.
   void recover();
-  bool crashed() const { return crashed_; }
+  bool crashed() const override { return crashed_; }
 
   // --- durability (optional; replicas run fine without it) -----------------
 
-  /// Attaches a durable store. From now on every decided batch is logged
-  /// (fsync'd) before it executes, and checkpoints are written to disk.
-  /// The storage must outlive the replica.
+  /// DEPRECATED: pass ReplicaOptions::storage at construction instead. Kept
+  /// as a forwarding shim for one release (PR 9's ReplicaOptions
+  /// consolidation); new call sites must use the options struct.
   void set_storage(storage::ReplicaStorage* storage) { storage_ = storage; }
 
   /// Restores state from the attached storage: loads the newest checkpoint,
@@ -174,7 +153,7 @@ class Replica {
   void recover_from_storage();
 
   /// Emulates a full process restart in place (for the deterministic
-  /// simulation, where destroying the Replica mid-run is not an option):
+  /// simulation, where destroying the replica mid-run is not an option):
   /// wipes all volatile state back to constructed defaults, restores the
   /// given genesis image, recovers from storage, re-attaches to the network
   /// and asks peers for whatever was decided while "down".
@@ -187,14 +166,14 @@ class Replica {
 
   /// Asks peers for any decisions made while this replica was down. Safe to
   /// call at any time; a transfer already in flight makes it a no-op.
-  void request_state_transfer() { request_state_now(); }
+  void request_state_transfer() override { request_state_now(); }
 
   /// The full recovery image (app snapshot + dedup table + reply cache) —
   /// what state transfer ships and checkpoints persist.
   Bytes full_snapshot() const { return encode_full_snapshot(); }
 
   void set_byzantine(ByzantineMode mode) { byzantine_ = mode; }
-  ByzantineMode byzantine() const { return byzantine_; }
+  ByzantineMode byzantine() const override { return byzantine_; }
 
   /// Session-key epoch this replica signs outbound messages under. 0 until
   /// the first reincarnation; reboot() bumps it (durably, when storage is
@@ -205,37 +184,24 @@ class Replica {
   /// thread only.
   void set_key_epoch(std::uint32_t epoch) { key_epoch_ = epoch; }
 
-  /// Swaps the crypto/codec runner (null restores the internal
-  /// InlineRunner). Drain the old runner before swapping: in-flight tasks
-  /// capture `this` and deliver through whichever runner ran them.
+  /// DEPRECATED alongside set_storage(): pass ReplicaOptions::runner at
+  /// construction. Retained because the runner seam's determinism
+  /// regression swaps runners mid-lifetime on purpose. Drain the old runner
+  /// before swapping: in-flight tasks capture `this` and deliver through
+  /// whichever runner ran them.
   void set_runner(core::Runner* runner) {
     runner_ = runner != nullptr ? runner : &inline_runner_;
   }
   core::Runner& runner() { return *runner_; }
 
  private:
-  /// Worker-side pre-validation results: pure functions of the wire payload
-  /// and the replica's immutable identity (keys, group, id). Computed by
-  /// Runner tasks on worker threads, consumed by the driver-side handlers,
-  /// which fall back to computing inline when a field is absent (sync-path
-  /// proposals, the leader's own proposal).
-  struct PrevalidatedBatch {
-    bool decoded = false;
-    bool auth_ok = false;  ///< every request authenticator verified
-    Batch batch;
-  };
-  struct PrevalidatedPropose {
-    crypto::Digest digest{};  ///< Sha256 of the proposal's batch bytes
-    PrevalidatedBatch batch;
-  };
+  /// One inbound message after the worker-side prologue (decode + MAC
+  /// verify + pre-validation), delivered to the driver in receive order.
   struct Prevalidated {
     std::optional<ClientRequest> request;  ///< decoded kClientRequest body
     bool request_auth_ok = false;
-    std::optional<Propose> propose;  ///< decoded kPropose body
-    std::optional<PrevalidatedPropose> propose_pre;
+    EnginePrevalidated engine;
   };
-  /// One inbound message after the worker-side prologue (decode + MAC
-  /// verify + pre-validation), delivered to the driver in receive order.
   struct Inbound {
     bool decode_failed = false;
     bool mac_failed = false;
@@ -243,19 +209,24 @@ class Replica {
     Prevalidated pre;
   };
 
-  struct Instance {
-    std::optional<Propose> proposal;
-    crypto::Digest digest{};
-    bool write_sent = false;
-    bool accept_sent = false;
-    std::map<ReplicaId, crypto::Digest> writes;
-    std::map<ReplicaId, crypto::Digest> accepts;
-    /// Worker-verified batch for this proposal, consumed by
-    /// validate_proposal (absent on the inline fallback paths).
-    std::optional<PrevalidatedBatch> prevalidated;
-  };
-
   using PendingKey = std::pair<std::uint64_t, std::uint64_t>;  // client, seq
+
+  // --- EngineHost (driver-side services for the agreement engine) ---------
+  SimTime now() const override { return net_.now(); }
+  void schedule(SimTime delay, std::function<void()> fn) override;
+  void send_to_replica(ReplicaId to, MsgType type, Bytes body) override;
+  void broadcast_replicas(MsgType type, const Bytes& body) override;
+  bool pending_empty() const override { return pending_.empty(); }
+  Batch make_batch() override;
+  void append_decision(ConsensusId cid, const Bytes& proposal) override;
+  void commit(ConsensusId cid, const Batch& batch,
+              const crypto::Digest& digest) override;
+  void note_progress_evidence(ConsensusId cid) override;
+  void rearm_suspect_timers() override;
+  SimTime request_timeout() const override { return opt_.request_timeout; }
+  ReplicaStats& mutable_stats() override { return stats_; }
+  std::uint64_t usig_stored_lease() const override;
+  void usig_persist_lease(std::uint64_t lease) override;
 
   // --- networking ---------------------------------------------------------
   void on_message(net::Message msg);
@@ -281,40 +252,18 @@ class Replica {
   void erase_pending(ClientId client, RequestId seq);
   void arm_suspect_timer(ClientId client, RequestId seq);
 
-  // --- consensus ----------------------------------------------------------
-  void maybe_propose();
-  void handle_propose(Propose p, bool from_sync,
-                      std::optional<PrevalidatedPropose> pre = std::nullopt);
-  void handle_write(const PhaseVote& v);
-  void handle_accept(const PhaseVote& v);
-  std::uint32_t matching_votes(const std::map<ReplicaId, crypto::Digest>& votes,
-                               const crypto::Digest& value) const;
-  void try_decide();
+  // --- execution ----------------------------------------------------------
   void execute_batch(ConsensusId cid, const Batch& batch);
-  bool validate_proposal(Instance& inst, Batch& out_batch);
-  Batch make_batch();
-
-  // --- view change --------------------------------------------------------
-  void suspect_leader();
-  void note_regency_evidence(ReplicaId sender, std::uint64_t regency);
-  void send_stop(std::uint64_t regency);
-  void handle_stop(const Stop& s);
-  void install_regency(std::uint64_t regency);
-  void handle_stop_data(const StopData& sd);
-  void run_sync_decision(std::uint64_t regency);
-  void handle_sync(const Sync& s);
 
   // --- state transfer & checkpoints ----------------------------------------
   void maybe_checkpoint();
   void write_storage_checkpoint();
   void maybe_request_state(ConsensusId evidence_cid);
-  void note_progress_evidence(ConsensusId cid);
   void arm_stall_check(std::uint64_t target);
   void request_state_now();
   void resend_cached_reply(ClientId client, RequestId seq);
   Bytes encode_full_snapshot() const;
   void apply_full_snapshot(ByteView data);
-  void refresh_retained_writeset();
   void handle_state_request(const StateRequest& req);
   void handle_state_reply(const StateReply& rep);
 
@@ -330,10 +279,8 @@ class Replica {
   core::InlineRunner inline_runner_;
   core::Runner* runner_;  // never null; defaults to &inline_runner_
 
-  std::uint64_t regency_ = 0;
   ConsensusId last_decided_{0};
   SimTime last_timestamp_ = 0;
-  std::map<std::uint64_t, Instance> instances_;  // keyed by cid value
 
   std::list<ClientRequest> pending_;
   std::unordered_map<std::uint64_t, std::map<std::uint64_t,
@@ -350,38 +297,13 @@ class Replica {
   std::map<std::uint64_t, std::map<std::uint64_t, CachedReply>>
       reply_cache_;  // client -> seq -> reply
 
-  /// Write-quorum evidence for the open instance, retained across view
-  /// changes until the instance decides (a possibly-decided value must be
-  /// re-reported in every STOP_DATA, not just the first one).
-  struct RetainedWriteset {
-    ConsensusId cid;
-    std::uint64_t regency = 0;
-    crypto::Digest digest{};
-    Bytes proposal;
-  };
-  std::optional<RetainedWriteset> retained_writeset_;
-
   /// Small-gap stall detection: evidence that peers decided ahead of us.
   /// One timer at a time; stall_target_ tracks the highest evidence cid so
   /// evidence arriving while armed still gets checked (the callback re-arms).
   bool stall_check_armed_ = false;
   std::uint64_t stall_target_ = 0;
 
-  /// Highest regency each peer has been observed *operating* in (consensus
-  /// messages, not STOPs). A replica that slept through a view change —
-  /// e.g. crashed and recovered — adopts a regency once f+1 distinct peers
-  /// demonstrably run it; otherwise it stays deaf forever.
-  std::map<std::uint32_t, std::uint64_t> regency_evidence_;
-
   std::map<PendingKey, net::Timer> suspect_timers_;
-  std::uint64_t highest_stop_sent_ = 0;
-  /// Highest regency each peer has STOPped for. A STOP for regency r also
-  /// supports every regency below r (PBFT-style aggregation), otherwise
-  /// lossy links can scatter votes across regencies and deadlock the view
-  /// change.
-  std::map<std::uint32_t, std::uint64_t> stop_regency_from_;
-  std::map<std::uint64_t, std::map<std::uint32_t, StopData>> stop_data_;
-  bool sync_done_for_regency_ = true;
 
   // state transfer
   bool transferring_ = false;
@@ -415,6 +337,14 @@ class Replica {
   std::optional<SimTime> rejoin_started_;
 
   ReplicaStats stats_;
+
+  /// The agreement protocol (created last: its constructor may read host
+  /// accessors). Owns all protocol state — view, open instances, view-change
+  /// evidence — behind the AgreementEngine interface.
+  std::unique_ptr<AgreementEngine> engine_;
 };
+
+/// The pre-seam name; every existing call site keeps compiling.
+using Replica = ReplicaCore;
 
 }  // namespace ss::bft

@@ -98,6 +98,8 @@ class ChaosRun {
       report.view_changes += system_.replica_stats(i).view_changes;
       report.state_transfers += system_.replica_stats(i).state_transfers;
       report.epoch_rejections += system_.replica_stats(i).epoch_rejections;
+      report.usig_rejections += system_.replica_stats(i).usig_rejections;
+      report.equivocations += system_.replica_stats(i).equivocations_detected;
     }
     report.shed = system_.proxy_frontend().client_stats().shed;
     return report;
@@ -106,7 +108,7 @@ class ChaosRun {
  private:
   static core::ReplicatedOptions make_options(const ChaosOptions& options) {
     core::ReplicatedOptions out;
-    out.group = GroupConfig::for_f(options.f);
+    out.group = GroupConfig::for_protocol(options.protocol, options.f);
     out.costs = sim::CostModel::zero();
     out.costs.hop_latency = micros(50);
     out.write_timeout = options.sabotage == Sabotage::kDisableLogicalTimeouts
@@ -396,7 +398,7 @@ FaultScript subset(const FaultScript& script,
 }  // namespace
 
 std::string RunReport::summary() const {
-  char buf[200];
+  char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "%zu violations, %" PRIu64 " decisions, %" PRIu64 "/%" PRIu64
                 " writes, %" PRIu64 " view changes, %" PRIu64
@@ -404,7 +406,15 @@ std::string RunReport::summary() const {
                 " shed",
                 violations.size(), decisions, writes_completed, writes_issued,
                 view_changes, state_transfers, epoch_rejections, shed);
-  return buf;
+  std::string out = buf;
+  if (usig_rejections > 0 || equivocations > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  ", %" PRIu64 " usig rejections, %" PRIu64
+                  " equivocations detected",
+                  usig_rejections, equivocations);
+    out += buf;
+  }
+  return out;
 }
 
 RunReport run_script(const ChaosOptions& options, const FaultScript& script) {
@@ -414,7 +424,7 @@ RunReport run_script(const ChaosOptions& options, const FaultScript& script) {
 
 RunReport run_chaos(const ChaosOptions& options) {
   ScriptParams params;
-  params.group = GroupConfig::for_f(options.f);
+  params.group = GroupConfig::for_protocol(options.protocol, options.f);
   params.horizon = options.horizon;
   params.has_rtu = true;
   return run_script(options,
@@ -445,6 +455,10 @@ std::string repro_command(const ChaosOptions& options,
                           const std::vector<std::size_t>* kept) {
   std::string cmd = "chaos_replay --family=";
   cmd += family_name(options.family);
+  if (options.protocol != Protocol::kPbft) {
+    cmd += " --protocol=";
+    cmd += protocol_name(options.protocol);
+  }
   cmd += " --f=" + std::to_string(options.f);
   char seed[32];
   std::snprintf(seed, sizeof(seed), " --seed=0x%" PRIx64, options.seed);
@@ -464,7 +478,7 @@ std::string repro_command(const ChaosOptions& options,
 
 MinimizeResult minimize(const ChaosOptions& options) {
   ScriptParams params;
-  params.group = GroupConfig::for_f(options.f);
+  params.group = GroupConfig::for_protocol(options.protocol, options.f);
   params.horizon = options.horizon;
   params.has_rtu = true;
   FaultScript full = generate_script(options.family, params, options.seed);

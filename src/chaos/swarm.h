@@ -34,6 +34,8 @@ enum class Sabotage {
 
 struct ChaosOptions {
   ScenarioFamily family = ScenarioFamily::kByzantineReplicas;
+  /// Agreement protocol under test: PBFT runs 3f+1 replicas, MinBFT 2f+1.
+  Protocol protocol = Protocol::kPbft;
   std::uint32_t f = 1;
   std::uint64_t seed = 1;
   SimTime horizon = seconds(3);       ///< fault injections live in [0,horizon)
@@ -53,6 +55,8 @@ struct RunReport {
   std::uint64_t state_transfers = 0;
   std::uint64_t epoch_rejections = 0;  ///< old-epoch messages refused
   std::uint64_t shed = 0;              ///< updates shed by frontend backpressure
+  std::uint64_t usig_rejections = 0;   ///< MinBFT: bad/stale USIG certs refused
+  std::uint64_t equivocations = 0;     ///< MinBFT: conflicting certs detected
 
   bool ok() const { return violations.empty(); }
   std::string summary() const;

@@ -2,16 +2,44 @@
 
 namespace ss {
 
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kPbft:
+      return "pbft";
+    case Protocol::kMinBft:
+      return "minbft";
+  }
+  return "unknown";
+}
+
+Protocol parse_protocol(const std::string& name) {
+  if (name == "pbft") return Protocol::kPbft;
+  if (name == "minbft") return Protocol::kMinBft;
+  throw std::invalid_argument("unknown protocol: \"" + name +
+                              "\" (expected pbft or minbft)");
+}
+
 GroupConfig::GroupConfig(std::uint32_t n_in, std::uint32_t f_in)
-    : n(n_in), f(f_in) {
-  if (n < 3 * f + 1) {
-    throw std::invalid_argument("GroupConfig requires n >= 3f + 1");
+    : GroupConfig(n_in, f_in, Protocol::kPbft) {}
+
+GroupConfig::GroupConfig(std::uint32_t n_in, std::uint32_t f_in,
+                         Protocol protocol_in)
+    : n(n_in), f(f_in), protocol(protocol_in) {
+  if (n < min_n(protocol, f)) {
+    throw std::invalid_argument(
+        protocol == Protocol::kMinBft
+            ? "GroupConfig requires n >= 2f + 1 for minbft"
+            : "GroupConfig requires n >= 3f + 1");
   }
   if (n == 0) throw std::invalid_argument("GroupConfig requires n > 0");
 }
 
 GroupConfig GroupConfig::for_f(std::uint32_t f) {
   return GroupConfig(3 * f + 1, f);
+}
+
+GroupConfig GroupConfig::for_protocol(Protocol protocol, std::uint32_t f) {
+  return GroupConfig(min_n(protocol, f), f, protocol);
 }
 
 std::vector<ReplicaId> GroupConfig::replica_ids() const {

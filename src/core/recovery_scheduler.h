@@ -63,16 +63,26 @@ class RecoveryScheduler {
   const RecoverySchedulerStats& stats() const { return stats_; }
 
  private:
+  /// Group size from the agreement engine's own quorum configuration —
+  /// 3f+1 under PBFT, 2f+1 under MinBFT. Asking the engine (rather than
+  /// assuming 3f+1) keeps the round-robin in step when a smaller-group
+  /// protocol is deployed.
+  std::uint32_t group_size() const {
+    return dep_.replica(0).quorum_config().n;
+  }
+
   void schedule_next() {
     dep_.loop().schedule(opt_.period, [this] { tick(); });
   }
 
   void tick() {
     if (stopped_) return;
+    const std::uint32_t n = group_size();
+    if (next_ >= n) next_ = 0;
     // Only reincarnate when every *other* replica is up: the scheduler must
     // never be the reason the group exceeds its fault budget.
     bool others_healthy = true;
-    for (std::uint32_t i = 0; i < dep_.n(); ++i) {
+    for (std::uint32_t i = 0; i < n; ++i) {
       if (i != next_ && dep_.replica(i).crashed()) others_healthy = false;
     }
     if (!others_healthy || dep_.replica(next_).crashed()) {
@@ -82,7 +92,7 @@ class RecoveryScheduler {
     }
 
     std::uint32_t victim = next_;
-    next_ = (next_ + 1) % dep_.n();
+    next_ = (next_ + 1) % n;
     ++stats_.recoveries;
     down_ = victim;
     went_down_at_ = dep_.loop().now();

@@ -57,16 +57,20 @@ ReplicatedDeployment::ReplicatedDeployment(ReplicatedOptions options)
 
   killed_.assign(n, false);
   for (std::uint32_t i = 0; i < n; ++i) {
-    replicas_.push_back(std::make_unique<bft::Replica>(
-        net_, opt_.group, ReplicaId{i}, keys_, *adapters_[i], *adapters_[i],
-        replica_options));
-    adapters_[i]->attach_replica(replicas_.back().get());
+    bft::ReplicaOptions options_i = replica_options;
     if (opt_.durable) {
       replica_storage_.push_back(std::make_unique<storage::ReplicaStorage>(
           storage_env_, "replica-" + std::to_string(i),
           "storage/replica-" + std::to_string(i)));
-      replicas_.back()->set_storage(replica_storage_.back().get());
+      // Storage goes in at construction (not via the deprecated set_storage
+      // shim): the replica's engine may need durable state — the MinBFT
+      // USIG counter lease — before the first message arrives.
+      options_i.storage = replica_storage_.back().get();
     }
+    replicas_.push_back(std::make_unique<bft::Replica>(
+        net_, opt_.group, ReplicaId{i}, keys_, *adapters_[i], *adapters_[i],
+        options_i));
+    adapters_[i]->attach_replica(replicas_.back().get());
 
     bft::ClientOptions timeout_client_options;
     timeout_client_options.reply_timeout = opt_.client_reply_timeout;

@@ -1,6 +1,8 @@
 // The SMaRt-SCADA deployment (paper Figure 5): one Frontend + ProxyFrontend,
-// one HMI + ProxyHMI, and n = 3f+1 ProxyMasters, each bundling a BFT replica,
-// an Adapter, and a deterministic single-threaded SCADA Master.
+// one HMI + ProxyHMI, and n ProxyMasters (3f+1 under PBFT, 2f+1 under
+// MinBFT — set GroupConfig::protocol via ReplicatedOptions::group), each
+// bundling a BFT replica, an Adapter, and a deterministic single-threaded
+// SCADA Master.
 #pragma once
 
 #include <functional>

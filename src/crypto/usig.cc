@@ -1,0 +1,59 @@
+#include "crypto/usig.h"
+
+#include "common/serialization.h"
+#include "crypto/hmac.h"
+
+namespace ss::crypto {
+
+namespace {
+
+/// The per-replica trusted-counter key. Derived from the group secret via
+/// the keychain's pair-key machinery under a reserved principal name no
+/// replica or client ever uses on the wire.
+Bytes usig_key(const Keychain& keys, ReplicaId id) {
+  std::string principal = "usig/" + std::to_string(id.value);
+  return keys.pair_key(principal, principal);
+}
+
+Bytes usig_material(std::uint64_t counter, ByteView material) {
+  Writer w(material.size() + 10);
+  w.varint(counter);
+  w.raw(material);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+Usig::Usig(const Keychain& keys, ReplicaId id) : keys_(keys), id_(id) {}
+
+void Usig::attach_persistence(std::uint64_t stored_lease,
+                              std::function<void(std::uint64_t)> persist) {
+  persist_ = std::move(persist);
+  lease_ = stored_lease;
+  // Values up to the stored lease may have been issued by a pre-crash
+  // incarnation whose exact counter was lost; skip past all of them.
+  if (counter_ < stored_lease) counter_ = stored_lease;
+}
+
+UsigCert Usig::certify(ByteView material) {
+  std::uint64_t next = counter_ + 1;
+  if (next > lease_ && persist_) {
+    // Extend the lease *before* the certificate exists: a crash between the
+    // two leaves an unused gap, never a repeated counter value.
+    lease_ = next + kLeaseStep - 1;
+    persist_(lease_);
+  }
+  counter_ = next;
+  UsigCert cert;
+  cert.counter = next;
+  cert.mac = hmac_sha256(usig_key(keys_, id_), usig_material(next, material));
+  return cert;
+}
+
+bool Usig::verify(const Keychain& keys, ReplicaId signer, ByteView material,
+                  const UsigCert& cert) {
+  return hmac_verify(usig_key(keys, signer),
+                     usig_material(cert.counter, material), cert.mac);
+}
+
+}  // namespace ss::crypto

@@ -30,6 +30,10 @@ ReplicaStorage::ReplicaStorage(Env& env, std::string dir,
     std::string text(raw->begin(), raw->end());
     epoch_ = static_cast<std::uint32_t>(std::strtoul(text.c_str(), nullptr, 10));
   }
+  if (std::optional<Bytes> raw = env_.read_file(dir_ + "/usig")) {
+    std::string text(raw->begin(), raw->end());
+    usig_lease_ = std::strtoull(text.c_str(), nullptr, 10);
+  }
   metrics_ = obs::Registry::instance().add_source(
       std::move(metrics_prefix), [this](const obs::Registry::Emit& emit) {
         emit("decisions_logged", static_cast<double>(stats_.decisions_logged));
@@ -76,6 +80,12 @@ std::uint32_t ReplicaStorage::bump_epoch() {
   std::string text = std::to_string(epoch_);
   env_.write_file(dir_ + "/epoch", ss::bytes_of(text));
   return epoch_;
+}
+
+void ReplicaStorage::write_usig_lease(std::uint64_t lease) {
+  usig_lease_ = lease;
+  std::string text = std::to_string(lease);
+  env_.write_file(dir_ + "/usig", ss::bytes_of(text));
 }
 
 void ReplicaStorage::note_recovery(std::uint64_t duration_ns,

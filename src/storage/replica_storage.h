@@ -65,6 +65,14 @@ class ReplicaStorage {
   /// Increments and durably persists the key epoch; returns the new value.
   std::uint32_t bump_epoch();
 
+  /// Durable USIG counter lease (see crypto::Usig). Unlike the key epoch,
+  /// a torn write here would be a safety violation — a reincarnation that
+  /// reuses a counter value forges "monotonic" certificates — so the lease
+  /// is persisted BEFORE any certificate it covers is issued, and the
+  /// sync is part of write_file itself.
+  std::uint64_t usig_lease() const { return usig_lease_; }
+  void write_usig_lease(std::uint64_t lease);
+
   const ReplicaStorageStats& stats() const { return stats_; }
   const WalStats& wal_stats() const { return wal_.stats(); }
   const std::string& dir() const { return dir_; }
@@ -75,6 +83,7 @@ class ReplicaStorage {
   Wal wal_;
   CheckpointStore checkpoints_;
   std::uint32_t epoch_ = 0;
+  std::uint64_t usig_lease_ = 0;
   ReplicaStorageStats stats_;
   obs::SourceHandle metrics_;
 };

@@ -96,7 +96,8 @@ class KvApp final : public Executable, public Recoverable {
   std::vector<SimTime> timestamps_;
 };
 
-/// n = 3f+1 replicas on a simulated network.
+/// A replica group on a simulated network: n = 3f+1 under PBFT (the
+/// default), n = 2f+1 under MinBFT.
 struct Cluster {
   sim::EventLoop loop;
   sim::Network net;
@@ -106,8 +107,10 @@ struct Cluster {
   std::vector<std::unique_ptr<Replica>> replicas;
 
   explicit Cluster(std::uint32_t f = 1, ReplicaOptions options = {},
-                   std::uint64_t fault_seed = 0xFA111)
-      : net(loop, micros(50), 0, fault_seed), group(GroupConfig::for_f(f)) {
+                   std::uint64_t fault_seed = 0xFA111,
+                   Protocol protocol = Protocol::kPbft)
+      : net(loop, micros(50), 0, fault_seed),
+        group(GroupConfig::for_protocol(protocol, f)) {
     for (ReplicaId id : group.replica_ids()) {
       apps.push_back(std::make_unique<KvApp>());
       replicas.push_back(std::make_unique<Replica>(

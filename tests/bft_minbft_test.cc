@@ -1,0 +1,273 @@
+// The bft_test write and view-change suites against the MinBFT engine:
+// 2f+1 replicas, f+1 USIG-certified commit quorum, and the counter-enabled
+// two-message view change. Driven through the protocol-parameterized
+// harness Cluster so the test bodies stay engine-agnostic — what changes is
+// the group shape (n = 3 at f = 1) and the fault budget arithmetic.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tests/bft_harness.h"
+
+namespace ss::bft {
+namespace {
+
+using testing::Cluster;
+using testing::KvApp;
+
+Cluster minbft_cluster(std::uint32_t f = 1, ReplicaOptions options = {}) {
+  return Cluster(f, options, 0xFA111, Protocol::kMinBft);
+}
+
+TEST(MinBft, GroupIsTwoFPlusOne) {
+  Cluster cluster = minbft_cluster();
+  EXPECT_EQ(cluster.group.n, 3u);
+  EXPECT_EQ(cluster.group.quorum(), 2u);        // f+1 commit quorum
+  EXPECT_EQ(cluster.group.sync_quorum(), 2u);   // f+1 view install
+  QuorumConfig quorums = cluster.replicas[0]->quorum_config();
+  EXPECT_EQ(quorums.n, 3u);
+  EXPECT_EQ(quorums.f, 1u);
+}
+
+TEST(MinBft, OrdersASingleRequest) {
+  Cluster cluster = minbft_cluster();
+  auto client = cluster.make_client(1);
+  std::string reply_old;
+  bool done = false;
+  client->invoke_ordered(KvApp::put("grid", "stable"), [&](Bytes reply) {
+    Reader r(reply);
+    reply_old = r.str();
+    done = true;
+  });
+  cluster.run_for(seconds(1));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(reply_old, "");
+  for (auto& app : cluster.apps) {
+    EXPECT_EQ(app->applied(), 1u);
+    EXPECT_EQ(app->data().at("grid"), "stable");
+  }
+  EXPECT_TRUE(cluster.apps_converged());
+}
+
+TEST(MinBft, MultipleClientsConverge) {
+  Cluster cluster = minbft_cluster();
+  std::vector<std::unique_ptr<ClientProxy>> clients;
+  int completed = 0;
+  for (std::uint32_t c = 1; c <= 4; ++c) {
+    clients.push_back(cluster.make_client(c));
+  }
+  for (int i = 0; i < 20; ++i) {
+    for (auto& client : clients) {
+      client->invoke_ordered(
+          KvApp::put("c" + std::to_string(client->id().value),
+                     std::to_string(i)),
+          [&](Bytes) { ++completed; });
+    }
+  }
+  cluster.run_for(seconds(5));
+  EXPECT_EQ(completed, 80);
+  EXPECT_TRUE(cluster.apps_converged());
+  for (auto& app : cluster.apps) {
+    EXPECT_EQ(app->data().at("c1"), "19");
+    EXPECT_EQ(app->data().at("c4"), "19");
+  }
+}
+
+TEST(MinBft, TimestampsAreMonotonicAndIdenticalAcrossReplicas) {
+  Cluster cluster = minbft_cluster();
+  auto client = cluster.make_client(1);
+  for (int i = 0; i < 30; ++i) {
+    client->invoke_ordered(KvApp::put("k", std::to_string(i)), {});
+  }
+  cluster.run_for(seconds(5));
+  for (auto& app : cluster.apps) {
+    const auto& ts = app->timestamps();
+    ASSERT_FALSE(ts.empty());
+    for (std::size_t i = 1; i < ts.size(); ++i) {
+      EXPECT_GE(ts[i], ts[i - 1]);
+    }
+  }
+  for (std::uint32_t i = 1; i < cluster.group.n; ++i) {
+    EXPECT_EQ(cluster.apps[i]->timestamps(), cluster.apps[0]->timestamps());
+  }
+}
+
+// At f = 1 the MinBFT group is 3 replicas: one crashed follower leaves
+// exactly the f+1 = 2 needed for the commit quorum.
+TEST(MinBft, CrashFaultyReplicaDoesNotBlockProgress) {
+  Cluster cluster = minbft_cluster();
+  cluster.replicas[2]->crash();  // a follower
+  auto client = cluster.make_client(1);
+  int completed = 0;
+  for (int i = 0; i < 10; ++i) {
+    client->invoke_ordered(KvApp::put("k" + std::to_string(i), "v"),
+                           [&](Bytes) { ++completed; });
+  }
+  cluster.run_for(seconds(5));
+  EXPECT_EQ(completed, 10);
+  EXPECT_EQ(cluster.apps[0]->applied(), 10u);
+  EXPECT_EQ(cluster.apps[2]->applied(), 0u);
+}
+
+TEST(MinBft, LeaderCrashTriggersViewChange) {
+  Cluster cluster = minbft_cluster();
+  cluster.replicas[0]->crash();  // the initial leader
+  auto client = cluster.make_client(1);
+  bool done = false;
+  client->invoke_ordered(KvApp::put("grid", "resilient"),
+                         [&](Bytes) { done = true; });
+  cluster.run_for(seconds(10));
+  EXPECT_TRUE(done);
+  for (std::uint32_t i = 1; i < cluster.group.n; ++i) {
+    EXPECT_GE(cluster.replicas[i]->regency(), 1u);
+    EXPECT_EQ(cluster.apps[i]->applied(), 1u);
+  }
+}
+
+TEST(MinBft, SilentByzantineLeaderIsVotedOut) {
+  Cluster cluster = minbft_cluster();
+  cluster.replicas[0]->set_byzantine(ByzantineMode::kSilent);
+  auto client = cluster.make_client(1);
+  bool done = false;
+  client->invoke_ordered(KvApp::put("k", "v"), [&](Bytes) { done = true; });
+  cluster.run_for(seconds(10));
+  EXPECT_TRUE(done);
+  EXPECT_GE(cluster.replicas[1]->regency(), 1u);
+}
+
+// An equivocating MinBFT leader must burn a distinct USIG counter value on
+// each conflicting prepare, so the conflict is *detectable*: a correct
+// replica holding prepare A that sees a commit echoing a valid certificate
+// for conflicting value B flags it. The leader is voted out and the correct
+// replicas stay agreed.
+TEST(MinBft, EquivocatingLeaderIsDetectedAndVotedOut) {
+  Cluster cluster = minbft_cluster();
+  cluster.replicas[0]->set_byzantine(ByzantineMode::kEquivocate);
+  auto client = cluster.make_client(1);
+  bool done = false;
+  client->invoke_ordered(KvApp::put("k", "v"), [&](Bytes) { done = true; });
+  cluster.run_for(seconds(10));
+  EXPECT_TRUE(done);
+  std::uint64_t detected = 0;
+  for (std::uint32_t i = 1; i < cluster.group.n; ++i) {
+    EXPECT_GE(cluster.replicas[i]->regency(), 1u);
+    detected += cluster.replicas[i]->stats().equivocations_detected;
+  }
+  EXPECT_GE(detected, 1u);
+  // Safety: the correct replicas agree.
+  EXPECT_EQ(cluster.apps[1]->snapshot(), cluster.apps[2]->snapshot());
+}
+
+// A replica whose commit certificates are corrupted in flight. With the
+// correct follower down, the corrupt voter is the only possible quorum
+// partner: its certificates must be refused (usig_rejections) and the
+// instance must NOT decide — a bad certificate never substitutes for a
+// good one. Once the correct follower returns, the f+1 quorum reforms.
+TEST(MinBft, CorruptVotesAreRejectedAndNeverCountTowardQuorum) {
+  Cluster cluster = minbft_cluster();
+  cluster.replicas[1]->crash();
+  cluster.replicas[2]->set_byzantine(ByzantineMode::kCorruptVotes);
+  auto client = cluster.make_client(1);
+  int completed = 0;
+  client->invoke_ordered(KvApp::put("k", "v"), [&](Bytes) { ++completed; });
+  cluster.run_for(seconds(2));
+  EXPECT_EQ(completed, 0);
+  EXPECT_GE(cluster.replicas[0]->stats().usig_rejections, 1u);
+
+  cluster.replicas[1]->recover();
+  cluster.run_for(seconds(20));
+  EXPECT_EQ(completed, 1);
+  EXPECT_EQ(cluster.apps[1]->data().at("k"), "v");
+}
+
+TEST(MinBft, CorruptRepliesAreOutvoted) {
+  Cluster cluster = minbft_cluster();
+  cluster.replicas[2]->set_byzantine(ByzantineMode::kCorruptReplies);
+  auto client = cluster.make_client(1);
+  std::string old_value = "sentinel";
+  bool done = false;
+  client->invoke_ordered(KvApp::put("k", "v"), [&](Bytes reply) {
+    Reader r(reply);
+    old_value = r.str();
+    done = true;
+  });
+  cluster.run_for(seconds(5));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(old_value, "");  // the correct (voted) reply
+}
+
+TEST(MinBft, RecoveredReplicaCatchesUpViaStateTransfer) {
+  Cluster cluster = minbft_cluster();
+  cluster.replicas[2]->crash();
+  auto client = cluster.make_client(1);
+  int completed = 0;
+  for (int i = 0; i < 30; ++i) {
+    client->invoke_ordered(KvApp::put("k" + std::to_string(i), "v"),
+                           [&](Bytes) { ++completed; });
+  }
+  cluster.run_for(seconds(5));
+  ASSERT_EQ(completed, 30);
+
+  cluster.replicas[2]->recover();
+  cluster.run_for(seconds(5));
+  EXPECT_GE(cluster.replicas[2]->stats().state_transfers, 1u);
+  EXPECT_EQ(cluster.replicas[2]->last_decided(),
+            cluster.replicas[0]->last_decided());
+  EXPECT_TRUE(cluster.apps_converged());
+
+  bool done = false;
+  client->invoke_ordered(KvApp::put("post", "recovery"),
+                         [&](Bytes) { done = true; });
+  cluster.run_for(seconds(5));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(cluster.apps[2]->data().at("post"), "recovery");
+}
+
+// View changes under churn: crash each leader in turn and confirm the
+// two-message view change keeps handing leadership forward.
+TEST(MinBft, SuccessiveLeaderCrashesKeepRotatingLeadership) {
+  Cluster cluster = minbft_cluster();
+  auto client = cluster.make_client(1);
+  int completed = 0;
+  client->invoke_ordered(KvApp::put("seed", "0"), [&](Bytes) { ++completed; });
+  cluster.run_for(seconds(1));
+  ASSERT_EQ(completed, 1);
+
+  // Crash leader of view 0, let the group re-elect and decide, recover,
+  // then crash the next leader.
+  cluster.replicas[0]->crash();
+  client->invoke_ordered(KvApp::put("a", "1"), [&](Bytes) { ++completed; });
+  cluster.run_for(seconds(10));
+  EXPECT_EQ(completed, 2);
+  cluster.replicas[0]->recover();
+  cluster.run_for(seconds(5));
+
+  std::uint32_t leader = cluster.replicas[1]->regency() % cluster.group.n;
+  cluster.replicas[leader]->crash();
+  client->invoke_ordered(KvApp::put("b", "2"), [&](Bytes) { ++completed; });
+  cluster.run_for(seconds(10));
+  EXPECT_EQ(completed, 3);
+  cluster.replicas[leader]->recover();
+  cluster.run_for(seconds(5));
+  EXPECT_TRUE(cluster.apps_converged());
+}
+
+TEST(MinBft, FTwoGroupSurvivesTwoCrashes) {
+  Cluster cluster = minbft_cluster(2);
+  ASSERT_EQ(cluster.group.n, 5u);
+  cluster.replicas[3]->crash();
+  cluster.replicas[4]->crash();
+  auto client = cluster.make_client(1);
+  int completed = 0;
+  for (int i = 0; i < 10; ++i) {
+    client->invoke_ordered(KvApp::put("k" + std::to_string(i), "v"),
+                           [&](Bytes) { ++completed; });
+  }
+  cluster.run_for(seconds(5));
+  EXPECT_EQ(completed, 10);
+  EXPECT_TRUE(cluster.apps_converged());
+}
+
+}  // namespace
+}  // namespace ss::bft

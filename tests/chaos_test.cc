@@ -4,6 +4,8 @@
 // determinism of the whole pipeline.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "chaos/invariant_checker.h"
 #include "chaos/swarm.h"
 #include "obs/trace.h"
@@ -43,9 +45,11 @@ TEST(FlightRecorderDump, FirstViolationDumpsRecentHistoryToStderr) {
 /// Runs `count` seeds of one family and expects a clean sweep; on failure
 /// prints the one-line repro command for each failing seed.
 void expect_clean_sweep(ScenarioFamily family, std::uint32_t f,
-                        std::uint64_t first_seed, std::uint64_t count) {
+                        std::uint64_t first_seed, std::uint64_t count,
+                        Protocol protocol = Protocol::kPbft) {
   ChaosOptions base;
   base.family = family;
+  base.protocol = protocol;
   base.f = f;
   SweepReport sweep = run_sweep(base, first_seed, count);
   EXPECT_EQ(sweep.runs, count);
@@ -109,13 +113,36 @@ TEST(ChaosSweep, AllFamiliesF2) {
   }
 }
 
+// --- the MinBFT equivalence sweep: crash-restart + equivocate at f=1 ------
+//
+// The same scenario generators against 2f+1-replica groups running the
+// MinBFT engine. The byzantine family includes equivocating leaders, whose
+// conflicting USIG-certified prepares must be detected (not just outvoted)
+// by the correct replicas; crash-restart exercises the USIG counter lease
+// across kill -9 + durable reboot.
+
+TEST(ChaosSweep, MinBftEquivocateF1) {
+  expect_clean_sweep(ScenarioFamily::kByzantineReplicas, 1, 1, 44,
+                     Protocol::kMinBft);
+}
+
+TEST(ChaosSweep, MinBftCrashRestartF1) {
+  expect_clean_sweep(ScenarioFamily::kCrashRestart, 1, 1, 44,
+                     Protocol::kMinBft);
+}
+
 // --- fast smoke sweep for CI: 64 seeds spread over the families ----------
 
+// Honors SS_PROTOCOL so CI can matrix the same smoke over both engines.
 TEST(ChaosSmoke, SixtyFourSeeds) {
-  for (ScenarioFamily family : kAllFamilies) {
-    expect_clean_sweep(family, 1, 1000, 12);
+  Protocol protocol = Protocol::kPbft;
+  if (const char* env = std::getenv("SS_PROTOCOL")) {
+    protocol = parse_protocol(env);
   }
-  expect_clean_sweep(ScenarioFamily::kMixed, 2, 1000, 4);
+  for (ScenarioFamily family : kAllFamilies) {
+    expect_clean_sweep(family, 1, 1000, 12, protocol);
+  }
+  expect_clean_sweep(ScenarioFamily::kMixed, 2, 1000, 4, protocol);
 }
 
 // --- canary: a sabotaged deployment must fail, minimize, and replay ------

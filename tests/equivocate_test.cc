@@ -68,5 +68,62 @@ TEST(EquivocateTest, LeaderEquivocationIsVotedOut) {
   EXPECT_DOUBLE_EQ(item->value.as_double(), 204.0);
 }
 
+// The same adversary against the MinBFT engine (2f+1 = 3 replicas). A
+// counter-equipped leader cannot sign two prepares for one instance with
+// one counter value, so equivocation is *detected* — a correct replica that
+// holds prepare A and receives a commit echoing a valid USIG certificate
+// for conflicting value B flags it — rather than merely failing to gather
+// a quorum. Service must survive it the same way: leader voted out, every
+// write completes, masters converge.
+TEST(EquivocateTest, MinBftLeaderEquivocationIsDetectedViaUsigCerts) {
+  ReplicatedOptions options = fast_options();
+  options.group = GroupConfig::for_protocol(Protocol::kMinBft, 1);
+  ReplicatedDeployment system(options);
+  ASSERT_EQ(system.n(), 3u);
+  ItemId setpoint = system.add_point("plant/setpoint", scada::Variant{100.0});
+  system.start();
+  system.run_until(millis(200));
+
+  system.set_byzantine(0, bft::ByzantineMode::kEquivocate);
+
+  std::map<std::uint64_t, scada::WriteStatus> results;
+  for (int i = 0; i < 5; ++i) {
+    system.hmi().write(setpoint, scada::Variant{200.0 + i},
+                       [&results](const scada::WriteResult& result) {
+                         results[result.ctx.op.value] = result.status;
+                       });
+    system.run_until(system.loop().now() + millis(300));
+  }
+
+  system.run_until(seconds(3));
+  system.set_byzantine(0, bft::ByzantineMode::kNone);
+  system.run_until(seconds(5));
+
+  // At least one correct replica saw the conflicting USIG certificates for
+  // one instance and flagged them.
+  std::uint64_t detected = 0;
+  for (std::uint32_t i = 1; i < system.n(); ++i) {
+    detected += system.replica_stats(i).equivocations_detected;
+  }
+  EXPECT_GE(detected, 1u) << "no replica detected the conflicting certs";
+
+  // The equivocating leader was voted out and every write completed.
+  for (std::uint32_t i = 1; i < system.n(); ++i) {
+    EXPECT_GE(system.replica_stats(i).view_changes, 1u)
+        << "replica " << i << " never changed view";
+  }
+  EXPECT_EQ(results.size(), 5u);
+  for (const auto& [op, status] : results) {
+    EXPECT_EQ(status, scada::WriteStatus::kOk) << "op " << op;
+  }
+  EXPECT_EQ(system.hmi().pending_writes(), 0u);
+
+  system.run_until(seconds(6));
+  EXPECT_TRUE(system.masters_converged());
+  const scada::Item* item = system.frontend().item(setpoint);
+  ASSERT_NE(item, nullptr);
+  EXPECT_DOUBLE_EQ(item->value.as_double(), 204.0);
+}
+
 }  // namespace
 }  // namespace ss::core

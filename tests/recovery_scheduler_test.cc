@@ -68,6 +68,48 @@ TEST(RecoveryScheduler, RollingReincarnationKeepsServiceLive) {
   EXPECT_TRUE(system.masters_converged());
 }
 
+// Under MinBFT the group is 2f+1 = 3 replicas; the scheduler's round-robin
+// must cycle over exactly those 3 (it asks the engine's quorum_config() for
+// the group size instead of assuming 3f+1). One full cycle of rolling
+// reincarnation, every update still delivered.
+TEST(RecoveryScheduler, MinBftGroupReincarnatesAllReplicas) {
+  ReplicatedOptions deployment_options = durable_options();
+  deployment_options.group = GroupConfig::for_protocol(Protocol::kMinBft, 1);
+  ReplicatedDeployment system(deployment_options);
+  ASSERT_EQ(system.n(), 3u);
+  ItemId item = system.add_point("sensor");
+  system.start();
+
+  RecoverySchedulerOptions options;
+  options.period = seconds(4);
+  options.downtime = seconds(1);
+  RecoveryScheduler scheduler(system, options);
+  scheduler.start();
+
+  int sent = 0;
+  for (int i = 0; i < 90; ++i) {
+    system.frontend().field_update(item, scada::Variant{double(i)});
+    ++sent;
+    system.run_until(system.loop().now() + millis(200));
+  }
+  system.run_until(system.loop().now() + seconds(5));
+
+  // ~18 s of traffic at a 4 s period: at least one full 3-replica cycle.
+  EXPECT_GE(scheduler.stats().recoveries, 3u);
+  EXPECT_EQ(system.hmi().counters().updates_received,
+            static_cast<std::uint64_t>(sent));
+  std::uint32_t epoch_bumped = 0;
+  for (std::uint32_t i = 0; i < system.n(); ++i) {
+    if (system.replica(i).key_epoch() > 0) ++epoch_bumped;
+    EXPECT_FALSE(system.replica(i).crashed());
+  }
+  EXPECT_EQ(epoch_bumped, 3u);
+  system.net().set_policy(kFrontendEndpoint, kProxyFrontendEndpoint,
+                          sim::LinkPolicy::cut_link());
+  system.run_until(system.loop().now() + seconds(3));
+  EXPECT_TRUE(system.masters_converged());
+}
+
 TEST(RecoveryScheduler, NeverExceedsFaultBudget) {
   ReplicatedDeployment system(fast_options());
   ItemId item = system.add_point("sensor");

@@ -2,6 +2,8 @@
 // and fault injection, service-lane queueing.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -359,6 +361,25 @@ TEST(RunnerDeterminism, InlineRunnerLeavesSimTimelineUnchanged) {
       << "sim run is not reproducible at all";
   EXPECT_EQ(write_round_signature(true), baseline)
       << "explicit InlineRunner changed the simulated timeline or bytes";
+}
+
+// The agreement-engine seam (PR 9) must be byte-invisible: the same write
+// round, replayed through the refactored PBFT engine, must reproduce the
+// exact signature recorded from the pre-refactor monolithic replica —
+// identical span timeline, identical wire traffic, identical virtual clock,
+// identical replica snapshot bytes. The golden file was captured at the
+// commit immediately before the engine extraction; regenerate it ONLY for a
+// deliberate, reviewed protocol change.
+TEST(EngineSeam, PbftEngineMatchesPreRefactorGolden) {
+  std::ifstream golden_file(SS_SOURCE_DIR "/tests/data/pbft_write_round.golden",
+                            std::ios::binary);
+  ASSERT_TRUE(golden_file.is_open()) << "golden file missing";
+  std::string golden((std::istreambuf_iterator<char>(golden_file)),
+                     std::istreambuf_iterator<char>());
+  ASSERT_FALSE(golden.empty());
+  EXPECT_EQ(write_round_signature(false), golden)
+      << "engine seam changed observable behaviour vs the pre-refactor "
+         "recording";
 }
 
 }  // namespace

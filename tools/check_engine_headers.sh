@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Engine headers are internal to src/bft: everything else must select a
+# protocol through GroupConfig::protocol + bft::make_engine (engine.h), so
+# the SCADA layers never compile against protocol internals. This gate
+# keeps the seam honest — it fails if any file outside src/bft includes a
+# concrete engine header.
+#
+# Usage: tools/check_engine_headers.sh [repo-root]
+set -eu
+
+root="${1:-$(dirname "$0")/..}"
+cd "$root"
+
+offenders=$(grep -rln \
+    -e '#include *"bft/engine_pbft\.h"' \
+    -e '#include *"bft/engine_minbft\.h"' \
+    --include='*.h' --include='*.cc' --include='*.cpp' \
+    src tests examples bench 2>/dev/null |
+  grep -v '^src/bft/' || true)
+
+if [ -n "$offenders" ]; then
+  echo "error: concrete engine headers included outside src/bft:" >&2
+  echo "$offenders" >&2
+  echo "use bft/engine.h + bft::make_engine (GroupConfig::protocol) instead" >&2
+  exit 1
+fi
+echo "engine header hygiene OK (engine_pbft.h/engine_minbft.h stay in src/bft)"
