@@ -141,6 +141,10 @@ class EngineHost {
   virtual void rearm_suspect_timers() = 0;
 
   virtual SimTime request_timeout() const = 0;
+  /// Instances this far past last_decided() are reachable only through
+  /// state transfer; engines must not buffer messages beyond the gap (it
+  /// bounds their open-instance tables against far-future floods).
+  virtual std::uint64_t state_gap_threshold() const = 0;
   virtual ReplicaStats& mutable_stats() = 0;
   virtual bool crashed() const = 0;
   virtual ByzantineMode byzantine() const = 0;

@@ -198,12 +198,11 @@ void MinBftEngine::handle_prepare(MbPrepare p, bool own,
   crypto::Digest digest =
       pre.has_value() ? pre->digest : crypto::Sha256::hash(p.batch);
   if (!own) {
-    if (p.view > view_) note_view_evidence(p.leader, p.view);
     // Progress evidence counts even under an unadopted view (see
     // PbftEngine::handle_propose for why a rejoining replica needs it).
     host_.note_progress_evidence(p.cid);
-    if (p.view != view_) return;
-    if (p.cid.value <= host_.last_decided().value) return;
+    // Certificate before anything stateful: view evidence and the instance
+    // table must only ever see messages the claimed leader's USIG sealed.
     bool cert_ok = pre.has_value()
                        ? cert_prevalidated_ok
                        : crypto::Usig::verify(
@@ -212,6 +211,16 @@ void MinBftEngine::handle_prepare(MbPrepare p, bool own,
                              p.cert);
     if (!cert_ok) {
       ++host_.mutable_stats().usig_rejections;
+      return;
+    }
+    if (p.view > view_) note_view_evidence(p.leader, p.view);
+    if (p.view != view_) return;
+    if (p.cid.value <= host_.last_decided().value) return;
+    if (p.cid.value >
+        host_.last_decided().value + host_.state_gap_threshold()) {
+      // Past the state-transfer gap the batch can only arrive via snapshot
+      // anyway; buffering it would let an authenticated Byzantine peer grow
+      // instances_ without bound.
       return;
     }
     if (!counter_fresh(prepare_counters_, p.leader, p.cert.counter)) {
@@ -238,8 +247,19 @@ void MinBftEngine::handle_prepare(MbPrepare p, bool own,
 
 void MinBftEngine::handle_commit(const MbCommit& c) {
   if (c.replica.value >= group_.n) return;
-  if (c.view > view_) note_view_evidence(c.replica, c.view);
   host_.note_progress_evidence(c.cid);  // even under an unadopted view
+  if (c.replica != id_) {
+    // Certificate before anything stateful (view evidence, the echo slot,
+    // the vote itself): a forged commit must not steer views or consume
+    // per-peer state.
+    if (!crypto::Usig::verify(keys_, c.replica,
+                              MbCommit::material(c.view, c.cid, c.value),
+                              c.cert)) {
+      ++host_.mutable_stats().usig_rejections;
+      return;
+    }
+    if (c.view > view_) note_view_evidence(c.replica, c.view);
+  }
   if (c.view == view_ && c.replica != id_ &&
       c.cid.value == host_.last_decided().value &&
       decided_echo_.has_value() &&
@@ -249,18 +269,16 @@ void MinBftEngine::handle_commit(const MbCommit& c) {
     // replicas never re-vote, the live stream will not complete it. Supply
     // the missing vote directly — at most once per (view, cid) per peer,
     // or two same-frontier replicas bounce echoes forever (each echo IS a
-    // commit for the other's decided frontier, with a fresh counter).
-    // Verify first so a forged commit cannot make us amplify traffic.
+    // commit for the other's decided frontier, with a fresh counter). The
+    // freshness check runs before the slot insert so a replayed commit
+    // cannot burn a peer's one echo for the current (view, cid).
     if (echo_view_ != view_ || echo_cid_ != c.cid.value) {
       echo_view_ = view_;
       echo_cid_ = c.cid.value;
       echo_sent_to_.clear();
     }
-    if (echo_sent_to_.insert(c.replica.value).second &&
-        crypto::Usig::verify(keys_, c.replica,
-                             MbCommit::material(c.view, c.cid, c.value),
-                             c.cert) &&
-        counter_fresh(commit_counters_, c.replica, c.cert.counter)) {
+    if (counter_fresh(commit_counters_, c.replica, c.cert.counter) &&
+        echo_sent_to_.insert(c.replica.value).second) {
       SS_LOG(LogLevel::kDebug, host_.now(), endpoint_.c_str(),
              "echoing decided cid=%lu to stuck replica %u",
              static_cast<unsigned long>(c.cid.value), c.replica.value);
@@ -273,17 +291,14 @@ void MinBftEngine::handle_commit(const MbCommit& c) {
     return;
   }
   if (c.view != view_ || c.cid.value <= host_.last_decided().value) return;
-  if (c.replica != id_) {
-    if (!crypto::Usig::verify(keys_, c.replica,
-                              MbCommit::material(c.view, c.cid, c.value),
-                              c.cert)) {
-      ++host_.mutable_stats().usig_rejections;
-      return;
-    }
-    if (!counter_fresh(commit_counters_, c.replica, c.cert.counter)) {
-      ++host_.mutable_stats().usig_rejections;
-      return;
-    }
+  if (c.cid.value >
+      host_.last_decided().value + host_.state_gap_threshold()) {
+    return;  // bound instances_ (see handle_prepare)
+  }
+  if (c.replica != id_ &&
+      !counter_fresh(commit_counters_, c.replica, c.cert.counter)) {
+    ++host_.mutable_stats().usig_rejections;
+    return;
   }
 
   Instance& inst = instances_[c.cid.value];
@@ -415,6 +430,20 @@ void MinBftEngine::note_view_evidence(ReplicaId sender, std::uint64_t view) {
   std::uint64_t adopt = observed[group_.f];
   if (adopt <= view_) return;
 
+  if (group_.leader_for(adopt) == id_) {
+    // Evidence says the group operates in a view this replica leads.
+    // Leadership is never assumed from hearsay: installing here would skip
+    // run_vc_decision entirely (fresh_propose_floor_, pinned-value
+    // recovery), and f Byzantine senders can steer observed[f] onto any
+    // view at or below a genuinely installed one — including one this
+    // replica leads — making it propose fresh over an instance the group
+    // already decided. Vote for the view instead — it installs only
+    // through the f+1 view-change quorum, whose evidence run_vc_decision
+    // consumes.
+    send_viewchange(adopt);
+    return;
+  }
+
   SS_LOG(LogLevel::kInfo, host_.now(), endpoint_.c_str(),
          "adopting view %lu from peer evidence (was %lu)",
          static_cast<unsigned long>(adopt), static_cast<unsigned long>(view_));
@@ -430,7 +459,7 @@ void MinBftEngine::note_view_evidence(ReplicaId sender, std::uint64_t view) {
       ++it;
     }
   }
-  maybe_propose();
+  // No maybe_propose(): the adopter is by construction not adopt's leader.
 }
 
 void MinBftEngine::send_viewchange(std::uint64_t view) {
@@ -456,7 +485,7 @@ void MinBftEngine::send_viewchange(std::uint64_t view) {
     vc.prepared_batch = retained_prepare_->batch;
     vc.prepared_cert = retained_prepare_->cert;
   }
-  vc.cert = usig_.certify(vc.encode_core());
+  vc.cert = usig_.certify(vc.material());
   host_.broadcast_replicas(MsgType::kMbViewChange, vc.encode());
   handle_viewchange(std::move(vc), /*own=*/true);
 }
@@ -464,7 +493,7 @@ void MinBftEngine::send_viewchange(std::uint64_t view) {
 void MinBftEngine::handle_viewchange(MbViewChange vc, bool own) {
   if (vc.sender.value >= group_.n) return;
   if (!own) {
-    if (!crypto::Usig::verify(keys_, vc.sender, vc.encode_core(), vc.cert)) {
+    if (!crypto::Usig::verify(keys_, vc.sender, vc.material(), vc.cert)) {
       ++host_.mutable_stats().usig_rejections;
       return;
     }

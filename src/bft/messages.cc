@@ -311,6 +311,7 @@ crypto::UsigCert get_cert(Reader& r) {
 Bytes MbPrepare::material(std::uint64_t view, ConsensusId cid,
                           const crypto::Digest& batch_digest) {
   Writer w(48);
+  w.enumeration(MsgType::kMbPrepare);
   w.varint(view);
   w.id(cid);
   put_digest(w, batch_digest);
@@ -342,6 +343,7 @@ MbPrepare MbPrepare::decode(ByteView data) {
 Bytes MbCommit::material(std::uint64_t view, ConsensusId cid,
                          const crypto::Digest& value) {
   Writer w(48);
+  w.enumeration(MsgType::kMbCommit);
   w.varint(view);
   w.id(cid);
   put_digest(w, value);
@@ -383,6 +385,14 @@ Bytes MbViewChange::encode_core() const {
   put_digest(w, prepared_digest);
   w.blob(prepared_batch);
   put_cert(w, prepared_cert);
+  return std::move(w).take();
+}
+
+Bytes MbViewChange::material() const {
+  Bytes core = encode_core();
+  Writer w(core.size() + 1);
+  w.enumeration(MsgType::kMbViewChange);
+  w.raw(core);
   return std::move(w).take();
 }
 

@@ -196,7 +196,11 @@ struct MbPrepare {
   Bytes batch;  ///< encoded Batch
   crypto::UsigCert cert;
 
-  /// Byte string the leader's USIG certificate covers.
+  /// Byte string the leader's USIG certificate covers. Leads with the
+  /// message-type domain tag: PREPARE and COMMIT materials are otherwise
+  /// shape-identical, and one counter certificate must never verify as
+  /// both (a stolen-session-key holder could replay a leader's prepare
+  /// certificate as a commit vote the leader never cast).
   static Bytes material(std::uint64_t view, ConsensusId cid,
                         const crypto::Digest& batch_digest);
 
@@ -216,7 +220,8 @@ struct MbCommit {
   crypto::UsigCert prepare_cert;
   crypto::UsigCert cert;
 
-  /// Byte string the voter's USIG certificate covers.
+  /// Byte string the voter's USIG certificate covers (domain-tagged; see
+  /// MbPrepare::material).
   static Bytes material(std::uint64_t view, ConsensusId cid,
                         const crypto::Digest& value);
 
@@ -243,8 +248,11 @@ struct MbViewChange {
   crypto::UsigCert prepared_cert;
   crypto::UsigCert cert;
 
-  /// Encoding without the sender's own certificate (what it covers).
+  /// Encoding without the sender's own certificate.
   Bytes encode_core() const;
+  /// Byte string the sender's USIG certificate covers: encode_core()
+  /// behind the message-type domain tag (see MbPrepare::material).
+  Bytes material() const;
   Bytes encode() const;
   static MbViewChange decode(ByteView data);
 };

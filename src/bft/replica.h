@@ -224,6 +224,9 @@ class ReplicaCore final : private EngineHost {
   void note_progress_evidence(ConsensusId cid) override;
   void rearm_suspect_timers() override;
   SimTime request_timeout() const override { return opt_.request_timeout; }
+  std::uint64_t state_gap_threshold() const override {
+    return opt_.state_gap_threshold;
+  }
   ReplicaStats& mutable_stats() override { return stats_; }
   std::uint64_t usig_stored_lease() const override;
   void usig_persist_lease(std::uint64_t lease) override;

@@ -161,6 +161,32 @@ TEST(BftMessages, ViewChangeMessagesRoundTrip) {
   EXPECT_EQ(syncd.batch, (Bytes{1}));
 }
 
+// PREPARE, COMMIT, and VIEW-CHANGE certificate materials are domain-tagged:
+// a USIG certificate minted for one message kind must never verify as
+// another. Without the tag, prepare and commit materials over the same
+// (view, cid, digest) are byte-identical, and an attacker holding a
+// replica's session keys could replay the leader's broadcast prepare
+// certificate as a commit vote the leader never cast.
+TEST(BftMessages, UsigMaterialsAreDomainSeparated) {
+  crypto::Digest digest{};
+  digest[0] = 0x5e;
+  Bytes prepare = MbPrepare::material(3, ConsensusId{7}, digest);
+  Bytes commit = MbCommit::material(3, ConsensusId{7}, digest);
+  EXPECT_NE(prepare, commit);
+
+  MbViewChange vc;
+  vc.view = 3;
+  vc.sender = ReplicaId{1};
+  vc.last_decided = ConsensusId{6};
+  EXPECT_NE(vc.material(), vc.encode_core());
+
+  crypto::Keychain keys("secret");
+  crypto::Usig usig(keys, ReplicaId{0});
+  crypto::UsigCert cert = usig.certify(prepare);
+  EXPECT_TRUE(crypto::Usig::verify(keys, ReplicaId{0}, prepare, cert));
+  EXPECT_FALSE(crypto::Usig::verify(keys, ReplicaId{0}, commit, cert));
+}
+
 TEST(BftMessages, StateTransferRoundTripAndDigest) {
   StateRequest req{ReplicaId{3}, ConsensusId{10}};
   StateRequest reqd = StateRequest::decode(req.encode());
