@@ -24,11 +24,11 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: chaos_replay --family=<byzantine|partitions|lossy-links|"
-      "rtu-faults|crash-restart|mixed>\n"
+      "usage: chaos_replay --family=<%s>\n"
       "                    [--protocol=<pbft|minbft>] [--f=<1|2>]\n"
       "                    [--seed=<n|0xHEX>]\n"
-      "                    [--sabotage=no-timeouts] [--keep=i,j,...]\n");
+      "                    [--sabotage=no-timeouts] [--keep=i,j,...]\n",
+      ss::chaos::family_list().c_str());
   return 2;
 }
 
@@ -54,8 +54,9 @@ int main(int argc, char** argv) {
     };
     if (arg.rfind("--family=", 0) == 0) {
       if (!chaos::parse_family(value_of("--family="), options.family)) {
-        std::fprintf(stderr, "unknown family '%s'\n",
-                     value_of("--family=").c_str());
+        std::fprintf(stderr, "unknown family '%s' (valid: %s)\n",
+                     value_of("--family=").c_str(),
+                     chaos::family_list().c_str());
         return usage();
       }
     } else if (arg.rfind("--protocol=", 0) == 0) {

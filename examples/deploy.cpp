@@ -20,6 +20,16 @@
 //                                          the crash-restart smoke test
 //     [--rounds N]                         N extra HMI write rounds, so
 //                                          there is load during the window
+//     [--campaign SECS]                    rolling-fault soak: the supervisor
+//                                          alternates SIGSTOP freezes (gray,
+//                                          slow-but-correct replicas) with
+//                                          SIGKILL + supervised restart until
+//                                          SECS elapse, then heals; the HMI's
+//                                          write rounds through and after the
+//                                          window are the verdict
+//
+// Any role dumps its flight recorder to stderr on SIGUSR2 (and metrics +
+// flight recorder on SIGUSR1) — inspect a stuck soak without killing it.
 //   deploy config --f N --base-port P      print the generated config file
 //   deploy replica --id I --f N --config FILE
 //   deploy frontend --f N --config FILE
@@ -96,8 +106,10 @@ constexpr std::uint16_t kSetpointReg = 7;
 
 volatile sig_atomic_t g_stop = 0;
 volatile sig_atomic_t g_snapshot = 0;
+volatile sig_atomic_t g_dump = 0;
 void handle_stop(int) { g_stop = 1; }
 void handle_snapshot(int) { g_snapshot = 1; }
+void handle_dump(int) { g_dump = 1; }
 
 /// The one place every role derives its group from: SS_PROTOCOL selects the
 /// agreement engine (pbft, the default, runs 3f+1 processes; minbft runs
@@ -119,6 +131,10 @@ void install_stop_handler() {
   sigaction(SIGINT, &sa, nullptr);
   sa.sa_handler = handle_snapshot;
   sigaction(SIGUSR1, &sa, nullptr);
+  // SIGUSR2: on-demand flight-recorder dump — inspect a stuck soak without
+  // killing the process (the dump happens on the observability poll).
+  sa.sa_handler = handle_dump;
+  sigaction(SIGUSR2, &sa, nullptr);
 }
 
 void crash_dump(int sig) {
@@ -180,6 +196,11 @@ void setup_observability(net::SocketTransport& transport,
       std::fprintf(stderr, "[%s] metrics snapshot: ", tag.c_str());
       obs::Registry::instance().dump_json(stderr);
       std::fputc('\n', stderr);
+      obs::FlightRecorder::instance().dump(stderr);
+    }
+    if (g_dump) {
+      g_dump = 0;
+      std::fprintf(stderr, "[%s] flight recorder (SIGUSR2):\n", tag.c_str());
       obs::FlightRecorder::instance().dump(stderr);
     }
     transport.schedule(millis(250), *poll);
@@ -689,6 +710,7 @@ struct SuperviseOptions {
   int kill_replica = -1;     ///< SIGKILL this replica once...
   long kill_after_ms = 1500; ///< ...this long after launch
   std::uint32_t rounds = 0;  ///< extra HMI write rounds (load for the window)
+  long campaign_secs = 0;    ///< --campaign: rolling-fault soak this long
 };
 
 int run_local(const char* self, std::uint32_t f, std::uint16_t base_port,
@@ -775,6 +797,16 @@ int run_local(const char* self, std::uint32_t f, std::uint16_t base_port,
     for (std::uint32_t i = 0; i < group.n; ++i) budget[i].on_start(0);
     std::vector<long> restart_at_ms(group.n, -1);
     std::vector<bool> proactive_kill(group.n, false);
+    // --campaign: rolling process-level faults against the live group —
+    // SIGSTOP/SIGCONT freezes (the socket-mode stand-in for a gray,
+    // slow-but-correct replica) alternating with SIGKILL + supervised
+    // restart, one victim at a time, until the window closes; then every
+    // frozen process is resumed and the HMI's remaining write rounds are
+    // the post-heal recovery check.
+    const long campaign_ms = sup.campaign_secs * 1000;
+    long next_campaign_ms = 2000;
+    std::uint32_t campaign_phase = 0;
+    std::vector<long> stopped_until_ms(group.n, -1);
     long proactive_period_ms = 0;
     if (const char* period = std::getenv("SS_PROACTIVE_PERIOD")) {
       proactive_period_ms = std::strtol(period, nullptr, 10);
@@ -817,6 +849,53 @@ int run_local(const char* self, std::uint32_t f, std::uint16_t base_port,
               "deploy: proactive reincarnation #%u of replica/%u at %ld ms\n",
               reincarnations, victim, elapsed_ms);
           ::kill(replica_pid[victim], SIGKILL);
+        }
+      }
+      if (campaign_ms > 0 && elapsed_ms < campaign_ms &&
+          elapsed_ms >= next_campaign_ms) {
+        next_campaign_ms += 3000;
+        // Inject only with the whole group healthy: one victim at a time
+        // keeps the soak within the f-fault budget.
+        bool all_up = true;
+        for (std::uint32_t i = 0; i < group.n; ++i) {
+          if (replica_pid[i] <= 0 || restart_at_ms[i] >= 0 ||
+              stopped_until_ms[i] >= 0) {
+            all_up = false;
+          }
+        }
+        if (all_up) {
+          std::uint32_t victim = campaign_phase % group.n;
+          switch (campaign_phase % 3) {
+            case 0:
+              std::printf("deploy: campaign freezes replica/%u for 800 ms "
+                          "at %ld ms\n",
+                          victim, elapsed_ms);
+              ::kill(replica_pid[victim], SIGSTOP);
+              stopped_until_ms[victim] = elapsed_ms + 800;
+              break;
+            case 1:
+              std::printf("deploy: campaign SIGKILLs replica/%u at %ld ms\n",
+                          victim, elapsed_ms);
+              proactive_kill[victim] = true;  // scheduled, not a crash
+              ::kill(replica_pid[victim], SIGKILL);
+              break;
+            case 2:
+              std::printf("deploy: campaign stalls replica/%u for 1500 ms "
+                          "at %ld ms\n",
+                          victim, elapsed_ms);
+              ::kill(replica_pid[victim], SIGSTOP);
+              stopped_until_ms[victim] = elapsed_ms + 1500;
+              break;
+          }
+          ++campaign_phase;
+        }
+      }
+      for (std::uint32_t i = 0; i < group.n; ++i) {
+        if (stopped_until_ms[i] >= 0 &&
+            (elapsed_ms >= stopped_until_ms[i] ||
+             (campaign_ms > 0 && elapsed_ms >= campaign_ms))) {
+          if (replica_pid[i] > 0) ::kill(replica_pid[i], SIGCONT);
+          stopped_until_ms[i] = -1;
         }
       }
       for (std::uint32_t i = 0; i < group.n; ++i) {
@@ -862,6 +941,13 @@ int run_local(const char* self, std::uint32_t f, std::uint16_t base_port,
           }
           break;
         }
+      }
+    }
+    // A SIGSTOPped process never sees the SIGTERM below; resume any
+    // leftover freeze before teardown.
+    for (std::uint32_t i = 0; i < group.n; ++i) {
+      if (stopped_until_ms[i] >= 0 && replica_pid[i] > 0) {
+        ::kill(replica_pid[i], SIGCONT);
       }
     }
     if (proactive_period_ms > 0) {
@@ -915,6 +1001,11 @@ int usage() {
       stderr,
       "usage: deploy local [--f N] [--base-port P] [--supervise]\n"
       "                    [--kill-replica I] [--kill-after MS] [--rounds N]\n"
+      "                    [--campaign SECS]  rolling-fault soak: SIGSTOP\n"
+      "                                      freezes + SIGKILL/restart cycles\n"
+      "                                      until SECS elapse, then heal;\n"
+      "                                      the HMI's write rounds are the\n"
+      "                                      verdict (implies --supervise)\n"
       "       deploy config [--f N] [--base-port P]\n"
       "       deploy replica --id I [--f N] --config FILE\n"
       "       deploy frontend [--f N] --config FILE\n"
@@ -984,8 +1075,19 @@ int main(int argc, char** argv) {
     } else if (flag == "--rounds") {
       sup.rounds =
           static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--campaign") {
+      sup.campaign_secs = std::strtol(value, nullptr, 10);
     } else {
       return usage();
+    }
+  }
+  if (sup.campaign_secs > 0) {
+    // A campaign is a supervised soak: restarts must work, and the HMI has
+    // to keep writing through the whole window (plus a post-heal tail that
+    // doubles as the recovery check).
+    sup.enabled = true;
+    if (sup.rounds == 0) {
+      sup.rounds = static_cast<std::uint32_t>(2 * sup.campaign_secs + 8);
     }
   }
 

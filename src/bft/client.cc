@@ -1,8 +1,23 @@
 #include "bft/client.h"
 
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace ss::bft {
+
+namespace {
+
+net::BackoffOptions backoff_options(const ClientOptions& opt, ClientId id) {
+  net::BackoffOptions b;
+  b.initial = opt.reply_timeout;
+  b.cap = opt.max_rto;
+  b.jitter = opt.adaptive ? opt.jitter : 0.0;
+  std::uint64_t sm = 0xC11E47ULL ^ id.value;
+  b.seed = opt.backoff_seed != 0 ? opt.backoff_seed : splitmix64(sm);
+  return b;
+}
+
+}  // namespace
 
 ClientProxy::ClientProxy(net::Transport& net, GroupConfig group, ClientId id,
                          const crypto::Keychain& keys, ClientOptions options)
@@ -11,7 +26,8 @@ ClientProxy::ClientProxy(net::Transport& net, GroupConfig group, ClientId id,
       id_(id),
       endpoint_(crypto::client_principal(id)),
       keys_(keys),
-      opt_(options) {
+      opt_(options),
+      rto_(backoff_options(options, id)) {
   net_.attach(endpoint_, [this](net::Message m) { on_message(std::move(m)); });
 }
 
@@ -53,6 +69,7 @@ RequestId ClientProxy::invoke(RequestMode mode, Bytes payload,
   InFlight flight;
   flight.wire = req.encode();
   flight.callback = std::move(on_reply);
+  flight.sent_at = net_.now();
   inflight_.emplace(seq.value, std::move(flight));
 
   send_to_all(inflight_.at(seq.value).wire);
@@ -74,28 +91,52 @@ void ClientProxy::send_to_all(const Bytes& body) {
   }
 }
 
+SimTime ClientProxy::retransmit_delay(const InFlight& flight) {
+  if (!opt_.adaptive) return opt_.reply_timeout;
+  return rto_.delay(flight.backoff_level);
+}
+
 void ClientProxy::arm_retransmit(RequestId seq) {
   auto it = inflight_.find(seq.value);
   if (it == inflight_.end()) return;
-  it->second.timer = net_.schedule(opt_.reply_timeout, [this, seq] {
-    auto fit = inflight_.find(seq.value);
-    if (fit == inflight_.end()) return;
-    InFlight& flight = fit->second;
-    if (flight.retries >= opt_.max_retries) {
-      ++stats_.failed;
-      SS_LOG(LogLevel::kWarn, net_.now(), endpoint_.c_str(),
-             "request %lu failed after %u retries",
-             static_cast<unsigned long>(seq.value), flight.retries);
-      FailureCallback handler = failure_handler_;
-      inflight_.erase(fit);
-      if (handler) handler(seq);
-      return;
-    }
-    ++flight.retries;
+  it->second.timer =
+      net_.schedule(retransmit_delay(it->second), [this, seq] {
+        auto fit = inflight_.find(seq.value);
+        if (fit == inflight_.end()) return;
+        InFlight& flight = fit->second;
+        if (flight.retries >= opt_.max_retries) {
+          ++stats_.failed;
+          SS_LOG(LogLevel::kWarn, net_.now(), endpoint_.c_str(),
+                 "request %lu failed after %u retries",
+                 static_cast<unsigned long>(seq.value), flight.retries);
+          FailureCallback handler = failure_handler_;
+          inflight_.erase(fit);
+          if (handler) handler(seq);
+          return;
+        }
+        ++flight.retries;
+        if (opt_.adaptive) ++flight.backoff_level;
+        ++stats_.retransmissions;
+        send_to_all(flight.wire);
+        arm_retransmit(seq);
+      });
+}
+
+void ClientProxy::fast_reset() {
+  if (!opt_.adaptive) return;
+  for (auto& [seq, flight] : inflight_) {
+    if (flight.backoff_level == 0) continue;
+    // Evidence the network works again: retransmit every backed-off flight
+    // immediately instead of waiting out its (possibly capped) delay, then
+    // fall back to the base cadence. No retry charge — these flights
+    // already paid for the sends that backed them off, and the resend here
+    // replaces one the timer owed them anyway.
+    flight.backoff_level = 0;
     ++stats_.retransmissions;
+    flight.timer.cancel();
     send_to_all(flight.wire);
-    arm_retransmit(seq);
-  });
+    arm_retransmit(RequestId{seq});
+  }
 }
 
 void ClientProxy::on_message(net::Message msg) {
@@ -144,10 +185,26 @@ void ClientProxy::on_message(net::Message msg) {
 
 void ClientProxy::handle_reply(ClientReply reply) {
   ++stats_.replies_received;
+  // A reply after at least one base-RTO of silence is evidence the path to
+  // the group works *again* (partition healed, group recovered) — that is
+  // when backed-off flights should stop waiting out their capped delays.
+  // Replies arriving back-to-back mean the path was never dead, and the
+  // backed-off flights are slow for system reasons backoff exists to absorb.
+  const SimTime now = net_.now();
+  if (last_reply_at_ != 0 && now - last_reply_at_ >= opt_.reply_timeout) {
+    fast_reset();
+  }
+  last_reply_at_ = now;
   auto it = inflight_.find(reply.sequence.value);
   if (it == inflight_.end()) return;  // straggler for a completed request
   InFlight& flight = it->second;
   if (reply.replica.value >= group_.n) return;
+  // Karn's rule: only replies to never-retransmitted requests give an
+  // unambiguous RTT sample.
+  if (opt_.adaptive && flight.retries == 0 && !flight.rtt_sampled) {
+    flight.rtt_sampled = true;
+    rto_.on_sample(net_.now() - flight.sent_at);
+  }
 
   crypto::Digest digest = crypto::Sha256::hash(reply.payload);
   flight.votes[reply.replica] = digest;

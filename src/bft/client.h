@@ -19,18 +19,29 @@
 #include "bft/messages.h"
 #include "common/config.h"
 #include "crypto/keychain.h"
+#include "net/backoff.h"
 #include "net/transport.h"
 
 namespace ss::bft {
 
 struct ClientOptions {
-  SimTime reply_timeout = millis(300);  ///< retransmit period
+  SimTime reply_timeout = millis(300);  ///< base retransmit period / RTO floor
   std::uint32_t max_retries = 20;       ///< then the request fails
   /// Backpressure: with more than this many requests in flight, invoke()
   /// sheds the new request instead of queueing it (0 = unlimited). A
   /// flooded frontend drops excess field updates at the edge rather than
   /// amplifying the overload into the agreement group.
   std::uint32_t max_inflight = 0;
+  /// Adaptive retransmission (EWMA RTT + jittered exponential backoff,
+  /// net::AdaptiveTimeout). reply_timeout stays the RTO floor, so retries
+  /// never fire *earlier* than the fixed schedule; under partitions the
+  /// backoff thins the retransmit storm and the first valid reply after a
+  /// heal resets every backed-off request to the base timeout.
+  bool adaptive = true;
+  SimTime max_rto = millis(1200);  ///< backoff cap
+  double jitter = 0.1;             ///< +/- fraction on each retry delay
+  /// Jitter stream seed; 0 = derive deterministically from the client id.
+  std::uint64_t backoff_seed = 0;
 };
 
 struct ClientStats {
@@ -89,6 +100,9 @@ class ClientProxy {
     std::map<ReplicaId, crypto::Digest> votes;
     std::map<ReplicaId, Bytes> payloads;
     std::uint32_t retries = 0;
+    std::uint32_t backoff_level = 0;  ///< doubles the delay per timeout
+    SimTime sent_at = 0;              ///< when first transmitted
+    bool rtt_sampled = false;
     net::Timer timer;
   };
 
@@ -97,6 +111,15 @@ class ClientProxy {
   void on_message(net::Message msg);
   void handle_reply(ClientReply reply);
   void arm_retransmit(RequestId seq);
+  SimTime retransmit_delay(const InFlight& flight);
+  /// The first valid reply after a silent spell proves the path works
+  /// again: every backed-off flight is retransmitted immediately and
+  /// dropped to level 0, so recovery after a partition heals is bounded by
+  /// one round trip, not the backoff cap. Gated on reply silence — while
+  /// replies keep flowing the flights are backed off because the *system*
+  /// is slow, and zeroing them on every reply would re-synchronize the
+  /// whole window into lockstep retransmit bursts.
+  void fast_reset();
 
   net::Transport& net_;
   GroupConfig group_;
@@ -105,6 +128,8 @@ class ClientProxy {
   const crypto::Keychain& keys_;
   ClientOptions opt_;
 
+  net::AdaptiveTimeout rto_;
+  SimTime last_reply_at_ = 0;  ///< any authenticated reply, voted or not
   RequestId next_seq_{1};
   std::map<std::uint64_t, InFlight> inflight_;
   PushHandler push_handler_;

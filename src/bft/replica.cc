@@ -25,6 +25,14 @@ ReplicaCore::ReplicaCore(net::Transport& net, GroupConfig group, ReplicaId id,
       runner_(options.runner != nullptr ? options.runner : &inline_runner_),
       storage_(options.storage),
       byz_rng_(0xBAD0000 + id.value),
+      state_rto_([id] {
+        net::BackoffOptions b;
+        b.initial = millis(500);
+        b.cap = seconds(4);
+        std::uint64_t sm = 0x57A7EULL ^ id.value;
+        b.seed = splitmix64(sm);
+        return b;
+      }()),
       engine_(make_engine(*this, group_, id_, keys_)) {
   opt_.max_batch = std::max<std::uint32_t>(opt_.max_batch, 1);
   net_.attach(endpoint_, [this](net::Message m) { on_message(std::move(m)); });
@@ -32,11 +40,20 @@ ReplicaCore::ReplicaCore(net::Transport& net, GroupConfig group, ReplicaId id,
 
 ReplicaCore::~ReplicaCore() { net_.detach(endpoint_); }
 
+void ReplicaCore::set_timer_skew(double factor) {
+  timer_skew_ = std::clamp(factor, 0.1, 100.0);
+}
+
+SimTime ReplicaCore::skewed(SimTime delay) const {
+  if (timer_skew_ == 1.0) return delay;
+  return static_cast<SimTime>(static_cast<double>(delay) * timer_skew_);
+}
+
 // --------------------------------------------------------------------------
 // EngineHost services
 
 void ReplicaCore::schedule(SimTime delay, std::function<void()> fn) {
-  net_.schedule(delay, std::move(fn));
+  net_.schedule(skewed(delay), std::move(fn));
 }
 
 void ReplicaCore::send_to_replica(ReplicaId to, MsgType type, Bytes body) {
@@ -77,7 +94,7 @@ void ReplicaCore::usig_persist_lease(std::uint64_t lease) {
 
 void ReplicaCore::on_message(net::Message msg) {
   if (crashed_) return;
-  lanes_.submit(opt_.per_message_cost,
+  lanes_.submit(opt_.per_message_cost + processing_delay_,
                 [this, payload = std::move(msg.payload)]() mutable {
                   if (crashed_) return;
                   runner_->submit([this, payload = std::move(payload)]()
@@ -351,7 +368,7 @@ void ReplicaCore::arm_suspect_timer(ClientId client, RequestId seq) {
   // Phase 1 (request_timeout/2): the leader may never have received the
   // request — forward it before blaming anyone (PBFT-style).
   if (opt_.forward_to_leader) {
-    net_.schedule(opt_.request_timeout / 2, [this, client, seq,
+    net_.schedule(skewed(opt_.request_timeout / 2), [this, client, seq,
                                                     still_pending] {
       if (!still_pending() || is_leader()) return;
       auto cit = pending_index_.find(client.value);
@@ -364,7 +381,7 @@ void ReplicaCore::arm_suspect_timer(ClientId client, RequestId seq) {
 
   // Phase 2 (request_timeout): the leader had its chance; vote it out.
   suspect_timers_[key] =
-      net_.schedule(opt_.request_timeout, [this, client, seq,
+      net_.schedule(skewed(opt_.request_timeout), [this, client, seq,
                                                   still_pending] {
         if (!still_pending()) return;
         SS_LOG(LogLevel::kInfo, net_.now(), endpoint_.c_str(),
@@ -570,10 +587,11 @@ void ReplicaCore::request_state_now() {
   state_current_votes_.clear();
   StateRequest req{id_, last_decided_};
   broadcast(MsgType::kStateRequest, req.encode());
-  net_.schedule(millis(500), [this] {
+  net_.schedule(skewed(state_rto_.delay(state_retry_level_)), [this] {
     if (crashed_ || !transferring_) return;
+    ++state_retry_level_;
     transferring_ = false;
-    request_state_now();  // retry
+    request_state_now();  // retry, backed off
   });
 }
 
@@ -604,7 +622,7 @@ void ReplicaCore::note_progress_evidence(ConsensusId cid) {
 
 void ReplicaCore::arm_stall_check(std::uint64_t target) {
   stall_check_armed_ = true;
-  net_.schedule(opt_.request_timeout, [this, target] {
+  net_.schedule(skewed(opt_.request_timeout), [this, target] {
     stall_check_armed_ = false;
     if (crashed_) return;
     if (last_decided_.value < target) {
@@ -638,6 +656,7 @@ void ReplicaCore::handle_state_reply(const StateReply& rep) {
     state_current_votes_.insert(rep.replica.value);
     if (state_current_votes_.size() >= group_.reply_quorum()) {
       transferring_ = false;
+      state_retry_level_ = 0;
       state_replies_.clear();
       state_current_votes_.clear();
       note_rejoin_complete();
@@ -674,6 +693,7 @@ void ReplicaCore::handle_state_reply(const StateReply& rep) {
     last_timestamp_ = r.last_timestamp;
     engine_->on_state_transfer_applied();
     transferring_ = false;
+    state_retry_level_ = 0;
     state_replies_.clear();
     ++stats_.state_transfers;
     note_rejoin_complete();

@@ -31,6 +31,7 @@
 #include "common/rng.h"
 #include "core/runner.h"
 #include "crypto/keychain.h"
+#include "net/backoff.h"
 #include "net/lanes.h"
 #include "net/transport.h"
 
@@ -174,6 +175,26 @@ class ReplicaCore final : private EngineHost {
 
   void set_byzantine(ByzantineMode mode) { byzantine_ = mode; }
   ByzantineMode byzantine() const override { return byzantine_; }
+
+  // --- gray-failure injection (chaos hooks) --------------------------------
+  // A gray replica is *correct* — it signs, votes, and executes honestly —
+  // but slow: these knobs model overloaded CPUs and drifting clocks without
+  // making the replica Byzantine, so safety invariants must keep holding
+  // while liveness margins shrink.
+
+  /// Extra virtual CPU charged per inbound message (on top of
+  /// per_message_cost) — an overloaded or degraded replica that lags the
+  /// protocol without ever misbehaving. 0 disables.
+  void set_processing_delay(SimTime delay) {
+    processing_delay_ = delay > 0 ? delay : 0;
+  }
+  SimTime processing_delay() const { return processing_delay_; }
+
+  /// Multiplies every timer this replica schedules (suspect timers, stall
+  /// checks, engine timeouts, state-transfer retries) — a skewed local
+  /// clock. 1.0 disables; clamped to [0.1, 100].
+  void set_timer_skew(double factor);
+  double timer_skew() const { return timer_skew_; }
 
   /// Session-key epoch this replica signs outbound messages under. 0 until
   /// the first reincarnation; reboot() bumps it (durably, when storage is
@@ -325,6 +346,19 @@ class ReplicaCore final : private EngineHost {
   bool crashed_ = false;
   ByzantineMode byzantine_ = ByzantineMode::kNone;
   Rng byz_rng_{0xBAD};
+
+  // gray-failure injection state
+  SimTime processing_delay_ = 0;
+  double timer_skew_ = 1.0;
+  /// Applies the injected clock skew to a local timer delay.
+  SimTime skewed(SimTime delay) const;
+
+  /// State-transfer re-request timing: exponential backoff so a replica that
+  /// cannot reach a serving quorum (partition, flooded peers) stops
+  /// re-broadcasting full-snapshot requests every 500 ms; level resets when
+  /// a transfer round concludes.
+  net::AdaptiveTimeout state_rto_;
+  std::uint32_t state_retry_level_ = 0;
 
   // key epochs (proactive recovery)
   std::uint32_t key_epoch_ = 0;

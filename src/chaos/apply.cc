@@ -1,0 +1,191 @@
+#include "chaos/apply.h"
+
+#include "core/scada_link.h"
+#include "crypto/keychain.h"
+
+namespace ss::chaos {
+
+void ActionApplier::apply(const FaultAction& action) {
+  switch (action.kind) {
+    case ActionKind::kSetByzantine:
+      checker_.set_impaired(action.replica, true);
+      system_.set_byzantine(action.replica, action.mode);
+      break;
+    case ActionKind::kClearByzantine:
+      system_.set_byzantine(action.replica, bft::ByzantineMode::kNone);
+      checker_.set_impaired(action.replica, false);
+      break;
+    case ActionKind::kCrashReplica:
+      if (!system_.replica(action.replica).crashed()) {
+        system_.crash_replica(action.replica);
+      }
+      break;
+    case ActionKind::kRecoverReplica:
+      if (system_.replica(action.replica).crashed()) {
+        system_.recover_replica(action.replica);
+      }
+      break;
+    case ActionKind::kIsolateReplica:
+      system_.net().isolate(
+          crypto::replica_principal(ReplicaId{action.replica}));
+      system_.net().isolate(
+          core::adapter_principal(ReplicaId{action.replica}));
+      isolated_.insert(action.replica);
+      break;
+    case ActionKind::kHealReplica:
+      system_.net().heal(
+          crypto::replica_principal(ReplicaId{action.replica}));
+      system_.net().heal(
+          core::adapter_principal(ReplicaId{action.replica}));
+      isolated_.erase(action.replica);
+      break;
+    case ActionKind::kLinkFault:
+    case ActionKind::kHealLink:
+      system_.net().apply(action.link);
+      break;
+    case ActionKind::kRtuSwallowRequests:
+      if (!rtus_.empty()) {
+        rtus_[rtu_rr_++ % rtus_.size()]->swallow_next_requests(action.count);
+      }
+      break;
+    case ActionKind::kRtuFailWrites:
+      if (!rtus_.empty()) {
+        rtus_[rtu_rr_++ % rtus_.size()]->fail_next_writes(action.count);
+      }
+      break;
+    case ActionKind::kKillReplica:
+      if (!system_.replica(action.replica).crashed()) {
+        // An adversary who had the replica captures its current session
+        // keys on the way out; kReplayStolenKeys uses this epoch later.
+        stolen_epochs_[action.replica] =
+            system_.replica(action.replica).key_epoch();
+        system_.kill_replica_process(action.replica);
+      }
+      break;
+    case ActionKind::kRestartReplica:
+      // No-op unless the replica is actually down from a kill.
+      system_.restart_replica_process(action.replica);
+      if (system_.replica(action.replica).byzantine() ==
+          bft::ByzantineMode::kNone) {
+        // Reincarnation reimages the replica (reboot() wipes any Byzantine
+        // mode), so the checker holds it to the correct-replica invariants
+        // again from here on.
+        checker_.set_impaired(action.replica, false);
+      }
+      break;
+    case ActionKind::kReplayStolenKeys:
+      replay_stolen_keys(action.replica, action.count);
+      break;
+    case ActionKind::kUpdateFlood:
+      // Telemetry burst kept below the plants' alarm thresholds: pure
+      // request-rate pressure on the frontend path, not an alarm storm.
+      if (flood_target_.has_value()) {
+        for (std::uint64_t k = 0; k < action.count; ++k) {
+          double value = 30.0 + static_cast<double>(flood_counter_++ % 50);
+          system_.frontend().field_update(*flood_target_,
+                                          scada::Variant{value});
+          ++flooded_;
+        }
+      }
+      break;
+    case ActionKind::kGraySlow:
+      system_.set_processing_delay(action.replica,
+                                   micros(static_cast<SimTime>(action.count)));
+      break;
+    case ActionKind::kGrayFsyncStall:
+      system_.set_fsync_stall(action.replica,
+                              micros(static_cast<SimTime>(action.count)));
+      break;
+    case ActionKind::kGrayTimerSkew:
+      system_.set_timer_skew(action.replica,
+                             static_cast<double>(action.count) / 100.0);
+      break;
+    case ActionKind::kGrayClear:
+      clear_gray(action.replica);
+      break;
+  }
+}
+
+void ActionApplier::clear_gray(std::uint32_t replica) {
+  system_.set_processing_delay(replica, 0);
+  system_.set_fsync_stall(replica, 0);
+  system_.set_timer_skew(replica, 1.0);
+}
+
+/// Forges WRITE votes from `victim` MACed with the session keys of
+/// `stolen_epochs_[victim]` — exactly what an adversary holding the
+/// pre-reincarnation keys can produce. The MACs are genuine for that
+/// epoch, so only the receivers' epoch recency policy stands between
+/// these messages and the agreement state machine.
+void ActionApplier::replay_stolen_keys(std::uint32_t victim,
+                                       std::uint64_t count) {
+  replay_victim_ = victim;
+  auto it = stolen_epochs_.find(victim);
+  std::uint32_t stolen = it != stolen_epochs_.end()
+                             ? it->second
+                             : system_.replica(victim).key_epoch();
+  // Only messages carrying a genuinely stale epoch count toward the
+  // epoch-flush invariant: a minimized script that dropped the kill leaves
+  // the "stolen" keys current, and current-epoch traffic is legitimately
+  // accepted (the ordinary agreement invariants still judge it).
+  bool stale = stolen < system_.replica(victim).key_epoch();
+  const std::string from = crypto::replica_principal(ReplicaId{victim});
+  for (std::uint64_t k = 0; k < count; ++k) {
+    bft::PhaseVote vote;
+    vote.cid = ConsensusId{1 + k};
+    vote.voter = ReplicaId{victim};
+    Bytes body = vote.encode();
+    for (std::uint32_t r = 0; r < system_.n(); ++r) {
+      if (r == victim) continue;
+      const std::string to = crypto::replica_principal(ReplicaId{r});
+      bft::Envelope env;
+      env.type = bft::MsgType::kWrite;
+      env.sender = from;
+      env.epoch = stolen;
+      env.body = body;
+      env.mac = system_.keys().mac(
+          from, to, stolen,
+          bft::envelope_mac_material(env.type, from, to, stolen, body));
+      system_.net().send(from, to, env.encode());
+      if (stale) ++stolen_sent_;
+    }
+  }
+}
+
+void ActionApplier::heal_world() {
+  for (std::uint32_t i = 0; i < system_.n(); ++i) {
+    if (system_.replica(i).byzantine() != bft::ByzantineMode::kNone) {
+      system_.set_byzantine(i, bft::ByzantineMode::kNone);
+    }
+    checker_.set_impaired(i, false);
+    clear_gray(i);
+    if (system_.replica(i).crashed()) {
+      if (system_.durable() && system_.replica_killed(i)) {
+        system_.restart_replica_process(i);  // supervisor-style restart
+      } else {
+        system_.recover_replica(i);
+      }
+    }
+    system_.net().heal(crypto::replica_principal(ReplicaId{i}));
+    system_.net().heal(core::adapter_principal(ReplicaId{i}));
+  }
+  isolated_.clear();
+  system_.net().clear_all_faults();
+  for (rtu::Rtu* rtu : rtus_) {
+    rtu->swallow_next_requests(0);
+    rtu->fail_next_writes(0);
+  }
+}
+
+bool ActionApplier::quorum_connected() const {
+  std::uint32_t available = 0;
+  for (std::uint32_t i = 0; i < system_.n(); ++i) {
+    if (system_.replica(i).crashed()) continue;
+    if (isolated_.count(i) > 0) continue;
+    if (system_.replica(i).byzantine() != bft::ByzantineMode::kNone) continue;
+    ++available;
+  }
+  return available >= system_.n() - system_.group().f;
+}
+
+}  // namespace ss::chaos

@@ -1,0 +1,83 @@
+// Shared fault-action execution for the chaos engine.
+//
+// ActionApplier turns FaultActions into calls against a live
+// ReplicatedDeployment — Byzantine mode switches, crashes, kills, isolation,
+// link policies, RTU misbehaviour, stolen-key replays, update floods, and
+// the gray-failure knobs. Both drivers use it: swarm.cc's single bounded
+// scenario run and campaign.cc's rolling multi-phase soak, so a fault
+// behaves identically whether it appears in a 3-second script or minute 4
+// of a campaign.
+//
+// The applier also keeps the availability bookkeeping the liveness watchdog
+// needs: which replicas are currently crashed or isolated, and therefore
+// whether a correct quorum is even connected (no-progress is only a
+// violation when progress was possible).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "chaos/fault_script.h"
+#include "chaos/invariant_checker.h"
+#include "core/replicated_deployment.h"
+#include "rtu/rtu.h"
+
+namespace ss::chaos {
+
+class ActionApplier {
+ public:
+  ActionApplier(core::ReplicatedDeployment& system, InvariantChecker& checker)
+      : system_(system), checker_(checker) {}
+
+  /// Registers an RTU as a target for kRtuSwallowRequests/kRtuFailWrites.
+  /// Multiple RTUs round-robin (campaigns drive plants with several).
+  void add_rtu(rtu::Rtu* rtu) { rtus_.push_back(rtu); }
+
+  /// The data point kUpdateFlood bursts through the frontend. Flood actions
+  /// are ignored until this is set.
+  void set_flood_target(ItemId item) { flood_target_ = item; }
+
+  void apply(const FaultAction& action);
+
+  /// Ends the adversary's reign: clears Byzantine modes and gray
+  /// impairments, recovers/restarts downed replicas, lifts every link
+  /// policy and isolation, stops RTU misbehaviour.
+  void heal_world();
+
+  /// True when enough correct, connected replicas exist for the protocol to
+  /// make progress (n - f available: 2f+1 of 3f+1 under PBFT, f+1 of 2f+1
+  /// under MinBFT). Gray replicas count — slow is not disconnected.
+  bool quorum_connected() const;
+
+  /// Replicas currently isolated by a kIsolateReplica still unhealed.
+  const std::set<std::uint32_t>& isolated() const { return isolated_; }
+
+  // Family-invariant inputs (see swarm.cc check_family_invariants).
+  std::uint64_t stolen_sent() const { return stolen_sent_; }
+  const std::optional<std::uint32_t>& replay_victim() const {
+    return replay_victim_;
+  }
+  std::uint64_t flooded() const { return flooded_; }
+
+ private:
+  void replay_stolen_keys(std::uint32_t victim, std::uint64_t count);
+  void clear_gray(std::uint32_t replica);
+
+  core::ReplicatedDeployment& system_;
+  InvariantChecker& checker_;
+  std::vector<rtu::Rtu*> rtus_;
+  std::optional<ItemId> flood_target_;
+
+  std::set<std::uint32_t> isolated_;
+  /// Session-key epoch each killed replica held when the adversary "left".
+  std::map<std::uint32_t, std::uint32_t> stolen_epochs_;
+  std::optional<std::uint32_t> replay_victim_;
+  std::uint64_t stolen_sent_ = 0;  ///< forged old-epoch envelopes sent
+  std::uint64_t flooded_ = 0;      ///< updates issued by kUpdateFlood
+  std::uint64_t flood_counter_ = 0;
+  std::size_t rtu_rr_ = 0;
+};
+
+}  // namespace ss::chaos

@@ -243,6 +243,49 @@ void add_request_flood(Rng& rng, const ScriptParams& params,
   }
 }
 
+// Gray failures: up to f replicas get slow without ever misbehaving. Each
+// victim draws one or two impairments (extra per-message CPU, fsync stalls,
+// timer skew) with magnitudes that thin the liveness margin but stay below
+// outright leader-suspect territory for a correct deployment, plus usually a
+// clear before the horizon (the drain heal clears stragglers).
+void add_gray_failures(Rng& rng, const ScriptParams& params,
+                       const std::vector<std::uint32_t>& impaired,
+                       FaultScript& script) {
+  for (std::uint32_t replica : impaired) {
+    SimTime start = pick_time(rng, params.horizon / 20, params.horizon / 2);
+    std::uint32_t impairments = 1 + static_cast<std::uint32_t>(rng.below(2));
+    for (std::uint32_t i = 0; i < impairments; ++i) {
+      FaultAction gray;
+      gray.at = pick_time(rng, start, params.horizon * 2 / 3);
+      gray.replica = replica;
+      switch (rng.below(3)) {
+        case 0:
+          gray.kind = ActionKind::kGraySlow;
+          gray.count = 200 + rng.below(1800);  // 0.2–2 ms per message
+          break;
+        case 1:
+          gray.kind = ActionKind::kGrayFsyncStall;
+          gray.count = 500 + rng.below(4500);  // 0.5–5 ms per fsync
+          break;
+        default:
+          gray.kind = ActionKind::kGrayTimerSkew;
+          // 120%–300% slow clock, or occasionally a fast one (60–90%).
+          gray.count = rng.chance(0.25) ? 60 + rng.below(31)
+                                        : 120 + rng.below(181);
+          break;
+      }
+      script.actions.push_back(gray);
+    }
+    if (rng.chance(0.6)) {
+      FaultAction clear;
+      clear.at = pick_time(rng, start + millis(300), params.horizon);
+      clear.kind = ActionKind::kGrayClear;
+      clear.replica = replica;
+      script.actions.push_back(clear);
+    }
+  }
+}
+
 void add_rtu_faults(Rng& rng, const ScriptParams& params,
                     FaultScript& script) {
   if (!params.has_rtu) return;
@@ -283,6 +326,8 @@ const char* family_name(ScenarioFamily family) {
       return "request-flood";
     case ScenarioFamily::kMixed:
       return "mixed";
+    case ScenarioFamily::kGrayFailure:
+      return "gray-failure";
   }
   return "?";
 }
@@ -295,6 +340,15 @@ bool parse_family(const std::string& name, ScenarioFamily& out) {
     }
   }
   return false;
+}
+
+std::string family_list() {
+  std::string out;
+  for (ScenarioFamily family : kAllFamilies) {
+    if (!out.empty()) out += "|";
+    out += family_name(family);
+  }
+  return out;
 }
 
 std::string FaultAction::describe() const {
@@ -339,6 +393,18 @@ std::string FaultAction::describe() const {
     case ActionKind::kUpdateFlood:
       return at_ms(at) + " frontend floods " + std::to_string(count) +
              " updates";
+    case ActionKind::kGraySlow:
+      return at_ms(at) + " replica " + std::to_string(replica) +
+             " gray-slow +" + std::to_string(count) + "us/msg";
+    case ActionKind::kGrayFsyncStall:
+      return at_ms(at) + " replica " + std::to_string(replica) +
+             " fsync stalls " + std::to_string(count) + "us";
+    case ActionKind::kGrayTimerSkew:
+      return at_ms(at) + " replica " + std::to_string(replica) +
+             " timer skew " + std::to_string(count) + "%";
+    case ActionKind::kGrayClear:
+      return at_ms(at) + " replica " + std::to_string(replica) +
+             " gray impairments cleared";
   }
   return "?";
 }
@@ -397,6 +463,9 @@ FaultScript generate_script(ScenarioFamily family, const ScriptParams& params,
       add_rtu_faults(rng, params, script);
       break;
     }
+    case ScenarioFamily::kGrayFailure:
+      add_gray_failures(rng, params, impaired, script);
+      break;
   }
 
   std::stable_sort(script.actions.begin(), script.actions.end(),

@@ -34,16 +34,25 @@ enum class ScenarioFamily {
   kCompromiseRecover,  ///< compromise, reincarnate, replay the stolen keys
   kRequestFlood,       ///< telemetry bursts against the frontend backpressure
   kMixed,              ///< everything at once, still within the fault budget
+  /// Gray failures (appended so existing (family, seed) scripts keep their
+  /// bytes): replicas that are slow but *correct* — delayed message
+  /// processing, fsync stalls on the durable store, skewed local timers.
+  /// Safety must hold outright; liveness must survive the thinner margins.
+  kGrayFailure,
 };
 
 inline constexpr ScenarioFamily kAllFamilies[] = {
     ScenarioFamily::kByzantineReplicas, ScenarioFamily::kPartitions,
     ScenarioFamily::kLossyLinks,        ScenarioFamily::kRtuFaults,
     ScenarioFamily::kCrashRestart,      ScenarioFamily::kCompromiseRecover,
-    ScenarioFamily::kRequestFlood,      ScenarioFamily::kMixed};
+    ScenarioFamily::kRequestFlood,      ScenarioFamily::kMixed,
+    ScenarioFamily::kGrayFailure};
 
 const char* family_name(ScenarioFamily family);
 bool parse_family(const std::string& name, ScenarioFamily& out);
+/// "byzantine|partitions|...|gray-failure" — for usage strings and the
+/// unknown-family error path, so CLIs never go stale against the enum.
+std::string family_list();
 
 enum class ActionKind {
   kSetByzantine,      ///< replica, mode
@@ -61,6 +70,11 @@ enum class ActionKind {
   kReplayStolenKeys,    ///< replica, count: forge traffic with the session
                         ///< keys captured before the replica reincarnated
   kUpdateFlood,         ///< count: burst of frontend field updates
+  // Gray-failure injections (replica stays correct, only slower).
+  kGraySlow,        ///< replica, count: extra per-message CPU in microseconds
+  kGrayFsyncStall,  ///< replica, count: per-fsync stall in microseconds
+  kGrayTimerSkew,   ///< replica, count: timer multiplier in percent (150=1.5x)
+  kGrayClear,       ///< replica: remove all gray impairments
 };
 
 struct FaultAction {

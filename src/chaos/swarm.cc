@@ -7,6 +7,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "chaos/apply.h"
 #include "common/rng.h"
 #include "core/scada_link.h"
 #include "crypto/keychain.h"
@@ -37,10 +38,14 @@ class ChaosRun {
                              .seed = options.seed ^ 0x57075707ULL}),
         driver_(system_.net(), system_.frontend(),
                 rtu::DriverOptions{.poll_period = millis(100)}),
-        checker_(system_) {}
+        checker_(system_),
+        applier_(system_, checker_) {
+    applier_.add_rtu(&rtu_);
+  }
 
   RunReport run() {
     build_plant();
+    applier_.set_flood_target(tank_);
     checker_.attach();
     system_.loop().set_event_budget(kEventBudget);
     system_.start();
@@ -51,9 +56,10 @@ class ChaosRun {
     const SimTime t0 = system_.loop().now();
     for (const FaultAction& action : script_.actions) {
       system_.loop().schedule_at(t0 + action.at,
-                                 [this, &action] { apply_action(action); });
+                                 [this, &action] { applier_.apply(action); });
     }
-    system_.loop().schedule_at(t0 + opt_.horizon, [this] { heal_world(); });
+    system_.loop().schedule_at(t0 + opt_.horizon,
+                               [this] { applier_.heal_world(); });
 
     stop_writes_at_ = t0 + opt_.horizon + opt_.drain / 2;
     schedule_next_write();
@@ -187,187 +193,53 @@ class ChaosRun {
     checker_.note_write_issued(op);
   }
 
-  void apply_action(const FaultAction& action) {
-    switch (action.kind) {
-      case ActionKind::kSetByzantine:
-        checker_.set_impaired(action.replica, true);
-        system_.set_byzantine(action.replica, action.mode);
-        break;
-      case ActionKind::kClearByzantine:
-        system_.set_byzantine(action.replica, bft::ByzantineMode::kNone);
-        checker_.set_impaired(action.replica, false);
-        break;
-      case ActionKind::kCrashReplica:
-        if (!system_.replica(action.replica).crashed()) {
-          system_.crash_replica(action.replica);
-        }
-        break;
-      case ActionKind::kRecoverReplica:
-        if (system_.replica(action.replica).crashed()) {
-          system_.recover_replica(action.replica);
-        }
-        break;
-      case ActionKind::kIsolateReplica:
-        system_.net().isolate(
-            crypto::replica_principal(ReplicaId{action.replica}));
-        system_.net().isolate(
-            core::adapter_principal(ReplicaId{action.replica}));
-        break;
-      case ActionKind::kHealReplica:
-        system_.net().heal(
-            crypto::replica_principal(ReplicaId{action.replica}));
-        system_.net().heal(
-            core::adapter_principal(ReplicaId{action.replica}));
-        break;
-      case ActionKind::kLinkFault:
-      case ActionKind::kHealLink:
-        system_.net().apply(action.link);
-        break;
-      case ActionKind::kRtuSwallowRequests:
-        rtu_.swallow_next_requests(action.count);
-        break;
-      case ActionKind::kRtuFailWrites:
-        rtu_.fail_next_writes(action.count);
-        break;
-      case ActionKind::kKillReplica:
-        if (!system_.replica(action.replica).crashed()) {
-          // An adversary who had the replica captures its current session
-          // keys on the way out; kReplayStolenKeys uses this epoch later.
-          stolen_epochs_[action.replica] =
-              system_.replica(action.replica).key_epoch();
-          system_.kill_replica_process(action.replica);
-        }
-        break;
-      case ActionKind::kRestartReplica:
-        // No-op unless the replica is actually down from a kill.
-        system_.restart_replica_process(action.replica);
-        if (system_.replica(action.replica).byzantine() ==
-            bft::ByzantineMode::kNone) {
-          // Reincarnation reimages the replica (reboot() wipes any Byzantine
-          // mode), so the checker holds it to the correct-replica invariants
-          // again from here on.
-          checker_.set_impaired(action.replica, false);
-        }
-        break;
-      case ActionKind::kReplayStolenKeys:
-        replay_stolen_keys(action.replica, action.count);
-        break;
-      case ActionKind::kUpdateFlood:
-        // Telemetry burst kept below the tank alarm threshold (95): pure
-        // request-rate pressure on the frontend path, not an alarm storm.
-        for (std::uint64_t k = 0; k < action.count; ++k) {
-          double value = 30.0 + static_cast<double>(flood_counter_++ % 50);
-          system_.frontend().field_update(tank_, scada::Variant{value});
-          ++flooded_;
-        }
-        break;
-    }
-  }
-
-  /// Forges WRITE votes from `victim` MACed with the session keys of
-  /// `stolen_epochs_[victim]` — exactly what an adversary holding the
-  /// pre-reincarnation keys can produce. The MACs are genuine for that
-  /// epoch, so only the receivers' epoch recency policy stands between
-  /// these messages and the agreement state machine.
-  void replay_stolen_keys(std::uint32_t victim, std::uint64_t count) {
-    replay_victim_ = victim;
-    auto it = stolen_epochs_.find(victim);
-    std::uint32_t stolen = it != stolen_epochs_.end()
-                               ? it->second
-                               : system_.replica(victim).key_epoch();
-    // Only messages carrying a genuinely stale epoch count toward the
-    // epoch-flush invariant: a minimized script that dropped the kill leaves
-    // the "stolen" keys current, and current-epoch traffic is legitimately
-    // accepted (the ordinary agreement invariants still judge it).
-    bool stale = stolen < system_.replica(victim).key_epoch();
-    const std::string from = crypto::replica_principal(ReplicaId{victim});
-    for (std::uint64_t k = 0; k < count; ++k) {
-      bft::PhaseVote vote;
-      vote.cid = ConsensusId{1 + k};
-      vote.voter = ReplicaId{victim};
-      Bytes body = vote.encode();
-      for (std::uint32_t r = 0; r < system_.n(); ++r) {
-        if (r == victim) continue;
-        const std::string to = crypto::replica_principal(ReplicaId{r});
-        bft::Envelope env;
-        env.type = bft::MsgType::kWrite;
-        env.sender = from;
-        env.epoch = stolen;
-        env.body = body;
-        env.mac = system_.keys().mac(
-            from, to, stolen,
-            bft::envelope_mac_material(env.type, from, to, stolen, body));
-        system_.net().send(from, to, env.encode());
-        if (stale) ++stolen_sent_;
-      }
-    }
-  }
-
   /// Family-specific end-of-run judgements, on top of the checker's
   /// universal invariants.
   void check_family_invariants() {
+    std::uint64_t stolen_sent = applier_.stolen_sent();
     if (opt_.family == ScenarioFamily::kCompromiseRecover &&
-        stolen_sent_ > 0) {
+        stolen_sent > 0) {
       // Epoch flush: every forged old-epoch message died at a receiver.
       std::uint64_t rejections = 0;
       for (std::uint32_t i = 0; i < system_.n(); ++i) {
         rejections += system_.replica_stats(i).epoch_rejections;
       }
-      if (rejections < stolen_sent_) {
+      if (rejections < stolen_sent) {
         checker_.add_violation(
             "epoch-flush",
             "only " + std::to_string(rejections) +
-                " epoch rejections for " + std::to_string(stolen_sent_) +
+                " epoch rejections for " + std::to_string(stolen_sent) +
                 " forged old-epoch messages");
       }
       // Post-recovery clean: the reincarnated victim runs a bumped key
       // epoch and no residual Byzantine mode.
-      if (replay_victim_.has_value()) {
-        bft::Replica& victim = system_.replica(*replay_victim_);
+      const std::optional<std::uint32_t>& replay_victim =
+          applier_.replay_victim();
+      if (replay_victim.has_value()) {
+        bft::Replica& victim = system_.replica(*replay_victim);
         if (victim.key_epoch() == 0) {
           checker_.add_violation("key-refresh",
                                  "victim replica " +
-                                     std::to_string(*replay_victim_) +
+                                     std::to_string(*replay_victim) +
                                      " still on key epoch 0 after "
                                      "reincarnation");
         }
         if (victim.byzantine() != bft::ByzantineMode::kNone) {
           checker_.add_violation("key-refresh",
                                  "victim replica " +
-                                     std::to_string(*replay_victim_) +
+                                     std::to_string(*replay_victim) +
                                      " still Byzantine after reincarnation");
         }
       }
     }
-    if (opt_.family == ScenarioFamily::kRequestFlood && flooded_ > 64 &&
+    if (opt_.family == ScenarioFamily::kRequestFlood &&
+        applier_.flooded() > 64 &&
         system_.proxy_frontend().client_stats().shed == 0) {
       checker_.add_violation(
           "backpressure",
-          "flood of " + std::to_string(flooded_) +
+          "flood of " + std::to_string(applier_.flooded()) +
               " updates never tripped the frontend inflight cap");
     }
-  }
-
-  /// Ends the adversary's reign: clears Byzantine modes, recovers crashed
-  /// replicas, lifts every link policy and isolation, and stops the RTU
-  /// misbehaving. From here the run must converge.
-  void heal_world() {
-    for (std::uint32_t i = 0; i < system_.n(); ++i) {
-      if (system_.replica(i).byzantine() != bft::ByzantineMode::kNone) {
-        system_.set_byzantine(i, bft::ByzantineMode::kNone);
-      }
-      checker_.set_impaired(i, false);
-      if (system_.replica(i).crashed()) {
-        if (system_.durable() && system_.replica_killed(i)) {
-          system_.restart_replica_process(i);  // supervisor-style restart
-        } else {
-          system_.recover_replica(i);
-        }
-      }
-    }
-    system_.net().clear_all_faults();
-    rtu_.swallow_next_requests(0);
-    rtu_.fail_next_writes(0);
   }
 
   ChaosOptions opt_;
@@ -376,15 +248,10 @@ class ChaosRun {
   rtu::Rtu rtu_;
   rtu::RtuDriver driver_;
   InvariantChecker checker_;
+  ActionApplier applier_;
   ItemId tank_, pump_, valve_;
   SimTime stop_writes_at_ = 0;
   std::uint64_t write_counter_ = 0;
-  /// Session-key epoch each killed replica held when the adversary "left".
-  std::map<std::uint32_t, std::uint32_t> stolen_epochs_;
-  std::optional<std::uint32_t> replay_victim_;
-  std::uint64_t stolen_sent_ = 0;   ///< forged old-epoch envelopes sent
-  std::uint64_t flooded_ = 0;       ///< updates issued by kUpdateFlood
-  std::uint64_t flood_counter_ = 0;
 };
 
 FaultScript subset(const FaultScript& script,

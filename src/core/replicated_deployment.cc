@@ -160,6 +160,25 @@ void ReplicatedDeployment::start() {
   loop_.run_until(loop_.now() + millis(50));
 }
 
+void ReplicatedDeployment::set_fsync_stall(std::uint32_t i, SimTime stall) {
+  if (fsync_stalls_.empty()) {
+    fsync_stalls_.assign(opt_.group.n, 0);
+    storage_env_.set_sync_observer([this](const std::string& path) {
+      // "replica-<i>/..." — charge the stall to the replica whose state dir
+      // just synced, as if its fsync had blocked the process that long.
+      for (std::uint32_t r = 0; r < fsync_stalls_.size(); ++r) {
+        if (fsync_stalls_[r] <= 0) continue;
+        std::string prefix = "replica-" + std::to_string(r) + "/";
+        if (path.compare(0, prefix.size(), prefix) == 0) {
+          replicas_.at(r)->charge(fsync_stalls_[r]);
+          return;
+        }
+      }
+    });
+  }
+  fsync_stalls_.at(i) = stall > 0 ? stall : 0;
+}
+
 void ReplicatedDeployment::kill_replica_process(std::uint32_t i) {
   if (!opt_.durable) {
     crash_replica(i);

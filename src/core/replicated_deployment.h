@@ -97,6 +97,20 @@ class ReplicatedDeployment {
     replicas_.at(i)->set_byzantine(mode);
   }
 
+  // Gray-failure injection (chaos hooks): replica i stays correct but slow.
+  /// Extra virtual CPU per inbound message on replica i (0 clears).
+  void set_processing_delay(std::uint32_t i, SimTime delay) {
+    replicas_.at(i)->set_processing_delay(delay);
+  }
+  /// Local-timer skew multiplier on replica i (1.0 clears).
+  void set_timer_skew(std::uint32_t i, double factor) {
+    replicas_.at(i)->set_timer_skew(factor);
+  }
+  /// Every fsync in replica i's state dir charges this much extra virtual
+  /// CPU to the replica — a degraded disk (0 clears). Durable mode only;
+  /// otherwise a no-op (nothing ever syncs).
+  void set_fsync_stall(std::uint32_t i, SimTime stall);
+
   /// `kill -9` of a replica "process" (durable mode only): unsynced bytes
   /// vanish from its state dir and the replica goes silent until
   /// restart_replica_process. Without `durable`, degrades to crash_replica.
@@ -151,6 +165,9 @@ class ReplicatedDeployment {
   std::vector<std::unique_ptr<storage::ReplicaStorage>> replica_storage_;
   std::vector<Bytes> genesis_images_;
   std::vector<bool> killed_;
+  /// Per-replica fsync-stall injection (index = replica). Lazily sized on
+  /// first use; drives the MemEnv sync observer.
+  std::vector<SimTime> fsync_stalls_;
 
   std::unique_ptr<ComponentProxy> proxy_hmi_;
   std::unique_ptr<ComponentProxy> proxy_frontend_;

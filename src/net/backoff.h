@@ -1,0 +1,103 @@
+// Shared adaptive retransmission timing: EWMA RTT estimation plus jittered
+// exponential backoff with a cap.
+//
+// Every retry path in the system (client request retransmission, replica
+// state-transfer re-requests) used to re-fire on a fixed period, which has
+// two failure modes under sustained adversity: a partition turns every
+// sender into a synchronized retransmit storm, and a timeout tuned for the
+// fault-free RTT fires spuriously as soon as links or replicas slow down.
+// AdaptiveTimeout fixes both with the TCP RTO recipe (RFC 6298 shape):
+//
+//   first sample:  srtt = rtt,               rttvar = rtt / 2
+//   after that:    rttvar = 3/4 rttvar + 1/4 |srtt - rtt|
+//                  srtt   = 7/8 srtt   + 1/8 rtt
+//   rto            = clamp(srtt + 4 rttvar, floor, cap)
+//   retry delay    = min(rto << backoff_level, cap), +/- jitter
+//
+// The floor defaults to the configured base timeout, so in the fault-free
+// case the schedule is unchanged from the old fixed period; the estimator
+// only ever stretches the timeout (congested links, loaded replicas), never
+// hair-triggers it. Jitter is drawn from a seeded Rng, so simulated runs
+// stay a pure function of their seed. Backoff levels live with the caller
+// (per in-flight request); "fast reset on first response" is the caller
+// dropping its level back to zero when evidence arrives that the path works.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace ss::net {
+
+struct BackoffOptions {
+  SimTime initial = millis(300);  ///< RTO before any RTT sample
+  /// Lower clamp for the computed RTO; 0 = use `initial` (adaptivity only
+  /// ever stretches the configured base, never undercuts it).
+  SimTime floor = 0;
+  SimTime cap = millis(1200);  ///< upper clamp, backoff included
+  double jitter = 0.1;         ///< +/- fraction of every returned delay
+  std::uint64_t seed = 0x8077;
+};
+
+class AdaptiveTimeout {
+ public:
+  explicit AdaptiveTimeout(BackoffOptions options = {})
+      : opt_(options), rng_(options.seed) {
+    if (opt_.floor == 0) opt_.floor = opt_.initial;
+    if (opt_.cap < opt_.floor) opt_.cap = opt_.floor;
+  }
+
+  /// Feeds one clean RTT sample (Karn's rule is the caller's job: never
+  /// sample a reply that may answer a retransmission).
+  void on_sample(SimTime rtt) {
+    if (rtt < 0) return;
+    if (!have_sample_) {
+      have_sample_ = true;
+      srtt_ = rtt;
+      rttvar_ = rtt / 2;
+    } else {
+      SimTime err = srtt_ > rtt ? srtt_ - rtt : rtt - srtt_;
+      rttvar_ = (3 * rttvar_ + err) / 4;
+      srtt_ = (7 * srtt_ + rtt) / 8;
+    }
+    ++samples_;
+  }
+
+  /// The current base RTO (no backoff, no jitter).
+  SimTime rto() const {
+    SimTime base = have_sample_ ? srtt_ + 4 * rttvar_ : opt_.initial;
+    return std::clamp(base, opt_.floor, opt_.cap);
+  }
+
+  /// The delay before the next retry at the given backoff level: rto()
+  /// doubled per level, capped, then jittered. Advances the jitter stream.
+  SimTime delay(std::uint32_t backoff_level) {
+    SimTime d = rto();
+    // Saturating shift: past the cap more doubling cannot matter.
+    for (std::uint32_t i = 0; i < backoff_level && d < opt_.cap; ++i) d *= 2;
+    d = std::min(d, opt_.cap);
+    if (opt_.jitter > 0.0 && d > 0) {
+      double factor = 1.0 + opt_.jitter * (2.0 * rng_.uniform() - 1.0);
+      d = static_cast<SimTime>(static_cast<double>(d) * factor);
+      d = std::max<SimTime>(d, 1);
+    }
+    return d;
+  }
+
+  bool has_sample() const { return have_sample_; }
+  SimTime srtt() const { return srtt_; }
+  SimTime rttvar() const { return rttvar_; }
+  std::uint64_t samples() const { return samples_; }
+
+ private:
+  BackoffOptions opt_;
+  bool have_sample_ = false;
+  SimTime srtt_ = 0;
+  SimTime rttvar_ = 0;
+  std::uint64_t samples_ = 0;
+  Rng rng_;
+};
+
+}  // namespace ss::net

@@ -134,18 +134,23 @@ namespace {
 
 class MemAppendFile final : public AppendFile {
  public:
-  MemAppendFile(Bytes* data, std::size_t* synced_size)
-      : data_(data), synced_size_(synced_size) {}
+  MemAppendFile(Bytes* data, std::size_t* synced_size,
+                std::function<void()> on_sync)
+      : data_(data), synced_size_(synced_size), on_sync_(std::move(on_sync)) {}
 
   void append(ByteView data) override {
     data_->insert(data_->end(), data.begin(), data.end());
   }
 
-  void sync() override { *synced_size_ = data_->size(); }
+  void sync() override {
+    *synced_size_ = data_->size();
+    if (on_sync_) on_sync_();
+  }
 
  private:
   Bytes* data_;
   std::size_t* synced_size_;
+  std::function<void()> on_sync_;
 };
 
 }  // namespace
@@ -160,6 +165,7 @@ void MemEnv::write_file(const std::string& path, ByteView data) {
   FileState& file = files_[path];
   file.data.assign(data.begin(), data.end());
   file.synced_size = file.data.size();
+  note_sync(path);
 }
 
 std::unique_ptr<AppendFile> MemEnv::open_append(const std::string& path) {
@@ -167,7 +173,8 @@ std::unique_ptr<AppendFile> MemEnv::open_append(const std::string& path) {
   // NOTE: the handle points into the map entry; MemEnv must outlive handles,
   // and remove_file on a file with an open handle is not supported (the
   // durability layer never does either).
-  return std::make_unique<MemAppendFile>(&file.data, &file.synced_size);
+  return std::make_unique<MemAppendFile>(&file.data, &file.synced_size,
+                                         [this, path] { note_sync(path); });
 }
 
 void MemEnv::rename_file(const std::string& from, const std::string& to) {

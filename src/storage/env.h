@@ -16,6 +16,7 @@
 // crash-restart scenarios are exercised by the chaos engine without any I/O.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -102,13 +103,27 @@ class MemEnv final : public Env {
   /// Direct mutable access for tests that corrupt bytes on "disk".
   Bytes* raw(const std::string& path);
 
+  /// Observation hook fired on every sync (explicit AppendFile::sync and the
+  /// implicit sync of write_file) with the synced path. The chaos engine's
+  /// gray-failure family uses it to charge fsync-stall time to the replica
+  /// whose state dir the path belongs to — a degraded disk, modeled at the
+  /// exact seam where a real fsync would block.
+  using SyncObserver = std::function<void(const std::string& path)>;
+  void set_sync_observer(SyncObserver observer) {
+    sync_observer_ = std::move(observer);
+  }
+
  private:
   friend class MemAppendFile;
+  void note_sync(const std::string& path) {
+    if (sync_observer_) sync_observer_(path);
+  }
   struct FileState {
     Bytes data;
     std::size_t synced_size = 0;
   };
   std::map<std::string, FileState> files_;
+  SyncObserver sync_observer_;
 };
 
 }  // namespace ss::storage

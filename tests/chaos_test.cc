@@ -94,6 +94,18 @@ TEST(ChaosSweep, MixedF1) {
   expect_clean_sweep(ScenarioFamily::kMixed, 1, 1, 88);
 }
 
+// Gray failures: slow-but-correct replicas (extra per-message processing
+// cost, fsync stalls through the storage Env seam, skewed local timers).
+// Safety must hold outright; liveness must survive the thinner margins.
+TEST(ChaosSweep, GrayFailureF1) {
+  expect_clean_sweep(ScenarioFamily::kGrayFailure, 1, 1, 88);
+}
+
+TEST(ChaosSweep, MinBftGrayFailureF1) {
+  expect_clean_sweep(ScenarioFamily::kGrayFailure, 1, 1, 44,
+                     Protocol::kMinBft);
+}
+
 // Compromise -> reincarnate -> stolen-key replay: on top of the universal
 // invariants, every run checks that all forged old-epoch messages were
 // rejected and the victim came back clean on a fresh key epoch.

@@ -165,12 +165,30 @@ TEST(ClientProxyTest, RetransmitsUntilQuorum) {
   Harness h;
   ClientOptions options;
   options.reply_timeout = millis(100);
+  // Pin the fixed-period policy's cadence contract; the adaptive policy's
+  // backoff schedule is covered by tests/backoff_test.cc.
+  options.adaptive = false;
   ClientProxy client(h.net, h.group, ClientId{1}, h.keys, options);
   client.invoke_ordered(Bytes{9});
   h.loop.run_until(millis(450));
   // Initial send + 4 retransmissions.
   EXPECT_GE(h.replicas[0]->requests.size(), 4u);
   EXPECT_GE(client.stats().retransmissions, 3u);
+}
+
+TEST(ClientProxyTest, AdaptiveRetransmitsBackOffButNeverStop) {
+  Harness h;
+  ClientOptions options;
+  options.reply_timeout = millis(100);
+  options.max_rto = millis(400);
+  options.jitter = 0.0;
+  ClientProxy client(h.net, h.group, ClientId{1}, h.keys, options);
+  client.invoke_ordered(Bytes{9});
+  // No replies at all: retransmits at ~100/300/700/1100/1500ms (doubling to
+  // the 400ms cap) — still live, but a fraction of the fixed schedule.
+  h.loop.run_until(millis(1600));
+  EXPECT_GE(client.stats().retransmissions, 4u);
+  EXPECT_LT(client.stats().retransmissions, 15u);  // fixed would be ~15
 }
 
 TEST(ClientProxyTest, FailureHandlerFiresAfterMaxRetries) {
